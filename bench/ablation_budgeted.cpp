@@ -1,0 +1,63 @@
+// Ablation — budgeted placement (DESIGN.md §4 extension): when shortcut
+// costs scale with geographic length (satellite hop vs short UAV relay),
+// how do the density rule, the uniform rule, and their max compare, and
+// what does cost-awareness buy over pretending costs are uniform?
+#include <iostream>
+#include <vector>
+
+#include "core/budgeted.h"
+#include "core/candidates.h"
+#include "core/greedy.h"
+#include "core/sigma.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "util/env.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace msc;
+  eval::printHeader(std::cout, "Ablation: budgeted (cost-aware) placement",
+                    "DESIGN.md ablation index");
+  const int trials =
+      util::scaledIters(static_cast<int>(util::envInt("MSC_TRIALS", 5)));
+  std::cout << "RG n=100 m=60 p_t=0.14; cost = 0.5 + 2.0 * link length; "
+            << trials << " trials per row\n\n";
+
+  util::TableWriter table({"budget", "density", "uniform", "max(both)",
+                           "|F| density", "|F| uniform"});
+  for (const double budget : {2.0, 4.0, 8.0, 12.0}) {
+    util::RunningStats density, uniform, best, sizeD, sizeU;
+    for (int trial = 0; trial < trials; ++trial) {
+      eval::RgSetup setup;
+      setup.nodes = 100;
+      setup.pairs = 60;
+      setup.failureThreshold = 0.14;
+      setup.seed = static_cast<std::uint64_t>(trial + 1);
+      const auto spatial = eval::makeRgInstance(setup);
+      const auto cands =
+          core::CandidateSet::allPairs(spatial.instance.graph().nodeCount());
+      // Unit-square coordinates: a cross-square link costs ~0.5 + 2*1.4.
+      const auto cost = core::distanceCost(spatial.positions, 0.5, 2.0);
+      core::SigmaEvaluator sigma(spatial.instance);
+      const auto res = core::budgetedGreedy(sigma, cands, cost, budget);
+      density.push(res.densityValue);
+      uniform.push(res.uniformValue);
+      best.push(res.value);
+      sizeD.push(static_cast<double>(res.densityPlacement.size()));
+      sizeU.push(static_cast<double>(res.uniformPlacement.size()));
+    }
+    table.addRow({util::formatFixed(budget, 1),
+                  util::formatFixed(density.mean(), 2),
+                  util::formatFixed(uniform.mean(), 2),
+                  util::formatFixed(best.mean(), 2),
+                  util::formatFixed(sizeD.mean(), 1),
+                  util::formatFixed(sizeU.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: with length-proportional costs the density rule "
+               "buys more short links and usually wins at tight budgets; "
+               "the uniform rule catches up when the budget is loose. "
+               "max(both) is the deployed policy.\n";
+  return 0;
+}

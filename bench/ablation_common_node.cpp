@@ -1,0 +1,95 @@
+// Ablation — MSC-CN structure (paper §IV): on common-node instances,
+// (a) the coverage greedy empirically sits far above its (1 - 1/e) floor
+//     (measured against exact search over the hub-incident space), and
+// (b) restricting candidates to hub-incident shortcuts loses nothing
+//     (Theorem 1's "an optimal solution is incident to u"), while speeding
+//     the search up by a factor n/2.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/common_node.h"
+#include "core/exact.h"
+#include "core/instance.h"
+#include "core/sigma.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "gen/random_geometric.h"
+#include "graph/apsp.h"
+#include "util/env.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "wireless/link_model.h"
+
+int main() {
+  using namespace msc;
+  eval::printHeader(std::cout, "Ablation: MSC-CN coverage greedy vs exact",
+                    "paper Theorems 1/4/5 (§IV)");
+  const int trials =
+      util::scaledIters(static_cast<int>(util::envInt("MSC_TRIALS", 8)));
+  std::cout << "RG n=16, common node = 0, m = 6, k = 3; " << trials
+            << " seeded instances (small n keeps the unrestricted exact\n"
+               "search tractable)\n\n";
+
+  util::TableWriter table({"seed", "greedy", "exact(hub)", "exact(all)",
+                           "ratio", "floor (1-1/e)"});
+  util::RunningStats ratios;
+  int hubOptimalMatchesAll = 0;
+  int rows = 0;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto seed = static_cast<std::uint64_t>(trial + 1);
+    gen::RandomGeometricConfig cfg;
+    cfg.nodes = 16;
+    cfg.radius = 0.4;
+    cfg.failure = wireless::DistanceProportionalFailure(0.5, 0.95);
+    cfg.seed = seed;
+    auto net = gen::randomGeometricConnected(cfg, 0.9, 64);
+
+    const double dt = wireless::failureThresholdToDistance(0.12);
+    const auto dist = graph::allPairsDistances(net.graph);
+    util::Rng rng(seed ^ 0xabULL);
+    std::vector<core::SocialPair> pairs;
+    try {
+      pairs = core::sampleCommonNodePairs(net.graph, dist, 0, 6, dt, rng);
+    } catch (const std::runtime_error&) {
+      continue;  // this seed has too few far nodes; skip
+    }
+    core::Instance inst(std::move(net.graph), std::move(pairs), dt);
+    const int k = 3;
+
+    const auto greedy = core::solveCommonNodeCoverage(inst, 0, k);
+
+    core::SigmaEvaluator sigma(inst);
+    const auto hubCands = core::CandidateSet::incidentTo(16, 0);
+    const auto exactHub = core::exactOptimum(sigma, hubCands, k);
+
+    // Exact over ALL candidates: C(120,3) ~ 2.8e5 placements, tractable
+    // at this size; the ceiling prune stops early when all pairs are met.
+    core::ExactConfig allCfg;
+    allCfg.ceiling = static_cast<double>(inst.pairCount());
+    const auto allCands = core::CandidateSet::allPairs(16);
+    const auto exactAll = core::exactOptimum(sigma, allCands, k, allCfg);
+
+    const double ratio =
+        exactHub.value > 0.0 ? greedy.sigma / exactHub.value : 1.0;
+    ratios.push(ratio);
+    if (exactAll.value <= exactHub.value + 1e-9) ++hubOptimalMatchesAll;
+    ++rows;
+
+    table.addRow({std::to_string(trial + 1),
+                  util::formatFixed(greedy.sigma, 0),
+                  util::formatFixed(exactHub.value, 0),
+                  util::formatFixed(exactAll.value, 0),
+                  util::formatFixed(ratio, 3),
+                  util::formatFixed(1.0 - std::exp(-1.0), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmean greedy/exact ratio: " << util::formatFixed(ratios.mean(), 3)
+            << " (guaranteed floor 0.632); hub-incident optimum matched the "
+               "unrestricted optimum in "
+            << hubOptimalMatchesAll << "/" << rows
+            << " instances (Theorem 1)\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation — placement repair in evolving networks (DESIGN.md §4
+// extension): a rolling-horizon experiment over the RPGM trace. At each
+// time step the operator can (i) keep the t=0 placement forever (static),
+// (ii) re-solve from scratch (fresh greedy — maximum quality, maximum
+// churn), or (iii) repair the previous placement with a small swap budget.
+// Reports maintained connections and cumulative relocations ("churn") —
+// the quality/churn trade-off repair is designed to win.
+#include <iostream>
+#include <algorithm>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/greedy.h"
+#include "core/repair.h"
+#include "core/sigma.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "util/env.h"
+#include "util/table.h"
+
+namespace {
+
+int placementDiff(const msc::core::ShortcutList& a,
+                  const msc::core::ShortcutList& b) {
+  const auto sa = msc::core::sorted(a);
+  int changed = 0;
+  for (const auto& f : msc::core::sorted(b)) {
+    if (!std::binary_search(sa.begin(), sa.end(), f)) ++changed;
+  }
+  return changed;
+}
+
+}  // namespace
+
+int main() {
+  using namespace msc;
+  eval::printHeader(std::cout, "Ablation: placement repair vs re-solve",
+                    "DESIGN.md ablation index");
+  const int k = static_cast<int>(util::envInt("MSC_K", 8));
+  const int swapBudget = static_cast<int>(util::envInt("MSC_SWAPS", 2));
+  const int horizon = util::scaledIters(
+      static_cast<int>(util::envInt("MSC_T", 15)));
+
+  eval::DynamicSetup setup;
+  setup.timeInstances = horizon;
+  auto instances = eval::makeDynamicInstances(setup);
+  std::cout << "RPGM trace: n=" << setup.nodes << ", T=" << horizon
+            << ", k=" << k << ", repair swap budget=" << swapBudget << "\n\n";
+
+  const auto cands = core::CandidateSet::allPairs(setup.nodes);
+
+  // t = 0 placement shared by all three policies.
+  core::SigmaEvaluator sigma0(instances[0]);
+  const auto initial = core::greedyMaximize(sigma0, cands, k).placement;
+
+  util::TableWriter table({"t", "m_t", "static", "fresh", "repair",
+                           "churn fresh", "churn repair"});
+  core::ShortcutList freshPrev = initial;
+  core::ShortcutList repairPrev = initial;
+  double totStatic = 0.0, totFresh = 0.0, totRepair = 0.0;
+  int churnFresh = 0, churnRepair = 0;
+
+  for (std::size_t t = 0; t < instances.size(); ++t) {
+    core::SigmaEvaluator sigma(instances[t]);
+    const double staticValue = sigma.value(initial);
+
+    const auto fresh = core::greedyMaximize(sigma, cands, k);
+    const int cf = placementDiff(freshPrev, fresh.placement);
+
+    const auto repaired =
+        core::repairPlacement(sigma, cands, repairPrev, swapBudget);
+    const int cr = placementDiff(repairPrev, repaired.placement);
+
+    totStatic += staticValue;
+    totFresh += fresh.value;
+    totRepair += repaired.value;
+    churnFresh += cf;
+    churnRepair += cr;
+
+    table.addRow({std::to_string(t),
+                  std::to_string(instances[t].pairCount()),
+                  util::formatFixed(staticValue, 0),
+                  util::formatFixed(fresh.value, 0),
+                  util::formatFixed(repaired.value, 0), std::to_string(cf),
+                  std::to_string(cr)});
+    freshPrev = fresh.placement;
+    repairPrev = repaired.placement;
+  }
+  table.print(std::cout);
+  std::cout << "\ntotals: static " << totStatic << ", fresh " << totFresh
+            << " (churn " << churnFresh << "), repair " << totRepair
+            << " (churn " << churnRepair << ")\n";
+  std::cout << "reading: repair recovers most of the fresh-solve quality at "
+               "a fraction of the relocations; static decays as the groups "
+               "move.\n";
+  return 0;
+}

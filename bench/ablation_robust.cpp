@@ -1,0 +1,96 @@
+// Ablation — robust (max-min) vs average (sum) placement over scenario
+// sets (DESIGN.md §4 extension). Scenarios are alternative mobility
+// futures: same start, different RPGM seeds. Compares, on the worst and
+// average scenario, the placements produced by (a) sum-greedy (§VI's
+// objective), (b) plain greedy on the min objective (documented plateau
+// failure), and (c) robustSaturate (truncated-sum SATURATE scheme).
+#include <iostream>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/dynamic.h"
+#include "core/greedy.h"
+#include "core/robust.h"
+#include "core/sigma.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "util/env.h"
+#include "util/table.h"
+
+int main() {
+  using namespace msc;
+  eval::printHeader(std::cout, "Ablation: robust (max-min) vs sum placement",
+                    "DESIGN.md ablation index");
+  const int scenarios = 4;
+  const int k = static_cast<int>(util::envInt("MSC_K", 8));
+  std::cout << scenarios << " alternative mobility futures (RPGM seeds), "
+            << "n=50, m=30, k=" << k << "\n\n";
+
+  // One instance per scenario: a single snapshot from each future.
+  std::vector<core::Instance> instances;
+  for (int s = 0; s < scenarios; ++s) {
+    eval::DynamicSetup setup;
+    setup.timeInstances = 1;
+    setup.seed = 100 + static_cast<std::uint64_t>(s);
+    auto series = eval::makeDynamicInstances(setup);
+    instances.push_back(std::move(series.front()));
+  }
+  const auto cands = core::CandidateSet::allPairs(50);
+
+  std::vector<std::unique_ptr<core::SigmaEvaluator>> evals;
+  std::vector<core::IncrementalEvaluator*> kids;
+  std::vector<const core::SetFunction*> fns;
+  for (const auto& inst : instances) {
+    evals.push_back(std::make_unique<core::SigmaEvaluator>(inst));
+    kids.push_back(evals.back().get());
+    fns.push_back(evals.back().get());
+  }
+  core::MinEvaluator robust(kids, fns);
+  core::SumEvaluator sum(kids, fns, "sum");
+
+  auto evaluate = [&](const core::ShortcutList& placement) {
+    double worst = robust.value(placement);
+    double total = sum.value(placement);
+    return std::pair<double, double>(worst,
+                                     total / static_cast<double>(scenarios));
+  };
+
+  util::TableWriter table({"strategy", "worst scenario", "avg scenario",
+                           "|F|"});
+
+  const auto sumGreedy = core::greedyMaximize(sum, cands, k);
+  {
+    const auto [worst, avg] = evaluate(sumGreedy.placement);
+    table.addRow({"sum greedy (§VI objective)", util::formatFixed(worst, 1),
+                  util::formatFixed(avg, 1),
+                  std::to_string(sumGreedy.placement.size())});
+  }
+
+  const auto minGreedy = core::greedyMaximize(robust, cands, k);
+  {
+    const auto [worst, avg] = evaluate(minGreedy.placement);
+    table.addRow({"plain greedy on min (plateau)",
+                  util::formatFixed(worst, 1), util::formatFixed(avg, 1),
+                  std::to_string(minGreedy.placement.size())});
+  }
+
+  double maxTarget = 1e9;
+  for (const auto& inst : instances) {
+    maxTarget = std::min(maxTarget, static_cast<double>(inst.pairCount()));
+  }
+  const auto saturate = core::robustSaturate(kids, fns, cands, k, maxTarget);
+  {
+    const auto [worst, avg] = evaluate(saturate.placement);
+    table.addRow({"robustSaturate (truncated sum)",
+                  util::formatFixed(worst, 1), util::formatFixed(avg, 1),
+                  std::to_string(saturate.placement.size())});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nreading: sum-greedy maximizes the average but can abandon "
+               "an unlucky scenario; plain min-greedy underperforms (and "
+               "stalls at zero outright when scenarios conflict — see "
+               "tests/test_robust.cpp); robustSaturate lifts the worst "
+               "scenario at a modest average cost.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation — sandwich components (DESIGN.md §4): how often does each of
+// the three greedy runs (on mu, sigma, nu) win the best-of-three, and how
+// much does the sandwich gain over sigma-greedy alone? Justifies running
+// all three passes instead of only greedy-on-sigma.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/sandwich.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "util/env.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace msc;
+  eval::printHeader(std::cout, "Ablation: sandwich component contributions",
+                    "DESIGN.md ablation index");
+  const int trials =
+      util::scaledIters(static_cast<int>(util::envInt("MSC_TRIALS", 10)));
+  std::cout << "trials per row: " << trials << '\n';
+
+  util::TableWriter table({"dataset", "k", "win mu", "win sigma", "win nu",
+                           "AA mean", "sigma-greedy mean", "uplift%"});
+
+  for (const std::string dataset : {"RG", "Gowalla"}) {
+    for (const int k : {4, 8}) {
+      std::map<std::string, int> wins{{"mu", 0}, {"sigma", 0}, {"nu", 0}};
+      util::RunningStats aaStat, sgStat;
+      for (int trial = 0; trial < trials; ++trial) {
+        const auto seed = static_cast<std::uint64_t>(1000 + trial);
+        const eval::SpatialInstance spatial = [&] {
+          if (dataset == "RG") {
+            eval::RgSetup setup;
+            setup.nodes = 100;
+            setup.pairs = 40;
+            setup.failureThreshold = 0.14;
+            setup.seed = seed;
+            return eval::makeRgInstance(setup);
+          }
+          eval::GowallaSetup setup;
+          setup.pairs = 40;
+          setup.failureThreshold = 0.27;
+          setup.seed = seed;
+          return eval::makeGowallaInstance(setup);
+        }();
+        const auto cands = core::CandidateSet::allPairs(
+            spatial.instance.graph().nodeCount());
+        const auto aa =
+            core::sandwichApproximation(spatial.instance, cands, k);
+        ++wins[aa.winner];
+        aaStat.push(aa.sigma);
+        sgStat.push(aa.sigmaOfSigma);
+      }
+      const double uplift =
+          sgStat.mean() > 0.0
+              ? 100.0 * (aaStat.mean() - sgStat.mean()) / sgStat.mean()
+              : 0.0;
+      table.addRow({dataset, std::to_string(k), std::to_string(wins["mu"]),
+                    std::to_string(wins["sigma"]), std::to_string(wins["nu"]),
+                    util::formatFixed(aaStat.mean(), 2),
+                    util::formatFixed(sgStat.mean(), 2),
+                    util::formatFixed(uplift, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: sigma-greedy usually wins outright (AA == "
+               "sigma-greedy), but the bound runs occasionally rescue "
+               "placements where greedy-on-sigma stalls — and they are what "
+               "provides the approximation guarantee.\n";
+  return 0;
+}

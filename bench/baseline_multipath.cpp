@@ -1,0 +1,215 @@
+// Baseline — multipath routing vs shortcut placement (paper §I).
+//
+// The introduction motivates MSC by arguing that multipath routing alone
+// cannot keep important pairs reliable: each path still fails too often.
+// This bench quantifies that on the library's instances: for each pair,
+// compare the failure probability of
+//   * the single most reliable path                (1 - e^-L1),
+//   * the optimal pair of edge-disjoint paths      ((1-e^-L1')(1-e^-L2')),
+//     computed with Bhandari's algorithm (src/graph/disjoint_paths), and
+//   * the most reliable path after placing k shortcut edges with AA,
+// and count how many pairs meet the p_t requirement under each strategy.
+// A second section estimates, by Monte-Carlo over sampled link states,
+// the delivery rate of sending j redundant copies along the j shortest
+// (Yen) routes — which are generally NOT disjoint, so their failures are
+// correlated and no closed form applies.
+#include <cmath>
+#include <iostream>
+#include <array>
+#include <map>
+
+#include "core/candidates.h"
+#include "core/sandwich.h"
+#include "core/sigma.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "graph/disjoint_paths.h"
+#include "graph/k_shortest.h"
+#include "sim/link_state.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "wireless/link_model.h"
+
+namespace {
+
+double pathFailure(double length) {
+  return msc::wireless::lengthToFailure(length);
+}
+
+void runDataset(const std::string& dataset, const std::vector<double>& pts,
+                int k, std::uint64_t seed) {
+  std::cout << "\n=== dataset: " << dataset << " (k=" << k
+            << " for the shortcut strategy) ===\n";
+  msc::util::TableWriter table({"p_t", "single path", "2-disjoint multipath",
+                                "AA shortcuts", "m"});
+  for (const double pt : pts) {
+    const msc::eval::SpatialInstance spatial = [&] {
+      if (dataset == "RG") {
+        msc::eval::RgSetup setup;
+        setup.nodes = 100;
+        setup.pairs = 40;
+        setup.failureThreshold = pt;
+        setup.seed = seed;
+        return msc::eval::makeRgInstance(setup);
+      }
+      msc::eval::GowallaSetup setup;
+      setup.pairs = 40;
+      setup.failureThreshold = pt;
+      setup.seed = seed;
+      return msc::eval::makeGowallaInstance(setup);
+    }();
+    const auto& inst = spatial.instance;
+
+    // Pairs are sampled unsatisfied, so "single path" is 0 by
+    // construction — included to make the comparison explicit.
+    int singleOk = 0;
+    int multipathOk = 0;
+    for (const auto& p : inst.pairs()) {
+      if (pathFailure(inst.baseDistance(p)) <= pt) ++singleOk;
+      const auto dp =
+          msc::graph::twoEdgeDisjointPaths(inst.graph(), p.u, p.w);
+      double failure = 1.0;
+      if (dp.hasFirst()) failure = pathFailure(dp.firstLength);
+      if (dp.hasTwo()) {
+        // Delivered if EITHER disjoint copy survives.
+        failure = pathFailure(dp.firstLength) * pathFailure(dp.secondLength);
+      }
+      if (failure <= pt) ++multipathOk;
+    }
+
+    const auto cands =
+        msc::core::CandidateSet::allPairs(inst.graph().nodeCount());
+    const auto aa = msc::core::sandwichApproximation(inst, cands, k);
+
+    table.addRow({msc::util::formatFixed(pt, 2), std::to_string(singleOk),
+                  std::to_string(multipathOk),
+                  msc::util::formatFixed(aa.sigma, 0),
+                  std::to_string(inst.pairCount())});
+  }
+  table.print(std::cout);
+}
+
+// Monte-Carlo delivery of j redundant copies along the j shortest loopless
+// routes (correlated failures — copies share links).
+void runRedundantCopies(const msc::eval::SpatialInstance& spatial, double pt,
+                        int mcTrials, std::uint64_t seed) {
+  const auto& inst = spatial.instance;
+  const auto& g = inst.graph();
+
+  // Edge index per normalized node pair (min-length edge).
+  std::map<std::pair<int, int>, std::size_t> edgeOf;
+  {
+    const auto edges = g.edges();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const auto key = std::minmax(edges[i].u, edges[i].v);
+      const auto it = edgeOf.find({key.first, key.second});
+      if (it == edgeOf.end() ||
+          edges[i].length < edges[it->second].length) {
+        edgeOf[{key.first, key.second}] = i;
+      }
+    }
+  }
+
+  constexpr int kMaxCopies = 3;
+  // Per pair, per route: edge indices.
+  std::vector<std::vector<std::vector<std::size_t>>> pairRoutes;
+  for (const auto& p : inst.pairs()) {
+    const auto paths = msc::graph::kShortestPaths(g, p.u, p.w, kMaxCopies);
+    std::vector<std::vector<std::size_t>> routes;
+    for (const auto& path : paths) {
+      std::vector<std::size_t> idx;
+      for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+        const auto key = std::minmax(path.nodes[i], path.nodes[i + 1]);
+        idx.push_back(edgeOf.at({key.first, key.second}));
+      }
+      routes.push_back(std::move(idx));
+    }
+    pairRoutes.push_back(std::move(routes));
+  }
+
+  // MC: a pair counts as "meeting p_t" when its delivery rate over the
+  // trials is >= 1 - p_t.
+  std::vector<std::array<int, kMaxCopies>> delivered(
+      pairRoutes.size(), std::array<int, kMaxCopies>{});
+  msc::util::Rng rng(seed ^ 0x77aaULL);
+  for (int trial = 0; trial < mcTrials; ++trial) {
+    const auto real = msc::sim::sampleRealization(g, rng);
+    for (std::size_t r = 0; r < pairRoutes.size(); ++r) {
+      bool anyAlive = false;
+      for (std::size_t j = 0; j < pairRoutes[r].size(); ++j) {
+        if (!anyAlive) {
+          bool alive = true;
+          for (const std::size_t e : pairRoutes[r][j]) {
+            if (!real.up[e]) {
+              alive = false;
+              break;
+            }
+          }
+          anyAlive = alive;
+        }
+        if (anyAlive) ++delivered[r][j];
+      }
+    }
+  }
+
+  msc::util::TableWriter table(
+      {"copies j", "pairs meeting 1-p_t", "mean delivery"});
+  for (int j = 0; j < kMaxCopies; ++j) {
+    int ok = 0;
+    msc::util::RunningStats mean;
+    for (std::size_t r = 0; r < delivered.size(); ++r) {
+      const double rate = static_cast<double>(delivered[r][j]) / mcTrials;
+      mean.push(rate);
+      if (rate >= 1.0 - pt) ++ok;
+    }
+    table.addRow({std::to_string(j + 1), std::to_string(ok),
+                  msc::util::formatFixed(mean.mean(), 3)});
+  }
+  std::cout << "\n-- redundant copies along the j shortest routes "
+               "(Monte-Carlo, "
+            << mcTrials << " trials, p_t=" << pt << ") --\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace msc;
+  eval::printHeader(std::cout,
+                    "Baseline: multipath routing vs shortcut placement",
+                    "paper §I motivation");
+  const int k = static_cast<int>(util::envInt("MSC_K", 6));
+
+  runDataset("RG", {0.08, 0.11, 0.14, 0.18}, k, 1);
+  runDataset("Gowalla", {0.23, 0.27, 0.31, 0.35}, k, 9);
+
+  // Redundant non-disjoint copies (correlated failures) on one instance of
+  // each dataset.
+  const int mcTrials = util::scaledIters(
+      static_cast<int>(util::envInt("MSC_MC_TRIALS", 3000)));
+  {
+    eval::RgSetup setup;
+    setup.nodes = 100;
+    setup.pairs = 40;
+    setup.failureThreshold = 0.14;
+    setup.seed = 1;
+    runRedundantCopies(eval::makeRgInstance(setup), 0.14, mcTrials, 1);
+  }
+  {
+    eval::GowallaSetup setup;
+    setup.pairs = 40;
+    setup.failureThreshold = 0.27;
+    setup.seed = 9;
+    runRedundantCopies(eval::makeGowallaInstance(setup), 0.27, mcTrials, 9);
+  }
+
+  std::cout << "\nexpected: on dense geometric graphs multipath rescues "
+               "marginal pairs (many disjoint detours exist) but doubles "
+               "per-pair transmissions — the interference cost §I points "
+               "out; on clustered networks (Gowalla) both copies cross the "
+               "same unreliable inter-cluster gap and multipath collapses "
+               "while k shortcuts maintain nearly all pairs\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Microbenchmarks (google-benchmark) for the evaluation hot paths:
+// sigma strategies (matrix vs overlay vs rebuild), the zero-edge
+// relaxation, per-candidate marginal gains, APSP, and one greedy round.
+// These back DESIGN.md's "evaluator strategy" ablation: which exact sigma
+// strategy wins at which (n, m, |F|) regime.
+#include <benchmark/benchmark.h>
+
+#include "core/bounds.h"
+#include "core/candidates.h"
+#include "core/greedy.h"
+#include "core/sigma.h"
+#include "eval/experiment.h"
+#include "graph/apsp.h"
+#include "graph/shortcut_distance.h"
+#include "util/rng.h"
+
+namespace {
+
+using msc::core::CandidateSet;
+using msc::core::Instance;
+using msc::core::Shortcut;
+using msc::core::ShortcutList;
+using msc::core::SigmaEvaluator;
+
+msc::eval::SpatialInstance makeRg(int n, int m) {
+  msc::eval::RgSetup setup;
+  setup.nodes = n;
+  setup.radius = n >= 100 ? 0.15 : 0.25;
+  setup.pairs = m;
+  setup.failureThreshold = 0.14;
+  setup.seed = 1;
+  return msc::eval::makeRgInstance(setup);
+}
+
+ShortcutList somePlacement(int n, int size) {
+  msc::util::Rng rng(99);
+  ShortcutList f;
+  while (static_cast<int>(f.size()) < size) {
+    const auto a = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto b = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (a == b) continue;
+    const auto s = Shortcut::make(a, b);
+    if (!msc::core::contains(f, s)) f.push_back(s);
+  }
+  return f;
+}
+
+void BM_Apsp(benchmark::State& state) {
+  const auto spatial = makeRg(static_cast<int>(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        msc::graph::allPairsDistances(spatial.instance.graph()));
+  }
+}
+BENCHMARK(BM_Apsp)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_ApplyZeroEdge(benchmark::State& state) {
+  const auto spatial = makeRg(static_cast<int>(state.range(0)), 10);
+  const auto& base = spatial.instance.baseDistances();
+  for (auto _ : state) {
+    auto d = base;
+    msc::graph::applyZeroEdge(d, 0, spatial.instance.graph().nodeCount() - 1);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_ApplyZeroEdge)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_SigmaByMatrix(benchmark::State& state) {
+  const auto spatial = makeRg(100, static_cast<int>(state.range(0)));
+  SigmaEvaluator eval(spatial.instance);
+  const auto f = somePlacement(100, static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.valueByMatrix(f));
+  }
+}
+BENCHMARK(BM_SigmaByMatrix)
+    ->Args({17, 4})
+    ->Args({80, 4})
+    ->Args({80, 10});
+
+void BM_SigmaByOverlay(benchmark::State& state) {
+  const auto spatial = makeRg(100, static_cast<int>(state.range(0)));
+  SigmaEvaluator eval(spatial.instance);
+  const auto f = somePlacement(100, static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.valueByOverlay(f));
+  }
+}
+BENCHMARK(BM_SigmaByOverlay)
+    ->Args({17, 4})
+    ->Args({80, 4})
+    ->Args({80, 10});
+
+void BM_SigmaByRebuild(benchmark::State& state) {
+  const auto spatial = makeRg(100, static_cast<int>(state.range(0)));
+  SigmaEvaluator eval(spatial.instance);
+  const auto f = somePlacement(100, static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.valueByRebuild(f));
+  }
+}
+BENCHMARK(BM_SigmaByRebuild)->Args({17, 4})->Args({80, 4});
+
+void BM_SigmaGainScan(benchmark::State& state) {
+  // One full greedy-round scan over all candidates.
+  const auto spatial = makeRg(100, 80);
+  SigmaEvaluator eval(spatial.instance);
+  const auto cands = CandidateSet::allPairs(100);
+  eval.reset();
+  for (auto _ : state) {
+    double best = 0.0;
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      best = std::max(best, eval.gainIfAdd(cands[c]));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_SigmaGainScan);
+
+void BM_MuConstruction(benchmark::State& state) {
+  const auto spatial = makeRg(100, 80);
+  const auto cands = CandidateSet::allPairs(100);
+  for (auto _ : state) {
+    msc::core::MuEvaluator mu(spatial.instance, cands);
+    benchmark::DoNotOptimize(mu.value({}));
+  }
+}
+BENCHMARK(BM_MuConstruction);
+
+void BM_GreedyFullRun(benchmark::State& state) {
+  const auto spatial = makeRg(100, 80);
+  const auto cands = CandidateSet::allPairs(100);
+  for (auto _ : state) {
+    SigmaEvaluator eval(spatial.instance);
+    benchmark::DoNotOptimize(
+        msc::core::greedyMaximize(eval, cands, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_GreedyFullRun)->Arg(4)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Table I — data-dependent approximation ratio sigma(F_nu)/nu(F_nu) on the
+// Random Geometric graph (paper §VII-B; n = 100, m = 17).
+//
+// Rows: shortcut budget k; columns: failure threshold p_t. The paper reports
+// ratios mostly above 0.1 (max ~0.43) that DECREASE as k grows; the same
+// shape should appear here (absolute values depend on the sampled instance).
+#include <iostream>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/sandwich.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "util/env.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace msc;
+
+  eval::printHeader(std::cout, "Table I: sigma(F_nu)/nu(F_nu) on RG graph",
+                    "ICDCS'19 Table I (n=100, m=17)");
+
+  const std::vector<double> thresholds{0.04, 0.08, 0.11, 0.14, 0.18};
+  const std::vector<int> budgets{2, 4, 6, 8, 10};
+  const auto baseSeed = static_cast<std::uint64_t>(util::envInt("MSC_SEED", 1));
+  const int trials =
+      util::scaledIters(static_cast<int>(util::envInt("MSC_TRIALS", 5)));
+  std::cout << "mean ratio over " << trials << " seeded instances per cell\n";
+
+  std::vector<std::string> header{"k \\ p_t"};
+  for (const double pt : thresholds) header.push_back(util::formatFixed(pt, 2));
+  util::TableWriter table(header);
+
+  // One instance per (threshold, trial): the pair set depends on p_t, and
+  // averaging over trials smooths single-instance artifacts (a ratio of 0
+  // just means the nu-greedy placement missed every pairing on that seed).
+  std::vector<std::vector<eval::SpatialInstance>> instances(thresholds.size());
+  for (std::size_t c = 0; c < thresholds.size(); ++c) {
+    for (int trial = 0; trial < trials; ++trial) {
+      eval::RgSetup setup;
+      setup.nodes = 100;
+      setup.pairs = 17;
+      setup.failureThreshold = thresholds[c];
+      setup.seed = baseSeed + static_cast<std::uint64_t>(trial);
+      instances[c].push_back(eval::makeRgInstance(setup));
+    }
+    std::cout << "p_t=" << thresholds[c] << "  "
+              << eval::describeInstance(instances[c].front().instance) << '\n';
+  }
+
+  for (const int k : budgets) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (const auto& column : instances) {
+      util::RunningStats stat;
+      for (const auto& spatial : column) {
+        const auto cands = core::CandidateSet::allPairs(
+            spatial.instance.graph().nodeCount());
+        const auto aa =
+            core::sandwichApproximation(spatial.instance, cands, k);
+        stat.push(aa.dataDependentRatio().value_or(0.0));
+      }
+      row.push_back(util::formatFixed(stat.mean(), 4));
+    }
+    table.addRow(std::move(row));
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nexpected shape: ratios in the paper's ~0.05-0.45 band, "
+               "growing with p_t; decreasing (or plateauing once nu "
+               "saturates at m) as k grows\n";
+  return 0;
+}

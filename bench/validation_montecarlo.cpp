@@ -1,0 +1,102 @@
+// Validation — Monte-Carlo delivery vs the analytic model (DESIGN.md §3).
+//
+// The whole optimization stands on the §III model: a pair is "maintained"
+// iff its best path's analytic failure probability is <= p_t. This bench
+// closes the loop with stochastic simulation: sample link states, forward
+// along the installed routes, and check that
+//   (a) simulated fixed-path delivery matches e^-length per pair, and
+//   (b) every pair the optimizer reports as maintained empirically
+//       delivers at rate >= 1 - p_t (up to MC noise).
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+#include "core/candidates.h"
+#include "core/routing.h"
+#include "core/sandwich.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "sim/delivery.h"
+#include "util/env.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+void runDataset(const std::string& dataset, double pt, int k, int trials,
+                std::uint64_t seed) {
+  const msc::eval::SpatialInstance spatial = [&] {
+    if (dataset == "RG") {
+      msc::eval::RgSetup setup;
+      setup.nodes = 100;
+      setup.pairs = 30;
+      setup.failureThreshold = pt;
+      setup.seed = seed;
+      return msc::eval::makeRgInstance(setup);
+    }
+    msc::eval::GowallaSetup setup;
+    setup.pairs = 30;
+    setup.failureThreshold = pt;
+    setup.seed = seed;
+    return msc::eval::makeGowallaInstance(setup);
+  }();
+  const auto& inst = spatial.instance;
+  const auto cands =
+      msc::core::CandidateSet::allPairs(inst.graph().nodeCount());
+  const auto aa = msc::core::sandwichApproximation(inst, cands, k);
+  const auto routes = msc::core::routeAllPairs(inst, aa.placement);
+
+  msc::sim::MonteCarloConfig cfg;
+  cfg.trials = trials;
+  cfg.seed = seed ^ 0x5151ULL;
+  const auto est = msc::sim::estimateDelivery(inst, aa.placement, cfg);
+
+  std::cout << "\n=== " << dataset << ", p_t=" << pt << ", k=" << k
+            << ": AA maintains " << aa.sigma << "/" << inst.pairCount()
+            << " ===\n";
+  msc::util::TableWriter table({"pair", "analytic", "simulated",
+                                "opportunistic", "target 1-p_t", "status"});
+  msc::util::RunningStats absError;
+  int violations = 0;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    const bool maintained = routes[i].meetsRequirement;
+    absError.push(
+        std::abs(est[i].analyticFixedPath - est[i].simulatedFixedPath));
+    if (maintained &&
+        est[i].simulatedFixedPath < (1.0 - pt) - 0.03) {
+      ++violations;
+    }
+    std::ostringstream pair;
+    pair << est[i].pair.u << "-" << est[i].pair.w;
+    table.addRow({pair.str(),
+                  msc::util::formatFixed(est[i].analyticFixedPath, 3),
+                  msc::util::formatFixed(est[i].simulatedFixedPath, 3),
+                  msc::util::formatFixed(est[i].simulatedOpportunistic, 3),
+                  msc::util::formatFixed(1.0 - pt, 3),
+                  maintained ? "maintained" : "broken"});
+  }
+  table.print(std::cout);
+  std::cout << "mean |analytic - simulated| = "
+            << msc::util::formatFixed(absError.mean(), 4)
+            << " (MC noise ~ 1/sqrt(trials)); maintained pairs below target: "
+            << violations << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace msc;
+  eval::printHeader(std::cout,
+                    "Validation: Monte-Carlo delivery vs analytic model",
+                    "model of paper §III (Eq. 1/2)");
+  const int trials = util::scaledIters(
+      static_cast<int>(util::envInt("MSC_MC_TRIALS", 5000)));
+  std::cout << "Monte-Carlo trials per instance: " << trials << '\n';
+
+  runDataset("RG", 0.14, 6, trials, 1);
+  runDataset("Gowalla", 0.27, 6, trials, 9);
+
+  std::cout << "\nexpected: simulated ~= analytic per pair; zero maintained "
+               "pairs below their delivery target\n";
+  return 0;
+}

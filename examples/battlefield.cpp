@@ -1,0 +1,106 @@
+// Battlefield scenario (paper §I): a platoon commander must keep reliable
+// links to every squad leader — the MSC-CN special case, where all
+// important pairs share a common node.
+//
+// We lay the platoon out with the RPGM mobility model (one snapshot), make
+// the commander node 0, and require connections to the leader of each
+// squad. Because all pairs share the commander, the coverage greedy of
+// §IV-B applies with its (1 - 1/e) guarantee; we compare it against
+// sigma-greedy on the same restricted space and against naive direct
+// connection.
+//
+// Build & run:  ./examples/battlefield
+#include <iostream>
+
+#include "core/candidates.h"
+#include "core/common_node.h"
+#include "core/greedy.h"
+#include "core/instance.h"
+#include "core/sigma.h"
+#include "gen/dynamic_series.h"
+#include "gen/mobility.h"
+#include "graph/apsp.h"
+#include "wireless/link_model.h"
+
+int main() {
+  using namespace msc;
+
+  // A platoon: 7 squads x 8 soldiers moving in a 2 km operation area.
+  gen::MobilityConfig mob;
+  mob.groups = 7;
+  mob.nodesPerGroup = 8;
+  mob.timeInstances = 1;  // one snapshot for this example
+  mob.seed = 42;
+  const auto trace = gen::referencePointGroupMobility(mob);
+
+  gen::DynamicSeriesConfig radio;
+  radio.radioRangeMeters = 300.0;
+  radio.failure = wireless::DistanceProportionalFailure(0.0012, 0.95);
+  auto series = gen::buildDynamicSeries(trace, radio);
+  auto& net = series.front();
+  std::cout << "platoon network: " << net.graph.nodeCount() << " soldiers, "
+            << net.graph.edgeCount() << " radio links\n";
+
+  // Commander = node 0 (squad 0); squad leaders = first member of each
+  // other squad.
+  const graph::NodeId commander = 0;
+  std::vector<core::SocialPair> pairs;
+  for (int g = 1; g < mob.groups; ++g) {
+    pairs.push_back({commander, g * mob.nodesPerGroup});
+  }
+
+  const double pt = 0.15;  // required command-link reliability: 85%
+  const double dt = wireless::failureThresholdToDistance(pt);
+  core::Instance instance(std::move(net.graph), std::move(pairs), dt);
+
+  std::cout << "command links required to " << instance.pairCount()
+            << " squad leaders, p_fail <= " << pt << "\n";
+  int broken = 0;
+  for (const auto& p : instance.pairs()) {
+    if (!instance.baseSatisfied(p)) ++broken;
+  }
+  std::cout << broken << " command links currently broken\n\n";
+
+  const int k = 3;  // three satellite uplinks available
+  std::cout << "placing k = " << k << " satellite links...\n";
+
+  // Coverage greedy (Theorem 5: within (1 - 1/e) of optimal).
+  const auto coverage = core::solveCommonNodeCoverage(instance, commander, k);
+  std::cout << "  coverage greedy:   " << coverage.sigma << " / "
+            << instance.pairCount() << " leaders reachable; shortcuts:";
+  for (const auto& f : coverage.placement) {
+    std::cout << " (" << f.a << "-" << f.b << ")";
+  }
+  std::cout << '\n';
+
+  // sigma-greedy over the same commander-incident space — should agree.
+  const auto viaSigma =
+      core::solveCommonNodeSigmaGreedy(instance, commander, k);
+  std::cout << "  sigma greedy:      " << viaSigma.sigma
+            << " (same by Theorem 4)\n";
+
+  // Naive baseline: connect the commander directly to the k farthest
+  // leaders. Each shortcut then helps exactly one pair.
+  {
+    core::ShortcutList direct;
+    std::vector<std::pair<double, core::SocialPair>> byDistance;
+    for (const auto& p : instance.pairs()) {
+      byDistance.push_back({instance.baseDistance(p), p});
+    }
+    std::sort(byDistance.begin(), byDistance.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (int i = 0; i < k && i < static_cast<int>(byDistance.size()); ++i) {
+      direct.push_back(
+          core::Shortcut::make(byDistance[static_cast<std::size_t>(i)].second.u,
+                               byDistance[static_cast<std::size_t>(i)].second.w));
+    }
+    std::cout << "  direct-to-farthest: "
+              << core::sigmaValue(instance, direct)
+              << " (one pair per shortcut — wasteful)\n";
+  }
+
+  std::cout << "\nlesson: placing a link near a cluster of squads serves "
+               "several command links at once — exactly the max-coverage "
+               "structure of MSC-CN.\n";
+  return 0;
+}

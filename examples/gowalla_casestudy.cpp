@@ -1,0 +1,91 @@
+// Location-based social network case study (paper §VII-A1): a synthetic
+// evening-in-Austin check-in network (the Gowalla stand-in). Users cluster
+// at venues; the MSC operator must keep friend pairs connected across
+// venues using a handful of reliable backhaul links.
+//
+// Runs every algorithm in the library on the same instance, prints a
+// comparison table, and exports a DOT rendering of the AA placement.
+//
+// Build & run:  ./examples/gowalla_casestudy
+#include <fstream>
+#include <iostream>
+
+#include "core/aea.h"
+#include "core/candidates.h"
+#include "core/ea.h"
+#include "core/random_baseline.h"
+#include "core/sandwich.h"
+#include "core/sigma.h"
+#include "eval/experiment.h"
+#include "graph/graph_io.h"
+#include "util/table.h"
+
+int main() {
+  using namespace msc;
+
+  eval::GowallaSetup setup;
+  setup.pairs = 50;
+  setup.failureThreshold = 0.27;
+  const auto spatial = eval::makeGowallaInstance(setup);
+  const auto& inst = spatial.instance;
+
+  std::cout << "check-in network: " << inst.graph().nodeCount() << " users, "
+            << inst.graph().edgeCount() << " proximity links, "
+            << inst.pairCount() << " friend pairs to maintain (p_fail <= "
+            << setup.failureThreshold << ")\n\n";
+
+  const int k = 5;
+  const auto cands = core::CandidateSet::allPairs(inst.graph().nodeCount());
+
+  util::TableWriter table({"algorithm", "maintained", "of", "notes"});
+
+  const auto aa = core::sandwichApproximation(inst, cands, k);
+  table.addRow({"AA (sandwich)", util::formatFixed(aa.sigma, 0),
+                std::to_string(inst.pairCount()),
+                "winner: greedy-on-" + aa.winner});
+
+  core::SigmaEvaluator sigma(inst);
+  core::EaConfig eaCfg;
+  eaCfg.iterations = 500;
+  eaCfg.seed = 3;
+  const auto ea = core::evolutionaryAlgorithm(sigma, cands, k, eaCfg);
+  table.addRow({"EA (GSEMO)", util::formatFixed(ea.value, 0),
+                std::to_string(inst.pairCount()), "r=500"});
+
+  core::AeaConfig aeaCfg;
+  aeaCfg.iterations = 500;
+  aeaCfg.seed = 3;
+  const auto aea =
+      core::adaptiveEvolutionaryAlgorithm(sigma, cands, k, aeaCfg);
+  table.addRow({"AEA", util::formatFixed(aea.value, 0),
+                std::to_string(inst.pairCount()), "r=500, l=10, delta=0.05"});
+
+  core::RandomBaselineConfig rndCfg;
+  rndCfg.repeats = 500;
+  rndCfg.seed = 3;
+  const auto rnd = core::randomBaseline(sigma, cands, k, rndCfg);
+  table.addRow({"Random (best of 500)", util::formatFixed(rnd.value, 0),
+                std::to_string(inst.pairCount()),
+                "mean " + util::formatFixed(rnd.meanValue, 1)});
+
+  table.print(std::cout);
+
+  // Render the AA placement: venues show up as blobs, shortcuts as red
+  // backbone links between them.
+  graph::DotStyle style;
+  std::vector<std::pair<double, double>> pos;
+  for (const auto& p : spatial.positions) {
+    pos.push_back({p.x / 250.0, p.y / 250.0});  // meters -> drawing units
+  }
+  style.positions = pos;
+  for (const auto& f : aa.placement) style.shortcuts.push_back({f.a, f.b});
+  for (const auto& p : inst.pairs()) style.socialPairs.push_back({p.u, p.w});
+  std::ofstream dot("gowalla_placement.dot");
+  graph::writeDot(dot, inst.graph(), style);
+  std::cout << "\nAA placement written to gowalla_placement.dot "
+               "(render: neato -n2 -Tpng -o out.png gowalla_placement.dot)\n";
+  std::cout << "\nlesson: one backhaul link between two busy venues "
+               "maintains every friend pair spanning them — the clustered "
+               "structure the paper highlights in §VII-D.\n";
+  return 0;
+}

@@ -1,0 +1,294 @@
+// msc_cli — command-line front end to the MSC link-placement library.
+//
+// Subcommands:
+//   gen    generate a topology and write it as an edge list
+//   pairs  sample important social pairs for a saved topology
+//   solve  place shortcut edges with a chosen algorithm
+//   eval   score a given placement
+//   route  print the forwarding paths a placement induces
+//
+// Examples:
+//   msc_cli gen --type rg --nodes 100 --radius 0.15 --seed 1 --out g.txt
+//   msc_cli pairs --graph g.txt --pt 0.14 --m 20 --seed 1 --out pairs.txt
+//   msc_cli solve --graph g.txt --pairs pairs.txt --pt 0.14 --k 6 --algo aa
+//   msc_cli eval  --graph g.txt --pairs pairs.txt --pt 0.14 \
+//                 --placement 3-41,17-88
+//   msc_cli route --graph g.txt --pairs pairs.txt --pt 0.14 \
+//                 --placement 3-41,17-88
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/aea.h"
+#include "core/candidates.h"
+#include "core/ea.h"
+#include "core/greedy.h"
+#include "core/instance.h"
+#include "core/random_baseline.h"
+#include "core/routing.h"
+#include "core/sandwich.h"
+#include "core/sigma.h"
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "gen/gowalla.h"
+#include "gen/random_geometric.h"
+#include "gen/watts_strogatz.h"
+#include "graph/apsp.h"
+#include "graph/graph_io.h"
+#include "util/args.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "wireless/link_model.h"
+
+namespace {
+
+using msc::util::Args;
+
+int usage() {
+  std::cerr <<
+      "usage: msc_cli <gen|pairs|solve|eval|route> [flags]\n"
+      "  gen   --type rg|er|ba|ws|gowalla --out FILE [--nodes N] [--seed S]\n"
+      "        [--radius R] [--prob P] [--attach M] [--neighbors K]\n"
+      "  pairs --graph FILE --pt P --m M [--seed S] [--out FILE]\n"
+      "  solve --graph FILE --pairs FILE --pt P --k K\n"
+      "        [--algo aa|greedy|ea|aea|random] [--iters R] [--seed S]\n"
+      "  eval  --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
+      "  route --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n";
+  return 2;
+}
+
+msc::graph::Graph loadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return msc::graph::readEdgeList(in);
+}
+
+std::vector<msc::core::SocialPair> loadPairs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open pairs file: " + path);
+  std::vector<msc::core::SocialPair> pairs;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ss(line);
+    int u = 0;
+    int w = 0;
+    if (!(ss >> u >> w)) {
+      throw std::runtime_error("malformed pair line: " + line);
+    }
+    pairs.push_back({u, w});
+  }
+  return pairs;
+}
+
+msc::core::ShortcutList parsePlacement(const std::string& spec) {
+  msc::core::ShortcutList out;
+  std::istringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    const auto dash = token.find('-');
+    if (dash == std::string::npos) {
+      throw std::runtime_error("malformed placement entry: " + token);
+    }
+    out.push_back(msc::core::Shortcut::make(std::stoi(token.substr(0, dash)),
+                                            std::stoi(token.substr(dash + 1))));
+  }
+  return out;
+}
+
+msc::core::Instance makeInstance(const Args& args) {
+  auto g = loadGraph(args.requireString("graph"));
+  auto pairs = loadPairs(args.requireString("pairs"));
+  const double pt = args.getDouble("pt", 0.14);
+  return msc::core::Instance::fromFailureThreshold(std::move(g),
+                                                   std::move(pairs), pt);
+}
+
+int cmdGen(const Args& args) {
+  const std::string type = args.getString("type", "rg");
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const int nodes = static_cast<int>(args.getInt("nodes", 100));
+  msc::graph::Graph g(0);
+  if (type == "rg") {
+    msc::gen::RandomGeometricConfig cfg;
+    cfg.nodes = nodes;
+    cfg.radius = args.getDouble("radius", 0.15);
+    cfg.seed = seed;
+    g = msc::gen::randomGeometricConnected(cfg, 0.9, 256).graph;
+  } else if (type == "er") {
+    msc::gen::ErdosRenyiConfig cfg;
+    cfg.nodes = nodes;
+    cfg.edgeProbability = args.getDouble("prob", 0.1);
+    cfg.seed = seed;
+    g = msc::gen::erdosRenyi(cfg);
+  } else if (type == "ba") {
+    msc::gen::BarabasiAlbertConfig cfg;
+    cfg.nodes = nodes;
+    cfg.attachEdges = static_cast<int>(args.getInt("attach", 2));
+    cfg.seed = seed;
+    g = msc::gen::barabasiAlbert(cfg);
+  } else if (type == "ws") {
+    msc::gen::WattsStrogatzConfig cfg;
+    cfg.nodes = nodes;
+    cfg.neighbors = static_cast<int>(args.getInt("neighbors", 2));
+    cfg.rewireProbability = args.getDouble("prob", 0.1);
+    cfg.seed = seed;
+    g = msc::gen::wattsStrogatz(cfg);
+  } else if (type == "gowalla") {
+    msc::gen::GowallaConfig cfg;
+    cfg.users = nodes == 100 ? 134 : nodes;  // default to the paper's size
+    cfg.seed = seed;
+    g = msc::gen::gowallaLike(cfg).graph;
+  } else {
+    std::cerr << "unknown --type " << type << '\n';
+    return usage();
+  }
+
+  const std::string out = args.requireString("out");
+  std::ofstream os(out);
+  msc::graph::writeEdgeList(os, g);
+  std::cout << "wrote " << g.nodeCount() << " nodes / " << g.edgeCount()
+            << " edges to " << out << '\n';
+  return 0;
+}
+
+int cmdPairs(const Args& args) {
+  const auto g = loadGraph(args.requireString("graph"));
+  const double pt = args.getDouble("pt", 0.14);
+  const int m = static_cast<int>(args.getInt("m", 20));
+  msc::util::Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 1)));
+  const auto dist = msc::graph::allPairsDistances(g);
+  const double dt = msc::wireless::failureThresholdToDistance(pt);
+  const auto pairs = msc::core::sampleImportantPairs(g, dist, m, dt, rng);
+
+  std::ostream* os = &std::cout;
+  std::ofstream file;
+  if (args.has("out")) {
+    file.open(args.requireString("out"));
+    os = &file;
+  }
+  *os << "# important social pairs (u w), p_t = " << pt << "\n";
+  for (const auto& p : pairs) *os << p.u << ' ' << p.w << '\n';
+  if (args.has("out")) {
+    std::cout << "wrote " << pairs.size() << " pairs to "
+              << args.requireString("out") << '\n';
+  }
+  return 0;
+}
+
+int cmdSolve(const Args& args) {
+  const auto inst = makeInstance(args);
+  const int k = static_cast<int>(args.getInt("k", 5));
+  const std::string algo = args.getString("algo", "aa");
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const int iters = static_cast<int>(args.getInt("iters", 500));
+  const auto cands = msc::core::CandidateSet::allPairs(inst.graph().nodeCount());
+
+  msc::core::ShortcutList placement;
+  double value = 0.0;
+  if (algo == "aa") {
+    const auto aa = msc::core::sandwichApproximation(inst, cands, k);
+    placement = aa.placement;
+    value = aa.sigma;
+    if (const auto ratio = aa.dataDependentRatio()) {
+      std::cout << "data-dependent ratio sigma(F_nu)/nu(F_nu) = " << *ratio
+                << '\n';
+    }
+  } else if (algo == "greedy") {
+    msc::core::SigmaEvaluator sigma(inst);
+    const auto res = msc::core::greedyMaximize(sigma, cands, k);
+    placement = res.placement;
+    value = res.value;
+  } else if (algo == "ea") {
+    msc::core::SigmaEvaluator sigma(inst);
+    msc::core::EaConfig cfg;
+    cfg.iterations = iters;
+    cfg.seed = seed;
+    const auto res = msc::core::evolutionaryAlgorithm(sigma, cands, k, cfg);
+    placement = res.placement;
+    value = res.value;
+  } else if (algo == "aea") {
+    msc::core::SigmaEvaluator sigma(inst);
+    msc::core::AeaConfig cfg;
+    cfg.iterations = iters;
+    cfg.seed = seed;
+    const auto res =
+        msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, k, cfg);
+    placement = res.placement;
+    value = res.value;
+  } else if (algo == "random") {
+    msc::core::SigmaEvaluator sigma(inst);
+    msc::core::RandomBaselineConfig cfg;
+    cfg.repeats = iters;
+    cfg.seed = seed;
+    const auto res = msc::core::randomBaseline(sigma, cands, k, cfg);
+    placement = res.placement;
+    value = res.value;
+  } else {
+    std::cerr << "unknown --algo " << algo << '\n';
+    return usage();
+  }
+
+  std::cout << "algorithm: " << algo << ", k = " << k << '\n';
+  std::cout << "maintained: " << value << " / " << inst.pairCount() << '\n';
+  std::cout << "placement:";
+  std::string sep = " ";
+  std::ostringstream spec;
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    if (i) spec << ',';
+    spec << placement[i].a << '-' << placement[i].b;
+  }
+  std::cout << sep << (placement.empty() ? "(empty)" : spec.str()) << '\n';
+  return 0;
+}
+
+int cmdEval(const Args& args) {
+  const auto inst = makeInstance(args);
+  const auto placement = parsePlacement(args.requireString("placement"));
+  std::cout << "sigma = " << msc::core::sigmaValue(inst, placement) << " / "
+            << inst.pairCount() << '\n';
+  return 0;
+}
+
+int cmdRoute(const Args& args) {
+  const auto inst = makeInstance(args);
+  const auto placement = parsePlacement(args.requireString("placement"));
+  const auto routes = msc::core::routeAllPairs(inst, placement);
+  msc::util::TableWriter table({"pair", "p_fail", "status", "path"});
+  for (const auto& r : routes) {
+    std::ostringstream pair;
+    pair << r.pair.u << '-' << r.pair.w;
+    std::ostringstream path;
+    for (std::size_t i = 0; i < r.path.size(); ++i) {
+      if (i) path << ' ';
+      path << r.path[i];
+    }
+    table.addRow({pair.str(), msc::util::formatFixed(r.failure, 3),
+                  r.meetsRequirement ? "ok" : "broken",
+                  r.path.empty() ? "(unreachable)" : path.str()});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc - 2, argv + 2);
+  try {
+    if (cmd == "gen") return cmdGen(args);
+    if (cmd == "pairs") return cmdPairs(args);
+    if (cmd == "solve") return cmdSolve(args);
+    if (cmd == "eval") return cmdEval(args);
+    if (cmd == "route") return cmdRoute(args);
+    std::cerr << "unknown command: " << cmd << '\n';
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,137 @@
+#include "core/aea.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace msc::core {
+
+namespace {
+
+struct Member {
+  ShortcutList placement;
+  double value = 0.0;
+};
+
+}  // namespace
+
+AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
+                                        const CandidateSet& candidates, int k,
+                                        const AeaConfig& config) {
+  if (k < 0) throw std::invalid_argument("AEA: negative budget");
+  if (config.iterations < 0) throw std::invalid_argument("AEA: negative r");
+  if (config.populationSize < 1) {
+    throw std::invalid_argument("AEA: population size must be >= 1");
+  }
+  if (config.delta < 0.0 || config.delta > 1.0) {
+    throw std::invalid_argument("AEA: delta outside [0, 1]");
+  }
+  if (static_cast<std::size_t>(k) > candidates.size()) {
+    throw std::invalid_argument("AEA: budget exceeds candidate universe");
+  }
+
+  util::Rng rng(config.seed);
+  AeaResult result;
+  result.bestByIteration.reserve(static_cast<std::size_t>(config.iterations));
+
+  if (k == 0 || candidates.empty()) {
+    result.value = eval.evaluate({});
+    result.bestByIteration.assign(static_cast<std::size_t>(config.iterations),
+                                  result.value);
+    return result;
+  }
+
+  // Initial member: a uniformly random size-k placement.
+  std::vector<Member> population;
+  {
+    Member first;
+    for (const std::size_t idx :
+         rng.sampleWithoutReplacement(candidates.size(),
+                                      static_cast<std::size_t>(k))) {
+      first.placement.push_back(candidates[idx]);
+    }
+    first.value = eval.evaluate(first.placement);
+    population.push_back(std::move(first));
+  }
+
+  auto bestMember = [&]() -> const Member& {
+    const Member* best = &population.front();
+    for (const Member& m : population) {
+      if (m.value > best->value) best = &m;
+    }
+    return *best;
+  };
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    ShortcutList f = population[rng.below(population.size())].placement;
+
+    if (rng.uniform() <= 1.0 - config.delta) {
+      // Greedy swap. Removal: keep the k-1 edges whose retention preserves
+      // the most value, i.e. drop argmax_f sigma(F \ {f}).
+      std::size_t dropIdx = 0;
+      double bestRemoveValue = -1.0;
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        ShortcutList without;
+        without.reserve(f.size() - 1);
+        for (std::size_t j = 0; j < f.size(); ++j) {
+          if (j != i) without.push_back(f[j]);
+        }
+        const double v = eval.evaluate(without);
+        if (v > bestRemoveValue) {
+          bestRemoveValue = v;
+          dropIdx = i;
+        }
+      }
+      f.erase(f.begin() + static_cast<long>(dropIdx));
+
+      // Greedy add: argmax_{f' not in F} sigma(F ∪ {f'}).
+      eval.evaluate(f);  // state = F \ {dropped}
+      double bestGain = 0.0;
+      long bestIdx = -1;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (contains(f, candidates[c])) continue;
+        const double gain = eval.gainIfAdd(candidates[c]);
+        if (bestIdx < 0 || gain > bestGain) {
+          bestGain = gain;
+          bestIdx = static_cast<long>(c);
+        }
+      }
+      f.push_back(candidates[static_cast<std::size_t>(bestIdx)]);
+    } else {
+      // Random swap: one random out, one random (distinct, non-member) in.
+      const std::size_t out = rng.below(f.size());
+      f.erase(f.begin() + static_cast<long>(out));
+      for (;;) {
+        const Shortcut& cand = candidates[rng.below(candidates.size())];
+        if (!contains(f, cand)) {
+          f.push_back(cand);
+          break;
+        }
+      }
+    }
+
+    Member offspring{std::move(f), 0.0};
+    offspring.value = eval.evaluate(offspring.placement);
+
+    if (population.size() < static_cast<std::size_t>(config.populationSize)) {
+      population.push_back(std::move(offspring));
+    } else {
+      std::size_t worst = 0;
+      for (std::size_t i = 1; i < population.size(); ++i) {
+        if (population[i].value < population[worst].value) worst = i;
+      }
+      if (population[worst].value < offspring.value) {
+        population[worst] = std::move(offspring);
+      }
+    }
+    result.bestByIteration.push_back(bestMember().value);
+  }
+
+  const Member& best = bestMember();
+  result.placement = best.placement;
+  result.value = best.value;
+  return result;
+}
+
+}  // namespace msc::core

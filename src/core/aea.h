@@ -1,0 +1,49 @@
+// Adaptive Evolutionary Algorithm (AEA) — paper Algorithm 2.
+//
+// AEA keeps a population of at most l feasible size-k placements. Each
+// iteration picks a population member uniformly at random and produces a
+// swap-neighbor:
+//   * with probability 1 - delta (delta close to 0): a GREEDY swap — remove
+//     the shortcut whose removal hurts sigma least, then add the candidate
+//     whose addition helps sigma most;
+//   * with probability delta: a RANDOM swap — remove a uniformly random
+//     member edge, add a uniformly random non-member candidate.
+// The offspring replaces the worst population member when it beats it;
+// the best member is the answer. All offspring stay feasible (|F| = k),
+// so AEA never spends iterations on infeasible placements (the paper's
+// second improvement over EA).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/set_function.h"
+
+namespace msc::core {
+
+struct AeaConfig {
+  /// Number of swap iterations r.
+  int iterations = 500;
+  /// Population size l.
+  int populationSize = 10;
+  /// Probability of a random (exploration) swap; the paper uses 0.05.
+  double delta = 0.05;
+  std::uint64_t seed = 1;
+};
+
+struct AeaResult {
+  ShortcutList placement;
+  double value = 0.0;
+  /// Best population value after each iteration (for Fig. 4 curves).
+  std::vector<double> bestByIteration;
+};
+
+/// `eval` provides both whole-set evaluation (population scoring) and
+/// incremental gains (the greedy add step); it is left in an unspecified
+/// state afterwards.
+AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
+                                        const CandidateSet& candidates, int k,
+                                        const AeaConfig& config);
+
+}  // namespace msc::core

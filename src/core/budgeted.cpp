@@ -1,0 +1,108 @@
+#include "core/budgeted.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace msc::core {
+
+CostFunction unitCost() {
+  return [](const Shortcut&) { return 1.0; };
+}
+
+CostFunction distanceCost(const std::vector<msc::gen::Point>& positions,
+                          double fixedCost, double perMeter) {
+  if (fixedCost < 0.0 || perMeter < 0.0) {
+    throw std::invalid_argument("distanceCost: negative cost parameters");
+  }
+  return [positions, fixedCost, perMeter](const Shortcut& f) {
+    const auto& pa = positions.at(static_cast<std::size_t>(f.a));
+    const auto& pb = positions.at(static_cast<std::size_t>(f.b));
+    return fixedCost + perMeter * msc::gen::euclidean(pa, pb);
+  };
+}
+
+namespace {
+
+struct GreedyRun {
+  ShortcutList placement;
+  double value = 0.0;
+  double cost = 0.0;
+};
+
+// One greedy pass; when `byDensity` the selection criterion is gain/cost,
+// otherwise raw gain. Candidates that no longer fit the remaining budget
+// are skipped (not aborted on — a cheaper useful candidate may still fit).
+GreedyRun run(IncrementalEvaluator& eval, const CandidateSet& candidates,
+              const std::vector<double>& costs, double budget,
+              bool byDensity) {
+  eval.reset();
+  GreedyRun out;
+  std::vector<char> chosen(candidates.size(), 0);
+  double remaining = budget;
+  for (;;) {
+    double bestScore = 0.0;
+    long bestIdx = -1;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (chosen[c] || costs[c] > remaining) continue;
+      const double gain = eval.gainIfAdd(candidates[c]);
+      if (gain <= 0.0) continue;
+      const double score = byDensity ? gain / costs[c] : gain;
+      if (bestIdx < 0 || score > bestScore) {
+        bestScore = score;
+        bestIdx = static_cast<long>(c);
+      }
+    }
+    if (bestIdx < 0) break;
+    const auto idx = static_cast<std::size_t>(bestIdx);
+    chosen[idx] = 1;
+    remaining -= costs[idx];
+    out.cost += costs[idx];
+    eval.add(candidates[idx]);
+    out.placement.push_back(candidates[idx]);
+  }
+  out.value = eval.currentValue();
+  return out;
+}
+
+}  // namespace
+
+BudgetedResult budgetedGreedy(IncrementalEvaluator& eval,
+                              const CandidateSet& candidates,
+                              const CostFunction& cost, double budget) {
+  if (!(budget >= 0.0) || !std::isfinite(budget)) {
+    throw std::invalid_argument("budgetedGreedy: budget must be finite >= 0");
+  }
+  std::vector<double> costs(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    costs[c] = cost(candidates[c]);
+    if (!(costs[c] > 0.0) || !std::isfinite(costs[c])) {
+      throw std::invalid_argument(
+          "budgetedGreedy: every candidate cost must be finite and > 0");
+    }
+  }
+
+  const GreedyRun density = run(eval, candidates, costs, budget, true);
+  const GreedyRun uniform = run(eval, candidates, costs, budget, false);
+
+  BudgetedResult result;
+  result.densityPlacement = density.placement;
+  result.densityValue = density.value;
+  result.uniformPlacement = uniform.placement;
+  result.uniformValue = uniform.value;
+  if (density.value >= uniform.value) {
+    result.placement = density.placement;
+    result.value = density.value;
+    result.cost = density.cost;
+    result.winner = "density";
+    eval.evaluate(result.placement);  // leave evaluator at returned state
+  } else {
+    result.placement = uniform.placement;
+    result.value = uniform.value;
+    result.cost = uniform.cost;
+    result.winner = "uniform";
+  }
+  return result;
+}
+
+}  // namespace msc::core

@@ -1,0 +1,46 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace msc::core {
+
+CandidateSet CandidateSet::allPairs(int nodeCount) {
+  if (nodeCount < 0) throw std::invalid_argument("CandidateSet: n < 0");
+  ShortcutList list;
+  list.reserve(static_cast<std::size_t>(nodeCount) *
+               static_cast<std::size_t>(std::max(0, nodeCount - 1)) / 2);
+  for (NodeId i = 0; i < nodeCount; ++i) {
+    for (NodeId j = i + 1; j < nodeCount; ++j) list.push_back({i, j});
+  }
+  return CandidateSet(std::move(list));
+}
+
+CandidateSet CandidateSet::incidentTo(int nodeCount, NodeId hub) {
+  if (hub < 0 || hub >= nodeCount) {
+    throw std::out_of_range("CandidateSet::incidentTo: hub out of range");
+  }
+  ShortcutList list;
+  list.reserve(static_cast<std::size_t>(std::max(0, nodeCount - 1)));
+  for (NodeId v = 0; v < nodeCount; ++v) {
+    if (v != hub) list.push_back(Shortcut::make(hub, v));
+  }
+  return CandidateSet(std::move(list));
+}
+
+CandidateSet::CandidateSet(ShortcutList candidates)
+    : candidates_(std::move(candidates)) {
+  for (Shortcut& f : candidates_) f = Shortcut::make(f.a, f.b);
+  std::sort(candidates_.begin(), candidates_.end());
+  candidates_.erase(std::unique(candidates_.begin(), candidates_.end()),
+                    candidates_.end());
+}
+
+long CandidateSet::indexOf(const Shortcut& f) const {
+  const auto it =
+      std::lower_bound(candidates_.begin(), candidates_.end(), f);
+  if (it == candidates_.end() || !(*it == f)) return -1;
+  return static_cast<long>(it - candidates_.begin());
+}
+
+}  // namespace msc::core

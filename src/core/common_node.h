@@ -1,0 +1,40 @@
+// MSC-CN: all important pairs share a common node (paper §IV).
+//
+// Theorem 1 shows an optimal placement exists where every shortcut is
+// incident to the common node u, and the problem is exactly max coverage:
+// endpoint v covers pair {u, w} when dist_G(v, w) <= d_t. Two solvers are
+// provided — the explicit coverage greedy from the proof, and sigma-greedy
+// restricted to the {u} x V candidate space — and the tests verify they
+// agree, which is the constructive content of Theorem 4 (submodularity).
+// Theorem 5 gives both a (1 - 1/e) guarantee.
+#pragma once
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace msc::core {
+
+struct CommonNodeResult {
+  ShortcutList placement;
+  /// sigma of the returned placement (full objective, not the coverage
+  /// surrogate).
+  double sigma = 0.0;
+};
+
+/// True when every pair in the instance contains `commonNode`.
+bool allPairsShareNode(const Instance& instance, NodeId commonNode);
+
+/// The node shared by all pairs, or -1 if none exists (for m == 1 returns
+/// the pair's first endpoint).
+NodeId findCommonNode(const Instance& instance);
+
+/// Coverage-formulation greedy from the proof of Theorem 1/5.
+/// Throws std::invalid_argument unless all pairs share `commonNode`.
+CommonNodeResult solveCommonNodeCoverage(const Instance& instance,
+                                         NodeId commonNode, int k);
+
+/// sigma-greedy over the restricted candidate set {commonNode} x V.
+CommonNodeResult solveCommonNodeSigmaGreedy(const Instance& instance,
+                                            NodeId commonNode, int k);
+
+}  // namespace msc::core

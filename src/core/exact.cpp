@@ -1,0 +1,53 @@
+#include "core/exact.h"
+
+#include <stdexcept>
+
+namespace msc::core {
+
+namespace {
+
+struct SearchState {
+  const SetFunction* objective;
+  const CandidateSet* candidates;
+  const ExactConfig* config;
+  ShortcutList current;
+  ExactResult best;
+  bool done = false;
+};
+
+void dfs(SearchState& s, std::size_t next, int remaining) {
+  if (s.done) return;
+  const double value = s.objective->value(s.current);
+  ++s.best.evaluations;
+  if (s.best.evaluations > s.config->maxEvaluations) {
+    throw std::runtime_error("exactOptimum: evaluation budget exceeded");
+  }
+  if (value > s.best.value || s.best.evaluations == 1) {
+    s.best.value = value;
+    s.best.placement = s.current;
+  }
+  if (s.config->ceiling && s.best.value >= *s.config->ceiling) {
+    s.done = true;
+    return;
+  }
+  if (remaining == 0) return;
+  for (std::size_t c = next; c < s.candidates->size(); ++c) {
+    s.current.push_back((*s.candidates)[c]);
+    dfs(s, c + 1, remaining - 1);
+    s.current.pop_back();
+    if (s.done) return;
+  }
+}
+
+}  // namespace
+
+ExactResult exactOptimum(const SetFunction& objective,
+                         const CandidateSet& candidates, int k,
+                         const ExactConfig& config) {
+  if (k < 0) throw std::invalid_argument("exactOptimum: negative budget");
+  SearchState s{&objective, &candidates, &config, {}, {}, false};
+  dfs(s, 0, k);
+  return s.best;
+}
+
+}  // namespace msc::core

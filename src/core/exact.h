@@ -1,0 +1,37 @@
+// Exact optimum by bounded enumeration (small instances only).
+//
+// MSC is NP-hard (Corollary 2), so this solver exists for the test suite
+// and for approximation-ratio spot checks: it enumerates all placements of
+// size <= k over the candidate set, with two prunes — stop when the
+// objective hits `ceiling` (sigma can never exceed m), and optionally prune
+// branches via a monotone upper-bound function (nu).
+#pragma once
+
+#include <optional>
+
+#include "core/candidates.h"
+#include "core/set_function.h"
+
+namespace msc::core {
+
+struct ExactConfig {
+  /// Abort (throw std::runtime_error) after this many evaluations; guards
+  /// against accidentally enormous enumerations in tests.
+  long long maxEvaluations = 50'000'000;
+  /// Value at which search can stop early (e.g. the pair count m);
+  /// unset disables the prune.
+  std::optional<double> ceiling;
+};
+
+struct ExactResult {
+  ShortcutList placement;
+  double value = 0.0;
+  long long evaluations = 0;
+};
+
+/// Exhaustive search over subsets of `candidates` with |F| <= k.
+ExactResult exactOptimum(const SetFunction& objective,
+                         const CandidateSet& candidates, int k,
+                         const ExactConfig& config = {});
+
+}  // namespace msc::core

@@ -1,0 +1,85 @@
+#include "core/greedy.h"
+
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace msc::core {
+
+namespace {
+
+void checkBudget(int k) {
+  if (k < 0) throw std::invalid_argument("greedy: negative budget k");
+}
+
+}  // namespace
+
+GreedyResult greedyMaximize(IncrementalEvaluator& eval,
+                            const CandidateSet& candidates, int k) {
+  checkBudget(k);
+  eval.reset();
+  GreedyResult result;
+  std::vector<char> chosen(candidates.size(), 0);
+  for (int round = 0; round < k; ++round) {
+    double bestGain = 0.0;
+    long bestIdx = -1;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (chosen[c]) continue;
+      const double gain = eval.gainIfAdd(candidates[c]);
+      if (gain > bestGain) {
+        bestGain = gain;
+        bestIdx = static_cast<long>(c);
+      }
+    }
+    if (bestIdx < 0) break;  // nothing improves the objective
+    chosen[static_cast<std::size_t>(bestIdx)] = 1;
+    eval.add(candidates[static_cast<std::size_t>(bestIdx)]);
+    result.placement.push_back(candidates[static_cast<std::size_t>(bestIdx)]);
+    result.trajectory.push_back(eval.currentValue());
+  }
+  result.value = eval.currentValue();
+  return result;
+}
+
+GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
+                                const CandidateSet& candidates, int k) {
+  checkBudget(k);
+  eval.reset();
+  GreedyResult result;
+
+  struct Entry {
+    double gain;
+    std::size_t idx;
+    int round;  // round in which `gain` was computed
+  };
+  // Max-heap by gain; ties -> lowest candidate index (matches plain greedy).
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.idx > b.idx;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    heap.push({eval.gainIfAdd(candidates[c]), c, 0});
+  }
+
+  for (int round = 0; round < k && !heap.empty();) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.round != round) {
+      // Stale cached gain: recompute and reinsert.
+      top.gain = eval.gainIfAdd(candidates[top.idx]);
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    if (top.gain <= 0.0) break;
+    eval.add(candidates[top.idx]);
+    result.placement.push_back(candidates[top.idx]);
+    result.trajectory.push_back(eval.currentValue());
+    ++round;
+  }
+  result.value = eval.currentValue();
+  return result;
+}
+
+}  // namespace msc::core

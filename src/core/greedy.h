@@ -1,0 +1,40 @@
+// Generic greedy maximization over shortcut candidates.
+//
+// The paper runs the same multi-round selection against three different set
+// functions (sigma, mu, nu — §IV-B, §V-B) and against dynamic-network sums
+// (§VI); this module implements it once over the IncrementalEvaluator
+// interface. Plain greedy scans every candidate per round; lazy greedy
+// (Minoux's accelerated variant) is exact for monotone submodular functions
+// (mu, nu, the MSC-CN coverage form) and is what the sandwich algorithm
+// uses for its bound runs.
+#pragma once
+
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/set_function.h"
+
+namespace msc::core {
+
+struct GreedyResult {
+  ShortcutList placement;
+  double value = 0.0;
+  /// Objective value after each accepted pick (size == placement.size()).
+  std::vector<double> trajectory;
+};
+
+/// Plain greedy: each of (at most) k rounds picks the candidate with the
+/// largest marginal gain (ties -> lowest candidate index) and stops early
+/// when no candidate has positive gain. The evaluator is left holding the
+/// returned placement.
+GreedyResult greedyMaximize(IncrementalEvaluator& eval,
+                            const CandidateSet& candidates, int k);
+
+/// Lazy greedy with a stale-gain priority queue. Produces exactly the same
+/// picks as greedyMaximize when the function is monotone submodular
+/// (cached gains are then valid upper bounds); on non-submodular functions
+/// it is a heuristic. Same tie-breaking (lowest index).
+GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
+                                const CandidateSet& candidates, int k);
+
+}  // namespace msc::core

@@ -1,0 +1,118 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "wireless/link_model.h"
+
+namespace msc::core {
+
+Instance::Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
+                   double distanceThreshold)
+    : pairs_(std::move(pairs)), distanceThreshold_(distanceThreshold) {
+  if (!(distanceThreshold >= 0.0)) {
+    throw std::invalid_argument("Instance: distance threshold must be >= 0");
+  }
+  for (const SocialPair& p : pairs_) {
+    g.checkNode(p.u);
+    g.checkNode(p.w);
+    if (p.u == p.w) {
+      throw std::invalid_argument("Instance: social pair with equal endpoints");
+    }
+  }
+  pairNodes_.reserve(pairs_.size() * 2);
+  for (const SocialPair& p : pairs_) {
+    pairNodes_.push_back(p.u);
+    pairNodes_.push_back(p.w);
+  }
+  std::sort(pairNodes_.begin(), pairNodes_.end());
+  pairNodes_.erase(std::unique(pairNodes_.begin(), pairNodes_.end()),
+                   pairNodes_.end());
+
+  auto owned = std::make_shared<msc::graph::Graph>(std::move(g));
+  baseDistances_ = std::make_shared<const msc::graph::DistanceMatrix>(
+      msc::graph::allPairsDistances(*owned));
+  graph_ = std::move(owned);
+}
+
+Instance Instance::fromFailureThreshold(msc::graph::Graph g,
+                                        std::vector<SocialPair> pairs,
+                                        double failureThreshold) {
+  return Instance(std::move(g), std::move(pairs),
+                  msc::wireless::failureThresholdToDistance(failureThreshold));
+}
+
+namespace {
+
+std::vector<SocialPair> samplePairsFiltered(
+    const msc::graph::Graph& g, const msc::graph::DistanceMatrix& dist, int m,
+    double distanceThreshold, util::Rng& rng, bool requireConnected,
+    const char* what) {
+  if (m < 0) throw std::invalid_argument("sampleImportantPairs: m < 0");
+  const int n = g.nodeCount();
+  std::vector<SocialPair> eligible;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const double d = dist(static_cast<std::size_t>(i),
+                            static_cast<std::size_t>(j));
+      if (d <= distanceThreshold) continue;  // already maintained
+      if (requireConnected && d == msc::graph::kInfDist) continue;
+      eligible.push_back({i, j});
+    }
+  }
+  if (static_cast<int>(eligible.size()) < m) {
+    throw std::runtime_error(std::string(what) +
+                             ": not enough eligible node pairs");
+  }
+  const auto picks =
+      rng.sampleWithoutReplacement(eligible.size(), static_cast<std::size_t>(m));
+  std::vector<SocialPair> out;
+  out.reserve(static_cast<std::size_t>(m));
+  for (const std::size_t idx : picks) out.push_back(eligible[idx]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<SocialPair> sampleImportantPairs(
+    const msc::graph::Graph& g, const msc::graph::DistanceMatrix& dist, int m,
+    double distanceThreshold, util::Rng& rng) {
+  return samplePairsFiltered(g, dist, m, distanceThreshold, rng,
+                             /*requireConnected=*/false,
+                             "sampleImportantPairs");
+}
+
+std::vector<SocialPair> sampleImportantPairsConnected(
+    const msc::graph::Graph& g, const msc::graph::DistanceMatrix& dist, int m,
+    double distanceThreshold, util::Rng& rng) {
+  return samplePairsFiltered(g, dist, m, distanceThreshold, rng,
+                             /*requireConnected=*/true,
+                             "sampleImportantPairsConnected");
+}
+
+std::vector<SocialPair> sampleCommonNodePairs(
+    const msc::graph::Graph& g, const msc::graph::DistanceMatrix& dist,
+    NodeId commonNode, int m, double distanceThreshold, util::Rng& rng) {
+  g.checkNode(commonNode);
+  if (m < 0) throw std::invalid_argument("sampleCommonNodePairs: m < 0");
+  std::vector<NodeId> eligible;
+  for (NodeId w = 0; w < g.nodeCount(); ++w) {
+    if (w == commonNode) continue;
+    if (dist(static_cast<std::size_t>(commonNode), static_cast<std::size_t>(w)) >
+        distanceThreshold) {
+      eligible.push_back(w);
+    }
+  }
+  if (static_cast<int>(eligible.size()) < m) {
+    throw std::runtime_error("sampleCommonNodePairs: not enough eligible nodes");
+  }
+  const auto picks =
+      rng.sampleWithoutReplacement(eligible.size(), static_cast<std::size_t>(m));
+  std::vector<SocialPair> out;
+  out.reserve(static_cast<std::size_t>(m));
+  for (const std::size_t idx : picks) out.push_back({commonNode, eligible[idx]});
+  return out;
+}
+
+}  // namespace msc::core

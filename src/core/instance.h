@@ -1,0 +1,86 @@
+// MSC problem instance (paper §III-C).
+//
+// An instance bundles the communication graph, its precomputed all-pairs
+// distances, the important social pairs S, and the distance requirement
+// d_t = -ln(1 - p_t). Every algorithm in this library consumes instances;
+// they are immutable after construction so evaluators can safely share them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/apsp.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace msc::core {
+
+class Instance {
+ public:
+  /// Takes ownership of the graph, computes base distances eagerly.
+  /// Validates pair endpoints and that distanceThreshold >= 0.
+  Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
+           double distanceThreshold);
+
+  /// Convenience: threshold given as a path-failure probability p_t.
+  static Instance fromFailureThreshold(msc::graph::Graph g,
+                                       std::vector<SocialPair> pairs,
+                                       double failureThreshold);
+
+  const msc::graph::Graph& graph() const noexcept { return *graph_; }
+  const msc::graph::DistanceMatrix& baseDistances() const noexcept {
+    return *baseDistances_;
+  }
+  const std::vector<SocialPair>& pairs() const noexcept { return pairs_; }
+  int pairCount() const noexcept { return static_cast<int>(pairs_.size()); }
+  double distanceThreshold() const noexcept { return distanceThreshold_; }
+
+  /// Pair-distance in the base graph (no shortcuts).
+  double baseDistance(const SocialPair& p) const {
+    return (*baseDistances_)(static_cast<std::size_t>(p.u),
+                             static_cast<std::size_t>(p.w));
+  }
+
+  /// Whether a pair already meets the requirement with no shortcuts.
+  bool baseSatisfied(const SocialPair& p) const {
+    return baseDistance(p) <= distanceThreshold_;
+  }
+
+  /// Deduplicated list of nodes that appear in some pair, ascending.
+  const std::vector<NodeId>& pairNodes() const noexcept { return pairNodes_; }
+
+ private:
+  // shared_ptr so Instance stays cheaply copyable (evaluators keep
+  // references into it; the experiment runners copy instances around).
+  std::shared_ptr<const msc::graph::Graph> graph_;
+  std::shared_ptr<const msc::graph::DistanceMatrix> baseDistances_;
+  std::vector<SocialPair> pairs_;
+  std::vector<NodeId> pairNodes_;
+  double distanceThreshold_ = 0.0;
+};
+
+/// Samples `m` important social pairs uniformly from the node pairs whose
+/// base shortest-path failure probability exceeds the threshold (paper
+/// §VII-A3: "randomly selected from the node pairs with path failure
+/// probability larger than p_t"). Disconnected pairs qualify (failure 1).
+/// Throws std::runtime_error if fewer than m such pairs exist.
+std::vector<SocialPair> sampleImportantPairs(
+    const msc::graph::Graph& g, const msc::graph::DistanceMatrix& dist,
+    int m, double distanceThreshold, util::Rng& rng);
+
+/// Variant of sampleImportantPairs that only samples pairs within one
+/// connected component (useful when disconnected pairs would be
+/// unrealistic, e.g. the Gowalla-style networks).
+std::vector<SocialPair> sampleImportantPairsConnected(
+    const msc::graph::Graph& g, const msc::graph::DistanceMatrix& dist,
+    int m, double distanceThreshold, util::Rng& rng);
+
+/// Samples pairs that all share `commonNode` (the MSC-CN special case):
+/// pairs {commonNode, w} with base distance above the threshold.
+std::vector<SocialPair> sampleCommonNodePairs(
+    const msc::graph::Graph& g, const msc::graph::DistanceMatrix& dist,
+    NodeId commonNode, int m, double distanceThreshold, util::Rng& rng);
+
+}  // namespace msc::core

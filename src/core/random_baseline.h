@@ -1,0 +1,31 @@
+// Random-selection baseline (paper §VII-C).
+//
+// The paper's comparison baseline: repeat "place k uniformly random
+// shortcut edges" `repeats` times (500 in the paper) and keep the placement
+// with the best objective value.
+#pragma once
+
+#include <cstdint>
+
+#include "core/candidates.h"
+#include "core/set_function.h"
+
+namespace msc::core {
+
+struct RandomBaselineConfig {
+  int repeats = 500;
+  std::uint64_t seed = 1;
+};
+
+struct RandomBaselineResult {
+  ShortcutList placement;
+  double value = 0.0;
+  /// Mean value over all repeats (diagnostic: how much "best of" helps).
+  double meanValue = 0.0;
+};
+
+RandomBaselineResult randomBaseline(const SetFunction& objective,
+                                    const CandidateSet& candidates, int k,
+                                    const RandomBaselineConfig& config);
+
+}  // namespace msc::core

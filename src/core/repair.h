@@ -1,0 +1,34 @@
+// Incremental placement repair for evolving networks.
+//
+// §VI solves dynamic MSC for a *predicted* series of topologies. When
+// predictions miss — the next topology arrives and differs — re-running the
+// full optimizer may move every shortcut, and physically relocating a
+// satellite terminal or re-tasking a UAV is the expensive operation. This
+// module repairs an existing placement against a new objective under a
+// swap budget: each repair step performs the AEA-style greedy swap (drop
+// the least useful edge, add the most useful one) and stops early once no
+// swap improves the objective, bounding placement churn by `maxSwaps`.
+#pragma once
+
+#include "core/candidates.h"
+#include "core/set_function.h"
+
+namespace msc::core {
+
+struct RepairResult {
+  ShortcutList placement;
+  double value = 0.0;
+  /// Swaps actually performed (<= maxSwaps).
+  int swapsUsed = 0;
+  /// Number of edges of the original placement that were replaced.
+  int edgesChanged = 0;
+};
+
+/// Repairs `current` against `objective` (e.g. a SigmaEvaluator on the new
+/// topology) with at most `maxSwaps` single-edge swaps. Keeps |F| constant.
+/// The evaluator is left holding the returned placement.
+RepairResult repairPlacement(IncrementalEvaluator& objective,
+                             const CandidateSet& candidates,
+                             ShortcutList current, int maxSwaps);
+
+}  // namespace msc::core

@@ -1,0 +1,77 @@
+#include "core/routing.h"
+
+#include <map>
+
+#include "graph/dijkstra.h"
+#include "wireless/link_model.h"
+
+namespace msc::core {
+
+namespace {
+
+msc::graph::Graph augmented(const Instance& instance,
+                            const ShortcutList& placement) {
+  msc::graph::Graph g(instance.graph().nodeCount());
+  for (const msc::graph::Edge& e : instance.graph().edges()) {
+    g.addEdge(e.u, e.v, e.length);
+  }
+  for (const Shortcut& f : placement) g.addEdge(f.a, f.b, 0.0);
+  return g;
+}
+
+PairRoute buildRoute(const Instance& instance, const ShortcutList& placement,
+                     const msc::graph::ShortestPathTree& tree, NodeId from,
+                     NodeId to) {
+  PairRoute route;
+  route.pair = {from, to};
+  route.length = tree.dist[static_cast<std::size_t>(to)];
+  route.failure = msc::wireless::lengthToFailure(route.length);
+  route.meetsRequirement = route.length <= instance.distanceThreshold();
+  if (const auto path = msc::graph::extractPath(tree, from, to)) {
+    route.path = *path;
+    for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+      const NodeId x = route.path[i];
+      const NodeId y = route.path[i + 1];
+      if (x == y) continue;
+      const Shortcut hop = Shortcut::make(x, y);
+      // A hop is attributed to a shortcut when the placement contains it
+      // and the hop costs nothing (shortcut edges have length 0).
+      const double hopCost = tree.dist[static_cast<std::size_t>(
+                                 route.path[i + 1])] -
+                             tree.dist[static_cast<std::size_t>(route.path[i])];
+      if (contains(placement, hop) && hopCost == 0.0) {
+        route.shortcutsUsed.push_back(hop);
+      }
+    }
+  }
+  return route;
+}
+
+}  // namespace
+
+std::vector<PairRoute> routeAllPairs(const Instance& instance,
+                                     const ShortcutList& placement) {
+  const msc::graph::Graph g = augmented(instance, placement);
+  std::map<NodeId, msc::graph::ShortestPathTree> treeBySource;
+  std::vector<PairRoute> routes;
+  routes.reserve(instance.pairs().size());
+  for (const SocialPair& p : instance.pairs()) {
+    auto it = treeBySource.find(p.u);
+    if (it == treeBySource.end()) {
+      it = treeBySource.emplace(p.u, msc::graph::dijkstra(g, p.u)).first;
+    }
+    routes.push_back(buildRoute(instance, placement, it->second, p.u, p.w));
+  }
+  return routes;
+}
+
+PairRoute routePair(const Instance& instance, const ShortcutList& placement,
+                    NodeId from, NodeId to) {
+  instance.graph().checkNode(from);
+  instance.graph().checkNode(to);
+  const msc::graph::Graph g = augmented(instance, placement);
+  const auto tree = msc::graph::dijkstra(g, from);
+  return buildRoute(instance, placement, tree, from, to);
+}
+
+}  // namespace msc::core

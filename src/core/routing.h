@@ -1,0 +1,41 @@
+// Routing support: turn a shortcut placement into concrete forwarding
+// paths.
+//
+// The optimizer reasons about distances; a deployed system needs the actual
+// node sequences to install. This module materializes, for every important
+// pair, its most reliable path through G ∪ F, reporting the path's failure
+// probability and which shortcut edges it crosses.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace msc::core {
+
+struct PairRoute {
+  SocialPair pair;
+  /// Node sequence from pair.u to pair.w; empty when unreachable even with
+  /// the shortcuts.
+  std::vector<NodeId> path;
+  /// Total path length (kInfDist when unreachable).
+  double length = 0.0;
+  /// Path failure probability = 1 - e^-length.
+  double failure = 1.0;
+  /// Shortcuts of the placement that the path crosses, in travel order.
+  ShortcutList shortcutsUsed;
+  /// length <= instance.distanceThreshold().
+  bool meetsRequirement = false;
+};
+
+/// Most reliable route for every important pair of the instance under the
+/// placement. Deterministic (Dijkstra with the library's tie-breaking).
+std::vector<PairRoute> routeAllPairs(const Instance& instance,
+                                     const ShortcutList& placement);
+
+/// Route for a single (arbitrary) node pair, not necessarily in S.
+PairRoute routePair(const Instance& instance, const ShortcutList& placement,
+                    NodeId from, NodeId to);
+
+}  // namespace msc::core

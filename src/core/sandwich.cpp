@@ -1,0 +1,56 @@
+#include "core/sandwich.h"
+
+#include "core/bounds.h"
+#include "core/sigma.h"
+
+namespace msc::core {
+
+SandwichResult sandwichApproximation(const Instance& instance,
+                                     const CandidateSet& candidates, int k) {
+  SigmaEvaluator sigmaEval(instance);
+  MuEvaluator muEval(instance, candidates);
+  NuEvaluator nuEval(instance);
+  return sandwichApproximation(sigmaEval, muEval, nuEval, sigmaEval, nuEval,
+                               candidates, k);
+}
+
+SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
+                                     IncrementalEvaluator& muEval,
+                                     IncrementalEvaluator& nuEval,
+                                     const SetFunction& sigmaFn,
+                                     const SetFunction& nuFn,
+                                     const CandidateSet& candidates, int k) {
+  SandwichResult result;
+
+  const GreedyResult mu = lazyGreedyMaximize(muEval, candidates, k);
+  const GreedyResult sg = greedyMaximize(sigmaEval, candidates, k);
+  const GreedyResult nu = lazyGreedyMaximize(nuEval, candidates, k);
+
+  result.placementMu = mu.placement;
+  result.placementSigma = sg.placement;
+  result.placementNu = nu.placement;
+
+  result.sigmaOfMu = sigmaFn.value(mu.placement);
+  result.sigmaOfSigma = sg.value;  // sigma greedy's own value IS sigma
+  result.sigmaOfNu = sigmaFn.value(nu.placement);
+
+  result.nuOfFnu = nuFn.value(nu.placement);
+  result.sigmaOfFnu = result.sigmaOfNu;
+
+  result.placement = mu.placement;
+  result.sigma = result.sigmaOfMu;
+  result.winner = "mu";
+  if (result.sigmaOfSigma > result.sigma) {
+    result.placement = sg.placement;
+    result.sigma = result.sigmaOfSigma;
+    result.winner = "sigma";
+  }
+  if (result.sigmaOfNu > result.sigma) {
+    result.placement = nu.placement;
+    result.sigma = result.sigmaOfNu;
+    result.winner = "nu";
+  }
+  return result;
+}
+
+}  // namespace msc::core

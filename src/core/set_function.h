@@ -1,0 +1,53 @@
+// Set-function abstractions shared by every MSC algorithm.
+//
+// The paper optimizes three set functions over shortcut placements — the
+// objective sigma, its submodular lower bound mu, and upper bound nu — plus
+// their sums over dynamic topology series. One interface pair covers them
+// all: SetFunction for whole-set evaluation (evolutionary algorithms,
+// baselines, exact search) and IncrementalEvaluator for the greedy loops
+// (cheap marginal gains against mutable internal state).
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+
+namespace msc::core {
+
+/// Read-only whole-set evaluation: value(F) for arbitrary placements.
+class SetFunction {
+ public:
+  virtual ~SetFunction() = default;
+
+  /// Value of the placement. Implementations must be pure (same F -> same
+  /// value) and tolerate duplicates in F.
+  virtual double value(const ShortcutList& placement) const = 0;
+
+  /// Short identifier for logs/tables ("sigma", "mu", "nu", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Stateful evaluation for greedy-style algorithms: the evaluator holds a
+/// current placement; callers query marginal gains and commit additions.
+///
+/// Contract: after reset(), the state is F = {}; add(f) transitions the
+/// state from F to F ∪ {f}; gainIfAdd(f) == value(F ∪ {f}) - value(F)
+/// without changing state; currentValue() == value(current F).
+class IncrementalEvaluator {
+ public:
+  virtual ~IncrementalEvaluator() = default;
+
+  virtual void reset() = 0;
+  virtual double currentValue() const = 0;
+  virtual double gainIfAdd(const Shortcut& f) const = 0;
+  virtual void add(const Shortcut& f) = 0;
+
+  /// Sets the state to exactly `placement` and returns its value.
+  double evaluate(const ShortcutList& placement) {
+    reset();
+    for (const Shortcut& f : placement) add(f);
+    return currentValue();
+  }
+};
+
+}  // namespace msc::core

@@ -1,0 +1,130 @@
+#include "core/sigma.h"
+
+#include <algorithm>
+
+#include "graph/dijkstra.h"
+#include "graph/shortcut_distance.h"
+
+namespace msc::core {
+
+SigmaEvaluator::SigmaEvaluator(const Instance& instance)
+    : instance_(&instance),
+      overlay_(std::make_unique<msc::graph::OverlayEvaluator>(
+          instance.baseDistances(), instance.pairNodes())),
+      current_(instance.baseDistances()) {
+  refreshSatisfied();
+}
+
+void SigmaEvaluator::reset() {
+  current_ = instance_->baseDistances();
+  refreshSatisfied();
+}
+
+void SigmaEvaluator::refreshSatisfied() {
+  const auto& pairs = instance_->pairs();
+  pairSatisfied_.assign(pairs.size(), 0);
+  satisfied_ = 0;
+  const double dt = instance_->distanceThreshold();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (current_(static_cast<std::size_t>(pairs[i].u),
+                 static_cast<std::size_t>(pairs[i].w)) <= dt) {
+      pairSatisfied_[i] = 1;
+      ++satisfied_;
+    }
+  }
+}
+
+double SigmaEvaluator::gainIfAdd(const Shortcut& f) const {
+  const auto& pairs = instance_->pairs();
+  const double dt = instance_->distanceThreshold();
+  const auto a = static_cast<std::size_t>(f.a);
+  const auto b = static_cast<std::size_t>(f.b);
+  int gain = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (pairSatisfied_[i]) continue;  // distances only shrink
+    const auto u = static_cast<std::size_t>(pairs[i].u);
+    const auto w = static_cast<std::size_t>(pairs[i].w);
+    const double viaAB = current_(u, a) + current_(b, w);
+    const double viaBA = current_(u, b) + current_(a, w);
+    if (std::min(viaAB, viaBA) <= dt) ++gain;
+  }
+  return static_cast<double>(gain);
+}
+
+void SigmaEvaluator::add(const Shortcut& f) {
+  msc::graph::applyZeroEdge(current_, f.a, f.b);
+  const auto& pairs = instance_->pairs();
+  const double dt = instance_->distanceThreshold();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (pairSatisfied_[i]) continue;
+    if (current_(static_cast<std::size_t>(pairs[i].u),
+                 static_cast<std::size_t>(pairs[i].w)) <= dt) {
+      pairSatisfied_[i] = 1;
+      ++satisfied_;
+    }
+  }
+}
+
+double SigmaEvaluator::pairDistance(int pairIndex) const {
+  const auto& p = instance_->pairs().at(static_cast<std::size_t>(pairIndex));
+  return current_(static_cast<std::size_t>(p.u), static_cast<std::size_t>(p.w));
+}
+
+int SigmaEvaluator::countSatisfied(
+    const msc::graph::DistanceMatrix& dist) const {
+  const double dt = instance_->distanceThreshold();
+  int count = 0;
+  for (const SocialPair& p : instance_->pairs()) {
+    if (dist(static_cast<std::size_t>(p.u), static_cast<std::size_t>(p.w)) <=
+        dt) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double SigmaEvaluator::value(const ShortcutList& placement) const {
+  // Cost heuristic: matrix relaxations touch |F| * n^2 entries, the overlay
+  // touches |F| * (2m + 2|F|)^2. Pick the cheaper exact strategy.
+  const auto n = static_cast<double>(instance_->graph().nodeCount());
+  const auto overlayNodes =
+      static_cast<double>(instance_->pairNodes().size() + 2 * placement.size());
+  if (overlayNodes * overlayNodes < n * n) {
+    return valueByOverlay(placement);
+  }
+  return valueByMatrix(placement);
+}
+
+double SigmaEvaluator::valueByMatrix(const ShortcutList& placement) const {
+  const auto dist = msc::graph::distancesWithShortcuts(
+      instance_->baseDistances(), asNodePairs(placement));
+  return static_cast<double>(countSatisfied(dist));
+}
+
+double SigmaEvaluator::valueByOverlay(const ShortcutList& placement) const {
+  std::vector<std::pair<msc::graph::NodeId, msc::graph::NodeId>> queries;
+  queries.reserve(instance_->pairs().size());
+  for (const SocialPair& p : instance_->pairs()) queries.push_back({p.u, p.w});
+  return static_cast<double>(overlay_->countWithinThreshold(
+      queries, asNodePairs(placement), instance_->distanceThreshold()));
+}
+
+double SigmaEvaluator::valueByRebuild(const ShortcutList& placement) const {
+  msc::graph::Graph g(instance_->graph().nodeCount());
+  for (const msc::graph::Edge& e : instance_->graph().edges()) {
+    g.addEdge(e.u, e.v, e.length);
+  }
+  for (const Shortcut& f : placement) g.addEdge(f.a, f.b, 0.0);
+  const double dt = instance_->distanceThreshold();
+  int count = 0;
+  for (const SocialPair& p : instance_->pairs()) {
+    if (msc::graph::dijkstraDistance(g, p.u, p.w) <= dt) ++count;
+  }
+  return static_cast<double>(count);
+}
+
+double sigmaValue(const Instance& instance, const ShortcutList& placement) {
+  return SigmaEvaluator(instance).value(placement);
+}
+
+}  // namespace msc::core

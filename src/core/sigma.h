@@ -1,0 +1,70 @@
+// The MSC objective sigma(F): number of important social pairs whose
+// shortest-path distance in G ∪ F meets the distance requirement
+// (paper §III-C).
+//
+// Three exact evaluation strategies are implemented, all returning the same
+// value (the test suite cross-checks them):
+//   * matrix: apply |F| exact O(n^2) zero-edge relaxations to the base
+//     all-pairs matrix — the incremental workhorse; marginal gains for a
+//     candidate then cost O(m).
+//   * overlay: shortest paths on the small terminal overlay (O(m + |F|)
+//     nodes) — wins when n is large relative to the pair set.
+//   * rebuild: add F to a copy of the graph and run Dijkstra — the slow
+//     reference used by tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/set_function.h"
+#include "graph/overlay.h"
+
+namespace msc::core {
+
+class SigmaEvaluator final : public SetFunction, public IncrementalEvaluator {
+ public:
+  /// The instance must outlive the evaluator.
+  explicit SigmaEvaluator(const Instance& instance);
+
+  // --- SetFunction ---
+  double value(const ShortcutList& placement) const override;
+  std::string name() const override { return "sigma"; }
+
+  // --- IncrementalEvaluator ---
+  void reset() override;
+  double currentValue() const override {
+    return static_cast<double>(satisfied_);
+  }
+  double gainIfAdd(const Shortcut& f) const override;
+  void add(const Shortcut& f) override;
+
+  // --- introspection on the current incremental state ---
+  int satisfiedCount() const noexcept { return satisfied_; }
+  bool pairSatisfied(int pairIndex) const {
+    return pairSatisfied_.at(static_cast<std::size_t>(pairIndex)) != 0;
+  }
+  /// Distance of pair `pairIndex` under the current placement.
+  double pairDistance(int pairIndex) const;
+  const Instance& instance() const noexcept { return *instance_; }
+
+  // --- individual strategies (exposed for tests and microbenchmarks) ---
+  double valueByMatrix(const ShortcutList& placement) const;
+  double valueByOverlay(const ShortcutList& placement) const;
+  double valueByRebuild(const ShortcutList& placement) const;
+
+ private:
+  int countSatisfied(const msc::graph::DistanceMatrix& dist) const;
+  void refreshSatisfied();
+
+  const Instance* instance_;
+  std::unique_ptr<msc::graph::OverlayEvaluator> overlay_;
+  msc::graph::DistanceMatrix current_;  // distances under current placement
+  std::vector<std::uint8_t> pairSatisfied_;
+  int satisfied_ = 0;
+};
+
+/// One-shot sigma(F) without building an evaluator by hand.
+double sigmaValue(const Instance& instance, const ShortcutList& placement);
+
+}  // namespace msc::core

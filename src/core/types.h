@@ -1,0 +1,73 @@
+// Core value types of the MSC problem (paper §III).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace msc::core {
+
+using msc::graph::NodeId;
+
+/// An important social pair {u, w} whose connection must be maintained.
+struct SocialPair {
+  NodeId u = 0;
+  NodeId w = 0;
+
+  friend bool operator==(const SocialPair&, const SocialPair&) = default;
+};
+
+/// A shortcut edge (length 0, failure probability 0) between two nodes.
+/// Stored normalized with a < b.
+struct Shortcut {
+  NodeId a = 0;
+  NodeId b = 0;
+
+  /// Normalizing constructor; throws on a == b (a zero self-loop is useless
+  /// and the paper's candidate set V x V excludes it).
+  static Shortcut make(NodeId x, NodeId y) {
+    if (x == y) throw std::invalid_argument("Shortcut: endpoints must differ");
+    return Shortcut{std::min(x, y), std::max(x, y)};
+  }
+
+  friend bool operator==(const Shortcut&, const Shortcut&) = default;
+  friend auto operator<=>(const Shortcut&, const Shortcut&) = default;
+};
+
+/// A shortcut placement F.
+using ShortcutList = std::vector<Shortcut>;
+
+/// True if `list` contains `f`.
+inline bool contains(const ShortcutList& list, const Shortcut& f) {
+  return std::find(list.begin(), list.end(), f) != list.end();
+}
+
+/// Canonical (sorted) copy, used to compare placements independent of
+/// construction order.
+inline ShortcutList sorted(ShortcutList list) {
+  std::sort(list.begin(), list.end());
+  return list;
+}
+
+/// Shortcut list as (a, b) pairs for the graph-layer helpers.
+inline std::vector<std::pair<NodeId, NodeId>> asNodePairs(
+    const ShortcutList& list) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(list.size());
+  for (const Shortcut& f : list) out.push_back({f.a, f.b});
+  return out;
+}
+
+}  // namespace msc::core
+
+template <>
+struct std::hash<msc::core::Shortcut> {
+  std::size_t operator()(const msc::core::Shortcut& f) const noexcept {
+    return std::hash<long long>()(
+        (static_cast<long long>(f.a) << 32) ^ static_cast<long long>(f.b));
+  }
+};

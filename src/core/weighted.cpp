@@ -1,0 +1,281 @@
+#include "core/weighted.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/shortcut_distance.h"
+
+namespace msc::core {
+
+namespace {
+
+bool oneShortcutSatisfies(const msc::graph::DistanceMatrix& d,
+                          const SocialPair& p, const Shortcut& f, double dt) {
+  const auto u = static_cast<std::size_t>(p.u);
+  const auto w = static_cast<std::size_t>(p.w);
+  const auto a = static_cast<std::size_t>(f.a);
+  const auto b = static_cast<std::size_t>(f.b);
+  return std::min({d(u, w), d(u, a) + d(b, w), d(u, b) + d(a, w)}) <= dt;
+}
+
+}  // namespace
+
+std::vector<double> checkPairWeights(const Instance& instance,
+                                     std::vector<double> weights) {
+  if (static_cast<int>(weights.size()) != instance.pairCount()) {
+    throw std::invalid_argument("pair weights: size must equal pair count");
+  }
+  for (const double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      throw std::invalid_argument(
+          "pair weights: must be finite and non-negative");
+    }
+  }
+  return weights;
+}
+
+// ------------------------------------------------------ WeightedSigma ----
+
+WeightedSigmaEvaluator::WeightedSigmaEvaluator(const Instance& instance,
+                                               std::vector<double> pairWeights)
+    : instance_(&instance),
+      weights_(checkPairWeights(instance, std::move(pairWeights))),
+      dist_(instance.baseDistances()) {
+  reset();
+}
+
+void WeightedSigmaEvaluator::reset() {
+  dist_ = instance_->baseDistances();
+  const auto& pairs = instance_->pairs();
+  satisfied_.assign(pairs.size(), 0);
+  current_ = 0.0;
+  const double dt = instance_->distanceThreshold();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (dist_(static_cast<std::size_t>(pairs[i].u),
+              static_cast<std::size_t>(pairs[i].w)) <= dt) {
+      satisfied_[i] = 1;
+      current_ += weights_[i];
+    }
+  }
+}
+
+double WeightedSigmaEvaluator::gainIfAdd(const Shortcut& f) const {
+  const auto& pairs = instance_->pairs();
+  const double dt = instance_->distanceThreshold();
+  double gain = 0.0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (satisfied_[i]) continue;
+    if (oneShortcutSatisfies(dist_, pairs[i], f, dt)) gain += weights_[i];
+  }
+  return gain;
+}
+
+void WeightedSigmaEvaluator::add(const Shortcut& f) {
+  msc::graph::applyZeroEdge(dist_, f.a, f.b);
+  const auto& pairs = instance_->pairs();
+  const double dt = instance_->distanceThreshold();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (satisfied_[i]) continue;
+    if (dist_(static_cast<std::size_t>(pairs[i].u),
+              static_cast<std::size_t>(pairs[i].w)) <= dt) {
+      satisfied_[i] = 1;
+      current_ += weights_[i];
+    }
+  }
+}
+
+double WeightedSigmaEvaluator::value(const ShortcutList& placement) const {
+  const auto d = msc::graph::distancesWithShortcuts(instance_->baseDistances(),
+                                                    asNodePairs(placement));
+  const auto& pairs = instance_->pairs();
+  const double dt = instance_->distanceThreshold();
+  double total = 0.0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (d(static_cast<std::size_t>(pairs[i].u),
+          static_cast<std::size_t>(pairs[i].w)) <= dt) {
+      total += weights_[i];
+    }
+  }
+  return total;
+}
+
+// --------------------------------------------------------- WeightedMu ----
+
+WeightedMuEvaluator::WeightedMuEvaluator(const Instance& instance,
+                                         const CandidateSet& candidates,
+                                         std::vector<double> pairWeights)
+    : instance_(&instance),
+      candidates_(&candidates),
+      weights_(checkPairWeights(instance, std::move(pairWeights))),
+      baseSatisfied_(instance.pairs().size()),
+      covered_(instance.pairs().size()) {
+  const auto& pairs = instance.pairs();
+  const auto& d = instance.baseDistances();
+  const double dt = instance.distanceThreshold();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (instance.baseSatisfied(pairs[i])) baseSatisfied_.set(i);
+  }
+  perCandidate_.reserve(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    util::Bitset bits(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (oneShortcutSatisfies(d, pairs[i], candidates[c], dt)) bits.set(i);
+    }
+    perCandidate_.push_back(std::move(bits));
+  }
+  reset();
+}
+
+double WeightedMuEvaluator::weightOf(const util::Bitset& covered) const {
+  double total = 0.0;
+  const auto& words = covered.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      total += weights_[w * 64 + static_cast<std::size_t>(bit)];
+      bits &= bits - 1;
+    }
+  }
+  return total;
+}
+
+const util::Bitset& WeightedMuEvaluator::bitsetFor(
+    const Shortcut& f, util::Bitset& scratch) const {
+  const long idx = candidates_->indexOf(f);
+  if (idx >= 0) return perCandidate_[static_cast<std::size_t>(idx)];
+  const auto& pairs = instance_->pairs();
+  const auto& d = instance_->baseDistances();
+  const double dt = instance_->distanceThreshold();
+  scratch = util::Bitset(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (oneShortcutSatisfies(d, pairs[i], f, dt)) scratch.set(i);
+  }
+  return scratch;
+}
+
+double WeightedMuEvaluator::value(const ShortcutList& placement) const {
+  util::Bitset acc = baseSatisfied_;
+  util::Bitset scratch;
+  for (const Shortcut& f : placement) acc |= bitsetFor(f, scratch);
+  return weightOf(acc);
+}
+
+void WeightedMuEvaluator::reset() { covered_ = baseSatisfied_; }
+
+double WeightedMuEvaluator::currentValue() const { return weightOf(covered_); }
+
+double WeightedMuEvaluator::gainIfAdd(const Shortcut& f) const {
+  util::Bitset scratch;
+  const util::Bitset& bits = bitsetFor(f, scratch);
+  double gain = 0.0;
+  covered_.forEachMissingFrom(bits,
+                              [&](std::size_t i) { gain += weights_[i]; });
+  return gain;
+}
+
+void WeightedMuEvaluator::add(const Shortcut& f) {
+  util::Bitset scratch;
+  covered_ |= bitsetFor(f, scratch);
+}
+
+// --------------------------------------------------------- WeightedNu ----
+
+WeightedNuEvaluator::WeightedNuEvaluator(const Instance& instance,
+                                         std::vector<double> pairWeights)
+    : instance_(&instance), covered_(instance.pairNodes().size()) {
+  const auto weights = checkPairWeights(instance, std::move(pairWeights));
+  const auto& pairs = instance.pairs();
+  const auto& pairNodes = instance.pairNodes();
+  const auto& d = instance.baseDistances();
+  const double dt = instance.distanceThreshold();
+  const int n = instance.graph().nodeCount();
+
+  std::vector<int> slot(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < pairNodes.size(); ++i) {
+    slot[static_cast<std::size_t>(pairNodes[i])] = static_cast<int>(i);
+  }
+  nodeWeights_.assign(pairNodes.size(), 0.0);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (instance.baseSatisfied(pairs[i])) {
+      baseConstant_ += weights[i];
+      continue;
+    }
+    nodeWeights_[static_cast<std::size_t>(
+        slot[static_cast<std::size_t>(pairs[i].u)])] += 0.5 * weights[i];
+    nodeWeights_[static_cast<std::size_t>(
+        slot[static_cast<std::size_t>(pairs[i].w)])] += 0.5 * weights[i];
+  }
+  coverage_.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    util::Bitset bits(pairNodes.size());
+    for (std::size_t i = 0; i < pairNodes.size(); ++i) {
+      if (d(static_cast<std::size_t>(v),
+            static_cast<std::size_t>(pairNodes[i])) <= dt) {
+        bits.set(i);
+      }
+    }
+    coverage_.push_back(std::move(bits));
+  }
+  reset();
+}
+
+double WeightedNuEvaluator::value(const ShortcutList& placement) const {
+  util::Bitset acc(instance_->pairNodes().size());
+  for (const Shortcut& f : placement) {
+    acc |= coverage_[static_cast<std::size_t>(f.a)];
+    acc |= coverage_[static_cast<std::size_t>(f.b)];
+  }
+  double total = baseConstant_;
+  const auto& words = acc.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      total += nodeWeights_[w * 64 + static_cast<std::size_t>(bit)];
+      bits &= bits - 1;
+    }
+  }
+  return total;
+}
+
+void WeightedNuEvaluator::reset() {
+  covered_ = util::Bitset(instance_->pairNodes().size());
+  current_ = baseConstant_;
+}
+
+double WeightedNuEvaluator::gainOfEndpoint(NodeId v,
+                                           const util::Bitset& covered) const {
+  double gain = 0.0;
+  covered.forEachMissingFrom(coverage_[static_cast<std::size_t>(v)],
+                             [&](std::size_t i) { gain += nodeWeights_[i]; });
+  return gain;
+}
+
+double WeightedNuEvaluator::gainIfAdd(const Shortcut& f) const {
+  double gain = gainOfEndpoint(f.a, covered_);
+  util::Bitset afterA = covered_;
+  afterA |= coverage_[static_cast<std::size_t>(f.a)];
+  gain += gainOfEndpoint(f.b, afterA);
+  return gain;
+}
+
+void WeightedNuEvaluator::add(const Shortcut& f) {
+  current_ += gainIfAdd(f);
+  covered_ |= coverage_[static_cast<std::size_t>(f.a)];
+  covered_ |= coverage_[static_cast<std::size_t>(f.b)];
+}
+
+// ------------------------------------------------------------ Sandwich ----
+
+SandwichResult weightedSandwich(const Instance& instance,
+                                const std::vector<double>& pairWeights,
+                                const CandidateSet& candidates, int k) {
+  WeightedSigmaEvaluator sigma(instance, pairWeights);
+  WeightedMuEvaluator mu(instance, candidates, pairWeights);
+  WeightedNuEvaluator nu(instance, pairWeights);
+  return sandwichApproximation(sigma, mu, nu, sigma, nu, candidates, k);
+}
+
+}  // namespace msc::core

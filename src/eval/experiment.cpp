@@ -1,0 +1,106 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "gen/dynamic_series.h"
+#include "gen/gowalla.h"
+#include "gen/mobility.h"
+#include "gen/random_geometric.h"
+#include "graph/apsp.h"
+#include "wireless/link_model.h"
+
+namespace msc::eval {
+
+namespace {
+
+using msc::core::Instance;
+using msc::core::SocialPair;
+
+// Sample up to `m` important pairs; if fewer pairs are eligible, take all
+// of them (dynamic time steps occasionally have well-connected snapshots).
+std::vector<SocialPair> sampleAtMost(const msc::graph::Graph& g,
+                                     const msc::graph::DistanceMatrix& dist,
+                                     int m, double dt, msc::util::Rng& rng) {
+  int eligible = 0;
+  const int n = g.nodeCount();
+  for (msc::graph::NodeId i = 0; i < n; ++i) {
+    for (msc::graph::NodeId j = i + 1; j < n; ++j) {
+      if (dist(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) > dt) {
+        ++eligible;
+      }
+    }
+  }
+  return msc::core::sampleImportantPairs(g, dist, std::min(m, eligible), dt,
+                                         rng);
+}
+
+}  // namespace
+
+SpatialInstance makeRgInstance(const RgSetup& setup) {
+  msc::gen::RandomGeometricConfig cfg;
+  cfg.nodes = setup.nodes;
+  cfg.radius = setup.radius;
+  cfg.failure = msc::wireless::DistanceProportionalFailure(setup.failureSlope,
+                                                           setup.failurePMax);
+  cfg.seed = setup.seed;
+  msc::gen::SpatialNetwork net =
+      msc::gen::randomGeometricConnected(cfg, 0.9, 256);
+
+  const double dt =
+      msc::wireless::failureThresholdToDistance(setup.failureThreshold);
+  const auto dist = msc::graph::allPairsDistances(net.graph);
+  msc::util::Rng rng(setup.seed ^ 0x5eedULL);
+  auto pairs = msc::core::sampleImportantPairs(net.graph, dist, setup.pairs,
+                                               dt, rng);
+  return SpatialInstance{Instance(std::move(net.graph), std::move(pairs), dt),
+                         std::move(net.positions)};
+}
+
+SpatialInstance makeGowallaInstance(const GowallaSetup& setup) {
+  msc::gen::GowallaConfig cfg;
+  cfg.users = setup.users;
+  cfg.seed = setup.seed;
+  msc::gen::SpatialNetwork net = msc::gen::gowallaLike(cfg);
+
+  const double dt =
+      msc::wireless::failureThresholdToDistance(setup.failureThreshold);
+  const auto dist = msc::graph::allPairsDistances(net.graph);
+  msc::util::Rng rng(setup.seed ^ 0x90a11aULL);
+  auto pairs = msc::core::sampleImportantPairs(net.graph, dist, setup.pairs,
+                                               dt, rng);
+  return SpatialInstance{Instance(std::move(net.graph), std::move(pairs), dt),
+                         std::move(net.positions)};
+}
+
+std::vector<msc::core::Instance> makeDynamicInstances(
+    const DynamicSetup& setup) {
+  msc::gen::MobilityConfig mob;
+  mob.groups = setup.groups;
+  mob.nodesPerGroup = setup.nodesPerGroup;
+  mob.timeInstances = setup.timeInstances;
+  mob.seed = setup.seed;
+  const msc::gen::MobilityTrace trace =
+      msc::gen::referencePointGroupMobility(mob);
+
+  msc::gen::DynamicSeriesConfig dyn;
+  dyn.radioRangeMeters = setup.radioRangeMeters;
+  dyn.failure = msc::wireless::DistanceProportionalFailure(setup.failureSlope,
+                                                           setup.failurePMax);
+  dyn.maxNodes = setup.nodes;
+  auto series = msc::gen::buildDynamicSeries(trace, dyn);
+
+  const double dt =
+      msc::wireless::failureThresholdToDistance(setup.failureThreshold);
+  msc::util::Rng rng(setup.seed ^ 0xd12aULL);
+  std::vector<msc::core::Instance> instances;
+  instances.reserve(series.size());
+  for (auto& net : series) {
+    const auto dist = msc::graph::allPairsDistances(net.graph);
+    auto pairs =
+        sampleAtMost(net.graph, dist, setup.pairsPerInstance, dt, rng);
+    instances.emplace_back(std::move(net.graph), std::move(pairs), dt);
+  }
+  return instances;
+}
+
+}  // namespace msc::eval

@@ -1,0 +1,68 @@
+// Standard experiment setups from the paper's evaluation section (§VII-A).
+//
+// Each maker builds the instance family one of the paper's tables/figures
+// uses, with the dataset substitutions documented in DESIGN.md:
+//   * RG:       random geometric graph, n = 100 (Tables I, Fig 2/3/4)
+//   * Gowalla:  synthetic check-in network, n = 134 (Table II, Fig 2/3/4)
+//   * Dynamic:  RPGM tactical trace, n = 50, T instances (Fig 5)
+// All knobs are explicit so benches/tests can sweep them; defaults are
+// calibrated to reproduce the paper's regimes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "gen/point.h"
+
+namespace msc::eval {
+
+struct RgSetup {
+  int nodes = 100;
+  double radius = 0.15;
+  // Calibrated so the paper's p_t range [0.04, 0.18] spans "one hop of
+  // slack" to "several hops of slack" (see EXPERIMENTS.md calibration).
+  double failureSlope = 0.5;  // probability per unit distance
+  double failurePMax = 0.95;
+  int pairs = 17;              // m
+  double failureThreshold = 0.14;  // p_t
+  std::uint64_t seed = 1;
+};
+
+/// RG instance + the layout that produced it (for DOT export).
+struct SpatialInstance {
+  msc::core::Instance instance;
+  std::vector<msc::gen::Point> positions;
+};
+
+SpatialInstance makeRgInstance(const RgSetup& setup);
+
+struct GowallaSetup {
+  int users = 134;
+  int pairs = 63;                  // m (Table II uses 63, Fig 3/4 use 76)
+  double failureThreshold = 0.23;  // p_t
+  std::uint64_t seed = 9;          // calibrated: |E| ~ 1870 (paper: 1886)
+};
+
+SpatialInstance makeGowallaInstance(const GowallaSetup& setup);
+
+struct DynamicSetup {
+  int nodes = 50;          // n (trace is truncated to this)
+  int groups = 7;
+  int nodesPerGroup = 8;   // trace size before truncation (7*8 = 56 >= 50)
+  int timeInstances = 30;  // T
+  int pairsPerInstance = 30;  // m
+  double radioRangeMeters = 300.0;
+  // Calibrated so k in [5, 20] sweeps from "some pairs maintained" to
+  // "most pairs maintained" without saturating (see EXPERIMENTS.md).
+  double failureSlope = 0.0012;  // probability per meter
+  double failurePMax = 0.95;
+  double failureThreshold = 0.12;  // p_t
+  std::uint64_t seed = 11;
+};
+
+/// One Instance per time step; pair sets sampled independently per step
+/// (fewer than pairsPerInstance if a step lacks eligible pairs).
+std::vector<msc::core::Instance> makeDynamicInstances(const DynamicSetup& setup);
+
+}  // namespace msc::eval

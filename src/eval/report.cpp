@@ -1,0 +1,28 @@
+#include "eval/report.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/env.h"
+
+namespace msc::eval {
+
+void printHeader(std::ostream& os, const std::string& title,
+                 const std::string& artifact) {
+  os << "==============================================================\n";
+  os << title << '\n';
+  os << "reproduces: " << artifact << '\n';
+  os << msc::util::benchScaleBanner() << '\n';
+  os << "==============================================================\n";
+}
+
+std::string describeInstance(const msc::core::Instance& instance) {
+  std::ostringstream os;
+  os << "n=" << instance.graph().nodeCount()
+     << " |E|=" << instance.graph().edgeCount()
+     << " m=" << instance.pairCount()
+     << " d_t=" << instance.distanceThreshold();
+  return os.str();
+}
+
+}  // namespace msc::eval

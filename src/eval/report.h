@@ -1,0 +1,20 @@
+// Bench/report output helpers: consistent headers and instance summaries
+// across all bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.h"
+
+namespace msc::eval {
+
+/// Prints a bench banner: title, what paper artifact it regenerates, and
+/// the resolved bench scale.
+void printHeader(std::ostream& os, const std::string& title,
+                 const std::string& artifact);
+
+/// One-line instance summary (n, |E|, m, d_t).
+std::string describeInstance(const msc::core::Instance& instance);
+
+}  // namespace msc::eval

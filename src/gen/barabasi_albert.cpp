@@ -1,0 +1,61 @@
+#include "gen/barabasi_albert.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace msc::gen {
+
+msc::graph::Graph barabasiAlbert(const BarabasiAlbertConfig& config) {
+  if (config.attachEdges < 1) {
+    throw std::invalid_argument("barabasiAlbert: attachEdges must be >= 1");
+  }
+  if (config.nodes <= config.attachEdges) {
+    throw std::invalid_argument(
+        "barabasiAlbert: nodes must exceed attachEdges");
+  }
+  if (!(config.lengthMin >= 0.0) || config.lengthMax < config.lengthMin) {
+    throw std::invalid_argument("barabasiAlbert: invalid length range");
+  }
+  util::Rng rng(config.seed);
+  msc::graph::Graph g(config.nodes);
+  auto randomLength = [&] {
+    return rng.uniform(config.lengthMin, config.lengthMax);
+  };
+
+  // Repeated-endpoints list: sampling uniformly from it is sampling
+  // proportionally to degree (the classic BA construction).
+  std::vector<int> endpoints;
+  const int seedNodes = config.attachEdges;
+  for (int i = 0; i < seedNodes; ++i) {
+    for (int j = i + 1; j < seedNodes; ++j) {
+      g.addEdge(i, j, randomLength());
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  if (seedNodes == 1) endpoints.push_back(0);  // lone seed node, degree 0
+
+  for (int v = seedNodes; v < config.nodes; ++v) {
+    std::vector<int> targets;
+    targets.reserve(static_cast<std::size_t>(config.attachEdges));
+    // Rejection-sample distinct targets by preferential attachment.
+    while (static_cast<int>(targets.size()) < config.attachEdges) {
+      const int cand = endpoints[rng.below(endpoints.size())];
+      bool duplicate = false;
+      for (const int t : targets) {
+        if (t == cand) duplicate = true;
+      }
+      if (!duplicate) targets.push_back(cand);
+    }
+    for (const int t : targets) {
+      g.addEdge(v, t, randomLength());
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+}  // namespace msc::gen

@@ -1,0 +1,26 @@
+// Barabási–Albert preferential-attachment generator.
+//
+// A scale-free substrate used by tests and ablations to check the MSC
+// algorithms on hub-dominated topologies (shortcuts near hubs are highly
+// shared), complementing the paper's geometric graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace msc::gen {
+
+struct BarabasiAlbertConfig {
+  int nodes = 50;
+  /// Edges attached from each new node (also the size of the initial clique).
+  int attachEdges = 2;
+  /// Edge lengths drawn uniformly from [lengthMin, lengthMax].
+  double lengthMin = 0.05;
+  double lengthMax = 0.5;
+  std::uint64_t seed = 1;
+};
+
+msc::graph::Graph barabasiAlbert(const BarabasiAlbertConfig& config);
+
+}  // namespace msc::gen

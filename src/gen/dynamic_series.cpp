@@ -1,0 +1,39 @@
+#include "gen/dynamic_series.h"
+
+#include <stdexcept>
+
+namespace msc::gen {
+
+std::vector<SpatialNetwork> buildDynamicSeries(
+    const MobilityTrace& trace, const DynamicSeriesConfig& config) {
+  if (!(config.radioRangeMeters > 0.0)) {
+    throw std::invalid_argument("buildDynamicSeries: radio range must be > 0");
+  }
+  int n = trace.nodeCount;
+  if (config.maxNodes > 0 && config.maxNodes < n) n = config.maxNodes;
+
+  std::vector<SpatialNetwork> series;
+  series.reserve(trace.positions.size());
+  for (const auto& snapshot : trace.positions) {
+    if (static_cast<int>(snapshot.size()) < n) {
+      throw std::invalid_argument(
+          "buildDynamicSeries: trace snapshot smaller than node count");
+    }
+    SpatialNetwork net;
+    net.graph = msc::graph::Graph(n);
+    net.positions.assign(snapshot.begin(), snapshot.begin() + n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double d = euclidean(net.positions[static_cast<std::size_t>(i)],
+                                   net.positions[static_cast<std::size_t>(j)]);
+        if (d < config.radioRangeMeters) {
+          net.graph.addEdge(i, j, config.failure.lengthAt(d));
+        }
+      }
+    }
+    series.push_back(std::move(net));
+  }
+  return series;
+}
+
+}  // namespace msc::gen

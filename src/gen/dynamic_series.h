@@ -1,0 +1,31 @@
+// Dynamic topology series: mobility trace -> G_1..G_T (paper §VI).
+//
+// Each sampled time instant becomes one SpatialNetwork: nodes within radio
+// range are linked, link reliability follows the distance-proportional
+// failure model. The dynamic MSC objective then sums maintained connections
+// across these instances.
+#pragma once
+
+#include <vector>
+
+#include "gen/mobility.h"
+#include "gen/point.h"
+#include "wireless/link_model.h"
+
+namespace msc::gen {
+
+struct DynamicSeriesConfig {
+  /// Radio range: nodes closer than this are linked, meters.
+  double radioRangeMeters = 300.0;
+  /// Link failure model applied to geographic link length.
+  msc::wireless::DistanceProportionalFailure failure{0.0009, 0.95};
+  /// Optional truncation: use only the first `maxNodes` nodes of the trace
+  /// (the paper's Fig. 5 uses n = 50 of the 90-node trace); <= 0 keeps all.
+  int maxNodes = 0;
+};
+
+/// One network per time instance of the trace.
+std::vector<SpatialNetwork> buildDynamicSeries(const MobilityTrace& trace,
+                                               const DynamicSeriesConfig& config);
+
+}  // namespace msc::gen

@@ -1,0 +1,31 @@
+#include "gen/erdos_renyi.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace msc::gen {
+
+msc::graph::Graph erdosRenyi(const ErdosRenyiConfig& config) {
+  if (config.nodes < 0) {
+    throw std::invalid_argument("erdosRenyi: negative node count");
+  }
+  if (config.edgeProbability < 0.0 || config.edgeProbability > 1.0) {
+    throw std::invalid_argument("erdosRenyi: probability outside [0, 1]");
+  }
+  if (!(config.lengthMin >= 0.0) || config.lengthMax < config.lengthMin) {
+    throw std::invalid_argument("erdosRenyi: invalid length range");
+  }
+  util::Rng rng(config.seed);
+  msc::graph::Graph g(config.nodes);
+  for (int i = 0; i < config.nodes; ++i) {
+    for (int j = i + 1; j < config.nodes; ++j) {
+      if (rng.chance(config.edgeProbability)) {
+        g.addEdge(i, j, rng.uniform(config.lengthMin, config.lengthMax));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace msc::gen

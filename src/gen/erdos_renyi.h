@@ -1,0 +1,26 @@
+// Erdős–Rényi G(n, p) generator.
+//
+// Not used by the paper's evaluation, but a standard non-spatial substrate
+// for the test suite and for exercising the algorithms on topologies without
+// geometric locality (where single shortcuts help fewer pairs).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace msc::gen {
+
+struct ErdosRenyiConfig {
+  int nodes = 50;
+  /// Independent edge probability.
+  double edgeProbability = 0.1;
+  /// Edge lengths drawn uniformly from [lengthMin, lengthMax].
+  double lengthMin = 0.05;
+  double lengthMax = 0.5;
+  std::uint64_t seed = 1;
+};
+
+msc::graph::Graph erdosRenyi(const ErdosRenyiConfig& config);
+
+}  // namespace msc::gen

@@ -1,0 +1,45 @@
+#include "gen/grid.h"
+
+#include <stdexcept>
+
+namespace msc::gen {
+
+SpatialNetwork grid(const GridConfig& config) {
+  if (config.width <= 0 || config.height <= 0) {
+    throw std::invalid_argument("grid: dimensions must be positive");
+  }
+  if (!(config.edgeLength >= 0.0)) {
+    throw std::invalid_argument("grid: edge length must be >= 0");
+  }
+  const int n = config.width * config.height;
+  SpatialNetwork net;
+  net.graph = msc::graph::Graph(n);
+  net.positions.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < config.height; ++r) {
+    for (int c = 0; c < config.width; ++c) {
+      net.positions.push_back(
+          {static_cast<double>(c), static_cast<double>(r)});
+    }
+  }
+  for (int r = 0; r < config.height; ++r) {
+    for (int c = 0; c < config.width; ++c) {
+      const int v = gridNode(config, r, c);
+      if (c + 1 < config.width) {
+        net.graph.addEdge(v, gridNode(config, r, c + 1), config.edgeLength);
+      }
+      if (r + 1 < config.height) {
+        net.graph.addEdge(v, gridNode(config, r + 1, c), config.edgeLength);
+      }
+    }
+  }
+  return net;
+}
+
+int gridNode(const GridConfig& config, int row, int col) {
+  if (row < 0 || row >= config.height || col < 0 || col >= config.width) {
+    throw std::out_of_range("gridNode: coordinates out of range");
+  }
+  return row * config.width + col;
+}
+
+}  // namespace msc::gen

@@ -1,0 +1,26 @@
+// Rectangular grid generator.
+//
+// Grids have exactly computable shortest paths (Manhattan distance times
+// edge length), which makes them the reference substrate for the distance
+// and shortcut-relaxation tests.
+#pragma once
+
+#include "gen/point.h"
+
+namespace msc::gen {
+
+struct GridConfig {
+  int width = 5;
+  int height = 5;
+  /// Length assigned to every grid edge.
+  double edgeLength = 1.0;
+};
+
+/// Nodes are indexed row-major: node(r, c) = r * width + c; positions are
+/// unit-spaced so the layout can be drawn.
+SpatialNetwork grid(const GridConfig& config);
+
+/// Node id at (row, col) for a given config.
+int gridNode(const GridConfig& config, int row, int col);
+
+}  // namespace msc::gen

@@ -1,0 +1,139 @@
+#include "gen/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace msc::gen {
+
+namespace {
+
+// Random-waypoint state for one group leader.
+struct LeaderState {
+  Point position;
+  Point destination;
+  double speed = 0.0;      // m/s; 0 while paused
+  double pauseLeft = 0.0;  // seconds of pause remaining
+};
+
+void pickNewLeg(LeaderState& leader, const MobilityConfig& cfg,
+                util::Rng& rng) {
+  leader.destination = {rng.uniform(0.0, cfg.areaMeters),
+                        rng.uniform(0.0, cfg.areaMeters)};
+  leader.speed = rng.uniform(cfg.speedMin, cfg.speedMax);
+}
+
+// Advance a leader by dt seconds of random-waypoint motion.
+void stepLeader(LeaderState& leader, const MobilityConfig& cfg,
+                util::Rng& rng, double dt) {
+  while (dt > 0.0) {
+    if (leader.pauseLeft > 0.0) {
+      const double pause = std::min(leader.pauseLeft, dt);
+      leader.pauseLeft -= pause;
+      dt -= pause;
+      if (leader.pauseLeft <= 0.0) pickNewLeg(leader, cfg, rng);
+      continue;
+    }
+    const double dx = leader.destination.x - leader.position.x;
+    const double dy = leader.destination.y - leader.position.y;
+    const double remaining = std::hypot(dx, dy);
+    const double reachable = leader.speed * dt;
+    if (reachable >= remaining || remaining == 0.0) {
+      leader.position = leader.destination;
+      dt -= (leader.speed > 0.0) ? remaining / leader.speed : dt;
+      leader.pauseLeft = cfg.pauseSeconds;
+      if (leader.pauseLeft <= 0.0) pickNewLeg(leader, cfg, rng);
+    } else {
+      const double frac = reachable / remaining;
+      leader.position.x += dx * frac;
+      leader.position.y += dy * frac;
+      dt = 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+MobilityTrace referencePointGroupMobility(const MobilityConfig& cfg) {
+  if (cfg.groups <= 0 || cfg.nodesPerGroup <= 0) {
+    throw std::invalid_argument("mobility: groups and nodesPerGroup must be > 0");
+  }
+  if (cfg.timeInstances <= 0) {
+    throw std::invalid_argument("mobility: timeInstances must be > 0");
+  }
+  if (!(cfg.areaMeters > 0.0) || !(cfg.groupRadiusMeters >= 0.0)) {
+    throw std::invalid_argument("mobility: invalid geometry parameters");
+  }
+  if (!(cfg.speedMin > 0.0) || cfg.speedMax < cfg.speedMin) {
+    throw std::invalid_argument("mobility: invalid speed range");
+  }
+
+  util::Rng rng(cfg.seed);
+  const int n = cfg.groups * cfg.nodesPerGroup;
+
+  MobilityTrace trace;
+  trace.nodeCount = n;
+  trace.groupOf.resize(static_cast<std::size_t>(n));
+  trace.positions.assign(
+      static_cast<std::size_t>(cfg.timeInstances),
+      std::vector<Point>(static_cast<std::size_t>(n)));
+
+  std::vector<LeaderState> leaders(static_cast<std::size_t>(cfg.groups));
+  for (auto& leader : leaders) {
+    leader.position = {rng.uniform(0.0, cfg.areaMeters),
+                       rng.uniform(0.0, cfg.areaMeters)};
+    pickNewLeg(leader, cfg, rng);
+  }
+
+  // Member offsets relative to their leader; evolve as a clamped random walk
+  // so formations drift realistically but never disperse.
+  std::vector<Point> offsets(static_cast<std::size_t>(n));
+  for (int g = 0; g < cfg.groups; ++g) {
+    for (int i = 0; i < cfg.nodesPerGroup; ++i) {
+      const int node = g * cfg.nodesPerGroup + i;
+      trace.groupOf[static_cast<std::size_t>(node)] = g;
+      const double angle = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+      const double radius = cfg.groupRadiusMeters * std::sqrt(rng.uniform());
+      offsets[static_cast<std::size_t>(node)] = {radius * std::cos(angle),
+                                                 radius * std::sin(angle)};
+    }
+  }
+
+  auto clampOffset = [&](Point& o) {
+    const double r = std::hypot(o.x, o.y);
+    if (r > cfg.groupRadiusMeters && r > 0.0) {
+      const double scale = cfg.groupRadiusMeters / r;
+      o.x *= scale;
+      o.y *= scale;
+    }
+  };
+  auto clampArea = [&](double v) {
+    return std::clamp(v, 0.0, cfg.areaMeters);
+  };
+
+  for (int t = 0; t < cfg.timeInstances; ++t) {
+    if (t > 0) {
+      for (auto& leader : leaders) {
+        stepLeader(leader, cfg, rng, cfg.sampleIntervalSeconds);
+      }
+      for (auto& o : offsets) {
+        o.x += rng.gaussian(0.0, cfg.memberStepMeters);
+        o.y += rng.gaussian(0.0, cfg.memberStepMeters);
+        clampOffset(o);
+      }
+    }
+    for (int node = 0; node < n; ++node) {
+      const auto& leader =
+          leaders[static_cast<std::size_t>(trace.groupOf[static_cast<std::size_t>(node)])];
+      auto& p = trace.positions[static_cast<std::size_t>(t)]
+                               [static_cast<std::size_t>(node)];
+      p.x = clampArea(leader.position.x + offsets[static_cast<std::size_t>(node)].x);
+      p.y = clampArea(leader.position.y + offsets[static_cast<std::size_t>(node)].y);
+    }
+  }
+  return trace;
+}
+
+}  // namespace msc::gen

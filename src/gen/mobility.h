@@ -1,0 +1,46 @@
+// Tactical group-mobility trace generator (ARL trace substitute).
+//
+// The paper's dynamic-network experiments (§VII-E) replay mobility traces
+// from the US Army Research Laboratory: 90 nodes in 7 squads moving during
+// a tactical operation. Those traces are not redistributable, so this
+// module implements the standard synthetic stand-in for exactly that kind
+// of movement: Reference-Point Group Mobility (RPGM). Group leaders follow
+// a random-waypoint walk across the operation area; members hold formation
+// as a bounded Gaussian random walk around their leader. Sampling node
+// positions at T instants yields the series of topologies G_1..G_T that
+// §VI's dynamic MSC objective consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/point.h"
+
+namespace msc::gen {
+
+struct MobilityConfig {
+  int groups = 7;
+  int nodesPerGroup = 13;            // ~ paper's 90 nodes in 7 groups
+  double areaMeters = 2000.0;        // operation area side
+  double speedMin = 1.0;             // leader speed range, m/s
+  double speedMax = 5.0;
+  double pauseSeconds = 10.0;        // pause at each waypoint
+  double groupRadiusMeters = 120.0;  // members stay within this of leader
+  double memberStepMeters = 15.0;    // per-step member jitter (std-dev)
+  double sampleIntervalSeconds = 60.0;
+  int timeInstances = 30;            // T
+  std::uint64_t seed = 11;
+};
+
+/// positions[t][node] for t in [0, timeInstances).
+struct MobilityTrace {
+  int nodeCount = 0;
+  std::vector<int> groupOf;                     // node -> group id
+  std::vector<std::vector<Point>> positions;    // [time][node]
+};
+
+/// Simulates RPGM and samples positions at fixed intervals. Deterministic
+/// in the seed.
+MobilityTrace referencePointGroupMobility(const MobilityConfig& config);
+
+}  // namespace msc::gen

@@ -1,0 +1,32 @@
+// 2-D geometry primitives shared by the spatial generators.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace msc::gen {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+inline double euclidean(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::hypot(dx, dy);
+}
+
+/// A graph together with the geographic layout that produced it. All
+/// spatial generators return this; the layout feeds the link-failure model,
+/// DOT export, and the mobility pipeline.
+struct SpatialNetwork {
+  msc::graph::Graph graph;
+  std::vector<Point> positions;
+};
+
+}  // namespace msc::gen

@@ -1,0 +1,36 @@
+// Random Geometric (RG) graph generator — the paper's synthetic topology.
+//
+// Nodes are placed uniformly at random in the unit square and connected
+// when their Euclidean distance is below `radius` (§VII-A1). Edge lengths
+// come from the distance-proportional failure model (§VII-A3), so longer
+// radio links are less reliable.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/point.h"
+#include "wireless/link_model.h"
+
+namespace msc::gen {
+
+struct RandomGeometricConfig {
+  int nodes = 100;
+  /// Connection radius in unit-square coordinates.
+  double radius = 0.15;
+  /// Link failure model applied to the geographic edge length.
+  msc::wireless::DistanceProportionalFailure failure{0.35, 0.95};
+  std::uint64_t seed = 1;
+};
+
+/// Generates one RG network. Deterministic in the seed.
+SpatialNetwork randomGeometric(const RandomGeometricConfig& config);
+
+/// Generates RG networks until the largest connected component covers at
+/// least `minLargestComponentFraction` of the nodes (bumping the seed), up
+/// to `maxAttempts`; throws std::runtime_error when none qualifies. The
+/// paper's experiments implicitly use connected instances.
+SpatialNetwork randomGeometricConnected(RandomGeometricConfig config,
+                                        double minLargestComponentFraction = 0.95,
+                                        int maxAttempts = 64);
+
+}  // namespace msc::gen

@@ -1,0 +1,111 @@
+#include "gen/trace_io.h"
+
+#include <istream>
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace msc::gen {
+
+void writeTraceCsv(std::ostream& os, const MobilityTrace& trace) {
+  os << "t,node,x,y,group\n";
+  os.precision(17);
+  for (std::size_t t = 0; t < trace.positions.size(); ++t) {
+    for (int node = 0; node < trace.nodeCount; ++node) {
+      const auto& p = trace.positions[t][static_cast<std::size_t>(node)];
+      os << t << ',' << node << ',' << p.x << ',' << p.y << ','
+         << trace.groupOf[static_cast<std::size_t>(node)] << '\n';
+    }
+  }
+}
+
+namespace {
+
+struct Row {
+  int t;
+  int node;
+  double x;
+  double y;
+  int group;
+};
+
+Row parseRow(const std::string& line) {
+  std::istringstream ss(line);
+  Row row{};
+  char comma = 0;
+  if (!(ss >> row.t >> comma && comma == ',' && ss >> row.node >> comma &&
+        comma == ',' && ss >> row.x >> comma && comma == ',' &&
+        ss >> row.y >> comma && comma == ',' && ss >> row.group)) {
+    throw std::runtime_error("readTraceCsv: malformed row: " + line);
+  }
+  if (row.t < 0 || row.node < 0 || row.group < 0) {
+    throw std::runtime_error("readTraceCsv: negative index in row: " + line);
+  }
+  return row;
+}
+
+}  // namespace
+
+MobilityTrace readTraceCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("readTraceCsv: empty input");
+  }
+  // Header is required but tolerated with varying whitespace.
+  if (line.find("t,node") == std::string::npos) {
+    throw std::runtime_error("readTraceCsv: missing header row");
+  }
+
+  std::vector<Row> rows;
+  int maxT = -1;
+  int maxNode = -1;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    rows.push_back(parseRow(line));
+    maxT = std::max(maxT, rows.back().t);
+    maxNode = std::max(maxNode, rows.back().node);
+  }
+  if (rows.empty()) throw std::runtime_error("readTraceCsv: no samples");
+
+  const int times = maxT + 1;
+  const int nodes = maxNode + 1;
+  MobilityTrace trace;
+  trace.nodeCount = nodes;
+  trace.groupOf.assign(static_cast<std::size_t>(nodes), -1);
+  trace.positions.assign(static_cast<std::size_t>(times),
+                         std::vector<Point>(static_cast<std::size_t>(nodes)));
+  std::vector<std::vector<char>> seen(
+      static_cast<std::size_t>(times),
+      std::vector<char>(static_cast<std::size_t>(nodes), 0));
+
+  for (const Row& row : rows) {
+    auto& flag = seen[static_cast<std::size_t>(row.t)]
+                     [static_cast<std::size_t>(row.node)];
+    if (flag) {
+      throw std::runtime_error("readTraceCsv: duplicate (t, node) sample");
+    }
+    flag = 1;
+    trace.positions[static_cast<std::size_t>(row.t)]
+                   [static_cast<std::size_t>(row.node)] = {row.x, row.y};
+    auto& grp = trace.groupOf[static_cast<std::size_t>(row.node)];
+    if (grp == -1) {
+      grp = row.group;
+    } else if (grp != row.group) {
+      throw std::runtime_error("readTraceCsv: node changes group mid-trace");
+    }
+  }
+  for (const auto& perTime : seen) {
+    for (const char flag : perTime) {
+      if (!flag) {
+        throw std::runtime_error(
+            "readTraceCsv: missing (t, node) sample — trace is not dense");
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace msc::gen

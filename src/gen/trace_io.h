@@ -1,0 +1,28 @@
+// Mobility trace serialization.
+//
+// The dynamic experiments run on synthetic RPGM traces, but the format here
+// lets users substitute real traces (e.g. the ARL NSRL tactical traces the
+// paper used, for those with access): a plain CSV with one row per
+// (time, node) sample. Reading validates shape (every instant covers every
+// node exactly once).
+//
+// Format (header required):
+//   t,node,x,y,group
+//   0,0,102.5,913.0,0
+//   ...
+#pragma once
+
+#include <iosfwd>
+
+#include "gen/mobility.h"
+
+namespace msc::gen {
+
+/// Writes the CSV representation of a trace.
+void writeTraceCsv(std::ostream& os, const MobilityTrace& trace);
+
+/// Parses the CSV representation. Throws std::runtime_error on malformed
+/// input, missing samples, or inconsistent group assignments.
+MobilityTrace readTraceCsv(std::istream& is);
+
+}  // namespace msc::gen

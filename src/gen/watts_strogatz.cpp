@@ -1,0 +1,64 @@
+#include "gen/watts_strogatz.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace msc::gen {
+
+msc::graph::Graph wattsStrogatz(const WattsStrogatzConfig& config) {
+  if (config.neighbors < 1) {
+    throw std::invalid_argument("wattsStrogatz: neighbors must be >= 1");
+  }
+  if (config.nodes <= 2 * config.neighbors) {
+    throw std::invalid_argument(
+        "wattsStrogatz: nodes must exceed 2 * neighbors");
+  }
+  if (config.rewireProbability < 0.0 || config.rewireProbability > 1.0) {
+    throw std::invalid_argument(
+        "wattsStrogatz: rewire probability outside [0, 1]");
+  }
+  if (!(config.lengthMin >= 0.0) || config.lengthMax < config.lengthMin) {
+    throw std::invalid_argument("wattsStrogatz: invalid length range");
+  }
+
+  util::Rng rng(config.seed);
+  const int n = config.nodes;
+  // Track edges as normalized (a, b) keys to avoid duplicates on rewire.
+  std::unordered_set<long long> present;
+  auto key = [n](int a, int b) {
+    if (a > b) std::swap(a, b);
+    return static_cast<long long>(a) * n + b;
+  };
+
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 0; v < n; ++v) {
+    for (int j = 1; j <= config.neighbors; ++j) {
+      const int w = (v + j) % n;
+      edges.push_back({v, w});
+      present.insert(key(v, w));
+    }
+  }
+  for (auto& [u, v] : edges) {
+    if (!rng.chance(config.rewireProbability)) continue;
+    // Rewire the far endpoint to a uniform random node, avoiding self-loops
+    // and duplicates; give up after a few tries (dense corner cases).
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const int w = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      if (w == u || present.count(key(u, w)) != 0) continue;
+      present.erase(key(u, v));
+      present.insert(key(u, w));
+      v = w;
+      break;
+    }
+  }
+
+  msc::graph::Graph g(n);
+  for (const auto& [u, v] : edges) {
+    g.addEdge(u, v, rng.uniform(config.lengthMin, config.lengthMax));
+  }
+  return g;
+}
+
+}  // namespace msc::gen

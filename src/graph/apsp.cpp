@@ -1,0 +1,54 @@
+#include "graph/apsp.h"
+
+#include <algorithm>
+
+#include "graph/dijkstra.h"
+
+namespace msc::graph {
+
+DistanceMatrix allPairsDistances(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  DistanceMatrix d(n, n, kInfDist);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto tree = dijkstra(g, static_cast<NodeId>(s));
+    for (std::size_t v = 0; v < n; ++v) d(s, v) = tree.dist[v];
+  }
+  // Runs from different sources sum edge lengths in different orders and
+  // can differ in the last ulp; enforce exact symmetry so downstream
+  // relaxations (which write both triangles) stay consistent.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double m = std::min(d(i, j), d(j, i));
+      d(i, j) = m;
+      d(j, i) = m;
+    }
+  }
+  return d;
+}
+
+DistanceMatrix allPairsDistancesFloydWarshall(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  DistanceMatrix d(n, n, kInfDist);
+  for (std::size_t v = 0; v < n; ++v) d(v, v) = 0.0;
+  for (const Edge& e : g.edges()) {
+    const auto u = static_cast<std::size_t>(e.u);
+    const auto v = static_cast<std::size_t>(e.v);
+    d(u, v) = std::min(d(u, v), e.length);
+    d(v, u) = std::min(d(v, u), e.length);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dik = d(i, k);
+      if (dik == kInfDist) continue;
+      const double* rowK = d.row(k);
+      double* rowI = d.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double via = dik + rowK[j];
+        if (via < rowI[j]) rowI[j] = via;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace msc::graph

@@ -1,0 +1,26 @@
+// All-pairs shortest path distances.
+//
+// The MSC evaluators repeatedly ask for distances between arbitrary node
+// pairs under varying shortcut placements; all of them start from the base
+// graph's APSP matrix computed once per instance. Graphs in every paper
+// experiment have n <= a few hundred, so n Dijkstra runs are instantaneous
+// and the O(n^2) matrix is tiny. A Floyd-Warshall implementation is kept as
+// an independent reference for the test suite.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/matrix.h"
+
+namespace msc::graph {
+
+/// Symmetric n-by-n matrix of shortest-path lengths; kInfDist when
+/// disconnected, 0 on the diagonal.
+using DistanceMatrix = util::Matrix<double>;
+
+/// APSP via one Dijkstra per node. O(n * (m + n) log n).
+DistanceMatrix allPairsDistances(const Graph& g);
+
+/// APSP via Floyd-Warshall. O(n^3); reference implementation for tests.
+DistanceMatrix allPairsDistancesFloydWarshall(const Graph& g);
+
+}  // namespace msc::graph

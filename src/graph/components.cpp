@@ -1,0 +1,41 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace msc::graph {
+
+Components connectedComponents(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  Components out;
+  out.label.assign(n, -1);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (out.label[s] != -1) continue;
+    const int id = out.count++;
+    std::queue<NodeId> frontier;
+    frontier.push(static_cast<NodeId>(s));
+    out.label[s] = id;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const Arc& arc : g.neighbors(u)) {
+        auto& lbl = out.label[static_cast<std::size_t>(arc.to)];
+        if (lbl == -1) {
+          lbl = id;
+          frontier.push(arc.to);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+int largestComponentSize(const Graph& g) {
+  const Components comps = connectedComponents(g);
+  if (comps.count == 0) return 0;
+  std::vector<int> size(static_cast<std::size_t>(comps.count), 0);
+  for (const int lbl : comps.label) ++size[static_cast<std::size_t>(lbl)];
+  return *std::max_element(size.begin(), size.end());
+}
+
+}  // namespace msc::graph

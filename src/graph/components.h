@@ -1,0 +1,32 @@
+// Connected-component analysis.
+//
+// Generators use this to report/repair connectivity, and the MSC pair
+// sampler uses it to distinguish "far apart" from "disconnected" social
+// pairs (shortcuts can satisfy both, which the tests exercise).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace msc::graph {
+
+/// Per-node component labels in [0, count), assigned in BFS discovery order
+/// from node 0 upward.
+struct Components {
+  std::vector<int> label;
+  int count = 0;
+
+  bool sameComponent(NodeId u, NodeId v) const {
+    return label.at(static_cast<std::size_t>(u)) ==
+           label.at(static_cast<std::size_t>(v));
+  }
+};
+
+/// BFS labeling of connected components.
+Components connectedComponents(const Graph& g);
+
+/// Size of the largest connected component (0 for the empty graph).
+int largestComponentSize(const Graph& g);
+
+}  // namespace msc::graph

@@ -1,0 +1,83 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace msc::graph {
+
+namespace {
+
+// (distance, node) min-heap entry; stale entries are skipped on pop.
+using HeapEntry = std::pair<double, NodeId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+ShortestPathTree run(const Graph& g, NodeId source, double limit,
+                     NodeId target) {
+  g.checkNode(source);
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  ShortestPathTree tree;
+  tree.dist.assign(n, kInfDist);
+  tree.parent.assign(n, -1);
+  tree.dist[static_cast<std::size_t>(source)] = 0.0;
+
+  MinHeap heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > tree.dist[static_cast<std::size_t>(u)]) continue;  // stale
+    if (target >= 0 && u == target) break;
+    for (const Arc& arc : g.neighbors(u)) {
+      const double nd = d + arc.length;
+      if (nd > limit) continue;
+      if (nd < tree.dist[static_cast<std::size_t>(arc.to)]) {
+        tree.dist[static_cast<std::size_t>(arc.to)] = nd;
+        tree.parent[static_cast<std::size_t>(arc.to)] = u;
+        heap.push({nd, arc.to});
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source) {
+  return run(g, source, kInfDist, -1);
+}
+
+ShortestPathTree dijkstraBounded(const Graph& g, NodeId source, double limit) {
+  if (limit < 0.0) throw std::invalid_argument("dijkstraBounded: limit < 0");
+  return run(g, source, limit, -1);
+}
+
+double dijkstraDistance(const Graph& g, NodeId source, NodeId target) {
+  g.checkNode(target);
+  const auto tree = run(g, source, kInfDist, target);
+  return tree.dist[static_cast<std::size_t>(target)];
+}
+
+std::optional<std::vector<NodeId>> extractPath(const ShortestPathTree& tree,
+                                               NodeId source, NodeId target) {
+  const auto n = tree.dist.size();
+  if (source < 0 || target < 0 || static_cast<std::size_t>(source) >= n ||
+      static_cast<std::size_t>(target) >= n) {
+    throw std::out_of_range("extractPath: node index out of range");
+  }
+  if (tree.dist[static_cast<std::size_t>(target)] == kInfDist) {
+    return std::nullopt;
+  }
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != -1; v = tree.parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  if (path.back() != source) return std::nullopt;
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace msc::graph

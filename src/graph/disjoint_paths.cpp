@@ -1,0 +1,253 @@
+#include "graph/disjoint_paths.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/dijkstra.h"
+
+namespace msc::graph {
+
+namespace {
+
+using EdgeKey = std::pair<NodeId, NodeId>;
+
+EdgeKey keyOf(NodeId a, NodeId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+// Collapsed simple-graph view: min length per unordered node pair.
+std::map<EdgeKey, double> collapsedEdges(const Graph& g) {
+  std::map<EdgeKey, double> out;
+  for (const Edge& e : g.edges()) {
+    const EdgeKey key = keyOf(e.u, e.v);
+    const auto it = out.find(key);
+    if (it == out.end() || e.length < it->second) out[key] = e.length;
+  }
+  return out;
+}
+
+double pathLengthOn(const std::map<EdgeKey, double>& edges,
+                    const std::vector<NodeId>& path) {
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    total += edges.at(keyOf(path[i], path[i + 1]));
+  }
+  return total;
+}
+
+// Bellman-Ford on an explicit arc list (handles the negative reversed arcs
+// Bhandari introduces; the construction creates no negative cycles).
+struct ResidualArc {
+  NodeId from;
+  NodeId to;
+  double weight;
+};
+
+std::vector<NodeId> bellmanFordPath(int n, const std::vector<ResidualArc>& arcs,
+                                    NodeId s, NodeId t) {
+  std::vector<double> dist(static_cast<std::size_t>(n), kInfDist);
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), -1);
+  dist[static_cast<std::size_t>(s)] = 0.0;
+  for (int round = 0; round < n - 1; ++round) {
+    bool changed = false;
+    for (const ResidualArc& a : arcs) {
+      const double base = dist[static_cast<std::size_t>(a.from)];
+      if (base == kInfDist) continue;
+      if (base + a.weight < dist[static_cast<std::size_t>(a.to)] - 1e-15) {
+        dist[static_cast<std::size_t>(a.to)] = base + a.weight;
+        parent[static_cast<std::size_t>(a.to)] = a.from;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  if (dist[static_cast<std::size_t>(t)] == kInfDist) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = t; v != -1; v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+    if (v == s) break;
+    if (path.size() > static_cast<std::size_t>(n)) {
+      throw std::logic_error("bellmanFordPath: parent cycle");
+    }
+  }
+  if (path.back() != s) return {};
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+// Undirected edge pool supporting repeated "find an s-t path through
+// unused edges, then consume its edges". The pool is the union of two
+// edge-disjoint s-t paths, so two extractions always succeed; DFS with
+// backtracking over edge-used marks terminates because each frame owns one
+// edge (node revisits are allowed — the two paths may share nodes).
+class EdgePool {
+ public:
+  EdgePool(int n, const std::vector<std::pair<NodeId, NodeId>>& edges)
+      : incident_(static_cast<std::size_t>(n)) {
+    for (const auto& [a, b] : edges) {
+      incident_[static_cast<std::size_t>(a)].push_back(edges_.size());
+      incident_[static_cast<std::size_t>(b)].push_back(edges_.size());
+      edges_.push_back({a, b, false, false});
+    }
+  }
+
+  /// Finds a path of unused edges, marks them consumed, returns the node
+  /// sequence (empty when none exists).
+  std::vector<NodeId> takePath(NodeId s, NodeId t) {
+    std::vector<NodeId> path{s};
+    std::vector<std::size_t> usedEdges;
+    if (!dfs(s, t, path, usedEdges)) return {};
+    for (const std::size_t e : usedEdges) edges_[e].consumed = true;
+    return path;
+  }
+
+ private:
+  struct PoolEdge {
+    NodeId a;
+    NodeId b;
+    bool inStack;   // used by the current DFS branch
+    bool consumed;  // permanently used by an extracted path
+  };
+
+  bool dfs(NodeId u, NodeId t, std::vector<NodeId>& path,
+           std::vector<std::size_t>& usedEdges) {
+    if (u == t) return true;
+    for (const std::size_t e : incident_[static_cast<std::size_t>(u)]) {
+      PoolEdge& edge = edges_[e];
+      if (edge.inStack || edge.consumed) continue;
+      const NodeId v = (edge.a == u) ? edge.b : edge.a;
+      edge.inStack = true;
+      path.push_back(v);
+      usedEdges.push_back(e);
+      if (dfs(v, t, path, usedEdges)) {
+        edge.inStack = false;
+        return true;
+      }
+      usedEdges.pop_back();
+      path.pop_back();
+      edge.inStack = false;
+    }
+    return false;
+  }
+
+  std::vector<PoolEdge> edges_;
+  std::vector<std::vector<std::size_t>> incident_;
+};
+
+}  // namespace
+
+DisjointPaths twoEdgeDisjointPathsRemoval(const Graph& g, NodeId s, NodeId t) {
+  g.checkNode(s);
+  g.checkNode(t);
+  DisjointPaths out;
+  const auto tree = dijkstra(g, s);
+  const auto p1 = extractPath(tree, s, t);
+  if (!p1) return out;
+  out.first = *p1;
+  out.firstLength = tree.dist[static_cast<std::size_t>(t)];
+
+  // Rebuild without the first path's (collapsed) edges.
+  std::map<EdgeKey, char> banned;
+  for (std::size_t i = 0; i + 1 < p1->size(); ++i) {
+    banned[keyOf((*p1)[i], (*p1)[i + 1])] = 1;
+  }
+  Graph reduced(g.nodeCount());
+  for (const Edge& e : g.edges()) {
+    if (banned.count(keyOf(e.u, e.v)) == 0) {
+      reduced.addEdge(e.u, e.v, e.length);
+    }
+  }
+  const auto tree2 = dijkstra(reduced, s);
+  if (const auto p2 = extractPath(tree2, s, t)) {
+    out.second = *p2;
+    out.secondLength = tree2.dist[static_cast<std::size_t>(t)];
+    if (out.secondLength < out.firstLength) {
+      std::swap(out.first, out.second);
+      std::swap(out.firstLength, out.secondLength);
+    }
+  }
+  return out;
+}
+
+DisjointPaths twoEdgeDisjointPaths(const Graph& g, NodeId s, NodeId t) {
+  g.checkNode(s);
+  g.checkNode(t);
+  DisjointPaths out;
+  if (s == t) {
+    out.first = {s};
+    out.firstLength = 0.0;
+    return out;
+  }
+  const auto edges = collapsedEdges(g);
+
+  // P1 on the collapsed simple graph.
+  Graph simple(g.nodeCount());
+  for (const auto& [key, len] : edges) simple.addEdge(key.first, key.second, len);
+  const auto tree = dijkstra(simple, s);
+  const auto p1opt = extractPath(tree, s, t);
+  if (!p1opt) return out;
+  const auto& p1 = *p1opt;
+  out.first = p1;
+  out.firstLength = tree.dist[static_cast<std::size_t>(t)];
+
+  // Directed residual: P1 edges only reversed with negative weight.
+  std::map<EdgeKey, std::pair<NodeId, NodeId>> p1Direction;  // key -> (x, y)
+  for (std::size_t i = 0; i + 1 < p1.size(); ++i) {
+    p1Direction[keyOf(p1[i], p1[i + 1])] = {p1[i], p1[i + 1]};
+  }
+  std::vector<ResidualArc> arcs;
+  for (const auto& [key, len] : edges) {
+    const auto it = p1Direction.find(key);
+    if (it == p1Direction.end()) {
+      arcs.push_back({key.first, key.second, len});
+      arcs.push_back({key.second, key.first, len});
+    } else {
+      // Traversable only against P1's direction, at negative cost.
+      arcs.push_back({it->second.second, it->second.first, -len});
+    }
+  }
+  const auto p2 = bellmanFordPath(g.nodeCount(), arcs, s, t);
+  if (p2.empty()) return out;  // no second disjoint path
+
+  // Cancellation: multiset union of P1 and P2 edges, where P2 traversing a
+  // P1 edge backwards removes that edge from the union.
+  std::map<EdgeKey, char> cancelled;
+  for (std::size_t i = 0; i + 1 < p2.size(); ++i) {
+    const EdgeKey key = keyOf(p2[i], p2[i + 1]);
+    if (p1Direction.count(key) != 0) cancelled[key] = 1;
+  }
+  std::vector<std::pair<NodeId, NodeId>> unionEdges;
+  for (std::size_t i = 0; i + 1 < p1.size(); ++i) {
+    if (cancelled.count(keyOf(p1[i], p1[i + 1])) == 0) {
+      unionEdges.push_back({p1[i], p1[i + 1]});
+    }
+  }
+  for (std::size_t i = 0; i + 1 < p2.size(); ++i) {
+    if (p1Direction.count(keyOf(p2[i], p2[i + 1])) == 0) {
+      unionEdges.push_back({p2[i], p2[i + 1]});
+    }
+  }
+
+  // The union now decomposes into exactly two edge-disjoint s-t paths.
+  EdgePool pool(g.nodeCount(), unionEdges);
+  auto first = pool.takePath(s, t);
+  auto second = pool.takePath(s, t);
+  if (first.empty() || second.empty()) {
+    throw std::logic_error("twoEdgeDisjointPaths: decomposition failed");
+  }
+  double len1 = pathLengthOn(edges, first);
+  double len2 = pathLengthOn(edges, second);
+  if (len2 < len1) {
+    std::swap(first, second);
+    std::swap(len1, len2);
+  }
+  out.first = std::move(first);
+  out.firstLength = len1;
+  out.second = std::move(second);
+  out.secondLength = len2;
+  return out;
+}
+
+}  // namespace msc::graph

@@ -1,0 +1,47 @@
+// Edge-disjoint path pairs (multipath routing substrate).
+//
+// The paper's introduction argues that multipath routing alone cannot keep
+// important pairs reliable — each path still fails too often. To reproduce
+// that baseline we need the best possible multipath: the pair of
+// edge-disjoint paths with minimum total length, computed by Bhandari's
+// algorithm (shortest path, then a second shortest path in a residual
+// graph where the first path's edges are reversed with negated length,
+// then cancellation). A naive "remove the first path and search again"
+// heuristic is also provided — it can fail on trap topologies where
+// Bhandari succeeds, which the tests exercise.
+//
+// Limitation: parallel edges are collapsed to the shortest one (the
+// library's generators produce simple graphs).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace msc::graph {
+
+struct DisjointPaths {
+  /// Always present when t is reachable: the overall shortest path.
+  std::vector<NodeId> first;
+  double firstLength = kInfDist;
+  /// Second edge-disjoint path; empty when none exists.
+  std::vector<NodeId> second;
+  double secondLength = kInfDist;
+
+  bool hasFirst() const noexcept { return !first.empty(); }
+  bool hasTwo() const noexcept { return !second.empty(); }
+  double totalLength() const noexcept {
+    return hasTwo() ? firstLength + secondLength : kInfDist;
+  }
+};
+
+/// Bhandari's algorithm: the edge-disjoint pair with minimum total length
+/// (when two edge-disjoint s-t paths exist; otherwise just the shortest
+/// path). The two returned paths are re-labelled so `first` is the shorter.
+DisjointPaths twoEdgeDisjointPaths(const Graph& g, NodeId s, NodeId t);
+
+/// Removal heuristic: shortest path, delete its edges, search again.
+/// Cheaper but can miss existing disjoint pairs (trap topologies).
+DisjointPaths twoEdgeDisjointPathsRemoval(const Graph& g, NodeId s, NodeId t);
+
+}  // namespace msc::graph

@@ -1,0 +1,38 @@
+#include "graph/graph.h"
+
+#include <cmath>
+
+namespace msc::graph {
+
+void Graph::addEdge(NodeId u, NodeId v, double length) {
+  checkNode(u);
+  checkNode(v);
+  if (u == v) throw std::invalid_argument("Graph::addEdge: self-loop");
+  if (!std::isfinite(length) || length < 0.0) {
+    throw std::invalid_argument(
+        "Graph::addEdge: length must be finite and non-negative");
+  }
+  adj_[static_cast<std::size_t>(u)].push_back({v, length});
+  adj_[static_cast<std::size_t>(v)].push_back({u, length});
+  edges_.push_back({u, v, length});
+}
+
+bool Graph::hasEdge(NodeId u, NodeId v) const {
+  checkNode(u);
+  checkNode(v);
+  // Scan the smaller adjacency list.
+  const NodeId a = degree(u) <= degree(v) ? u : v;
+  const NodeId b = (a == u) ? v : u;
+  for (const Arc& arc : adj_[static_cast<std::size_t>(a)]) {
+    if (arc.to == b) return true;
+  }
+  return false;
+}
+
+double Graph::averageDegree() const noexcept {
+  if (adj_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edges_.size()) /
+         static_cast<double>(adj_.size());
+}
+
+}  // namespace msc::graph

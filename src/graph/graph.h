@@ -1,0 +1,100 @@
+// Undirected weighted graph substrate.
+//
+// This is the communication-network model from §III of the paper: nodes are
+// radios, edges are wireless links, and the edge length is the negative
+// log-reliability -ln(1 - p_fail), so shortest path == most reliable path.
+// The class is a plain adjacency-list graph; shortcut edges (length 0) are
+// NOT stored here — they live in the candidate/placement layer of src/core,
+// which evaluates them against precomputed distances of this base graph.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace msc::graph {
+
+/// Node index type. Graphs in this library are small (hundreds of nodes),
+/// but a distinct alias keeps signatures readable.
+using NodeId = int;
+
+/// Distance value used throughout; unreachable == infinity().
+constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// One directed half of an undirected adjacency entry.
+struct Arc {
+  NodeId to = 0;
+  double length = 0.0;
+};
+
+/// An undirected edge as stored in the edge list (u < v is NOT enforced;
+/// endpoints keep insertion order).
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double length = 0.0;
+};
+
+/// Undirected graph with non-negative edge lengths.
+///
+/// Invariants: every stored length is finite and >= 0; no self-loops.
+/// Parallel edges are permitted (a shortcut may parallel a regular link; in
+/// the base graph they can also arise from generators and are harmless for
+/// shortest paths).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `n` isolated nodes.
+  explicit Graph(int n) : adj_(checkedSize(n)) {}
+
+  int nodeCount() const noexcept { return static_cast<int>(adj_.size()); }
+  std::size_t edgeCount() const noexcept { return edges_.size(); }
+
+  /// Adds an undirected edge. Throws on invalid endpoints, self-loop,
+  /// negative or non-finite length.
+  void addEdge(NodeId u, NodeId v, double length);
+
+  /// Neighbors of `u` (both halves of undirected edges appear).
+  /// Lvalue-only: the span must not outlive the graph, so calling on a
+  /// temporary is rejected at compile time.
+  std::span<const Arc> neighbors(NodeId u) const& {
+    checkNode(u);
+    return adj_[static_cast<std::size_t>(u)];
+  }
+  std::span<const Arc> neighbors(NodeId u) const&& = delete;
+
+  /// All undirected edges in insertion order (lvalue-only, see neighbors).
+  std::span<const Edge> edges() const& noexcept { return edges_; }
+  std::span<const Edge> edges() const&& = delete;
+
+  int degree(NodeId u) const {
+    checkNode(u);
+    return static_cast<int>(adj_[static_cast<std::size_t>(u)].size());
+  }
+
+  /// True if some edge directly connects u and v.
+  bool hasEdge(NodeId u, NodeId v) const;
+
+  /// Average degree 2|E|/n (0 for the empty graph).
+  double averageDegree() const noexcept;
+
+  void checkNode(NodeId u) const {
+    if (u < 0 || u >= nodeCount()) {
+      throw std::out_of_range("Graph: node index out of range");
+    }
+  }
+
+ private:
+  static std::size_t checkedSize(int n) {
+    if (n < 0) throw std::invalid_argument("Graph: negative node count");
+    return static_cast<std::size_t>(n);
+  }
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace msc::graph

@@ -1,0 +1,98 @@
+#include "graph/graph_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace msc::graph {
+
+void writeEdgeList(std::ostream& os, const Graph& g) {
+  os << g.nodeCount() << '\n';
+  os.precision(17);
+  for (const Edge& e : g.edges()) {
+    os << e.u << ' ' << e.v << ' ' << e.length << '\n';
+  }
+}
+
+Graph readEdgeList(std::istream& is) {
+  std::string line;
+  auto nextContentLine = [&](std::string& out) -> bool {
+    while (std::getline(is, line)) {
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      out = line;
+      return true;
+    }
+    return false;
+  };
+
+  std::string header;
+  if (!nextContentLine(header)) {
+    throw std::runtime_error("readEdgeList: missing node-count header");
+  }
+  int n = 0;
+  {
+    std::istringstream hs(header);
+    if (!(hs >> n) || n < 0) {
+      throw std::runtime_error("readEdgeList: malformed node count");
+    }
+  }
+  Graph g(n);
+  std::string edgeLine;
+  while (nextContentLine(edgeLine)) {
+    std::istringstream es(edgeLine);
+    int u = 0;
+    int v = 0;
+    double len = 0.0;
+    if (!(es >> u >> v >> len)) {
+      throw std::runtime_error("readEdgeList: malformed edge line: " + edgeLine);
+    }
+    g.addEdge(u, v, len);
+  }
+  return g;
+}
+
+void writeDot(std::ostream& os, const Graph& g, const DotStyle& style) {
+  os << "graph msc {\n";
+  os << "  node [shape=circle, fontsize=8, width=0.25, fixedsize=true];\n";
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    os << "  " << v;
+    os << " [";
+    bool first = true;
+    auto attr = [&](const std::string& kv) {
+      if (!first) os << ", ";
+      os << kv;
+      first = false;
+    };
+    if (style.positions) {
+      const auto& p = style.positions->at(static_cast<std::size_t>(v));
+      std::ostringstream pos;
+      pos << "pos=\"" << p.first * style.positionScale << ','
+          << p.second * style.positionScale << "!\"";
+      attr(pos.str());
+    }
+    bool isHighlighted = false;
+    for (const NodeId h : style.highlighted) {
+      if (h == v) isHighlighted = true;
+    }
+    if (isHighlighted) {
+      attr("style=filled");
+      attr("fillcolor=gold");
+    }
+    os << "];\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  " << e.u << " -- " << e.v << " [color=grey60];\n";
+  }
+  for (const auto& [u, v] : style.shortcuts) {
+    os << "  " << u << " -- " << v << " [color=red, penwidth=2.5];\n";
+  }
+  for (const auto& [u, v] : style.socialPairs) {
+    os << "  " << u << " -- " << v
+       << " [color=blue, style=dashed, constraint=false];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace msc::graph

@@ -1,0 +1,43 @@
+// Graph serialization: whitespace edge lists and Graphviz DOT export.
+//
+// Edge lists let examples persist/reload generated topologies; the DOT
+// exporter is what bench/fig1_placement uses to render the paper's Fig. 1
+// style placement pictures (base links grey, shortcut edges bold, social
+// pairs dashed).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace msc::graph {
+
+/// Writes "n" on the first line, then one "u v length" line per edge.
+void writeEdgeList(std::ostream& os, const Graph& g);
+
+/// Parses the writeEdgeList format. Lines starting with '#' and blank lines
+/// are skipped. Throws std::runtime_error on malformed input.
+Graph readEdgeList(std::istream& is);
+
+/// Styling inputs for DOT export; all parts optional except the graph.
+struct DotStyle {
+  /// Node positions (unit coordinates); emitted as pinned `pos` attributes
+  /// so `neato -n` reproduces the layout.
+  std::optional<std::vector<std::pair<double, double>>> positions;
+  /// Shortcut edges, drawn bold red.
+  std::vector<std::pair<NodeId, NodeId>> shortcuts;
+  /// Social pairs, drawn as dashed blue constraint edges.
+  std::vector<std::pair<NodeId, NodeId>> socialPairs;
+  /// Nodes to highlight (e.g. the common node of MSC-CN).
+  std::vector<NodeId> highlighted;
+  double positionScale = 10.0;
+};
+
+/// Writes an undirected Graphviz graph with the given styling.
+void writeDot(std::ostream& os, const Graph& g, const DotStyle& style = {});
+
+}  // namespace msc::graph

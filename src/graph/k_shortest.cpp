@@ -1,0 +1,126 @@
+#include "graph/k_shortest.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "graph/dijkstra.h"
+
+namespace msc::graph {
+
+namespace {
+
+using EdgeKey = std::pair<NodeId, NodeId>;
+
+EdgeKey keyOf(NodeId a, NodeId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+// Dijkstra on the collapsed simple graph with some edges and nodes banned.
+WeightedPath shortestAvoiding(const std::map<EdgeKey, double>& edges, int n,
+                              NodeId s, NodeId t,
+                              const std::set<EdgeKey>& bannedEdges,
+                              const std::set<NodeId>& bannedNodes) {
+  Graph g(n);
+  for (const auto& [key, len] : edges) {
+    if (bannedEdges.count(key) != 0) continue;
+    if (bannedNodes.count(key.first) != 0 || bannedNodes.count(key.second) != 0) {
+      continue;
+    }
+    g.addEdge(key.first, key.second, len);
+  }
+  WeightedPath out;
+  const auto tree = dijkstra(g, s);
+  if (const auto path = extractPath(tree, s, t)) {
+    out.nodes = *path;
+    out.length = tree.dist[static_cast<std::size_t>(t)];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<WeightedPath> kShortestPaths(const Graph& g, NodeId s, NodeId t,
+                                         int count) {
+  g.checkNode(s);
+  g.checkNode(t);
+  if (count < 1) throw std::invalid_argument("kShortestPaths: count < 1");
+
+  std::map<EdgeKey, double> edges;
+  for (const Edge& e : g.edges()) {
+    const EdgeKey key = keyOf(e.u, e.v);
+    const auto it = edges.find(key);
+    if (it == edges.end() || e.length < it->second) edges[key] = e.length;
+  }
+  const int n = g.nodeCount();
+
+  std::vector<WeightedPath> accepted;
+  {
+    auto first = shortestAvoiding(edges, n, s, t, {}, {});
+    if (first.nodes.empty()) return accepted;
+    accepted.push_back(std::move(first));
+  }
+  if (s == t) return accepted;  // the trivial path is the only loopless one
+
+  // Candidate pool ordered by (length, nodes) for deterministic output;
+  // the node sequence also deduplicates candidates discovered twice.
+  auto cmp = [](const WeightedPath& a, const WeightedPath& b) {
+    if (a.length != b.length) return a.length < b.length;
+    return a.nodes < b.nodes;
+  };
+  std::set<WeightedPath, decltype(cmp)> candidates(cmp);
+
+  while (static_cast<int>(accepted.size()) < count) {
+    const WeightedPath& previous = accepted.back();
+    // Spur off every prefix of the previous path.
+    for (std::size_t spur = 0; spur + 1 < previous.nodes.size(); ++spur) {
+      const NodeId spurNode = previous.nodes[spur];
+      // Root = previous.nodes[0..spur].
+      std::vector<NodeId> root(previous.nodes.begin(),
+                               previous.nodes.begin() +
+                                   static_cast<long>(spur) + 1);
+      double rootLength = 0.0;
+      for (std::size_t i = 0; i + 1 < root.size(); ++i) {
+        rootLength += edges.at(keyOf(root[i], root[i + 1]));
+      }
+
+      // Ban the next edge of every accepted path sharing this root, and
+      // ban the root's interior nodes to keep paths loopless.
+      std::set<EdgeKey> bannedEdges;
+      for (const WeightedPath& p : accepted) {
+        if (p.nodes.size() > spur + 1 &&
+            std::equal(root.begin(), root.end(), p.nodes.begin())) {
+          bannedEdges.insert(keyOf(p.nodes[spur], p.nodes[spur + 1]));
+        }
+      }
+      std::set<NodeId> bannedNodes(root.begin(), root.end());
+      bannedNodes.erase(spurNode);
+
+      const auto spurPath =
+          shortestAvoiding(edges, n, spurNode, t, bannedEdges, bannedNodes);
+      if (spurPath.nodes.empty()) continue;
+
+      WeightedPath total;
+      total.nodes = root;
+      total.nodes.insert(total.nodes.end(), spurPath.nodes.begin() + 1,
+                         spurPath.nodes.end());
+      total.length = rootLength + spurPath.length;
+      // Skip candidates identical to an accepted path.
+      bool duplicate = false;
+      for (const WeightedPath& p : accepted) {
+        if (p.nodes == total.nodes) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    accepted.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return accepted;
+}
+
+}  // namespace msc::graph

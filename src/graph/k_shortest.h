@@ -1,0 +1,27 @@
+// Yen's algorithm: k loopless shortest paths.
+//
+// Used by the multipath baseline to model "send j redundant copies along
+// the j best (not necessarily disjoint) routes" and by downstream users who
+// want route diversity beyond the disjoint pair of disjoint_paths.h.
+// Standard Yen: the i-th path is found by spurring off every prefix of the
+// (i-1)-th path with the previously-used continuations banned.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace msc::graph {
+
+struct WeightedPath {
+  std::vector<NodeId> nodes;
+  double length = kInfDist;
+};
+
+/// Up to `count` loopless s-t paths in nondecreasing length order (fewer if
+/// the graph has fewer). count must be >= 1. Parallel edges are collapsed
+/// to the shortest one.
+std::vector<WeightedPath> kShortestPaths(const Graph& g, NodeId s, NodeId t,
+                                         int count);
+
+}  // namespace msc::graph

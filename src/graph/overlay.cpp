@@ -1,0 +1,92 @@
+#include "graph/overlay.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/shortcut_distance.h"
+
+namespace msc::graph {
+
+OverlayEvaluator::OverlayEvaluator(const DistanceMatrix& base,
+                                   std::vector<NodeId> terminals)
+    : base_(&base), terminals_(std::move(terminals)) {
+  std::sort(terminals_.begin(), terminals_.end());
+  terminals_.erase(std::unique(terminals_.begin(), terminals_.end()),
+                   terminals_.end());
+  const std::size_t n = base.rows();
+  terminalIndex_.assign(n, -1);
+  for (std::size_t i = 0; i < terminals_.size(); ++i) {
+    const NodeId t = terminals_[i];
+    if (t < 0 || static_cast<std::size_t>(t) >= n) {
+      throw std::out_of_range("OverlayEvaluator: terminal out of range");
+    }
+    terminalIndex_[static_cast<std::size_t>(t)] = static_cast<int>(i);
+  }
+}
+
+std::vector<double> OverlayEvaluator::pairDistances(
+    const std::vector<std::pair<NodeId, NodeId>>& queryPairs,
+    const std::vector<std::pair<NodeId, NodeId>>& shortcuts) const {
+  const std::size_t n = base_->rows();
+
+  // Overlay node list: terminals first, then shortcut endpoints that are not
+  // terminals (deduplicated via a scratch index map).
+  std::vector<NodeId> overlayNodes = terminals_;
+  std::vector<int> slot = terminalIndex_;
+  for (const auto& [a, b] : shortcuts) {
+    for (const NodeId v : {a, b}) {
+      if (v < 0 || static_cast<std::size_t>(v) >= n) {
+        throw std::out_of_range("OverlayEvaluator: shortcut endpoint out of range");
+      }
+      if (slot[static_cast<std::size_t>(v)] < 0) {
+        slot[static_cast<std::size_t>(v)] = static_cast<int>(overlayNodes.size());
+        overlayNodes.push_back(v);
+      }
+    }
+  }
+
+  // Small metric over overlay nodes, then exact 0-edge relaxations.
+  const std::size_t v = overlayNodes.size();
+  DistanceMatrix w(v, v, kInfDist);
+  for (std::size_t i = 0; i < v; ++i) {
+    const auto ni = static_cast<std::size_t>(overlayNodes[i]);
+    for (std::size_t j = 0; j < v; ++j) {
+      w(i, j) = (*base_)(ni, static_cast<std::size_t>(overlayNodes[j]));
+    }
+  }
+  for (const auto& [a, b] : shortcuts) {
+    applyZeroEdge(w, slot[static_cast<std::size_t>(a)],
+                  slot[static_cast<std::size_t>(b)]);
+  }
+
+  std::vector<double> out;
+  out.reserve(queryPairs.size());
+  for (const auto& [x, y] : queryPairs) {
+    const int ix = (x >= 0 && static_cast<std::size_t>(x) < n)
+                       ? terminalIndex_[static_cast<std::size_t>(x)]
+                       : -1;
+    const int iy = (y >= 0 && static_cast<std::size_t>(y) < n)
+                       ? terminalIndex_[static_cast<std::size_t>(y)]
+                       : -1;
+    if (ix < 0 || iy < 0) {
+      throw std::invalid_argument(
+          "OverlayEvaluator: query endpoint was not declared a terminal");
+    }
+    out.push_back(w(static_cast<std::size_t>(ix), static_cast<std::size_t>(iy)));
+  }
+  return out;
+}
+
+int OverlayEvaluator::countWithinThreshold(
+    const std::vector<std::pair<NodeId, NodeId>>& queryPairs,
+    const std::vector<std::pair<NodeId, NodeId>>& shortcuts,
+    double threshold) const {
+  const auto dists = pairDistances(queryPairs, shortcuts);
+  int count = 0;
+  for (const double d : dists) {
+    if (d <= threshold) ++count;
+  }
+  return count;
+}
+
+}  // namespace msc::graph

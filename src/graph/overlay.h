@@ -1,0 +1,51 @@
+// Overlay-graph distance evaluation for arbitrary shortcut sets.
+//
+// Evaluating sigma(F) for an arbitrary placement F (as the evolutionary
+// algorithms do thousands of times) does not need full n-by-n distances:
+// any shortest path in G ∪ F between two social-pair endpoints visits a
+// shortcut endpoint exactly where it crosses a shortcut. So it suffices to
+// work on the small "overlay" metric over
+//     terminals = {social-pair endpoints} ∪ {endpoints of F},
+// whose pairwise weights are base-graph distances, plus the length-0
+// shortcut edges. The overlay has O(m + k) nodes regardless of n.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/apsp.h"
+#include "graph/graph.h"
+
+namespace msc::graph {
+
+/// Precomputes terminal indexing against a base distance matrix; then
+/// answers pair-distance queries under arbitrary shortcut sets.
+///
+/// The base matrix must outlive the evaluator.
+class OverlayEvaluator {
+ public:
+  /// `terminals` are the nodes whose pairwise distances will be queried
+  /// (duplicates are deduplicated). Shortcut endpoints passed to
+  /// pairDistances() need not be listed.
+  OverlayEvaluator(const DistanceMatrix& base, std::vector<NodeId> terminals);
+
+  /// Exact distances in G ∪ shortcuts for each query pair. Query endpoints
+  /// must be terminals given at construction; shortcut endpoints may be any
+  /// node of the base graph.
+  std::vector<double> pairDistances(
+      const std::vector<std::pair<NodeId, NodeId>>& queryPairs,
+      const std::vector<std::pair<NodeId, NodeId>>& shortcuts) const;
+
+  /// Convenience: number of query pairs whose distance is <= threshold.
+  int countWithinThreshold(
+      const std::vector<std::pair<NodeId, NodeId>>& queryPairs,
+      const std::vector<std::pair<NodeId, NodeId>>& shortcuts,
+      double threshold) const;
+
+ private:
+  const DistanceMatrix* base_;
+  std::vector<NodeId> terminals_;        // deduplicated, sorted
+  std::vector<int> terminalIndex_;       // node -> overlay slot or -1
+};
+
+}  // namespace msc::graph

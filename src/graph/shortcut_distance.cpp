@@ -1,0 +1,61 @@
+#include "graph/shortcut_distance.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace msc::graph {
+
+void applyZeroEdge(DistanceMatrix& dist, NodeId a, NodeId b) {
+  const std::size_t n = dist.rows();
+  if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= n ||
+      static_cast<std::size_t>(b) >= n) {
+    throw std::out_of_range("applyZeroEdge: node index out of range");
+  }
+  if (a == b) return;  // a zero self-loop changes nothing
+  const auto ua = static_cast<std::size_t>(a);
+  const auto ub = static_cast<std::size_t>(b);
+  // After the merge both endpoints share the same distance vector:
+  // d(a, x) = d(b, x) = min(old d(a, x), old d(b, x)).
+  for (std::size_t x = 0; x < n; ++x) {
+    const double m = std::min(dist(ua, x), dist(ub, x));
+    dist(ua, x) = m;
+    dist(ub, x) = m;
+    dist(x, ua) = m;
+    dist(x, ub) = m;
+  }
+  const double* da = dist.row(ua);
+  for (std::size_t x = 0; x < n; ++x) {
+    const double dxa = dist(x, ua);
+    if (dxa == kInfDist) continue;
+    double* rowX = dist.row(x);
+    for (std::size_t y = x + 1; y < n; ++y) {
+      const double via = dxa + da[y];
+      if (via < rowX[y]) {
+        rowX[y] = via;
+        dist(y, x) = via;
+      }
+    }
+  }
+}
+
+double distanceWithZeroEdge(const DistanceMatrix& dist, NodeId x, NodeId y,
+                            NodeId a, NodeId b) {
+  const auto ux = static_cast<std::size_t>(x);
+  const auto uy = static_cast<std::size_t>(y);
+  const auto ua = static_cast<std::size_t>(a);
+  const auto ub = static_cast<std::size_t>(b);
+  double d = dist(ux, uy);
+  d = std::min(d, dist(ux, ua) + dist(ub, uy));
+  d = std::min(d, dist(ux, ub) + dist(ua, uy));
+  return d;
+}
+
+DistanceMatrix distancesWithShortcuts(
+    const DistanceMatrix& base,
+    const std::vector<std::pair<NodeId, NodeId>>& shortcuts) {
+  DistanceMatrix dist = base;
+  for (const auto& [a, b] : shortcuts) applyZeroEdge(dist, a, b);
+  return dist;
+}
+
+}  // namespace msc::graph

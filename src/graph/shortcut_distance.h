@@ -1,0 +1,34 @@
+// Exact distance updates under length-0 shortcut edges.
+//
+// Adding a single length-0 edge (a, b) to a graph changes every shortest
+// distance by the closed form
+//     d'(x, y) = min(d(x, y), d(x, a) + d(b, y), d(x, b) + d(a, y)),
+// because a shortest path uses the new edge at most once (its length is 0
+// and lengths are non-negative, so crossing it twice is never shorter than
+// a path crossing it once). Applying this relaxation per edge of a shortcut
+// set F, in any order, yields exact distances for G ∪ F — this is the hot
+// path of the sigma evaluator.
+#pragma once
+
+#include "graph/apsp.h"
+#include "graph/graph.h"
+
+namespace msc::graph {
+
+/// In-place exact relaxation of `dist` for one new length-0 edge (a, b).
+/// O(n^2). `dist` must be a valid (symmetric, triangle-inequality-consistent)
+/// distance matrix; the result is again one.
+void applyZeroEdge(DistanceMatrix& dist, NodeId a, NodeId b);
+
+/// Distance between x and y if the single length-0 edge (a, b) were added to
+/// the metric in `dist` (does not modify `dist`). O(1).
+double distanceWithZeroEdge(const DistanceMatrix& dist, NodeId x, NodeId y,
+                            NodeId a, NodeId b);
+
+/// Builds the exact distance matrix of G ∪ F from the base matrix by
+/// applying every shortcut in sequence. O(|F| * n^2).
+DistanceMatrix distancesWithShortcuts(
+    const DistanceMatrix& base,
+    const std::vector<std::pair<NodeId, NodeId>>& shortcuts);
+
+}  // namespace msc::graph

@@ -1,0 +1,108 @@
+#include "sim/delivery.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "graph/dijkstra.h"
+#include "sim/link_state.h"
+
+namespace msc::sim {
+
+namespace {
+
+using msc::core::Shortcut;
+
+// Maps a normalized node pair to the index of the minimum-length base edge
+// connecting it (the edge pathLength/routing semantics pick).
+std::map<std::pair<int, int>, std::size_t> bestEdgeIndex(
+    const msc::graph::Graph& g) {
+  std::map<std::pair<int, int>, std::size_t> best;
+  const auto edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto key = std::minmax(edges[i].u, edges[i].v);
+    const auto it = best.find(key);
+    if (it == best.end() || edges[i].length < edges[it->second].length) {
+      best[key] = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<DeliveryEstimate> estimateDelivery(
+    const msc::core::Instance& instance,
+    const msc::core::ShortcutList& placement,
+    const MonteCarloConfig& config) {
+  if (config.trials < 1) {
+    throw std::invalid_argument("estimateDelivery: trials must be >= 1");
+  }
+  const auto routes = msc::core::routeAllPairs(instance, placement);
+  const auto& g = instance.graph();
+  const auto edgeOf = bestEdgeIndex(g);
+
+  // Per route: the base-edge indices it depends on (shortcut hops excluded,
+  // they always survive).
+  std::vector<std::vector<std::size_t>> routeEdges(routes.size());
+  for (std::size_t r = 0; r < routes.size(); ++r) {
+    const auto& path = routes[r].path;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const Shortcut hop = Shortcut::make(path[i], path[i + 1]);
+      if (msc::core::contains(placement, hop)) continue;  // reliable link
+      const auto it = edgeOf.find({hop.a, hop.b});
+      if (it == edgeOf.end()) {
+        throw std::logic_error("estimateDelivery: route hop without edge");
+      }
+      routeEdges[r].push_back(it->second);
+    }
+  }
+
+  std::vector<int> fixedOk(routes.size(), 0);
+  std::vector<int> opportunisticOk(routes.size(), 0);
+  msc::util::Rng rng(config.seed);
+  const double dt = instance.distanceThreshold();
+
+  for (int trial = 0; trial < config.trials; ++trial) {
+    const LinkRealization real = sampleRealization(g, rng);
+
+    for (std::size_t r = 0; r < routes.size(); ++r) {
+      if (routes[r].path.empty()) continue;  // unreachable: never delivers
+      bool alive = true;
+      for (const std::size_t e : routeEdges[r]) {
+        if (!real.up[e]) {
+          alive = false;
+          break;
+        }
+      }
+      if (alive) ++fixedOk[r];
+    }
+
+    const msc::graph::Graph surviving = survivingGraph(g, real, placement);
+    for (std::size_t r = 0; r < routes.size(); ++r) {
+      const auto tree =
+          msc::graph::dijkstraBounded(surviving, routes[r].pair.u, dt);
+      if (tree.dist[static_cast<std::size_t>(routes[r].pair.w)] <= dt) {
+        ++opportunisticOk[r];
+      }
+    }
+  }
+
+  std::vector<DeliveryEstimate> out;
+  out.reserve(routes.size());
+  for (std::size_t r = 0; r < routes.size(); ++r) {
+    DeliveryEstimate est;
+    est.pair = routes[r].pair;
+    est.analyticFixedPath =
+        routes[r].path.empty() ? 0.0 : std::exp(-routes[r].length);
+    est.simulatedFixedPath =
+        static_cast<double>(fixedOk[r]) / config.trials;
+    est.simulatedOpportunistic =
+        static_cast<double>(opportunisticOk[r]) / config.trials;
+    est.trials = config.trials;
+    out.push_back(est);
+  }
+  return out;
+}
+
+}  // namespace msc::sim

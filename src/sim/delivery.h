@@ -1,0 +1,47 @@
+// Monte-Carlo delivery estimation under sampled link states.
+//
+// Two delivery policies bracket practice:
+//   * FIXED PATH — the source forwards along one pre-installed route (what
+//     the optimizer's objective models): delivery succeeds iff every edge
+//     of that route survives. Its success probability has the closed form
+//     e^-length, which the simulator must reproduce (tests enforce this).
+//   * OPPORTUNISTIC — the network finds any surviving route meeting the
+//     length requirement at send time (an upper bound on practical
+//     routing): delivery succeeds iff the surviving subgraph contains a
+//     path of length <= d_t.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/routing.h"
+#include "core/types.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace msc::sim {
+
+struct DeliveryEstimate {
+  msc::core::SocialPair pair;
+  /// Analytic success of the installed route (e^-length; 0 if none).
+  double analyticFixedPath = 0.0;
+  /// Monte-Carlo success rate of the installed route.
+  double simulatedFixedPath = 0.0;
+  /// Monte-Carlo success rate of opportunistic delivery within d_t.
+  double simulatedOpportunistic = 0.0;
+  int trials = 0;
+};
+
+struct MonteCarloConfig {
+  int trials = 2000;
+  std::uint64_t seed = 1;
+};
+
+/// Runs `trials` sampled realizations of the base graph (shortcuts always
+/// survive) and measures per-pair delivery under both policies, using the
+/// routes the placement induces.
+std::vector<DeliveryEstimate> estimateDelivery(
+    const msc::core::Instance& instance,
+    const msc::core::ShortcutList& placement, const MonteCarloConfig& config);
+
+}  // namespace msc::sim

@@ -1,0 +1,34 @@
+#include "sim/link_state.h"
+
+#include <cmath>
+
+namespace msc::sim {
+
+LinkRealization sampleRealization(const msc::graph::Graph& g,
+                                  msc::util::Rng& rng) {
+  LinkRealization real;
+  real.up.reserve(g.edgeCount());
+  for (const msc::graph::Edge& e : g.edges()) {
+    const double pUp = std::exp(-e.length);  // 1 - failure probability
+    real.up.push_back(rng.chance(pUp) ? 1 : 0);
+  }
+  return real;
+}
+
+msc::graph::Graph survivingGraph(const msc::graph::Graph& g,
+                                 const LinkRealization& realization,
+                                 const msc::core::ShortcutList& shortcuts) {
+  if (realization.up.size() != g.edgeCount()) {
+    throw std::invalid_argument(
+        "survivingGraph: realization does not match graph edge count");
+  }
+  msc::graph::Graph out(g.nodeCount());
+  const auto edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (realization.up[i]) out.addEdge(edges[i].u, edges[i].v, edges[i].length);
+  }
+  for (const msc::core::Shortcut& f : shortcuts) out.addEdge(f.a, f.b, 0.0);
+  return out;
+}
+
+}  // namespace msc::sim

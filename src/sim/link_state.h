@@ -1,0 +1,38 @@
+// Stochastic link-state sampling.
+//
+// The optimizer works with the analytic model of §III (independent link
+// failures, path failure 1 - prod(1 - p)). The simulator closes the loop:
+// it samples concrete link up/down states from those probabilities and
+// measures what actually gets delivered, validating that placements chosen
+// by the optimizer meet their reliability targets in expectation.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "wireless/link_model.h"
+
+namespace msc::sim {
+
+/// One sampled network realization: which base-graph edges survived.
+/// Shortcut edges are perfectly reliable and always survive, so they are
+/// carried separately.
+struct LinkRealization {
+  /// up[i] corresponds to graph.edges()[i].
+  std::vector<std::uint8_t> up;
+};
+
+/// Samples each edge independently: edge e (length l) is up with
+/// probability e^-l = 1 - failure(e).
+LinkRealization sampleRealization(const msc::graph::Graph& g,
+                                  msc::util::Rng& rng);
+
+/// Builds the surviving subgraph of a realization plus the (always-up)
+/// shortcut edges, with the original edge lengths.
+msc::graph::Graph survivingGraph(const msc::graph::Graph& g,
+                                 const LinkRealization& realization,
+                                 const msc::core::ShortcutList& shortcuts);
+
+}  // namespace msc::sim

@@ -1,0 +1,94 @@
+#include "util/args.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace msc::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("Args: bare '--' is not a flag");
+    }
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--flag value" unless the next token is another flag / absent, in
+    // which case it is a boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& flag) const {
+  return flags_.count(flag) != 0;
+}
+
+std::string Args::getString(const std::string& flag,
+                            const std::string& fallback) const {
+  const auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::string Args::requireString(const std::string& flag) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("missing required flag --" + flag);
+  }
+  return it->second;
+}
+
+long long Args::getInt(const std::string& flag, long long fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  std::size_t used = 0;
+  const long long v = std::stoll(it->second, &used);
+  if (used != it->second.size()) {
+    throw std::invalid_argument("flag --" + flag + " expects an integer");
+  }
+  return v;
+}
+
+double Args::getDouble(const std::string& flag, double fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  std::size_t used = 0;
+  const double v = std::stod(it->second, &used);
+  if (used != it->second.size()) {
+    throw std::invalid_argument("flag --" + flag + " expects a number");
+  }
+  return v;
+}
+
+bool Args::getBool(const std::string& flag, bool fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + flag + " expects a boolean");
+}
+
+void Args::allowedFlags(const std::vector<std::string>& allowed) const {
+  for (const auto& [flag, value] : flags_) {
+    if (std::find(allowed.begin(), allowed.end(), flag) == allowed.end()) {
+      throw std::invalid_argument("unknown flag --" + flag);
+    }
+  }
+}
+
+}  // namespace msc::util

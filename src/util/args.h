@@ -1,0 +1,46 @@
+// Minimal command-line flag parser for the msc_cli tool and examples.
+//
+// Supports "--name value" and "--name=value" long flags plus positional
+// arguments. Typed getters validate on access; unknown-flag detection is
+// the caller's choice via allowedFlags().
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace msc::util {
+
+class Args {
+ public:
+  /// Parses argv (excluding argv[0]). Throws std::invalid_argument on a
+  /// flag with no value ("--x" at end of line is treated as boolean true).
+  Args(int argc, const char* const* argv);
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  bool has(const std::string& flag) const;
+
+  /// String value; `fallback` when absent.
+  std::string getString(const std::string& flag,
+                        const std::string& fallback) const;
+  /// Required string; throws when absent.
+  std::string requireString(const std::string& flag) const;
+
+  long long getInt(const std::string& flag, long long fallback) const;
+  double getDouble(const std::string& flag, double fallback) const;
+  bool getBool(const std::string& flag, bool fallback) const;
+
+  /// Throws std::invalid_argument naming the first flag not in `allowed`.
+  void allowedFlags(const std::vector<std::string>& allowed) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace msc::util

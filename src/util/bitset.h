@@ -1,0 +1,133 @@
+// Compact dynamic bitset used by the coverage-style objective evaluators.
+//
+// The lower-bound function mu of the MSC problem reduces to max-coverage over
+// per-candidate "satisfied pair" sets; representing those sets as packed bit
+// vectors makes union/count operations a handful of word instructions per 64
+// pairs, which is what keeps the sandwich algorithm's greedy loops cheap.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace msc::util {
+
+/// Fixed-size-at-construction bitset with the operations the coverage
+/// evaluators need: set/test, union-in-place, popcount, and "how many bits
+/// would a union add" without materializing it.
+class Bitset {
+ public:
+  Bitset() = default;
+
+  explicit Bitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) {
+    checkIndex(i);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void reset(std::size_t i) {
+    checkIndex(i);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  bool test(std::size_t i) const {
+    checkIndex(i);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  bool any() const noexcept {
+    for (auto w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// this |= other. Sizes must match.
+  Bitset& operator|=(const Bitset& other) {
+    checkCompatible(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  /// this &= other. Sizes must match.
+  Bitset& operator&=(const Bitset& other) {
+    checkCompatible(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  /// Number of bits in `other` not already set in *this, i.e.
+  /// |other \ this| — the marginal coverage gain of adding `other`.
+  std::size_t gainIfUnion(const Bitset& other) const {
+    checkCompatible(other);
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      c += static_cast<std::size_t>(std::popcount(other.words_[i] & ~words_[i]));
+    }
+    return c;
+  }
+
+  /// Popcount of the intersection.
+  std::size_t intersectCount(const Bitset& other) const {
+    checkCompatible(other);
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      c += static_cast<std::size_t>(std::popcount(other.words_[i] & words_[i]));
+    }
+    return c;
+  }
+
+  bool operator==(const Bitset& other) const noexcept {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+
+  /// Raw word access for callers that fold over set bits (e.g. weighted
+  /// coverage gains).
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+  /// Calls fn(bitIndex) for every bit set in `other` but not in *this.
+  template <typename Fn>
+  void forEachMissingFrom(const Bitset& other, Fn&& fn) const {
+    checkCompatible(other);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t fresh = other.words_[w] & ~words_[w];
+      while (fresh != 0) {
+        const int bit = std::countr_zero(fresh);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        fresh &= fresh - 1;
+      }
+    }
+  }
+
+ private:
+  void checkIndex(std::size_t i) const {
+    if (i >= bits_) throw std::out_of_range("Bitset: index out of range");
+  }
+  void checkCompatible(const Bitset& other) const {
+    if (bits_ != other.bits_) {
+      throw std::invalid_argument("Bitset: size mismatch");
+    }
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace msc::util

@@ -1,0 +1,64 @@
+#include "util/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace msc::util {
+
+namespace {
+
+const char* rawEnv(const char* name) { return std::getenv(name); }
+
+}  // namespace
+
+std::int64_t envInt(const char* name, std::int64_t fallback) {
+  const char* raw = rawEnv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+double envDouble(const char* name, double fallback) {
+  const char* raw = rawEnv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  return v;
+}
+
+bool envBool(const char* name, bool fallback) {
+  const char* raw = rawEnv(name);
+  if (raw == nullptr) return fallback;
+  std::string v(raw);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+double benchScale() {
+  if (envBool("MSC_FAST", false)) return 0.2;
+  const double scale = envDouble("MSC_BENCH_SCALE", 1.0);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+int scaledIters(int value) {
+  const double scaled = std::round(static_cast<double>(value) * benchScale());
+  return std::max(1, static_cast<int>(scaled));
+}
+
+std::string benchScaleBanner() {
+  std::ostringstream os;
+  os << "bench scale = " << benchScale()
+     << " (override via MSC_BENCH_SCALE=<x> or MSC_FAST=1)";
+  return os.str();
+}
+
+}  // namespace msc::util

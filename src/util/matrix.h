@@ -1,0 +1,63 @@
+// Flat row-major matrix used for all-pairs distance tables.
+//
+// The sigma evaluator keeps an n-by-n distance matrix under the current
+// shortcut placement and applies exact O(n^2) single-0-edge relaxations to
+// it; a contiguous buffer (rather than vector-of-vectors) is what makes
+// those sweeps cache-friendly on the evaluation hot path.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace msc::util {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access for non-hot-path callers.
+  T& at(std::size_t r, std::size_t c) {
+    checkIndex(r, c);
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    checkIndex(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw pointer to row r (cols() contiguous elements).
+  T* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  const T* row(std::size_t r) const noexcept { return data_.data() + r * cols_; }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  void checkIndex(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) {
+      throw std::out_of_range("Matrix: index out of range");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace msc::util

@@ -1,0 +1,29 @@
+#include "util/rng.h"
+
+#include <unordered_set>
+
+namespace msc::util {
+
+std::vector<std::size_t> Rng::sampleWithoutReplacement(std::size_t universe,
+                                                       std::size_t count) {
+  if (count > universe) {
+    throw std::invalid_argument(
+        "Rng::sampleWithoutReplacement: count exceeds universe");
+  }
+  // Robert Floyd's algorithm: O(count) draws, no O(universe) allocation.
+  std::unordered_set<std::size_t> chosen;
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t j = universe - count; j < universe; ++j) {
+    const std::size_t t = below(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace msc::util

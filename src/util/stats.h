@@ -1,0 +1,47 @@
+// Streaming summary statistics for multi-seed experiment trials.
+//
+// Benches report mean / stddev / 95% confidence half-width over repeated
+// seeded runs; Welford's online algorithm keeps that numerically stable
+// without storing the samples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace msc::util {
+
+/// Welford accumulator: push samples, read mean / variance / CI.
+class RunningStats {
+ public:
+  void push(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  /// Half-width of the normal-approximation 95% confidence interval for the
+  /// mean (z = 1.96). Returns 0 for fewer than two samples.
+  double ci95HalfWidth() const noexcept;
+
+  /// "mean ± ci" rendered with the given precision.
+  std::string summary(int precision = 2) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation between order
+/// statistics, p in [0, 100]). Copies and sorts; for reporting only.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace msc::util

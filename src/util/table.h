@@ -1,0 +1,43 @@
+// Aligned-text and CSV table rendering for bench/experiment output.
+//
+// Every bench binary prints the same rows the paper's tables/figures report;
+// TableWriter keeps that output readable on a terminal and optionally mirrors
+// it to CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace msc::util {
+
+/// Collects rows of string cells and prints them with per-column alignment.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+
+  /// Renders an aligned text table (header, rule, rows).
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, quotes doubled).
+  void printCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (the tables in the paper use 4
+/// decimal digits for ratios, benches default to that).
+std::string formatFixed(double value, int precision = 4);
+
+/// Formats "value ± halfWidth" with fixed precision.
+std::string formatPlusMinus(double value, double halfWidth, int precision = 2);
+
+}  // namespace msc::util

@@ -1,0 +1,53 @@
+#include "wireless/link_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace msc::wireless {
+
+double failureToLength(double p) {
+  if (!(p >= 0.0) || p >= 1.0) {
+    throw std::invalid_argument("failureToLength: p must be in [0, 1)");
+  }
+  // log1p for accuracy at small p: -ln(1-p) = -log1p(-p).
+  return -std::log1p(-p);
+}
+
+double lengthToFailure(double length) {
+  if (std::isnan(length) || length < 0.0) {
+    throw std::invalid_argument("lengthToFailure: length must be >= 0");
+  }
+  if (std::isinf(length)) return 1.0;
+  // 1 - e^-l, computed as -expm1(-l) for accuracy at small l.
+  return -std::expm1(-length);
+}
+
+double failureThresholdToDistance(double pt) { return failureToLength(pt); }
+
+DistanceProportionalFailure::DistanceProportionalFailure(double slope,
+                                                         double pMax)
+    : slope_(slope), pMax_(pMax) {
+  if (!(slope >= 0.0) || !std::isfinite(slope)) {
+    throw std::invalid_argument(
+        "DistanceProportionalFailure: slope must be finite and >= 0");
+  }
+  if (!(pMax >= 0.0) || pMax >= 1.0) {
+    throw std::invalid_argument(
+        "DistanceProportionalFailure: pMax must be in [0, 1)");
+  }
+}
+
+double DistanceProportionalFailure::failureAt(double geoDistance) const {
+  if (std::isnan(geoDistance) || geoDistance < 0.0) {
+    throw std::invalid_argument(
+        "DistanceProportionalFailure: distance must be >= 0");
+  }
+  return std::min(slope_ * geoDistance, pMax_);
+}
+
+double DistanceProportionalFailure::lengthAt(double geoDistance) const {
+  return failureToLength(failureAt(geoDistance));
+}
+
+}  // namespace msc::wireless

@@ -1,0 +1,52 @@
+// Wireless link reliability model (paper §III-A, §VII-A3).
+//
+// Every link has a failure probability p in [0, 1); the length transform
+//     l = -ln(1 - p)
+// makes path failure multiplicative-to-additive, so "most reliable path"
+// becomes "shortest path" and the reliability requirement p_path <= p_t
+// becomes the distance requirement dist <= d_t = -ln(1 - p_t).
+//
+// For the experiments, link failure is proportional to geographic distance
+// (§VII-A3): p = clamp(slope * geoDistance, 0, pMax).
+#pragma once
+
+#include <stdexcept>
+
+namespace msc::wireless {
+
+/// Length of a link with failure probability p. Requires p in [0, 1);
+/// p == 1 would be an infinitely long (useless) link, callers should drop
+/// such links instead.
+double failureToLength(double p);
+
+/// Inverse transform: failure probability of a (sub)path of given length.
+/// Requires length >= 0; +infinity maps to failure probability 1.
+double lengthToFailure(double length);
+
+/// Distance threshold d_t corresponding to a path-failure threshold p_t.
+/// Identical math to failureToLength, named for call-site clarity.
+double failureThresholdToDistance(double pt);
+
+/// Distance-proportional link failure model.
+///
+/// failureAt(d) = min(slope * d, pMax). pMax < 1 keeps every generated link
+/// usable (finite length).
+class DistanceProportionalFailure {
+ public:
+  /// slope in probability-per-distance-unit; pMax in [0, 1).
+  DistanceProportionalFailure(double slope, double pMax);
+
+  double failureAt(double geoDistance) const;
+
+  /// Link length -ln(1 - failureAt(d)) — what generators store on edges.
+  double lengthAt(double geoDistance) const;
+
+  double slope() const noexcept { return slope_; }
+  double pMax() const noexcept { return pMax_; }
+
+ private:
+  double slope_;
+  double pMax_;
+};
+
+}  // namespace msc::wireless

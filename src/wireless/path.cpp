@@ -1,0 +1,48 @@
+#include "wireless/path.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "wireless/link_model.h"
+
+namespace msc::wireless {
+
+double pathFailureFromEdgeFailures(const std::vector<double>& edgeFailures) {
+  double success = 1.0;
+  for (const double p : edgeFailures) {
+    if (!(p >= 0.0) || p > 1.0) {
+      throw std::invalid_argument(
+          "pathFailureFromEdgeFailures: probability outside [0, 1]");
+    }
+    success *= 1.0 - p;
+  }
+  return 1.0 - success;
+}
+
+double pathLength(const msc::graph::Graph& g,
+                  const std::vector<msc::graph::NodeId>& path) {
+  if (path.empty()) {
+    throw std::invalid_argument("pathLength: empty node sequence");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto u = path[i];
+    const auto v = path[i + 1];
+    double best = msc::graph::kInfDist;
+    for (const auto& arc : g.neighbors(u)) {
+      if (arc.to == v) best = std::min(best, arc.length);
+    }
+    if (best == msc::graph::kInfDist) {
+      throw std::invalid_argument("pathLength: missing edge on claimed path");
+    }
+    total += best;
+  }
+  return total;
+}
+
+double pathFailure(const msc::graph::Graph& g,
+                   const std::vector<msc::graph::NodeId>& path) {
+  return lengthToFailure(pathLength(g, path));
+}
+
+}  // namespace msc::wireless

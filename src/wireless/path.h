@@ -1,0 +1,29 @@
+// Path reliability computations (paper Eq. (1)/(2)).
+//
+// These helpers exist so tests and examples can express results in the
+// paper's native units (failure probabilities) while the optimizer works in
+// lengths; they also validate that a claimed path actually exists in a
+// graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace msc::wireless {
+
+/// Failure probability of a path given its edge failure probabilities:
+/// 1 - prod(1 - p_i). Each p_i must be in [0, 1].
+double pathFailureFromEdgeFailures(const std::vector<double>& edgeFailures);
+
+/// Total length of the node sequence `path` in `g`, using the shortest
+/// parallel edge at each hop. Throws if a hop has no edge.
+double pathLength(const msc::graph::Graph& g,
+                  const std::vector<msc::graph::NodeId>& path);
+
+/// Failure probability of the node sequence `path` in `g`
+/// (= lengthToFailure(pathLength)).
+double pathFailure(const msc::graph::Graph& g,
+                   const std::vector<msc::graph::NodeId>& path);
+
+}  // namespace msc::wireless

@@ -1,0 +1,41 @@
+#!/bin/sh
+# End-to-end smoke test of the msc_cli tool: generate a topology, sample
+# pairs, solve with two algorithms, evaluate and route the returned
+# placement. Exercises the full file-format round trip a user would.
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" gen --type rg --nodes 60 --radius 0.25 --seed 3 --out "$WORK/g.txt"
+grep -q "^60$" "$WORK/g.txt" || { echo "FAIL: node header"; exit 1; }
+
+"$CLI" pairs --graph "$WORK/g.txt" --pt 0.14 --m 8 --seed 2 \
+       --out "$WORK/p.txt"
+PAIRS=$(grep -vc '^#' "$WORK/p.txt")
+[ "$PAIRS" -eq 8 ] || { echo "FAIL: pair count $PAIRS"; exit 1; }
+
+OUT=$("$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
+        --pt 0.14 --k 3 --algo aa)
+echo "$OUT" | grep -q "maintained:" || { echo "FAIL: solve aa"; exit 1; }
+PLACEMENT=$(echo "$OUT" | sed -n 's/^placement: //p')
+[ -n "$PLACEMENT" ] || { echo "FAIL: no placement"; exit 1; }
+
+"$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
+       --pt 0.14 --k 3 --algo aea --iters 50 | grep -q "maintained:" \
+  || { echo "FAIL: solve aea"; exit 1; }
+
+"$CLI" eval --graph "$WORK/g.txt" --pairs "$WORK/p.txt" --pt 0.14 \
+       --placement "$PLACEMENT" | grep -q "sigma = " \
+  || { echo "FAIL: eval"; exit 1; }
+
+"$CLI" route --graph "$WORK/g.txt" --pairs "$WORK/p.txt" --pt 0.14 \
+       --placement "$PLACEMENT" | grep -q "p_fail" \
+  || { echo "FAIL: route"; exit 1; }
+
+# Error handling: unknown command and missing flag exit non-zero.
+if "$CLI" frobnicate 2>/dev/null; then echo "FAIL: bad cmd"; exit 1; fi
+if "$CLI" solve --pt 0.14 2>/dev/null; then echo "FAIL: bad flags"; exit 1; fi
+
+echo "cli smoke OK"

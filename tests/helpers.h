@@ -1,0 +1,74 @@
+// Shared fixtures/builders for the test suite.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+#include "gen/erdos_renyi.h"
+#include "graph/apsp.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace msc::test {
+
+/// Path graph 0 - 1 - ... - (n-1) with unit edge lengths.
+inline msc::graph::Graph lineGraph(int n, double edgeLength = 1.0) {
+  msc::graph::Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.addEdge(i, i + 1, edgeLength);
+  return g;
+}
+
+/// Cycle graph with unit edge lengths.
+inline msc::graph::Graph cycleGraph(int n, double edgeLength = 1.0) {
+  msc::graph::Graph g = lineGraph(n, edgeLength);
+  if (n >= 3) g.addEdge(n - 1, 0, edgeLength);
+  return g;
+}
+
+/// Random sparse graph for property tests (may be disconnected).
+inline msc::graph::Graph randomGraph(int n, double p, std::uint64_t seed) {
+  msc::gen::ErdosRenyiConfig cfg;
+  cfg.nodes = n;
+  cfg.edgeProbability = p;
+  cfg.lengthMin = 0.1;
+  cfg.lengthMax = 1.0;
+  cfg.seed = seed;
+  return msc::gen::erdosRenyi(cfg);
+}
+
+/// Random MSC instance: ER graph + pairs sampled among currently
+/// unsatisfied node pairs (falls back to any distinct pairs when none are
+/// eligible, so tiny graphs still produce an instance).
+inline msc::core::Instance randomInstance(int n, int m, double dt,
+                                          std::uint64_t seed) {
+  msc::graph::Graph g = randomGraph(n, 3.0 / n, seed);
+  const auto dist = msc::graph::allPairsDistances(g);
+  msc::util::Rng rng(seed ^ 0xabcdULL);
+  std::vector<msc::core::SocialPair> pairs;
+  try {
+    pairs = msc::core::sampleImportantPairs(g, dist, m, dt, rng);
+  } catch (const std::runtime_error&) {
+    for (int i = 0; i < m && 2 * i + 1 < n; ++i) {
+      pairs.push_back({2 * i, 2 * i + 1});
+    }
+  }
+  return msc::core::Instance(std::move(g), std::move(pairs), dt);
+}
+
+/// Random shortcut set of the given size over nodes [0, n).
+inline msc::core::ShortcutList randomPlacement(int n, int size,
+                                               msc::util::Rng& rng) {
+  msc::core::ShortcutList out;
+  while (static_cast<int>(out.size()) < size) {
+    const auto a = static_cast<msc::graph::NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto b = static_cast<msc::graph::NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (a == b) continue;
+    const auto f = msc::core::Shortcut::make(a, b);
+    if (!msc::core::contains(out, f)) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace msc::test

@@ -1,0 +1,84 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using msc::util::Args;
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv(tokens);
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  const auto args = parse({"--nodes", "100", "--radius", "0.15"});
+  EXPECT_EQ(args.getInt("nodes", 0), 100);
+  EXPECT_DOUBLE_EQ(args.getDouble("radius", 0.0), 0.15);
+}
+
+TEST(Args, EqualsSeparatedValues) {
+  const auto args = parse({"--type=rg", "--seed=42"});
+  EXPECT_EQ(args.getString("type", ""), "rg");
+  EXPECT_EQ(args.getInt("seed", 0), 42);
+}
+
+TEST(Args, BooleanFlags) {
+  const auto args = parse({"--verbose", "--count", "3"});
+  EXPECT_TRUE(args.getBool("verbose", false));
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("quiet"));
+  EXPECT_FALSE(args.getBool("quiet", false));
+  EXPECT_EQ(args.getInt("count", 0), 3);
+}
+
+TEST(Args, TrailingFlagIsBoolean) {
+  const auto args = parse({"--a", "1", "--b"});
+  EXPECT_TRUE(args.getBool("b", false));
+}
+
+TEST(Args, Positional) {
+  const auto args = parse({"solve", "--k", "5", "extra"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"solve", "extra"}));
+}
+
+TEST(Args, Fallbacks) {
+  const auto args = parse({});
+  EXPECT_EQ(args.getString("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.getInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
+  EXPECT_TRUE(args.getBool("missing", true));
+}
+
+TEST(Args, RequireThrowsWhenMissing) {
+  const auto args = parse({"--present", "x"});
+  EXPECT_EQ(args.requireString("present"), "x");
+  EXPECT_THROW(args.requireString("absent"), std::invalid_argument);
+}
+
+TEST(Args, TypeValidation) {
+  const auto args = parse({"--n", "12abc", "--d", "1.5x", "--b", "maybe"});
+  EXPECT_THROW(args.getInt("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.getDouble("d", 0.0), std::invalid_argument);
+  EXPECT_THROW(args.getBool("b", false), std::invalid_argument);
+}
+
+TEST(Args, BareDoubleDashRejected) {
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+TEST(Args, AllowedFlagsDetectsUnknown) {
+  const auto args = parse({"--known", "1", "--oops", "2"});
+  EXPECT_THROW(args.allowedFlags({"known"}), std::invalid_argument);
+  EXPECT_NO_THROW(args.allowedFlags({"known", "oops"}));
+}
+
+TEST(Args, BoolSpellings) {
+  const auto args = parse({"--a", "YES", "--b", "off", "--c", "1"});
+  EXPECT_TRUE(args.getBool("a", false));
+  EXPECT_FALSE(args.getBool("b", true));
+  EXPECT_TRUE(args.getBool("c", false));
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using msc::util::Bitset;
+
+TEST(Bitset, StartsEmpty) {
+  Bitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.any());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(Bitset, SetAndTest) {
+  Bitset b(70);  // crosses a word boundary
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.any());
+}
+
+TEST(Bitset, Reset) {
+  Bitset b(10);
+  b.set(3);
+  b.reset(3);
+  EXPECT_FALSE(b.test(3));
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitset, Clear) {
+  Bitset b(128);
+  for (std::size_t i = 0; i < 128; i += 3) b.set(i);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitset, OutOfRangeThrows) {
+  Bitset b(10);
+  EXPECT_THROW(b.set(10), std::out_of_range);
+  EXPECT_THROW(b.test(10), std::out_of_range);
+  EXPECT_THROW(b.reset(99), std::out_of_range);
+}
+
+TEST(Bitset, UnionInPlace) {
+  Bitset a(130);
+  Bitset b(130);
+  a.set(0);
+  a.set(100);
+  b.set(100);
+  b.set(129);
+  a |= b;
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_TRUE(a.test(0));
+  EXPECT_TRUE(a.test(100));
+  EXPECT_TRUE(a.test(129));
+}
+
+TEST(Bitset, IntersectInPlace) {
+  Bitset a(64);
+  Bitset b(64);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  a &= b;
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_TRUE(a.test(2));
+}
+
+TEST(Bitset, SizeMismatchThrows) {
+  Bitset a(10);
+  Bitset b(11);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a.gainIfUnion(b), std::invalid_argument);
+}
+
+TEST(Bitset, GainIfUnion) {
+  Bitset covered(200);
+  Bitset cand(200);
+  covered.set(5);
+  covered.set(150);
+  cand.set(5);    // already covered: no gain
+  cand.set(6);    // new
+  cand.set(199);  // new
+  EXPECT_EQ(covered.gainIfUnion(cand), 2u);
+  // gain is union minus current count
+  Bitset merged = covered;
+  merged |= cand;
+  EXPECT_EQ(merged.count(), covered.count() + covered.gainIfUnion(cand));
+}
+
+TEST(Bitset, IntersectCount) {
+  Bitset a(90);
+  Bitset b(90);
+  a.set(10);
+  a.set(70);
+  a.set(80);
+  b.set(70);
+  b.set(80);
+  b.set(89);
+  EXPECT_EQ(a.intersectCount(b), 2u);
+}
+
+TEST(Bitset, ForEachMissingFrom) {
+  Bitset have(150);
+  Bitset want(150);
+  have.set(3);
+  want.set(3);
+  want.set(64);
+  want.set(149);
+  std::vector<std::size_t> fresh;
+  have.forEachMissingFrom(want, [&](std::size_t i) { fresh.push_back(i); });
+  EXPECT_EQ(fresh, (std::vector<std::size_t>{64, 149}));
+}
+
+TEST(Bitset, Equality) {
+  Bitset a(40);
+  Bitset b(40);
+  EXPECT_EQ(a, b);
+  a.set(39);
+  EXPECT_FALSE(a == b);
+  b.set(39);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sigma.h"
+#include "helpers.h"
+#include "util/rng.h"
+
+namespace {
+
+using msc::core::CandidateSet;
+using msc::core::Instance;
+using msc::core::MuEvaluator;
+using msc::core::NuEvaluator;
+using msc::core::Shortcut;
+using msc::core::ShortcutList;
+using msc::core::SigmaEvaluator;
+
+// Submodularity check on a concrete (X, Y, f) triple: X ⊆ Y, f ∉ Y.
+template <typename Fn>
+void expectSubmodularTriple(const Fn& fn, const ShortcutList& x,
+                            const ShortcutList& y, const Shortcut& f) {
+  auto xf = x;
+  xf.push_back(f);
+  auto yf = y;
+  yf.push_back(f);
+  EXPECT_GE(fn.value(xf) - fn.value(x), fn.value(yf) - fn.value(y) - 1e-9);
+}
+
+TEST(Mu, OneShortcutRestrictionOnPaperTriple) {
+  // The paper's 3-node example: with both shortcuts placed, sigma satisfies
+  // all 3 pairs but mu only 2 (pair {1,2}... here {0,1}+{1,2} satisfies
+  // {0,2} only via two shortcuts, which mu forbids).
+  msc::graph::Graph g(3);
+  Instance inst(std::move(g), {{0, 1}, {0, 2}, {1, 2}}, 1.0);
+  const auto cands = CandidateSet::allPairs(3);
+  MuEvaluator mu(inst, cands);
+  SigmaEvaluator sigma(inst);
+  const ShortcutList both{Shortcut::make(0, 1), Shortcut::make(1, 2)};
+  EXPECT_DOUBLE_EQ(sigma.value(both), 3.0);
+  EXPECT_DOUBLE_EQ(mu.value(both), 2.0);
+}
+
+TEST(Mu, CountsBaseSatisfiedPairs) {
+  Instance inst(msc::test::lineGraph(5), {{0, 1}, {0, 4}}, 1.5);
+  const auto cands = CandidateSet::allPairs(5);
+  MuEvaluator mu(inst, cands);
+  EXPECT_DOUBLE_EQ(mu.value({}), 1.0);  // pair (0,1) already satisfied
+}
+
+TEST(Mu, HandlesNonCandidateShortcuts) {
+  Instance inst(msc::test::lineGraph(6), {{0, 5}}, 1.0);
+  // Candidate set restricted to a single useless pair.
+  CandidateSet cands({Shortcut::make(1, 2)});
+  MuEvaluator mu(inst, cands);
+  EXPECT_DOUBLE_EQ(mu.value({Shortcut::make(0, 5)}), 1.0);
+}
+
+TEST(Nu, WeightedCoverageOnPaperExample) {
+  // S = {{u1,w1},{u1,w2}} example from §V-B2: u1 weighs 1, w1/w2 weigh 0.5.
+  msc::graph::Graph g(3);
+  Instance inst(std::move(g), {{0, 1}, {0, 2}}, 1.0);
+  NuEvaluator nu(inst);
+  // Shortcut (0,1) covers nodes 0 and 1 (distance 0 each): 1 + 0.5.
+  EXPECT_DOUBLE_EQ(nu.value({Shortcut::make(0, 1)}), 1.5);
+  // Both shortcuts cover all three nodes: 1 + 0.5 + 0.5.
+  EXPECT_DOUBLE_EQ(
+      nu.value({Shortcut::make(0, 1), Shortcut::make(0, 2)}), 2.0);
+}
+
+TEST(Nu, BaseSatisfiedPairsAreConstant) {
+  Instance inst(msc::test::lineGraph(5), {{0, 1}, {0, 4}}, 1.5);
+  NuEvaluator nu(inst);
+  EXPECT_DOUBLE_EQ(nu.value({}), 1.0);
+  SigmaEvaluator sigma(inst);
+  EXPECT_GE(nu.value({}), sigma.value({}));
+}
+
+TEST(Nu, IncrementalMatchesWholeSet) {
+  const auto inst = msc::test::randomInstance(20, 6, 1.0, 5);
+  NuEvaluator nu(inst);
+  msc::util::Rng rng(99);
+  const auto placement = msc::test::randomPlacement(20, 4, rng);
+  nu.reset();
+  for (const auto& f : placement) {
+    const double before = nu.currentValue();
+    const double gain = nu.gainIfAdd(f);
+    nu.add(f);
+    EXPECT_NEAR(nu.currentValue(), before + gain, 1e-9);
+  }
+  EXPECT_NEAR(nu.currentValue(), nu.value(placement), 1e-9);
+}
+
+TEST(Mu, IncrementalMatchesWholeSet) {
+  const auto inst = msc::test::randomInstance(20, 6, 1.0, 6);
+  const auto cands = CandidateSet::allPairs(20);
+  MuEvaluator mu(inst, cands);
+  msc::util::Rng rng(98);
+  const auto placement = msc::test::randomPlacement(20, 4, rng);
+  mu.reset();
+  for (const auto& f : placement) {
+    const double before = mu.currentValue();
+    const double gain = mu.gainIfAdd(f);
+    mu.add(f);
+    EXPECT_NEAR(mu.currentValue(), before + gain, 1e-9);
+  }
+  EXPECT_NEAR(mu.currentValue(), mu.value(placement), 1e-9);
+}
+
+// ----------------------------------------------------------- Property ----
+
+class BoundsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundsProperty, SandwichBracketsSigmaEverywhere) {
+  const std::uint64_t seed = GetParam();
+  const auto inst = msc::test::randomInstance(25, 8, 1.2, seed);
+  const auto cands = CandidateSet::allPairs(25);
+  SigmaEvaluator sigma(inst);
+  MuEvaluator mu(inst, cands);
+  NuEvaluator nu(inst);
+  msc::util::Rng rng(seed ^ 0xccULL);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto f = msc::test::randomPlacement(
+        25, static_cast<int>(rng.below(7)), rng);
+    const double s = sigma.value(f);
+    EXPECT_LE(mu.value(f), s + 1e-9) << "mu must lower-bound sigma";
+    EXPECT_GE(nu.value(f), s - 1e-9) << "nu must upper-bound sigma";
+  }
+}
+
+TEST_P(BoundsProperty, MuIsSubmodular) {
+  const std::uint64_t seed = GetParam();
+  const auto inst = msc::test::randomInstance(18, 6, 1.0, seed);
+  const auto cands = CandidateSet::allPairs(18);
+  MuEvaluator mu(inst, cands);
+  msc::util::Rng rng(seed ^ 0xddULL);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto y = msc::test::randomPlacement(18, 4, rng);
+    // X = random subset of Y.
+    ShortcutList x;
+    for (const auto& f : y) {
+      if (rng.chance(0.5)) x.push_back(f);
+    }
+    Shortcut f = msc::test::randomPlacement(18, 1, rng)[0];
+    while (msc::core::contains(y, f)) {
+      f = msc::test::randomPlacement(18, 1, rng)[0];
+    }
+    expectSubmodularTriple(mu, x, y, f);
+  }
+}
+
+TEST_P(BoundsProperty, NuIsSubmodular) {
+  const std::uint64_t seed = GetParam();
+  const auto inst = msc::test::randomInstance(18, 6, 1.0, seed);
+  NuEvaluator nu(inst);
+  msc::util::Rng rng(seed ^ 0xeeULL);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto y = msc::test::randomPlacement(18, 4, rng);
+    ShortcutList x;
+    for (const auto& f : y) {
+      if (rng.chance(0.5)) x.push_back(f);
+    }
+    Shortcut f = msc::test::randomPlacement(18, 1, rng)[0];
+    while (msc::core::contains(y, f)) {
+      f = msc::test::randomPlacement(18, 1, rng)[0];
+    }
+    expectSubmodularTriple(nu, x, y, f);
+  }
+}
+
+TEST_P(BoundsProperty, BoundsAreMonotone) {
+  const std::uint64_t seed = GetParam();
+  const auto inst = msc::test::randomInstance(20, 6, 1.0, seed);
+  const auto cands = CandidateSet::allPairs(20);
+  MuEvaluator mu(inst, cands);
+  NuEvaluator nu(inst);
+  msc::util::Rng rng(seed ^ 0xffULL);
+  ShortcutList f;
+  double prevMu = mu.value(f);
+  double prevNu = nu.value(f);
+  for (int step = 0; step < 5; ++step) {
+    const auto extra = msc::test::randomPlacement(20, 1, rng)[0];
+    if (msc::core::contains(f, extra)) continue;
+    f.push_back(extra);
+    EXPECT_GE(mu.value(f), prevMu - 1e-9);
+    EXPECT_GE(nu.value(f), prevNu - 1e-9);
+    prevMu = mu.value(f);
+    prevNu = nu.value(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// Sigma itself is NOT submodular: the paper's counterexample.
+TEST(SigmaNotSubmodular, PaperWitness) {
+  msc::graph::Graph g(3);
+  Instance inst(std::move(g), {{0, 1}, {0, 2}, {1, 2}}, 1.0);
+  SigmaEvaluator sigma(inst);
+  const Shortcut x = Shortcut::make(0, 1);
+  const ShortcutList empty;
+  const ShortcutList y{Shortcut::make(1, 2)};
+  auto withX = empty;
+  withX.push_back(x);
+  auto yWithX = y;
+  yWithX.push_back(x);
+  const double gainFromEmpty = sigma.value(withX) - sigma.value(empty);
+  const double gainFromY = sigma.value(yWithX) - sigma.value(y);
+  EXPECT_DOUBLE_EQ(gainFromEmpty, 1.0);
+  EXPECT_DOUBLE_EQ(gainFromY, 2.0);
+  EXPECT_LT(gainFromEmpty, gainFromY);  // violates Eq. (2)
+}
+
+}  // namespace

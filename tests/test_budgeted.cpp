@@ -1,0 +1,118 @@
+#include "core/budgeted.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/sigma.h"
+#include "helpers.h"
+
+namespace {
+
+using msc::core::budgetedGreedy;
+using msc::core::CandidateSet;
+using msc::core::Instance;
+using msc::core::Shortcut;
+using msc::core::SigmaEvaluator;
+using msc::core::unitCost;
+
+TEST(Budgeted, UnitCostsMatchCardinalityGreedy) {
+  const auto inst = msc::test::randomInstance(20, 8, 1.2, 1);
+  const auto cands = CandidateSet::allPairs(20);
+  SigmaEvaluator a(inst);
+  SigmaEvaluator b(inst);
+  for (const int k : {1, 3, 5}) {
+    const auto plain = msc::core::greedyMaximize(a, cands, k);
+    const auto budgeted =
+        budgetedGreedy(b, cands, unitCost(), static_cast<double>(k));
+    // Uniform rule with unit costs IS cardinality greedy; density rule
+    // coincides too (cost 1). Values must match exactly.
+    EXPECT_DOUBLE_EQ(budgeted.value, plain.value) << "k=" << k;
+    EXPECT_LE(budgeted.cost, static_cast<double>(k));
+  }
+}
+
+TEST(Budgeted, RespectsBudgetWithHeterogeneousCosts) {
+  const auto inst = msc::test::randomInstance(20, 10, 1.2, 2);
+  const auto cands = CandidateSet::allPairs(20);
+  SigmaEvaluator sigma(inst);
+  // Cost = 1 + (a + b) mod 3, deterministic heterogeneous costs.
+  const auto cost = [](const Shortcut& f) {
+    return 1.0 + static_cast<double>((f.a + f.b) % 3);
+  };
+  for (const double budget : {2.0, 5.0, 9.0}) {
+    const auto res = budgetedGreedy(sigma, cands, cost, budget);
+    EXPECT_LE(res.cost, budget + 1e-12);
+    double recomputed = 0.0;
+    for (const auto& f : res.placement) recomputed += cost(f);
+    EXPECT_DOUBLE_EQ(recomputed, res.cost);
+  }
+}
+
+TEST(Budgeted, DensityRuleBeatsUniformWhenCheapEdgesSuffice) {
+  // Pairs (0,1), (2,3), (4,5) on an edgeless graph: direct shortcuts fix
+  // one pair each. Make the direct shortcuts cheap and everything else
+  // expensive; budget fits all three cheap edges but only one expensive.
+  msc::graph::Graph g(6);
+  Instance inst(std::move(g), {{0, 1}, {2, 3}, {4, 5}}, 0.5);
+  const auto cands = CandidateSet::allPairs(6);
+  const auto cost = [](const Shortcut& f) {
+    const bool direct = (f.a == 0 && f.b == 1) || (f.a == 2 && f.b == 3) ||
+                        (f.a == 4 && f.b == 5);
+    return direct ? 1.0 : 3.0;
+  };
+  SigmaEvaluator sigma(inst);
+  const auto res = budgetedGreedy(sigma, cands, cost, 3.0);
+  EXPECT_DOUBLE_EQ(res.value, 3.0);  // all three pairs with three cheap edges
+  EXPECT_EQ(res.winner, "density");
+}
+
+TEST(Budgeted, ReturnedPlacementMatchesValue) {
+  const auto inst = msc::test::randomInstance(18, 8, 1.2, 3);
+  const auto cands = CandidateSet::allPairs(18);
+  SigmaEvaluator sigma(inst);
+  const auto cost = [](const Shortcut& f) {
+    return 0.5 + 0.1 * static_cast<double>(f.a % 5);
+  };
+  const auto res = budgetedGreedy(sigma, cands, cost, 3.0);
+  EXPECT_DOUBLE_EQ(sigma.value(res.placement), res.value);
+  EXPECT_GE(res.value, std::max(res.densityValue, res.uniformValue) - 1e-12);
+}
+
+TEST(Budgeted, ZeroBudgetPlacesNothing) {
+  const auto inst = msc::test::randomInstance(12, 5, 1.0, 4);
+  const auto cands = CandidateSet::allPairs(12);
+  SigmaEvaluator sigma(inst);
+  const auto res = budgetedGreedy(sigma, cands, unitCost(), 0.0);
+  EXPECT_TRUE(res.placement.empty());
+  EXPECT_DOUBLE_EQ(res.cost, 0.0);
+}
+
+TEST(Budgeted, Validation) {
+  const auto inst = msc::test::randomInstance(10, 4, 1.0, 5);
+  const auto cands = CandidateSet::allPairs(10);
+  SigmaEvaluator sigma(inst);
+  EXPECT_THROW(budgetedGreedy(sigma, cands, unitCost(), -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(budgetedGreedy(
+                   sigma, cands, [](const Shortcut&) { return 0.0; }, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      budgetedGreedy(
+          sigma, cands,
+          [](const Shortcut&) {
+            return std::numeric_limits<double>::infinity();
+          },
+          5.0),
+      std::invalid_argument);
+}
+
+TEST(Budgeted, DistanceCostModel) {
+  std::vector<msc::gen::Point> positions{{0.0, 0.0}, {3.0, 4.0}, {6.0, 8.0}};
+  const auto cost = msc::core::distanceCost(positions, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(cost(Shortcut::make(0, 1)), 2.0 + 0.5 * 5.0);
+  EXPECT_DOUBLE_EQ(cost(Shortcut::make(0, 2)), 2.0 + 0.5 * 10.0);
+  EXPECT_THROW(msc::core::distanceCost(positions, -1.0, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "core/common_node.h"
+
+#include <gtest/gtest.h>
+
+#include "core/candidates.h"
+#include "core/exact.h"
+#include "core/sigma.h"
+#include "helpers.h"
+
+namespace {
+
+using msc::core::CandidateSet;
+using msc::core::Instance;
+using msc::core::SigmaEvaluator;
+
+TEST(CommonNode, Detection) {
+  Instance shared(msc::test::lineGraph(6), {{0, 3}, {0, 5}, {4, 0}}, 1.0);
+  EXPECT_TRUE(msc::core::allPairsShareNode(shared, 0));
+  EXPECT_FALSE(msc::core::allPairsShareNode(shared, 3));
+  EXPECT_EQ(msc::core::findCommonNode(shared), 0);
+
+  Instance noShared(msc::test::lineGraph(6), {{0, 3}, {1, 5}}, 1.0);
+  EXPECT_EQ(msc::core::findCommonNode(noShared), -1);
+}
+
+TEST(CommonNode, RejectsNonSharedInstances) {
+  Instance inst(msc::test::lineGraph(6), {{0, 3}, {1, 5}}, 1.0);
+  EXPECT_THROW(msc::core::solveCommonNodeCoverage(inst, 0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(msc::core::solveCommonNodeSigmaGreedy(inst, 0, 2),
+               std::invalid_argument);
+}
+
+TEST(CommonNode, StarOnLineGraph) {
+  // Common node 0, pairs to 4..9 on a line, threshold 1: a shortcut to v
+  // covers exactly {v-1, v, v+1} among the targets.
+  Instance inst(msc::test::lineGraph(10),
+                {{0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8}, {0, 9}}, 1.0);
+  const auto one = msc::core::solveCommonNodeCoverage(inst, 0, 1);
+  EXPECT_DOUBLE_EQ(one.sigma, 3.0);  // best single endpoint covers 3 targets
+  const auto two = msc::core::solveCommonNodeCoverage(inst, 0, 2);
+  EXPECT_DOUBLE_EQ(two.sigma, 6.0);  // two shortcuts cover all 6
+  for (const auto& f : two.placement) {
+    EXPECT_TRUE(f.a == 0 || f.b == 0);  // incident to the common node
+  }
+}
+
+// ----------------------------------------------------------- Property ----
+
+class CommonNodeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommonNodeProperty, CoverageEqualsSigmaGreedy) {
+  const std::uint64_t seed = GetParam();
+  const auto g = msc::test::randomGraph(25, 0.1, seed);
+  const auto dist = msc::graph::allPairsDistances(g);
+  msc::util::Rng rng(seed ^ 0xcafeULL);
+  std::vector<msc::core::SocialPair> pairs;
+  try {
+    pairs = msc::core::sampleCommonNodePairs(g, dist, 0, 6, 1.0, rng);
+  } catch (const std::runtime_error&) {
+    GTEST_SKIP() << "instance has too few eligible common-node pairs";
+  }
+  // Instance owns its graph, so rebuild a copy.
+  msc::graph::Graph copy(g.nodeCount());
+  for (const auto& e : g.edges()) copy.addEdge(e.u, e.v, e.length);
+  Instance real(std::move(copy), std::move(pairs), 1.0);
+
+  const auto viaCoverage = msc::core::solveCommonNodeCoverage(real, 0, 3);
+  const auto viaSigma = msc::core::solveCommonNodeSigmaGreedy(real, 0, 3);
+  EXPECT_DOUBLE_EQ(viaCoverage.sigma, viaSigma.sigma) << "seed=" << seed;
+}
+
+TEST_P(CommonNodeProperty, GreedyWithinOneMinusOneOverEOfOptimum) {
+  const std::uint64_t seed = GetParam();
+  const auto g = msc::test::randomGraph(12, 0.18, seed);
+  const auto dist = msc::graph::allPairsDistances(g);
+  msc::util::Rng rng(seed ^ 0xbedULL);
+  std::vector<msc::core::SocialPair> pairs;
+  try {
+    pairs = msc::core::sampleCommonNodePairs(g, dist, 0, 4, 1.0, rng);
+  } catch (const std::runtime_error&) {
+    GTEST_SKIP() << "instance has too few eligible common-node pairs";
+  }
+  msc::graph::Graph copy(g.nodeCount());
+  for (const auto& e : g.edges()) copy.addEdge(e.u, e.v, e.length);
+  Instance inst(std::move(copy), std::move(pairs), 1.0);
+
+  const int k = 2;
+  const auto greedy = msc::core::solveCommonNodeCoverage(inst, 0, k);
+
+  // Exact optimum over the SAME restricted space {0} x V (Theorem 1 says an
+  // optimal all-incident solution exists for MSC-CN).
+  SigmaEvaluator sigma(inst);
+  const auto cands = CandidateSet::incidentTo(inst.graph().nodeCount(), 0);
+  const auto opt = msc::core::exactOptimum(sigma, cands, k);
+
+  EXPECT_GE(greedy.sigma, (1.0 - std::exp(-1.0)) * opt.value - 1e-9)
+      << "seed=" << seed;
+  EXPECT_LE(greedy.sigma, opt.value + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommonNodeProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace

@@ -1,0 +1,138 @@
+#include "graph/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/apsp.h"
+#include "helpers.h"
+
+namespace {
+
+using msc::graph::dijkstra;
+using msc::graph::Graph;
+using msc::graph::kInfDist;
+
+TEST(Dijkstra, LineGraphDistances) {
+  const auto g = msc::test::lineGraph(5, 2.0);
+  const auto tree = dijkstra(g, 0);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(tree.dist[static_cast<std::size_t>(v)], 2.0 * v);
+  }
+}
+
+TEST(Dijkstra, PrefersShorterDetour) {
+  // 0-1 direct cost 10; 0-2-1 cost 3.
+  Graph g(3);
+  g.addEdge(0, 1, 10.0);
+  g.addEdge(0, 2, 1.0);
+  g.addEdge(2, 1, 2.0);
+  const auto tree = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(tree.dist[1], 3.0);
+  EXPECT_EQ(tree.parent[1], 2);
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  Graph g(4);
+  g.addEdge(0, 1, 1.0);
+  const auto tree = dijkstra(g, 0);
+  EXPECT_EQ(tree.dist[2], kInfDist);
+  EXPECT_EQ(tree.dist[3], kInfDist);
+  EXPECT_EQ(tree.parent[2], -1);
+}
+
+TEST(Dijkstra, ZeroLengthEdges) {
+  Graph g(3);
+  g.addEdge(0, 1, 0.0);
+  g.addEdge(1, 2, 0.0);
+  const auto tree = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(tree.dist[2], 0.0);
+}
+
+TEST(Dijkstra, SourceValidation) {
+  Graph g(2);
+  EXPECT_THROW(dijkstra(g, 2), std::out_of_range);
+  EXPECT_THROW(dijkstra(g, -1), std::out_of_range);
+}
+
+TEST(DijkstraBounded, RespectsLimitAndIsExactWithin) {
+  const auto g = msc::test::lineGraph(10, 1.0);
+  const auto bounded = msc::graph::dijkstraBounded(g, 0, 4.5);
+  for (int v = 0; v <= 4; ++v) {
+    EXPECT_DOUBLE_EQ(bounded.dist[static_cast<std::size_t>(v)], 1.0 * v);
+  }
+  for (int v = 5; v < 10; ++v) {
+    EXPECT_EQ(bounded.dist[static_cast<std::size_t>(v)], kInfDist);
+  }
+  EXPECT_THROW(msc::graph::dijkstraBounded(g, 0, -1.0), std::invalid_argument);
+}
+
+TEST(DijkstraDistance, PointToPoint) {
+  const auto g = msc::test::cycleGraph(6, 1.0);
+  EXPECT_DOUBLE_EQ(msc::graph::dijkstraDistance(g, 0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(msc::graph::dijkstraDistance(g, 0, 5), 1.0);  // wrap
+  EXPECT_DOUBLE_EQ(msc::graph::dijkstraDistance(g, 2, 2), 0.0);
+}
+
+TEST(ExtractPath, ReconstructsNodeSequence) {
+  Graph g(4);
+  g.addEdge(0, 1, 1.0);
+  g.addEdge(1, 2, 1.0);
+  g.addEdge(2, 3, 1.0);
+  g.addEdge(0, 3, 10.0);
+  const auto tree = dijkstra(g, 0);
+  const auto path = msc::graph::extractPath(tree, 0, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<msc::graph::NodeId>{0, 1, 2, 3}));
+}
+
+TEST(ExtractPath, UnreachableReturnsNullopt) {
+  Graph g(3);
+  g.addEdge(0, 1, 1.0);
+  const auto tree = dijkstra(g, 0);
+  EXPECT_FALSE(msc::graph::extractPath(tree, 0, 2).has_value());
+}
+
+// ----------------------------------------------------------- Property ----
+
+class DijkstraVsFloyd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraVsFloyd, ApspStrategiesAgree) {
+  const auto g = msc::test::randomGraph(40, 0.08, GetParam());
+  const auto viaDijkstra = msc::graph::allPairsDistances(g);
+  const auto viaFloyd = msc::graph::allPairsDistancesFloydWarshall(g);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 40; ++j) {
+      if (viaFloyd(i, j) == kInfDist) {
+        EXPECT_EQ(viaDijkstra(i, j), kInfDist);
+      } else {
+        EXPECT_NEAR(viaDijkstra(i, j), viaFloyd(i, j), 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(DijkstraVsFloyd, MatrixIsSymmetricWithZeroDiagonal) {
+  const auto g = msc::test::randomGraph(30, 0.1, GetParam());
+  const auto d = msc::graph::allPairsDistances(g);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+    for (std::size_t j = 0; j < 30; ++j) EXPECT_EQ(d(i, j), d(j, i));
+  }
+}
+
+TEST_P(DijkstraVsFloyd, TriangleInequality) {
+  const auto g = msc::test::randomGraph(25, 0.15, GetParam() + 1000);
+  const auto d = msc::graph::allPairsDistances(g);
+  for (std::size_t i = 0; i < 25; ++i) {
+    for (std::size_t j = 0; j < 25; ++j) {
+      for (std::size_t k = 0; k < 25; ++k) {
+        if (d(i, k) == kInfDist || d(k, j) == kInfDist) continue;
+        EXPECT_LE(d(i, j), d(i, k) + d(k, j) + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraVsFloyd,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace

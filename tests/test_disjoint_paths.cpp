@@ -1,0 +1,186 @@
+#include "graph/disjoint_paths.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "helpers.h"
+#include "util/rng.h"
+
+namespace {
+
+using msc::graph::Graph;
+using msc::graph::kInfDist;
+using msc::graph::NodeId;
+using msc::graph::twoEdgeDisjointPaths;
+using msc::graph::twoEdgeDisjointPathsRemoval;
+
+std::set<std::pair<int, int>> edgeSet(const std::vector<NodeId>& path) {
+  std::set<std::pair<int, int>> out;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    out.insert({std::min(path[i], path[i + 1]),
+                std::max(path[i], path[i + 1])});
+  }
+  return out;
+}
+
+bool edgeDisjoint(const std::vector<NodeId>& a,
+                  const std::vector<NodeId>& b) {
+  const auto ea = edgeSet(a);
+  for (const auto& e : edgeSet(b)) {
+    if (ea.count(e) != 0) return false;
+  }
+  return true;
+}
+
+TEST(DisjointPaths, SimpleCycleHasTwo) {
+  const auto g = msc::test::cycleGraph(6);  // two arcs: 3 and 3
+  const auto dp = twoEdgeDisjointPaths(g, 0, 3);
+  ASSERT_TRUE(dp.hasTwo());
+  EXPECT_DOUBLE_EQ(dp.firstLength, 3.0);
+  EXPECT_DOUBLE_EQ(dp.secondLength, 3.0);
+  EXPECT_TRUE(edgeDisjoint(dp.first, dp.second));
+  EXPECT_EQ(dp.first.front(), 0);
+  EXPECT_EQ(dp.first.back(), 3);
+  EXPECT_EQ(dp.second.front(), 0);
+  EXPECT_EQ(dp.second.back(), 3);
+}
+
+TEST(DisjointPaths, TreeHasOnlyOne) {
+  const auto g = msc::test::lineGraph(5);
+  const auto dp = twoEdgeDisjointPaths(g, 0, 4);
+  EXPECT_TRUE(dp.hasFirst());
+  EXPECT_FALSE(dp.hasTwo());
+  EXPECT_DOUBLE_EQ(dp.firstLength, 4.0);
+}
+
+TEST(DisjointPaths, Unreachable) {
+  Graph g(4);
+  g.addEdge(0, 1, 1.0);
+  const auto dp = twoEdgeDisjointPaths(g, 0, 3);
+  EXPECT_FALSE(dp.hasFirst());
+  EXPECT_FALSE(dp.hasTwo());
+  EXPECT_EQ(dp.totalLength(), kInfDist);
+}
+
+TEST(DisjointPaths, TrapGraphBeatsRemovalHeuristic) {
+  // s=0, a=1, b=2, t=3. Shortest path 0-1-2-3 uses the "middle rung";
+  // removing it strands the alternatives, but the optimal disjoint pair
+  // (0-1-3, 0-2-3) exists and Bhandari finds it.
+  Graph g(4);
+  g.addEdge(0, 1, 1.0);  // s-a
+  g.addEdge(1, 2, 1.0);  // a-b (trap rung)
+  g.addEdge(2, 3, 1.0);  // b-t
+  g.addEdge(0, 2, 4.0);  // s-b
+  g.addEdge(1, 3, 4.0);  // a-t
+
+  const auto removal = twoEdgeDisjointPathsRemoval(g, 0, 3);
+  EXPECT_FALSE(removal.hasTwo());  // heuristic falls into the trap
+
+  const auto bhandari = twoEdgeDisjointPaths(g, 0, 3);
+  ASSERT_TRUE(bhandari.hasTwo());
+  EXPECT_TRUE(edgeDisjoint(bhandari.first, bhandari.second));
+  EXPECT_DOUBLE_EQ(bhandari.totalLength(), 10.0);  // 5 + 5
+}
+
+TEST(DisjointPaths, SourceEqualsTarget) {
+  const auto g = msc::test::cycleGraph(4);
+  const auto dp = twoEdgeDisjointPaths(g, 2, 2);
+  EXPECT_EQ(dp.first, (std::vector<NodeId>{2}));
+  EXPECT_DOUBLE_EQ(dp.firstLength, 0.0);
+}
+
+TEST(DisjointPaths, Validation) {
+  const auto g = msc::test::cycleGraph(4);
+  EXPECT_THROW(twoEdgeDisjointPaths(g, 0, 9), std::out_of_range);
+  EXPECT_THROW(twoEdgeDisjointPathsRemoval(g, -1, 2), std::out_of_range);
+}
+
+// ----------------------------------------------------------- Property ----
+
+// Brute-force optimal disjoint pair by enumerating all simple paths.
+void allSimplePaths(const Graph& g, NodeId u, NodeId t,
+                    std::vector<NodeId>& current, std::vector<char>& visited,
+                    std::vector<std::vector<NodeId>>& out) {
+  if (u == t) {
+    out.push_back(current);
+    return;
+  }
+  for (const auto& arc : g.neighbors(u)) {
+    if (visited[static_cast<std::size_t>(arc.to)]) continue;
+    visited[static_cast<std::size_t>(arc.to)] = 1;
+    current.push_back(arc.to);
+    allSimplePaths(g, arc.to, t, current, visited, out);
+    current.pop_back();
+    visited[static_cast<std::size_t>(arc.to)] = 0;
+  }
+}
+
+double bruteForceBestPair(const Graph& g, NodeId s, NodeId t) {
+  std::vector<std::vector<NodeId>> paths;
+  std::vector<NodeId> current{s};
+  std::vector<char> visited(static_cast<std::size_t>(g.nodeCount()), 0);
+  visited[static_cast<std::size_t>(s)] = 1;
+  allSimplePaths(g, s, t, current, visited, paths);
+  double best = kInfDist;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = 0; j < paths.size(); ++j) {
+      if (i == j) continue;
+      if (!edgeDisjoint(paths[i], paths[j])) continue;
+      auto lengthOf = [&](const std::vector<NodeId>& p) {
+        double len = 0.0;
+        for (std::size_t h = 0; h + 1 < p.size(); ++h) {
+          double bestEdge = kInfDist;
+          for (const auto& arc : g.neighbors(p[h])) {
+            if (arc.to == p[h + 1]) bestEdge = std::min(bestEdge, arc.length);
+          }
+          len += bestEdge;
+        }
+        return len;
+      };
+      best = std::min(best, lengthOf(paths[i]) + lengthOf(paths[j]));
+    }
+  }
+  return best;
+}
+
+class DisjointProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DisjointProperty, BhandariMatchesBruteForceOptimum) {
+  const std::uint64_t seed = GetParam();
+  const auto g = msc::test::randomGraph(8, 0.35, seed);
+  const auto brute = bruteForceBestPair(g, 0, 7);
+  const auto dp = twoEdgeDisjointPaths(g, 0, 7);
+  if (brute == kInfDist) {
+    EXPECT_FALSE(dp.hasTwo()) << "seed=" << seed;
+  } else {
+    ASSERT_TRUE(dp.hasTwo()) << "seed=" << seed;
+    EXPECT_TRUE(edgeDisjoint(dp.first, dp.second));
+    EXPECT_NEAR(dp.totalLength(), brute, 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST_P(DisjointProperty, BhandariNeverWorseThanRemoval) {
+  const std::uint64_t seed = GetParam();
+  const auto g = msc::test::randomGraph(15, 0.2, seed + 100);
+  const auto removal = twoEdgeDisjointPathsRemoval(g, 0, 14);
+  const auto bhandari = twoEdgeDisjointPaths(g, 0, 14);
+  if (removal.hasTwo()) {
+    ASSERT_TRUE(bhandari.hasTwo()) << "seed=" << seed;
+    EXPECT_LE(bhandari.totalLength(), removal.totalLength() + 1e-9);
+  }
+  if (bhandari.hasTwo()) {
+    EXPECT_TRUE(edgeDisjoint(bhandari.first, bhandari.second));
+    EXPECT_EQ(bhandari.first.front(), 0);
+    EXPECT_EQ(bhandari.first.back(), 14);
+    EXPECT_EQ(bhandari.second.front(), 0);
+    EXPECT_EQ(bhandari.second.back(), 14);
+    EXPECT_LE(bhandari.firstLength, bhandari.secondLength);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjointProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace

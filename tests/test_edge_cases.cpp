@@ -1,0 +1,126 @@
+// Corner cases cutting across modules: duplicate social pairs (the paper's
+// own weight example contains them), reversed endpoint order, perfectly
+// reliable base links, and threshold boundary equality.
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/candidates.h"
+#include "core/greedy.h"
+#include "core/sandwich.h"
+#include "core/sigma.h"
+#include "helpers.h"
+#include "wireless/link_model.h"
+
+namespace {
+
+using msc::core::CandidateSet;
+using msc::core::Instance;
+using msc::core::MuEvaluator;
+using msc::core::NuEvaluator;
+using msc::core::Shortcut;
+using msc::core::SigmaEvaluator;
+
+TEST(DuplicatePairs, SigmaCountsMultiplicity) {
+  // The same pair listed twice counts twice (it models doubled demand).
+  Instance inst(msc::test::lineGraph(6), {{0, 5}, {0, 5}}, 1.0);
+  SigmaEvaluator sigma(inst);
+  EXPECT_DOUBLE_EQ(sigma.value({}), 0.0);
+  EXPECT_DOUBLE_EQ(sigma.value({Shortcut::make(0, 5)}), 2.0);
+}
+
+TEST(DuplicatePairs, BoundsStillBracket) {
+  Instance inst(msc::test::lineGraph(8),
+                {{0, 7}, {0, 7}, {1, 6}}, 1.5);
+  const auto cands = CandidateSet::allPairs(8);
+  SigmaEvaluator sigma(inst);
+  MuEvaluator mu(inst, cands);
+  NuEvaluator nu(inst);
+  msc::util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto f = msc::test::randomPlacement(
+        8, static_cast<int>(rng.below(4)), rng);
+    const double s = sigma.value(f);
+    EXPECT_LE(mu.value(f), s + 1e-9);
+    EXPECT_GE(nu.value(f), s - 1e-9);
+  }
+}
+
+TEST(DuplicatePairs, NuWeightExampleFromPaper) {
+  // §V-B2: S = {{u1,w1},{u1,w2}} — u1 weighs 1, w1 and w2 weigh 0.5; the
+  // same bookkeeping must hold when a pair repeats: S = {{a,b},{a,b}}
+  // gives a and b weight 1 each, and nu of a covering shortcut is 2 —
+  // matching sigma's multiplicity count.
+  msc::graph::Graph g(2);
+  Instance inst(std::move(g), {{0, 1}, {0, 1}}, 1.0);
+  NuEvaluator nu(inst);
+  SigmaEvaluator sigma(inst);
+  const msc::core::ShortcutList f{Shortcut::make(0, 1)};
+  EXPECT_DOUBLE_EQ(sigma.value(f), 2.0);
+  EXPECT_DOUBLE_EQ(nu.value(f), 2.0);
+  EXPECT_GE(nu.value(f), sigma.value(f));
+}
+
+TEST(ReversedPairs, OrderOfEndpointsIrrelevant) {
+  Instance a(msc::test::lineGraph(6), {{0, 5}}, 2.0);
+  Instance b(msc::test::lineGraph(6), {{5, 0}}, 2.0);
+  SigmaEvaluator sa(a), sb(b);
+  msc::util::Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto f = msc::test::randomPlacement(6, 2, rng);
+    EXPECT_DOUBLE_EQ(sa.value(f), sb.value(f));
+  }
+}
+
+TEST(PerfectLinks, ZeroFailureBaseEdgesBehaveLikeShortcuts) {
+  // A base link with failure 0 has length 0; paths through it are free.
+  msc::graph::Graph g(4);
+  g.addEdge(0, 1, msc::wireless::failureToLength(0.0));
+  g.addEdge(1, 2, msc::wireless::failureToLength(0.2));
+  g.addEdge(2, 3, msc::wireless::failureToLength(0.0));
+  Instance inst(std::move(g), {{0, 3}}, 0.25);
+  SigmaEvaluator sigma(inst);
+  // Path failure = 0.2 <= 0.25: satisfied with no shortcuts.
+  EXPECT_DOUBLE_EQ(sigma.value({}), 1.0);
+}
+
+TEST(ThresholdBoundary, ExactEqualityCounts) {
+  // dist == d_t satisfies the requirement ("no larger than" in §III).
+  Instance inst(msc::test::lineGraph(4, 1.0), {{0, 3}}, 3.0);
+  SigmaEvaluator sigma(inst);
+  EXPECT_DOUBLE_EQ(sigma.value({}), 1.0);
+  Instance strict(msc::test::lineGraph(4, 1.0), {{0, 3}},
+                  3.0 - 1e-12);
+  SigmaEvaluator sigmaStrict(strict);
+  EXPECT_DOUBLE_EQ(sigmaStrict.value({}), 0.0);
+}
+
+TEST(ThresholdBoundary, GreedyOnAllSatisfiedInstanceIsEmpty) {
+  Instance inst(msc::test::lineGraph(5), {{0, 4}, {1, 3}}, 10.0);
+  const auto cands = CandidateSet::allPairs(5);
+  const auto aa = msc::core::sandwichApproximation(inst, cands, 3);
+  EXPECT_TRUE(aa.placement.empty());
+  EXPECT_DOUBLE_EQ(aa.sigma, 2.0);
+}
+
+TEST(SelfLoopCandidates, RejectedEverywhere) {
+  EXPECT_THROW(Shortcut::make(2, 2), std::invalid_argument);
+  // CandidateSet::allPairs never produces them.
+  const auto cands = CandidateSet::allPairs(10);
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    EXPECT_NE(cands[i].a, cands[i].b);
+  }
+}
+
+TEST(LargeThreshold, InfiniteBaseDistancesStayConsistent) {
+  // Disconnected pair with enormous (but finite) threshold: unsatisfied
+  // until any bridge appears.
+  msc::graph::Graph g(4);
+  g.addEdge(0, 1, 0.5);
+  g.addEdge(2, 3, 0.5);
+  Instance inst(std::move(g), {{0, 3}}, 1e100);
+  SigmaEvaluator sigma(inst);
+  EXPECT_DOUBLE_EQ(sigma.value({}), 0.0);
+  EXPECT_DOUBLE_EQ(sigma.value({Shortcut::make(1, 2)}), 1.0);
+}
+
+}  // namespace

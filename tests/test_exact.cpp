@@ -1,0 +1,81 @@
+#include "core/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sigma.h"
+#include "helpers.h"
+
+namespace {
+
+using msc::core::CandidateSet;
+using msc::core::exactOptimum;
+using msc::core::Instance;
+using msc::core::Shortcut;
+using msc::core::SigmaEvaluator;
+
+TEST(Exact, FindsKnownOptimum) {
+  msc::graph::Graph g(3);
+  Instance inst(std::move(g), {{0, 1}, {0, 2}, {1, 2}}, 1.0);
+  SigmaEvaluator sigma(inst);
+  const auto cands = CandidateSet::allPairs(3);
+  EXPECT_DOUBLE_EQ(exactOptimum(sigma, cands, 1).value, 1.0);
+  EXPECT_DOUBLE_EQ(exactOptimum(sigma, cands, 2).value, 3.0);
+  EXPECT_DOUBLE_EQ(exactOptimum(sigma, cands, 3).value, 3.0);
+}
+
+TEST(Exact, ZeroBudget) {
+  const auto inst = msc::test::randomInstance(8, 3, 1.0, 1);
+  SigmaEvaluator sigma(inst);
+  const auto cands = CandidateSet::allPairs(8);
+  const auto result = exactOptimum(sigma, cands, 0);
+  EXPECT_TRUE(result.placement.empty());
+  EXPECT_DOUBLE_EQ(result.value, sigma.value({}));
+  EXPECT_EQ(result.evaluations, 1);
+}
+
+TEST(Exact, DominatesGreedyEverywhere) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto inst = msc::test::randomInstance(9, 4, 1.0, seed);
+    SigmaEvaluator sigma(inst);
+    const auto cands = CandidateSet::allPairs(9);
+    const auto opt = exactOptimum(sigma, cands, 2);
+    // Exhaustively confirm optimality over all 2-subsets.
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      for (std::size_t j = i + 1; j < cands.size(); ++j) {
+        EXPECT_LE(sigma.value({cands[i], cands[j]}), opt.value + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Exact, CeilingStopsEarly) {
+  msc::graph::Graph g(3);
+  Instance inst(std::move(g), {{0, 1}}, 1.0);
+  SigmaEvaluator sigma(inst);
+  const auto cands = CandidateSet::allPairs(3);
+  msc::core::ExactConfig noCeiling;
+  msc::core::ExactConfig withCeiling;
+  withCeiling.ceiling = 1.0;  // m = 1
+  const auto slow = exactOptimum(sigma, cands, 2, noCeiling);
+  const auto fast = exactOptimum(sigma, cands, 2, withCeiling);
+  EXPECT_DOUBLE_EQ(slow.value, fast.value);
+  EXPECT_LT(fast.evaluations, slow.evaluations);
+}
+
+TEST(Exact, EvaluationBudgetEnforced) {
+  const auto inst = msc::test::randomInstance(12, 4, 1.0, 3);
+  SigmaEvaluator sigma(inst);
+  const auto cands = CandidateSet::allPairs(12);
+  msc::core::ExactConfig cfg;
+  cfg.maxEvaluations = 10;
+  EXPECT_THROW(exactOptimum(sigma, cands, 3, cfg), std::runtime_error);
+}
+
+TEST(Exact, NegativeBudgetThrows) {
+  const auto inst = msc::test::randomInstance(6, 2, 1.0, 4);
+  SigmaEvaluator sigma(inst);
+  const auto cands = CandidateSet::allPairs(6);
+  EXPECT_THROW(exactOptimum(sigma, cands, -1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/report.h"
+#include "wireless/link_model.h"
+
+namespace {
+
+TEST(Experiment, RgInstanceMatchesSetup) {
+  msc::eval::RgSetup setup;
+  setup.nodes = 80;
+  setup.radius = 0.2;  // smaller n needs a larger radius for connectivity
+  setup.pairs = 15;
+  setup.failureThreshold = 0.1;
+  setup.seed = 2;
+  const auto spatial = msc::eval::makeRgInstance(setup);
+  EXPECT_EQ(spatial.instance.graph().nodeCount(), 80);
+  EXPECT_EQ(spatial.instance.pairCount(), 15);
+  EXPECT_EQ(spatial.positions.size(), 80u);
+  EXPECT_NEAR(spatial.instance.distanceThreshold(),
+              msc::wireless::failureThresholdToDistance(0.1), 1e-12);
+  // All sampled pairs start unsatisfied.
+  for (const auto& p : spatial.instance.pairs()) {
+    EXPECT_FALSE(spatial.instance.baseSatisfied(p));
+  }
+}
+
+TEST(Experiment, RgDeterministicInSeed) {
+  msc::eval::RgSetup setup;
+  setup.nodes = 50;
+  setup.radius = 0.25;
+  setup.pairs = 10;
+  setup.seed = 5;
+  const auto a = msc::eval::makeRgInstance(setup);
+  const auto b = msc::eval::makeRgInstance(setup);
+  EXPECT_EQ(a.instance.pairs().size(), b.instance.pairs().size());
+  for (std::size_t i = 0; i < a.instance.pairs().size(); ++i) {
+    EXPECT_EQ(a.instance.pairs()[i], b.instance.pairs()[i]);
+  }
+}
+
+TEST(Experiment, GowallaInstanceMatchesPaperRegime) {
+  msc::eval::GowallaSetup setup;
+  const auto spatial = msc::eval::makeGowallaInstance(setup);
+  EXPECT_EQ(spatial.instance.graph().nodeCount(), 134);
+  EXPECT_EQ(spatial.instance.pairCount(), 63);
+  EXPECT_GT(spatial.instance.graph().edgeCount(), 900u);
+}
+
+TEST(Experiment, DynamicInstancesShareNodeUniverse) {
+  msc::eval::DynamicSetup setup;
+  setup.timeInstances = 8;
+  setup.pairsPerInstance = 12;
+  const auto instances = msc::eval::makeDynamicInstances(setup);
+  ASSERT_EQ(instances.size(), 8u);
+  for (const auto& inst : instances) {
+    EXPECT_EQ(inst.graph().nodeCount(), setup.nodes);
+    EXPECT_LE(inst.pairCount(), 12);
+    for (const auto& p : inst.pairs()) {
+      EXPECT_FALSE(inst.baseSatisfied(p));
+    }
+  }
+}
+
+TEST(Experiment, DynamicHasUsablePairBudget) {
+  // Calibration guard: the default dynamic setup must give each time step a
+  // healthy set of unsatisfied pairs (otherwise Fig 5 runs degenerate).
+  msc::eval::DynamicSetup setup;
+  setup.timeInstances = 10;
+  const auto instances = msc::eval::makeDynamicInstances(setup);
+  int total = 0;
+  for (const auto& inst : instances) total += inst.pairCount();
+  EXPECT_GE(total, 10 * setup.pairsPerInstance / 2);
+}
+
+TEST(Report, HeaderAndDescribe) {
+  msc::eval::RgSetup setup;
+  setup.nodes = 30;
+  setup.radius = 0.3;
+  setup.pairs = 5;
+  setup.seed = 3;
+  const auto spatial = msc::eval::makeRgInstance(setup);
+  std::ostringstream os;
+  msc::eval::printHeader(os, "Test bench", "Table I");
+  EXPECT_NE(os.str().find("Test bench"), std::string::npos);
+  EXPECT_NE(os.str().find("Table I"), std::string::npos);
+  const auto desc = msc::eval::describeInstance(spatial.instance);
+  EXPECT_NE(desc.find("n=30"), std::string::npos);
+  EXPECT_NE(desc.find("m=5"), std::string::npos);
+}
+
+}  // namespace

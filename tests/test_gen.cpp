@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/barabasi_albert.h"
+#include "gen/dynamic_series.h"
+#include "gen/erdos_renyi.h"
+#include "gen/gowalla.h"
+#include "gen/grid.h"
+#include "gen/mobility.h"
+#include "gen/point.h"
+#include "gen/random_geometric.h"
+#include "graph/components.h"
+#include "graph/dijkstra.h"
+
+namespace {
+
+// ------------------------------------------------------------ Random Geometric
+
+TEST(RandomGeometric, EdgeIffWithinRadius) {
+  msc::gen::RandomGeometricConfig cfg;
+  cfg.nodes = 60;
+  cfg.radius = 0.2;
+  cfg.seed = 3;
+  const auto net = msc::gen::randomGeometric(cfg);
+  ASSERT_EQ(net.positions.size(), 60u);
+  for (int i = 0; i < 60; ++i) {
+    for (int j = i + 1; j < 60; ++j) {
+      const double d =
+          msc::gen::euclidean(net.positions[static_cast<std::size_t>(i)],
+                              net.positions[static_cast<std::size_t>(j)]);
+      EXPECT_EQ(net.graph.hasEdge(i, j), d < cfg.radius)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(RandomGeometric, PositionsInUnitSquare) {
+  msc::gen::RandomGeometricConfig cfg;
+  cfg.nodes = 100;
+  cfg.seed = 5;
+  const auto net = msc::gen::randomGeometric(cfg);
+  for (const auto& p : net.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+}
+
+TEST(RandomGeometric, DeterministicInSeed) {
+  msc::gen::RandomGeometricConfig cfg;
+  cfg.nodes = 40;
+  cfg.seed = 9;
+  const auto a = msc::gen::randomGeometric(cfg);
+  const auto b = msc::gen::randomGeometric(cfg);
+  EXPECT_EQ(a.graph.edgeCount(), b.graph.edgeCount());
+  EXPECT_EQ(a.positions, b.positions);
+  cfg.seed = 10;
+  const auto c = msc::gen::randomGeometric(cfg);
+  EXPECT_NE(a.positions, c.positions);
+}
+
+TEST(RandomGeometric, LongerEdgesAreLessReliable) {
+  msc::gen::RandomGeometricConfig cfg;
+  cfg.nodes = 80;
+  cfg.seed = 13;
+  const auto net = msc::gen::randomGeometric(cfg);
+  for (const auto& e : net.graph.edges()) {
+    const double d =
+        msc::gen::euclidean(net.positions[static_cast<std::size_t>(e.u)],
+                            net.positions[static_cast<std::size_t>(e.v)]);
+    EXPECT_NEAR(e.length, cfg.failure.lengthAt(d), 1e-12);
+  }
+}
+
+TEST(RandomGeometric, ConnectedVariantDelivers) {
+  msc::gen::RandomGeometricConfig cfg;
+  cfg.nodes = 100;
+  cfg.radius = 0.15;
+  cfg.seed = 1;
+  const auto net = msc::gen::randomGeometricConnected(cfg, 0.95, 64);
+  EXPECT_GE(msc::graph::largestComponentSize(net.graph), 95);
+}
+
+TEST(RandomGeometric, Validation) {
+  msc::gen::RandomGeometricConfig cfg;
+  cfg.nodes = -1;
+  EXPECT_THROW(msc::gen::randomGeometric(cfg), std::invalid_argument);
+  cfg.nodes = 10;
+  cfg.radius = 0.0;
+  EXPECT_THROW(msc::gen::randomGeometric(cfg), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Erdos-Renyi
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  msc::gen::ErdosRenyiConfig cfg;
+  cfg.nodes = 100;
+  cfg.edgeProbability = 0.1;
+  cfg.seed = 21;
+  const auto g = msc::gen::erdosRenyi(cfg);
+  const double expected = 0.1 * 100 * 99 / 2.0;  // 495
+  EXPECT_NEAR(static_cast<double>(g.edgeCount()), expected, 100.0);
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  msc::gen::ErdosRenyiConfig cfg;
+  cfg.nodes = 20;
+  cfg.edgeProbability = 0.0;
+  EXPECT_EQ(msc::gen::erdosRenyi(cfg).edgeCount(), 0u);
+  cfg.edgeProbability = 1.0;
+  EXPECT_EQ(msc::gen::erdosRenyi(cfg).edgeCount(), 190u);
+}
+
+TEST(ErdosRenyi, LengthsInRange) {
+  msc::gen::ErdosRenyiConfig cfg;
+  cfg.nodes = 50;
+  cfg.edgeProbability = 0.2;
+  cfg.lengthMin = 0.3;
+  cfg.lengthMax = 0.4;
+  const auto g = msc::gen::erdosRenyi(cfg);
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.length, 0.3);
+    EXPECT_LE(e.length, 0.4);
+  }
+}
+
+// ---------------------------------------------------------- Barabasi-Albert
+
+TEST(BarabasiAlbert, EdgeCountFormula) {
+  msc::gen::BarabasiAlbertConfig cfg;
+  cfg.nodes = 50;
+  cfg.attachEdges = 3;
+  cfg.seed = 33;
+  const auto g = msc::gen::barabasiAlbert(cfg);
+  // Initial clique on 3 nodes (3 edges) + 47 nodes x 3 edges.
+  EXPECT_EQ(g.edgeCount(), 3u + 47u * 3u);
+  EXPECT_EQ(msc::graph::largestComponentSize(g), 50);
+}
+
+TEST(BarabasiAlbert, HubsEmerge) {
+  msc::gen::BarabasiAlbertConfig cfg;
+  cfg.nodes = 200;
+  cfg.attachEdges = 2;
+  cfg.seed = 35;
+  const auto g = msc::gen::barabasiAlbert(cfg);
+  int maxDegree = 0;
+  for (int v = 0; v < 200; ++v) maxDegree = std::max(maxDegree, g.degree(v));
+  // Preferential attachment should produce a hub much above the mean (~4).
+  EXPECT_GT(maxDegree, 12);
+}
+
+TEST(BarabasiAlbert, Validation) {
+  msc::gen::BarabasiAlbertConfig cfg;
+  cfg.nodes = 3;
+  cfg.attachEdges = 3;
+  EXPECT_THROW(msc::gen::barabasiAlbert(cfg), std::invalid_argument);
+  cfg.attachEdges = 0;
+  EXPECT_THROW(msc::gen::barabasiAlbert(cfg), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Grid
+
+TEST(Grid, ManhattanDistances) {
+  msc::gen::GridConfig cfg;
+  cfg.width = 4;
+  cfg.height = 3;
+  cfg.edgeLength = 2.0;
+  const auto net = msc::gen::grid(cfg);
+  EXPECT_EQ(net.graph.nodeCount(), 12);
+  // (0,0) -> (2,3): manhattan 5 edges * 2.0.
+  const int from = msc::gen::gridNode(cfg, 0, 0);
+  const int to = msc::gen::gridNode(cfg, 2, 3);
+  EXPECT_DOUBLE_EQ(msc::graph::dijkstraDistance(net.graph, from, to), 10.0);
+}
+
+TEST(Grid, EdgeCount) {
+  msc::gen::GridConfig cfg;
+  cfg.width = 5;
+  cfg.height = 4;
+  const auto net = msc::gen::grid(cfg);
+  // horizontal: 4*4, vertical: 5*3.
+  EXPECT_EQ(net.graph.edgeCount(), 16u + 15u);
+}
+
+TEST(Grid, Validation) {
+  msc::gen::GridConfig cfg;
+  cfg.width = 0;
+  EXPECT_THROW(msc::gen::grid(cfg), std::invalid_argument);
+  cfg.width = 3;
+  EXPECT_THROW(msc::gen::gridNode(cfg, 5, 0), std::out_of_range);
+}
+
+// -------------------------------------------------------------- Gowalla
+
+TEST(GowallaLike, MatchesPaperScale) {
+  const auto net = msc::gen::gowallaLike({});
+  EXPECT_EQ(net.graph.nodeCount(), 134);
+  // The paper's Austin subset has 1886 edges; the synthetic stand-in should
+  // land in the same density regime (dense co-located clusters).
+  EXPECT_GT(net.graph.edgeCount(), 900u);
+  EXPECT_LT(net.graph.edgeCount(), 3500u);
+}
+
+TEST(GowallaLike, ClusteredStructure) {
+  const auto net = msc::gen::gowallaLike({});
+  // Mean degree far above an ER graph of the same size (near-cliques).
+  EXPECT_GT(net.graph.averageDegree(), 10.0);
+  // But not complete: several separated clusters.
+  const auto comps = msc::graph::connectedComponents(net.graph);
+  EXPECT_GE(comps.count, 1);
+  EXPECT_LT(net.graph.edgeCount(),
+            static_cast<std::size_t>(134 * 133 / 2));
+}
+
+TEST(GowallaLike, EdgeRuleRespectsRadius) {
+  msc::gen::GowallaConfig cfg;
+  cfg.users = 60;
+  cfg.seed = 17;
+  const auto net = msc::gen::gowallaLike(cfg);
+  for (const auto& e : net.graph.edges()) {
+    EXPECT_LT(msc::gen::euclidean(net.positions[static_cast<std::size_t>(e.u)],
+                                  net.positions[static_cast<std::size_t>(e.v)]),
+              cfg.connectRadiusMeters);
+  }
+}
+
+TEST(GowallaLike, Deterministic) {
+  const auto a = msc::gen::gowallaLike({});
+  const auto b = msc::gen::gowallaLike({});
+  EXPECT_EQ(a.graph.edgeCount(), b.graph.edgeCount());
+  EXPECT_EQ(a.positions, b.positions);
+}
+
+// ------------------------------------------------------------- Mobility
+
+TEST(Mobility, TraceShape) {
+  msc::gen::MobilityConfig cfg;
+  cfg.groups = 7;
+  cfg.nodesPerGroup = 13;
+  cfg.timeInstances = 10;
+  const auto trace = msc::gen::referencePointGroupMobility(cfg);
+  EXPECT_EQ(trace.nodeCount, 91);
+  EXPECT_EQ(trace.positions.size(), 10u);
+  for (const auto& snapshot : trace.positions) {
+    EXPECT_EQ(snapshot.size(), 91u);
+    for (const auto& p : snapshot) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, cfg.areaMeters);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, cfg.areaMeters);
+    }
+  }
+}
+
+TEST(Mobility, GroupsStayTogether) {
+  msc::gen::MobilityConfig cfg;
+  cfg.groups = 4;
+  cfg.nodesPerGroup = 5;
+  cfg.timeInstances = 20;
+  cfg.groupRadiusMeters = 100.0;
+  const auto trace = msc::gen::referencePointGroupMobility(cfg);
+  // Any two members of the same group are within 2 * groupRadius at all
+  // times (both within groupRadius of the leader).
+  for (const auto& snapshot : trace.positions) {
+    for (int i = 0; i < trace.nodeCount; ++i) {
+      for (int j = i + 1; j < trace.nodeCount; ++j) {
+        if (trace.groupOf[static_cast<std::size_t>(i)] !=
+            trace.groupOf[static_cast<std::size_t>(j)]) {
+          continue;
+        }
+        EXPECT_LE(
+            msc::gen::euclidean(snapshot[static_cast<std::size_t>(i)],
+                                snapshot[static_cast<std::size_t>(j)]),
+            2.0 * cfg.groupRadiusMeters + 1e-6);
+      }
+    }
+  }
+}
+
+TEST(Mobility, NodesActuallyMove) {
+  msc::gen::MobilityConfig cfg;
+  cfg.timeInstances = 15;
+  const auto trace = msc::gen::referencePointGroupMobility(cfg);
+  double totalDisplacement = 0.0;
+  for (int v = 0; v < trace.nodeCount; ++v) {
+    totalDisplacement += msc::gen::euclidean(
+        trace.positions.front()[static_cast<std::size_t>(v)],
+        trace.positions.back()[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_GT(totalDisplacement / trace.nodeCount, 50.0);  // meters
+}
+
+TEST(Mobility, Validation) {
+  msc::gen::MobilityConfig cfg;
+  cfg.groups = 0;
+  EXPECT_THROW(msc::gen::referencePointGroupMobility(cfg),
+               std::invalid_argument);
+  cfg.groups = 2;
+  cfg.timeInstances = 0;
+  EXPECT_THROW(msc::gen::referencePointGroupMobility(cfg),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------- Dynamic series
+
+TEST(DynamicSeries, OneGraphPerInstantWithRadioRule) {
+  msc::gen::MobilityConfig mob;
+  mob.groups = 3;
+  mob.nodesPerGroup = 6;
+  mob.timeInstances = 5;
+  const auto trace = msc::gen::referencePointGroupMobility(mob);
+
+  msc::gen::DynamicSeriesConfig cfg;
+  cfg.radioRangeMeters = 250.0;
+  const auto series = msc::gen::buildDynamicSeries(trace, cfg);
+  ASSERT_EQ(series.size(), 5u);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    EXPECT_EQ(series[t].graph.nodeCount(), 18);
+    for (const auto& e : series[t].graph.edges()) {
+      EXPECT_LT(
+          msc::gen::euclidean(series[t].positions[static_cast<std::size_t>(e.u)],
+                              series[t].positions[static_cast<std::size_t>(e.v)]),
+          cfg.radioRangeMeters);
+    }
+  }
+}
+
+TEST(DynamicSeries, TruncatesToMaxNodes) {
+  msc::gen::MobilityConfig mob;
+  mob.groups = 7;
+  mob.nodesPerGroup = 13;
+  mob.timeInstances = 3;
+  const auto trace = msc::gen::referencePointGroupMobility(mob);
+  msc::gen::DynamicSeriesConfig cfg;
+  cfg.maxNodes = 50;
+  const auto series = msc::gen::buildDynamicSeries(trace, cfg);
+  for (const auto& net : series) EXPECT_EQ(net.graph.nodeCount(), 50);
+}
+
+TEST(DynamicSeries, TopologyChangesOverTime) {
+  msc::gen::MobilityConfig mob;
+  mob.groups = 5;
+  mob.nodesPerGroup = 8;
+  mob.timeInstances = 10;
+  const auto trace = msc::gen::referencePointGroupMobility(mob);
+  const auto series = msc::gen::buildDynamicSeries(trace, {});
+  std::set<std::size_t> edgeCounts;
+  for (const auto& net : series) edgeCounts.insert(net.graph.edgeCount());
+  EXPECT_GT(edgeCounts.size(), 1u);  // links fluctuate as groups move
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Tests for the extra substrates: Watts-Strogatz small-world graphs and
+// mobility-trace serialization.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "gen/mobility.h"
+#include "gen/trace_io.h"
+#include "gen/watts_strogatz.h"
+#include "graph/components.h"
+
+namespace {
+
+// -------------------------------------------------------- Watts-Strogatz
+
+TEST(WattsStrogatz, NoRewireIsRingLattice) {
+  msc::gen::WattsStrogatzConfig cfg;
+  cfg.nodes = 20;
+  cfg.neighbors = 2;
+  cfg.rewireProbability = 0.0;
+  cfg.seed = 1;
+  const auto g = msc::gen::wattsStrogatz(cfg);
+  EXPECT_EQ(g.edgeCount(), 40u);  // n * neighbors
+  for (int v = 0; v < 20; ++v) {
+    EXPECT_EQ(g.degree(v), 4);
+    EXPECT_TRUE(g.hasEdge(v, (v + 1) % 20));
+    EXPECT_TRUE(g.hasEdge(v, (v + 2) % 20));
+  }
+}
+
+TEST(WattsStrogatz, EdgeCountPreservedUnderRewiring) {
+  msc::gen::WattsStrogatzConfig cfg;
+  cfg.nodes = 50;
+  cfg.neighbors = 3;
+  cfg.rewireProbability = 0.3;
+  cfg.seed = 5;
+  const auto g = msc::gen::wattsStrogatz(cfg);
+  EXPECT_EQ(g.edgeCount(), 150u);
+  // No self-loops or duplicate edges (Graph rejects self-loops; check dup).
+  std::set<std::pair<int, int>> seen;
+  for (const auto& e : g.edges()) {
+    const auto key = std::minmax(e.u, e.v);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+}
+
+TEST(WattsStrogatz, RewiringCreatesLongRangeEdges) {
+  msc::gen::WattsStrogatzConfig cfg;
+  cfg.nodes = 100;
+  cfg.neighbors = 2;
+  cfg.rewireProbability = 0.5;
+  cfg.seed = 7;
+  const auto g = msc::gen::wattsStrogatz(cfg);
+  int longRange = 0;
+  for (const auto& e : g.edges()) {
+    const int ring = std::min(std::abs(e.u - e.v), 100 - std::abs(e.u - e.v));
+    if (ring > 2) ++longRange;
+  }
+  EXPECT_GT(longRange, 20);
+}
+
+TEST(WattsStrogatz, StaysConnectedTypically) {
+  msc::gen::WattsStrogatzConfig cfg;
+  cfg.nodes = 60;
+  cfg.neighbors = 3;
+  cfg.rewireProbability = 0.1;
+  cfg.seed = 11;
+  const auto g = msc::gen::wattsStrogatz(cfg);
+  EXPECT_EQ(msc::graph::largestComponentSize(g), 60);
+}
+
+TEST(WattsStrogatz, Validation) {
+  msc::gen::WattsStrogatzConfig cfg;
+  cfg.nodes = 4;
+  cfg.neighbors = 2;
+  EXPECT_THROW(msc::gen::wattsStrogatz(cfg), std::invalid_argument);
+  cfg.nodes = 10;
+  cfg.rewireProbability = 1.5;
+  EXPECT_THROW(msc::gen::wattsStrogatz(cfg), std::invalid_argument);
+  cfg.rewireProbability = 0.1;
+  cfg.neighbors = 0;
+  EXPECT_THROW(msc::gen::wattsStrogatz(cfg), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Trace IO
+
+TEST(TraceIo, RoundTrip) {
+  msc::gen::MobilityConfig cfg;
+  cfg.groups = 3;
+  cfg.nodesPerGroup = 4;
+  cfg.timeInstances = 5;
+  cfg.seed = 13;
+  const auto trace = msc::gen::referencePointGroupMobility(cfg);
+
+  std::stringstream buffer;
+  msc::gen::writeTraceCsv(buffer, trace);
+  const auto back = msc::gen::readTraceCsv(buffer);
+
+  EXPECT_EQ(back.nodeCount, trace.nodeCount);
+  EXPECT_EQ(back.groupOf, trace.groupOf);
+  ASSERT_EQ(back.positions.size(), trace.positions.size());
+  for (std::size_t t = 0; t < trace.positions.size(); ++t) {
+    for (int v = 0; v < trace.nodeCount; ++v) {
+      EXPECT_DOUBLE_EQ(back.positions[t][static_cast<std::size_t>(v)].x,
+                       trace.positions[t][static_cast<std::size_t>(v)].x);
+      EXPECT_DOUBLE_EQ(back.positions[t][static_cast<std::size_t>(v)].y,
+                       trace.positions[t][static_cast<std::size_t>(v)].y);
+    }
+  }
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(msc::gen::readTraceCsv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("x,y,z\n");
+    EXPECT_THROW(msc::gen::readTraceCsv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("t,node,x,y,group\nnot,a,valid,row,0\n");
+    EXPECT_THROW(msc::gen::readTraceCsv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("t,node,x,y,group\n");
+    EXPECT_THROW(msc::gen::readTraceCsv(in), std::runtime_error);  // no rows
+  }
+}
+
+TEST(TraceIo, RejectsDuplicateAndMissingSamples) {
+  {
+    std::istringstream in(
+        "t,node,x,y,group\n"
+        "0,0,1.0,2.0,0\n"
+        "0,0,3.0,4.0,0\n");
+    EXPECT_THROW(msc::gen::readTraceCsv(in), std::runtime_error);
+  }
+  {
+    // Node 1 exists at t=0 but not t=1.
+    std::istringstream in(
+        "t,node,x,y,group\n"
+        "0,0,1.0,2.0,0\n"
+        "0,1,1.0,2.0,0\n"
+        "1,0,1.0,2.0,0\n");
+    EXPECT_THROW(msc::gen::readTraceCsv(in), std::runtime_error);
+  }
+}
+
+TEST(TraceIo, RejectsGroupChange) {
+  std::istringstream in(
+      "t,node,x,y,group\n"
+      "0,0,1.0,2.0,0\n"
+      "1,0,1.0,2.0,1\n");
+  EXPECT_THROW(msc::gen::readTraceCsv(in), std::runtime_error);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "t,node,x,y,group\n"
+      "# comment\n"
+      "\n"
+      "0,0,1.5,2.5,2\n");
+  const auto trace = msc::gen::readTraceCsv(in);
+  EXPECT_EQ(trace.nodeCount, 1);
+  EXPECT_EQ(trace.groupOf[0], 2);
+  EXPECT_DOUBLE_EQ(trace.positions[0][0].x, 1.5);
+}
+
+}  // namespace

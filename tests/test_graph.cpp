@@ -1,0 +1,112 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "helpers.h"
+
+namespace {
+
+using msc::graph::Graph;
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.nodeCount(), 0);
+  EXPECT_EQ(g.edgeCount(), 0u);
+  EXPECT_DOUBLE_EQ(g.averageDegree(), 0.0);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  g.addEdge(0, 1, 0.5);
+  g.addEdge(1, 2, 1.5);
+  EXPECT_EQ(g.edgeCount(), 2u);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(3), 0);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));  // undirected
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_DOUBLE_EQ(g.averageDegree(), 1.0);
+}
+
+TEST(Graph, NeighborsBothDirections) {
+  Graph g(3);
+  g.addEdge(0, 2, 0.7);
+  const auto n0 = g.neighbors(0);
+  const auto n2 = g.neighbors(2);
+  ASSERT_EQ(n0.size(), 1u);
+  ASSERT_EQ(n2.size(), 1u);
+  EXPECT_EQ(n0[0].to, 2);
+  EXPECT_DOUBLE_EQ(n0[0].length, 0.7);
+  EXPECT_EQ(n2[0].to, 0);
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g(2);
+  g.addEdge(0, 1, 1.0);
+  g.addEdge(0, 1, 2.0);
+  EXPECT_EQ(g.edgeCount(), 2u);
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(Graph, Validation) {
+  Graph g(3);
+  EXPECT_THROW(g.addEdge(0, 0, 1.0), std::invalid_argument);  // self-loop
+  EXPECT_THROW(g.addEdge(0, 3, 1.0), std::out_of_range);
+  EXPECT_THROW(g.addEdge(-1, 1, 1.0), std::out_of_range);
+  EXPECT_THROW(g.addEdge(0, 1, -0.1), std::invalid_argument);
+  EXPECT_THROW(g.addEdge(0, 1, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(g.addEdge(0, 1, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(Graph(-1), std::invalid_argument);
+}
+
+TEST(Graph, ZeroLengthEdgeAllowed) {
+  Graph g(2);
+  g.addEdge(0, 1, 0.0);  // shortcut edges have length 0
+  EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(Graph, EdgesKeepInsertionOrder) {
+  Graph g(4);
+  g.addEdge(2, 3, 0.1);
+  g.addEdge(0, 1, 0.2);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].u, 2);
+  EXPECT_EQ(edges[1].u, 0);
+}
+
+// --------------------------------------------------------- Components ----
+
+TEST(Components, SingleComponent) {
+  const auto g = msc::test::cycleGraph(5);
+  const auto comps = msc::graph::connectedComponents(g);
+  EXPECT_EQ(comps.count, 1);
+  EXPECT_TRUE(comps.sameComponent(0, 4));
+  EXPECT_EQ(msc::graph::largestComponentSize(g), 5);
+}
+
+TEST(Components, MultipleComponents) {
+  msc::graph::Graph g(6);
+  g.addEdge(0, 1, 1.0);
+  g.addEdge(2, 3, 1.0);
+  g.addEdge(3, 4, 1.0);
+  // node 5 isolated
+  const auto comps = msc::graph::connectedComponents(g);
+  EXPECT_EQ(comps.count, 3);
+  EXPECT_TRUE(comps.sameComponent(0, 1));
+  EXPECT_TRUE(comps.sameComponent(2, 4));
+  EXPECT_FALSE(comps.sameComponent(0, 2));
+  EXPECT_FALSE(comps.sameComponent(4, 5));
+  EXPECT_EQ(msc::graph::largestComponentSize(g), 3);
+}
+
+TEST(Components, EmptyGraph) {
+  msc::graph::Graph g;
+  EXPECT_EQ(msc::graph::connectedComponents(g).count, 0);
+  EXPECT_EQ(msc::graph::largestComponentSize(g), 0);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.h"
+
+namespace {
+
+using msc::graph::Graph;
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  Graph g(5);
+  g.addEdge(0, 1, 0.25);
+  g.addEdge(1, 4, 1.75);
+  g.addEdge(2, 3, 0.000001);
+  std::stringstream buffer;
+  msc::graph::writeEdgeList(buffer, g);
+  const Graph back = msc::graph::readEdgeList(buffer);
+  EXPECT_EQ(back.nodeCount(), 5);
+  ASSERT_EQ(back.edgeCount(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.edges()[i].u, g.edges()[i].u);
+    EXPECT_EQ(back.edges()[i].v, g.edges()[i].v);
+    EXPECT_DOUBLE_EQ(back.edges()[i].length, g.edges()[i].length);
+  }
+}
+
+TEST(GraphIo, ReadSkipsCommentsAndBlanks) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "4\n"
+      "  # another\n"
+      "0 1 0.5\n"
+      "\n"
+      "2 3 1.5\n");
+  const Graph g = msc::graph::readEdgeList(in);
+  EXPECT_EQ(g.nodeCount(), 4);
+  EXPECT_EQ(g.edgeCount(), 2u);
+}
+
+TEST(GraphIo, MalformedInputThrows) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(msc::graph::readEdgeList(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("abc\n");
+    EXPECT_THROW(msc::graph::readEdgeList(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("3\n0 nonsense\n");
+    EXPECT_THROW(msc::graph::readEdgeList(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("2\n0 5 1.0\n");  // endpoint out of range
+    EXPECT_THROW(msc::graph::readEdgeList(in), std::out_of_range);
+  }
+}
+
+TEST(GraphIo, DotContainsExpectedElements) {
+  const auto g = msc::test::lineGraph(3);
+  msc::graph::DotStyle style;
+  style.shortcuts = {{0, 2}};
+  style.socialPairs = {{0, 1}};
+  style.highlighted = {1};
+  style.positions = std::vector<std::pair<double, double>>{
+      {0.0, 0.0}, {0.5, 0.5}, {1.0, 1.0}};
+  std::ostringstream os;
+  msc::graph::writeDot(os, g, style);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("graph msc {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1 [color=grey60]"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 2 [color=red"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=gold"), std::string::npos);
+  EXPECT_NE(dot.find("pos="), std::string::npos);
+  EXPECT_NE(dot.rfind("}"), std::string::npos);
+}
+
+TEST(GraphIo, DotWithoutStyleStillValid) {
+  const auto g = msc::test::cycleGraph(4);
+  std::ostringstream os;
+  msc::graph::writeDot(os, g);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("graph msc {"), std::string::npos);
+  EXPECT_EQ(dot.find("color=red"), std::string::npos);
+}
+
+}  // namespace

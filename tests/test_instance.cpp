@@ -1,0 +1,114 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/apsp.h"
+#include "helpers.h"
+
+namespace {
+
+using msc::core::Instance;
+using msc::core::SocialPair;
+
+TEST(Instance, BasicAccessors) {
+  auto g = msc::test::lineGraph(5);
+  Instance inst(std::move(g), {{0, 4}, {1, 3}}, 2.5);
+  EXPECT_EQ(inst.pairCount(), 2);
+  EXPECT_DOUBLE_EQ(inst.distanceThreshold(), 2.5);
+  EXPECT_EQ(inst.graph().nodeCount(), 5);
+  EXPECT_DOUBLE_EQ(inst.baseDistance({0, 4}), 4.0);
+  EXPECT_FALSE(inst.baseSatisfied({0, 4}));
+  EXPECT_TRUE(inst.baseSatisfied({1, 3}));
+}
+
+TEST(Instance, PairNodesDeduplicated) {
+  auto g = msc::test::lineGraph(6);
+  Instance inst(std::move(g), {{0, 5}, {0, 3}, {3, 5}}, 1.0);
+  EXPECT_EQ(inst.pairNodes(), (std::vector<msc::graph::NodeId>{0, 3, 5}));
+}
+
+TEST(Instance, Validation) {
+  EXPECT_THROW(Instance(msc::test::lineGraph(3), {{0, 0}}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(Instance(msc::test::lineGraph(3), {{0, 5}}, 1.0),
+               std::out_of_range);
+  EXPECT_THROW(Instance(msc::test::lineGraph(3), {{0, 1}}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Instance, FromFailureThreshold) {
+  auto inst = Instance::fromFailureThreshold(msc::test::lineGraph(3), {{0, 2}},
+                                             1.0 - std::exp(-1.0));
+  EXPECT_NEAR(inst.distanceThreshold(), 1.0, 1e-12);
+}
+
+TEST(Instance, CopyShares) {
+  auto g = msc::test::lineGraph(4);
+  Instance a(std::move(g), {{0, 3}}, 1.0);
+  const Instance b = a;  // cheap copy
+  EXPECT_EQ(&a.graph(), &b.graph());
+  EXPECT_EQ(&a.baseDistances(), &b.baseDistances());
+}
+
+// ------------------------------------------------------------- Sampling ----
+
+class PairSampling : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PairSampling, AllSampledPairsExceedThreshold) {
+  const auto g = msc::test::randomGraph(40, 0.08, GetParam());
+  const auto dist = msc::graph::allPairsDistances(g);
+  msc::util::Rng rng(GetParam());
+  const double dt = 1.0;
+  const auto pairs = msc::core::sampleImportantPairs(g, dist, 10, dt, rng);
+  EXPECT_EQ(pairs.size(), 10u);
+  std::set<std::pair<int, int>> seen;
+  for (const auto& p : pairs) {
+    EXPECT_GT(dist(static_cast<std::size_t>(p.u),
+                   static_cast<std::size_t>(p.w)),
+              dt);
+    EXPECT_TRUE(
+        seen.insert({std::min(p.u, p.w), std::max(p.u, p.w)}).second)
+        << "duplicate pair sampled";
+  }
+}
+
+TEST_P(PairSampling, ConnectedVariantExcludesInfinite) {
+  const auto g = msc::test::randomGraph(40, 0.05, GetParam() + 77);
+  const auto dist = msc::graph::allPairsDistances(g);
+  msc::util::Rng rng(GetParam());
+  const auto pairs =
+      msc::core::sampleImportantPairsConnected(g, dist, 5, 0.5, rng);
+  for (const auto& p : pairs) {
+    EXPECT_NE(dist(static_cast<std::size_t>(p.u),
+                   static_cast<std::size_t>(p.w)),
+              msc::graph::kInfDist);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairSampling,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PairSampling, ThrowsWhenNotEnoughEligible) {
+  const auto g = msc::test::lineGraph(4, 1.0);  // longest distance 3
+  const auto dist = msc::graph::allPairsDistances(g);
+  msc::util::Rng rng(1);
+  EXPECT_THROW(msc::core::sampleImportantPairs(g, dist, 3, 10.0, rng),
+               std::runtime_error);
+}
+
+TEST(PairSampling, CommonNodeVariant) {
+  const auto g = msc::test::lineGraph(20, 1.0);
+  const auto dist = msc::graph::allPairsDistances(g);
+  msc::util::Rng rng(4);
+  const auto pairs =
+      msc::core::sampleCommonNodePairs(g, dist, 0, 5, 3.5, rng);
+  EXPECT_EQ(pairs.size(), 5u);
+  for (const auto& p : pairs) {
+    EXPECT_EQ(p.u, 0);
+    EXPECT_GT(p.w, 3);  // nodes 1..3 are within distance 3.5 of node 0
+  }
+}
+
+}  // namespace

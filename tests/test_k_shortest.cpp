@@ -1,0 +1,132 @@
+#include "graph/k_shortest.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "graph/dijkstra.h"
+#include "helpers.h"
+
+namespace {
+
+using msc::graph::Graph;
+using msc::graph::kShortestPaths;
+using msc::graph::NodeId;
+
+TEST(KShortest, ClassicYenExample) {
+  // Small weighted graph with known ranking.
+  Graph g(6);  // C, D, E, F, G, H = 0..5
+  g.addEdge(0, 1, 3.0);  // C-D
+  g.addEdge(0, 2, 2.0);  // C-E
+  g.addEdge(1, 3, 4.0);  // D-F
+  g.addEdge(2, 1, 1.0);  // E-D
+  g.addEdge(2, 3, 2.0);  // E-F
+  g.addEdge(2, 4, 3.0);  // E-G
+  g.addEdge(3, 4, 2.0);  // F-G
+  g.addEdge(3, 5, 1.0);  // F-H
+  g.addEdge(4, 5, 2.0);  // G-H
+
+  // (Yen's classic worked example is directed; as an undirected graph the
+  // reverse traversal of E-D adds C-D-E-F-H at length 7.)
+  const auto paths = kShortestPaths(g, 0, 5, 4);
+  ASSERT_EQ(paths.size(), 4u);
+  EXPECT_DOUBLE_EQ(paths[0].length, 5.0);  // C-E-F-H
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{0, 2, 3, 5}));
+  EXPECT_DOUBLE_EQ(paths[1].length, 7.0);  // C-E-G-H or C-D-E-F-H
+  EXPECT_DOUBLE_EQ(paths[2].length, 7.0);  // the other one
+  EXPECT_NE(paths[1].nodes, paths[2].nodes);
+  EXPECT_DOUBLE_EQ(paths[3].length, 8.0);  // C-D-F-H
+}
+
+TEST(KShortest, LengthsNondecreasingAndLoopless) {
+  const auto g = msc::test::randomGraph(20, 0.2, 5);
+  const auto paths = kShortestPaths(g, 0, 19, 8);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].length, paths[i - 1].length - 1e-12);
+  }
+  for (const auto& p : paths) {
+    std::set<NodeId> unique(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(unique.size(), p.nodes.size()) << "loop in path";
+    EXPECT_EQ(p.nodes.front(), 0);
+    EXPECT_EQ(p.nodes.back(), 19);
+  }
+}
+
+TEST(KShortest, AllPathsDistinct) {
+  const auto g = msc::test::cycleGraph(8);
+  const auto paths = kShortestPaths(g, 0, 4, 5);
+  EXPECT_EQ(paths.size(), 2u);  // a cycle has exactly two loopless routes
+  EXPECT_NE(paths[0].nodes, paths[1].nodes);
+  EXPECT_DOUBLE_EQ(paths[0].length, 4.0);
+  EXPECT_DOUBLE_EQ(paths[1].length, 4.0);
+}
+
+TEST(KShortest, FirstMatchesDijkstra) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = msc::test::randomGraph(15, 0.25, seed);
+    const auto paths = kShortestPaths(g, 0, 14, 1);
+    const double direct = msc::graph::dijkstraDistance(g, 0, 14);
+    if (direct == msc::graph::kInfDist) {
+      EXPECT_TRUE(paths.empty());
+    } else {
+      ASSERT_EQ(paths.size(), 1u);
+      EXPECT_NEAR(paths[0].length, direct, 1e-12);
+    }
+  }
+}
+
+TEST(KShortest, ExhaustiveAgainstBruteForceOnTinyGraphs) {
+  // Compare against all simple paths enumerated by DFS.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = msc::test::randomGraph(7, 0.4, seed);
+    // Brute-force enumeration.
+    std::vector<double> lengths;
+    std::vector<NodeId> current{0};
+    std::vector<char> visited(7, 0);
+    visited[0] = 1;
+    std::function<void(NodeId, double)> dfs = [&](NodeId u, double len) {
+      if (u == 6) {
+        lengths.push_back(len);
+        return;
+      }
+      for (const auto& arc : g.neighbors(u)) {
+        if (visited[static_cast<std::size_t>(arc.to)]) continue;
+        visited[static_cast<std::size_t>(arc.to)] = 1;
+        dfs(arc.to, len + arc.length);
+        visited[static_cast<std::size_t>(arc.to)] = 0;
+      }
+    };
+    dfs(0, 0.0);
+    std::sort(lengths.begin(), lengths.end());
+
+    const auto paths = kShortestPaths(g, 0, 6, 50);
+    ASSERT_EQ(paths.size(), lengths.size()) << "seed=" << seed;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      EXPECT_NEAR(paths[i].length, lengths[i], 1e-9)
+          << "seed=" << seed << " rank=" << i;
+    }
+  }
+}
+
+TEST(KShortest, SourceEqualsTarget) {
+  const auto g = msc::test::cycleGraph(5);
+  const auto paths = kShortestPaths(g, 2, 2, 3);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{2}));
+  EXPECT_DOUBLE_EQ(paths[0].length, 0.0);
+}
+
+TEST(KShortest, Validation) {
+  const auto g = msc::test::lineGraph(3);
+  EXPECT_THROW(kShortestPaths(g, 0, 2, 0), std::invalid_argument);
+  EXPECT_THROW(kShortestPaths(g, 0, 5, 1), std::out_of_range);
+}
+
+TEST(KShortest, Unreachable) {
+  Graph g(4);
+  g.addEdge(0, 1, 1.0);
+  EXPECT_TRUE(kShortestPaths(g, 0, 3, 3).empty());
+}
+
+}  // namespace

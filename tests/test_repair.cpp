@@ -1,0 +1,104 @@
+#include "core/repair.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/sigma.h"
+#include "helpers.h"
+#include "util/rng.h"
+
+namespace {
+
+using msc::core::CandidateSet;
+using msc::core::Instance;
+using msc::core::repairPlacement;
+using msc::core::Shortcut;
+using msc::core::ShortcutList;
+using msc::core::SigmaEvaluator;
+
+TEST(Repair, NeverDecreasesValue) {
+  const auto inst = msc::test::randomInstance(20, 10, 1.2, 1);
+  const auto cands = CandidateSet::allPairs(20);
+  SigmaEvaluator sigma(inst);
+  msc::util::Rng rng(3);
+  const auto start = msc::test::randomPlacement(20, 5, rng);
+  const double before = sigma.value(start);
+  const auto repaired = repairPlacement(sigma, cands, start, 3);
+  EXPECT_GE(repaired.value, before);
+  EXPECT_EQ(repaired.placement.size(), start.size());
+  EXPECT_LE(repaired.swapsUsed, 3);
+}
+
+TEST(Repair, ZeroSwapsIsIdentity) {
+  const auto inst = msc::test::randomInstance(16, 6, 1.0, 2);
+  const auto cands = CandidateSet::allPairs(16);
+  SigmaEvaluator sigma(inst);
+  msc::util::Rng rng(4);
+  const auto start = msc::test::randomPlacement(16, 4, rng);
+  const auto repaired = repairPlacement(sigma, cands, start, 0);
+  EXPECT_EQ(msc::core::sorted(repaired.placement), msc::core::sorted(start));
+  EXPECT_EQ(repaired.swapsUsed, 0);
+  EXPECT_EQ(repaired.edgesChanged, 0);
+}
+
+TEST(Repair, StopsWhenNoSwapImproves) {
+  // Greedy placement is locally optimal under single swaps reasonably
+  // often; at minimum repair must terminate early and report few swaps.
+  const auto inst = msc::test::randomInstance(18, 8, 1.2, 3);
+  const auto cands = CandidateSet::allPairs(18);
+  SigmaEvaluator sigma(inst);
+  const auto greedy = msc::core::greedyMaximize(sigma, cands, 4);
+  const auto repaired = repairPlacement(sigma, cands, greedy.placement, 10);
+  EXPECT_GE(repaired.value, greedy.value);
+  // edgesChanged counts replaced originals only.
+  EXPECT_LE(repaired.edgesChanged,
+            static_cast<int>(greedy.placement.size()));
+}
+
+TEST(Repair, ChurnBoundedBySwaps) {
+  const auto inst = msc::test::randomInstance(22, 10, 1.2, 4);
+  const auto cands = CandidateSet::allPairs(22);
+  SigmaEvaluator sigma(inst);
+  msc::util::Rng rng(9);
+  const auto start = msc::test::randomPlacement(22, 6, rng);
+  for (const int budget : {1, 2, 4}) {
+    const auto repaired = repairPlacement(sigma, cands, start, budget);
+    EXPECT_LE(repaired.edgesChanged, repaired.swapsUsed);
+    EXPECT_LE(repaired.swapsUsed, budget);
+  }
+}
+
+TEST(Repair, AdaptsToTopologyChange) {
+  // Placement optimized for one instance, repaired against another: the
+  // repaired placement must score at least as well as the stale one on the
+  // new objective.
+  const auto oldInst = msc::test::randomInstance(20, 10, 1.2, 5);
+  const auto newInst = msc::test::randomInstance(20, 10, 1.2, 6);
+  const auto cands = CandidateSet::allPairs(20);
+
+  SigmaEvaluator oldSigma(oldInst);
+  const auto stale = msc::core::greedyMaximize(oldSigma, cands, 5).placement;
+
+  SigmaEvaluator newSigma(newInst);
+  const double staleValue = newSigma.value(stale);
+  const auto repaired = repairPlacement(newSigma, cands, stale, 3);
+  EXPECT_GE(repaired.value, staleValue);
+}
+
+TEST(Repair, EmptyPlacementIsNoop) {
+  const auto inst = msc::test::randomInstance(12, 4, 1.0, 7);
+  const auto cands = CandidateSet::allPairs(12);
+  SigmaEvaluator sigma(inst);
+  const auto repaired = repairPlacement(sigma, cands, {}, 5);
+  EXPECT_TRUE(repaired.placement.empty());
+  EXPECT_EQ(repaired.swapsUsed, 0);
+}
+
+TEST(Repair, Validation) {
+  const auto inst = msc::test::randomInstance(10, 4, 1.0, 8);
+  const auto cands = CandidateSet::allPairs(10);
+  SigmaEvaluator sigma(inst);
+  EXPECT_THROW(repairPlacement(sigma, cands, {}, -1), std::invalid_argument);
+}
+
+}  // namespace

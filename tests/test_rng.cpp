@@ -1,0 +1,181 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace {
+
+using msc::util::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ConsecutiveSmallSeedsAreIndependent) {
+  // splitmix64 seeding must decorrelate seeds 0 and 1.
+  Rng a(0);
+  Rng b(1);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0;
+  double hi = 0.0;
+  double sum = 0.0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+  EXPECT_NEAR(sum / samples, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowStaysInBound) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  // Roughly uniform: each bucket within 20% of expectation.
+  for (const int c : counts) EXPECT_NEAR(c, 5000, 1000);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, IntInInclusiveRange) {
+  Rng rng(13);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.intIn(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit
+  EXPECT_THROW(rng.intIn(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  const int samples = 50000;
+  double sum = 0.0;
+  double sumSq = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double x = rng.gaussian();
+    sum += x;
+    sumSq += x * x;
+  }
+  const double mean = sum / samples;
+  const double var = sumSq / samples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianShifted) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / samples, 10.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sortedBack = shuffled;
+  std::sort(sortedBack.begin(), sortedBack.end());
+  EXPECT_EQ(sortedBack, v);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(31);
+  const auto sample = rng.sampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(Rng, SampleWholeUniverse) {
+  Rng rng(37);
+  const auto sample = rng.sampleWithoutReplacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleTooManyThrows) {
+  Rng rng(41);
+  EXPECT_THROW(rng.sampleWithoutReplacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng parent(43);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace

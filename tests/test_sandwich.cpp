@@ -1,0 +1,90 @@
+#include "core/sandwich.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.h"
+#include "core/exact.h"
+#include "core/sigma.h"
+#include "helpers.h"
+
+namespace {
+
+using msc::core::CandidateSet;
+using msc::core::Instance;
+using msc::core::sandwichApproximation;
+using msc::core::SigmaEvaluator;
+
+TEST(Sandwich, BestOfThreeIsReturned) {
+  const auto inst = msc::test::randomInstance(30, 10, 1.2, 1);
+  const auto cands = CandidateSet::allPairs(30);
+  const auto result = sandwichApproximation(inst, cands, 4);
+  EXPECT_GE(result.sigma, result.sigmaOfMu);
+  EXPECT_GE(result.sigma, result.sigmaOfSigma);
+  EXPECT_GE(result.sigma, result.sigmaOfNu);
+  EXPECT_TRUE(result.winner == "mu" || result.winner == "sigma" ||
+              result.winner == "nu");
+  // Returned placement really scores the reported value.
+  EXPECT_DOUBLE_EQ(msc::core::sigmaValue(inst, result.placement),
+                   result.sigma);
+  EXPECT_LE(result.placement.size(), 4u);
+}
+
+TEST(Sandwich, RatioPiecesConsistent) {
+  const auto inst = msc::test::randomInstance(25, 8, 1.2, 2);
+  const auto cands = CandidateSet::allPairs(25);
+  const auto result = sandwichApproximation(inst, cands, 3);
+  // sigma(F_nu) <= nu(F_nu) (nu upper-bounds sigma), so ratio in [0, 1].
+  if (const auto ratio = result.dataDependentRatio()) {
+    EXPECT_GE(*ratio, 0.0);
+    EXPECT_LE(*ratio, 1.0 + 1e-9);
+    EXPECT_NEAR(*ratio, result.sigmaOfFnu / result.nuOfFnu, 1e-12);
+  }
+}
+
+TEST(Sandwich, ZeroBudget) {
+  const auto inst = msc::test::randomInstance(15, 5, 1.0, 3);
+  const auto cands = CandidateSet::allPairs(15);
+  const auto result = sandwichApproximation(inst, cands, 0);
+  EXPECT_TRUE(result.placement.empty());
+}
+
+// ----------------------------------------------------------- Property ----
+
+class SandwichProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SandwichProperty, GuaranteeHoldsAgainstExactOptimum) {
+  const std::uint64_t seed = GetParam();
+  const auto inst = msc::test::randomInstance(10, 5, 1.0, seed);
+  const auto cands = CandidateSet::allPairs(10);
+  const int k = 2;
+  const auto aa = sandwichApproximation(inst, cands, k);
+
+  SigmaEvaluator sigma(inst);
+  const auto opt = msc::core::exactOptimum(sigma, cands, k);
+  EXPECT_LE(aa.sigma, opt.value + 1e-9);
+
+  // Data-dependent bound from Eq. (5):
+  //   sigma(F_app) >= sigma(F_nu)/nu(F_nu) * (1 - 1/e) * sigma(F*).
+  if (const auto ratio = aa.dataDependentRatio()) {
+    EXPECT_GE(aa.sigma,
+              *ratio * (1.0 - std::exp(-1.0)) * opt.value - 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+TEST_P(SandwichProperty, NeverWorseThanPlainSigmaGreedy) {
+  // By construction AA takes the max over three placements including the
+  // sigma-greedy one.
+  const std::uint64_t seed = GetParam();
+  const auto inst = msc::test::randomInstance(20, 8, 1.2, seed);
+  const auto cands = CandidateSet::allPairs(20);
+  const auto aa = sandwichApproximation(inst, cands, 3);
+  EXPECT_GE(aa.sigma, aa.sigmaOfSigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SandwichProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace

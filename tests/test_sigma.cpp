@@ -1,0 +1,151 @@
+#include "core/sigma.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "util/rng.h"
+
+namespace {
+
+using msc::core::Instance;
+using msc::core::Shortcut;
+using msc::core::ShortcutList;
+using msc::core::SigmaEvaluator;
+
+Instance paperCounterexample() {
+  // §V-A: V = {v0, v1, v2}, E = {}, all three pairs important, d_t = 1.
+  msc::graph::Graph g(3);
+  return Instance(std::move(g), {{0, 1}, {0, 2}, {1, 2}}, 1.0);
+}
+
+TEST(Sigma, EmptyPlacementOnDisconnectedTriple) {
+  const auto inst = paperCounterexample();
+  SigmaEvaluator eval(inst);
+  EXPECT_DOUBLE_EQ(eval.value({}), 0.0);
+  EXPECT_EQ(eval.satisfiedCount(), 0);
+}
+
+TEST(Sigma, PaperCounterexampleValues) {
+  const auto inst = paperCounterexample();
+  SigmaEvaluator eval(inst);
+  // One shortcut satisfies exactly its own pair.
+  EXPECT_DOUBLE_EQ(eval.value({Shortcut::make(0, 1)}), 1.0);
+  // Two shortcuts satisfy all three pairs (the third via two 0-edges).
+  EXPECT_DOUBLE_EQ(
+      eval.value({Shortcut::make(0, 1), Shortcut::make(1, 2)}), 3.0);
+}
+
+TEST(Sigma, LineGraphShortcut) {
+  // 0-1-2-3-4-5 unit lengths, pairs (0,5) and (1,4), threshold 2.
+  Instance inst(msc::test::lineGraph(6), {{0, 5}, {1, 4}}, 2.0);
+  SigmaEvaluator eval(inst);
+  EXPECT_DOUBLE_EQ(eval.value({}), 0.0);
+  // Shortcut (0,5) satisfies (0,5) directly AND (1,4) via 1-0-(5)-4 = 2.
+  EXPECT_DOUBLE_EQ(eval.value({Shortcut::make(0, 5)}), 2.0);
+  // A useless extra shortcut changes nothing.
+  EXPECT_DOUBLE_EQ(eval.value({Shortcut::make(0, 5), Shortcut::make(2, 3)}),
+                   2.0);
+  // Shortcut (1,4) satisfies (1,4) directly and (0,5) via 0-1-(4)-5 = 2.
+  EXPECT_DOUBLE_EQ(eval.value({Shortcut::make(1, 4)}), 2.0);
+  // (2,3) alone satisfies (1,4) via 1-2-(3)-4 = 2 but leaves (0,5) at
+  // 0-1-2-(3)-4-5 = 4 > 2.
+  EXPECT_DOUBLE_EQ(eval.value({Shortcut::make(2, 3)}), 1.0);
+}
+
+TEST(Sigma, DuplicatesInPlacementAreHarmless) {
+  Instance inst(msc::test::lineGraph(6), {{0, 5}}, 2.0);
+  SigmaEvaluator eval(inst);
+  EXPECT_DOUBLE_EQ(
+      eval.value({Shortcut::make(0, 5), Shortcut::make(0, 5)}), 1.0);
+}
+
+TEST(Sigma, IncrementalMatchesWholeSet) {
+  Instance inst(msc::test::lineGraph(8), {{0, 7}, {1, 6}, {2, 5}}, 2.0);
+  SigmaEvaluator eval(inst);
+  eval.reset();
+  const ShortcutList placement{Shortcut::make(0, 7), Shortcut::make(1, 6)};
+  for (const auto& f : placement) {
+    const double before = eval.currentValue();
+    const double gain = eval.gainIfAdd(f);
+    eval.add(f);
+    EXPECT_DOUBLE_EQ(eval.currentValue(), before + gain);
+  }
+  EXPECT_DOUBLE_EQ(eval.currentValue(), eval.value(placement));
+}
+
+TEST(Sigma, PairDistanceTracksPlacement) {
+  Instance inst(msc::test::lineGraph(6), {{0, 5}}, 2.0);
+  SigmaEvaluator eval(inst);
+  eval.reset();
+  EXPECT_DOUBLE_EQ(eval.pairDistance(0), 5.0);
+  eval.add(Shortcut::make(1, 4));
+  EXPECT_DOUBLE_EQ(eval.pairDistance(0), 2.0);
+  EXPECT_TRUE(eval.pairSatisfied(0));
+}
+
+TEST(Sigma, EvaluateSetsState) {
+  Instance inst(msc::test::lineGraph(6), {{0, 5}}, 1.0);
+  SigmaEvaluator eval(inst);
+  EXPECT_DOUBLE_EQ(eval.evaluate({Shortcut::make(0, 5)}), 1.0);
+  EXPECT_DOUBLE_EQ(eval.evaluate({}), 0.0);  // reset works
+}
+
+// ----------------------------------------------------------- Property ----
+
+class SigmaStrategies : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SigmaStrategies, AllThreeStrategiesAgree) {
+  const std::uint64_t seed = GetParam();
+  const auto inst = msc::test::randomInstance(30, 8, 1.2, seed);
+  SigmaEvaluator eval(inst);
+  msc::util::Rng rng(seed ^ 0xbeefULL);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto placement =
+        msc::test::randomPlacement(30, static_cast<int>(rng.below(6)) , rng);
+    const double byMatrix = eval.valueByMatrix(placement);
+    const double byOverlay = eval.valueByOverlay(placement);
+    const double byRebuild = eval.valueByRebuild(placement);
+    EXPECT_DOUBLE_EQ(byMatrix, byOverlay) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(byMatrix, byRebuild) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(eval.value(placement), byMatrix);
+  }
+}
+
+TEST_P(SigmaStrategies, MonotoneInPlacement) {
+  const std::uint64_t seed = GetParam();
+  const auto inst = msc::test::randomInstance(25, 6, 1.0, seed);
+  SigmaEvaluator eval(inst);
+  msc::util::Rng rng(seed ^ 0x77ULL);
+  ShortcutList f;
+  double prev = eval.value(f);
+  for (int step = 0; step < 6; ++step) {
+    const auto extra = msc::test::randomPlacement(25, 1, rng);
+    if (msc::core::contains(f, extra[0])) continue;
+    f.push_back(extra[0]);
+    const double now = eval.value(f);
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST_P(SigmaStrategies, GainConsistentWithValue) {
+  const std::uint64_t seed = GetParam();
+  const auto inst = msc::test::randomInstance(20, 6, 1.0, seed);
+  SigmaEvaluator eval(inst);
+  msc::util::Rng rng(seed ^ 0x1234ULL);
+  const auto base = msc::test::randomPlacement(20, 3, rng);
+  eval.evaluate(base);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto extra = msc::test::randomPlacement(20, 1, rng)[0];
+    auto grown = base;
+    grown.push_back(extra);
+    EXPECT_DOUBLE_EQ(eval.gainIfAdd(extra),
+                     eval.value(grown) - eval.value(base))
+        << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SigmaStrategies,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sandwich.h"
+#include "helpers.h"
+#include "sim/delivery.h"
+#include "sim/link_state.h"
+#include "wireless/link_model.h"
+
+namespace {
+
+using msc::core::Instance;
+using msc::core::Shortcut;
+using msc::sim::estimateDelivery;
+using msc::sim::MonteCarloConfig;
+
+TEST(LinkState, SamplingMatchesEdgeReliability) {
+  // One edge with failure probability 0.3: empirical up-rate ~ 0.7.
+  msc::graph::Graph g(2);
+  g.addEdge(0, 1, msc::wireless::failureToLength(0.3));
+  msc::util::Rng rng(1);
+  int up = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    up += msc::sim::sampleRealization(g, rng).up[0];
+  }
+  EXPECT_NEAR(static_cast<double>(up) / trials, 0.7, 0.01);
+}
+
+TEST(LinkState, ZeroLengthEdgesAlwaysUp) {
+  msc::graph::Graph g(2);
+  g.addEdge(0, 1, 0.0);
+  msc::util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(msc::sim::sampleRealization(g, rng).up[0], 1);
+  }
+}
+
+TEST(LinkState, SurvivingGraphKeepsShortcutsAndUpEdges) {
+  msc::graph::Graph g(4);
+  g.addEdge(0, 1, 0.5);
+  g.addEdge(1, 2, 0.5);
+  msc::sim::LinkRealization real;
+  real.up = {1, 0};
+  const auto s = msc::sim::survivingGraph(g, real, {Shortcut::make(2, 3)});
+  EXPECT_EQ(s.edgeCount(), 2u);  // surviving edge + shortcut
+  EXPECT_TRUE(s.hasEdge(0, 1));
+  EXPECT_FALSE(s.hasEdge(1, 2));
+  EXPECT_TRUE(s.hasEdge(2, 3));
+
+  msc::sim::LinkRealization bad;
+  bad.up = {1};
+  EXPECT_THROW(msc::sim::survivingGraph(g, bad, {}), std::invalid_argument);
+}
+
+TEST(Delivery, FixedPathMatchesAnalyticOnLine) {
+  // Path of three links with failure 0.1 each: success = 0.9^3.
+  msc::graph::Graph g(4);
+  const double l = msc::wireless::failureToLength(0.1);
+  g.addEdge(0, 1, l);
+  g.addEdge(1, 2, l);
+  g.addEdge(2, 3, l);
+  Instance inst(std::move(g), {{0, 3}}, 10.0);
+  MonteCarloConfig cfg;
+  cfg.trials = 30000;
+  cfg.seed = 3;
+  const auto est = estimateDelivery(inst, {}, cfg);
+  ASSERT_EQ(est.size(), 1u);
+  const double expected = std::pow(0.9, 3);
+  EXPECT_NEAR(est[0].analyticFixedPath, expected, 1e-12);
+  EXPECT_NEAR(est[0].simulatedFixedPath, expected, 0.01);
+}
+
+TEST(Delivery, ShortcutRouteIsPerfectlyReliable) {
+  msc::graph::Graph g(2);
+  g.addEdge(0, 1, msc::wireless::failureToLength(0.5));
+  Instance inst(std::move(g), {{0, 1}}, 0.1);
+  MonteCarloConfig cfg;
+  cfg.trials = 500;
+  cfg.seed = 5;
+  const auto est = estimateDelivery(inst, {Shortcut::make(0, 1)}, cfg);
+  ASSERT_EQ(est.size(), 1u);
+  // The route goes over the shortcut (length 0): always delivered.
+  EXPECT_DOUBLE_EQ(est[0].analyticFixedPath, 1.0);
+  EXPECT_DOUBLE_EQ(est[0].simulatedFixedPath, 1.0);
+  EXPECT_DOUBLE_EQ(est[0].simulatedOpportunistic, 1.0);
+}
+
+TEST(Delivery, OpportunisticDominatesFixedWithinThreshold) {
+  // On a cycle the requirement-meeting pairs have surviving detours, so
+  // opportunistic delivery (any surviving path <= d_t) must beat or match
+  // committing to the one installed route — on identical realizations.
+  msc::graph::Graph g(8);
+  {
+    const auto cycle = msc::test::cycleGraph(8, 0.2);
+    for (const auto& e : cycle.edges()) g.addEdge(e.u, e.v, e.length);
+  }
+  Instance inst(std::move(g), {{0, 2}, {1, 5}}, 2.0);
+  MonteCarloConfig cfg;
+  cfg.trials = 4000;
+  cfg.seed = 9;
+  const auto est = estimateDelivery(inst, {}, cfg);
+  for (const auto& e : est) {
+    EXPECT_GE(e.simulatedOpportunistic, e.simulatedFixedPath);
+  }
+}
+
+TEST(Delivery, UnreachablePairNeverDelivers) {
+  msc::graph::Graph g(4);
+  g.addEdge(0, 1, 0.1);
+  Instance inst(std::move(g), {{0, 3}}, 5.0);
+  MonteCarloConfig cfg;
+  cfg.trials = 100;
+  cfg.seed = 11;
+  const auto est = estimateDelivery(inst, {}, cfg);
+  EXPECT_DOUBLE_EQ(est[0].analyticFixedPath, 0.0);
+  EXPECT_DOUBLE_EQ(est[0].simulatedFixedPath, 0.0);
+  EXPECT_DOUBLE_EQ(est[0].simulatedOpportunistic, 0.0);
+}
+
+TEST(Delivery, MaintainedPairsMeetTargetInSimulation) {
+  // The core claim the simulator validates: pairs the optimizer reports as
+  // maintained achieve >= 1 - p_t fixed-path delivery (up to MC noise).
+  const double pt = 0.25;
+  auto spatialInst = msc::test::randomInstance(
+      25, 8, msc::wireless::failureThresholdToDistance(pt), 13);
+  const auto cands = msc::core::CandidateSet::allPairs(25);
+  const auto aa = msc::core::sandwichApproximation(spatialInst, cands, 4);
+
+  MonteCarloConfig cfg;
+  cfg.trials = 6000;
+  cfg.seed = 13;
+  const auto est = estimateDelivery(spatialInst, aa.placement, cfg);
+  const auto routes = msc::core::routeAllPairs(spatialInst, aa.placement);
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    if (!routes[i].meetsRequirement) continue;
+    EXPECT_GE(est[i].simulatedFixedPath, (1.0 - pt) - 0.03)
+        << "pair " << est[i].pair.u << "," << est[i].pair.w;
+  }
+}
+
+TEST(Delivery, Validation) {
+  const auto inst = msc::test::randomInstance(10, 3, 1.0, 17);
+  MonteCarloConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(estimateDelivery(inst, {}, cfg), std::invalid_argument);
+}
+
+}  // namespace

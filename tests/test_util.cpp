@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/env.h"
+#include "util/matrix.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using msc::util::Matrix;
+using msc::util::RunningStats;
+using msc::util::TableWriter;
+
+// ------------------------------------------------------------- Matrix ----
+
+TEST(Matrix, FillAndAccess) {
+  Matrix<double> m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_DOUBLE_EQ(m(2, 3), 1.5);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, RowPointerIsContiguous) {
+  Matrix<int> m(2, 3);
+  m(1, 0) = 10;
+  m(1, 1) = 11;
+  m(1, 2) = 12;
+  const int* row = m.row(1);
+  EXPECT_EQ(row[0], 10);
+  EXPECT_EQ(row[1], 11);
+  EXPECT_EQ(row[2], 12);
+}
+
+TEST(Matrix, EqualityAndFill) {
+  Matrix<int> a(2, 2, 3);
+  Matrix<int> b(2, 2, 3);
+  EXPECT_EQ(a, b);
+  a.fill(4);
+  EXPECT_FALSE(a == b);
+}
+
+// -------------------------------------------------------------- Stats ----
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.push(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.push(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95HalfWidth(), 0.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.push(i % 2 == 0 ? 1.0 : 2.0);
+  for (int i = 0; i < 1000; ++i) large.push(i % 2 == 0 ? 1.0 : 2.0);
+  EXPECT_GT(small.ci95HalfWidth(), large.ci95HalfWidth());
+}
+
+TEST(Percentile, InterpolatesOrderStatistics) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(msc::util::percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(msc::util::percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(msc::util::percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(msc::util::percentile(v, 25.0), 2.0);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW(msc::util::percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(msc::util::percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(msc::util::percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Table ----
+
+TEST(TableWriter, AlignedOutput) {
+  TableWriter t({"k", "value"});
+  t.addRow({"2", "0.3636"});
+  t.addRow({"10", "0.1379"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("k"), std::string::npos);
+  EXPECT_NE(out.find("0.3636"), std::string::npos);
+  EXPECT_NE(out.find("0.1379"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableWriter, ArityEnforced) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TableWriter({}), std::invalid_argument);
+}
+
+TEST(TableWriter, CsvEscaping) {
+  TableWriter t({"name", "note"});
+  t.addRow({"plain", "has,comma"});
+  t.addRow({"quote\"inside", "ok"});
+  std::ostringstream os;
+  t.printCsv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Format, FixedAndPlusMinus) {
+  EXPECT_EQ(msc::util::formatFixed(0.36364, 4), "0.3636");
+  EXPECT_EQ(msc::util::formatFixed(2.0, 1), "2.0");
+  EXPECT_EQ(msc::util::formatPlusMinus(3.14159, 0.005, 2), "3.14 ± 0.01");
+}
+
+// ---------------------------------------------------------------- Env ----
+
+TEST(Env, IntParsing) {
+  ::setenv("MSC_TEST_INT", "42", 1);
+  EXPECT_EQ(msc::util::envInt("MSC_TEST_INT", 7), 42);
+  ::setenv("MSC_TEST_INT", "not-a-number", 1);
+  EXPECT_EQ(msc::util::envInt("MSC_TEST_INT", 7), 7);
+  ::unsetenv("MSC_TEST_INT");
+  EXPECT_EQ(msc::util::envInt("MSC_TEST_INT", 7), 7);
+}
+
+TEST(Env, BoolParsing) {
+  ::setenv("MSC_TEST_BOOL", "yes", 1);
+  EXPECT_TRUE(msc::util::envBool("MSC_TEST_BOOL", false));
+  ::setenv("MSC_TEST_BOOL", "0", 1);
+  EXPECT_FALSE(msc::util::envBool("MSC_TEST_BOOL", true));
+  ::setenv("MSC_TEST_BOOL", "garbage", 1);
+  EXPECT_TRUE(msc::util::envBool("MSC_TEST_BOOL", true));
+  ::unsetenv("MSC_TEST_BOOL");
+}
+
+TEST(Env, ScaledIters) {
+  ::unsetenv("MSC_FAST");
+  ::setenv("MSC_BENCH_SCALE", "0.5", 1);
+  EXPECT_EQ(msc::util::scaledIters(100), 50);
+  ::setenv("MSC_BENCH_SCALE", "0.0001", 1);
+  EXPECT_EQ(msc::util::scaledIters(100), 1);  // never below 1
+  ::unsetenv("MSC_BENCH_SCALE");
+  EXPECT_EQ(msc::util::scaledIters(100), 100);
+}
+
+}  // namespace

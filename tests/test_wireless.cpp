@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.h"
+#include "wireless/link_model.h"
+#include "wireless/path.h"
+
+namespace {
+
+using msc::wireless::DistanceProportionalFailure;
+using msc::wireless::failureToLength;
+using msc::wireless::lengthToFailure;
+
+TEST(LinkModel, TransformRoundTrip) {
+  for (const double p : {0.0, 0.01, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(lengthToFailure(failureToLength(p)), p, 1e-12);
+  }
+}
+
+TEST(LinkModel, KnownValues) {
+  EXPECT_DOUBLE_EQ(failureToLength(0.0), 0.0);
+  // p = 1 - 1/e  =>  length 1.
+  EXPECT_NEAR(failureToLength(1.0 - std::exp(-1.0)), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(lengthToFailure(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      lengthToFailure(std::numeric_limits<double>::infinity()), 1.0);
+}
+
+TEST(LinkModel, Monotone) {
+  double prev = -1.0;
+  for (double p = 0.0; p < 0.99; p += 0.07) {
+    const double len = failureToLength(p);
+    EXPECT_GT(len, prev);
+    prev = len;
+  }
+}
+
+TEST(LinkModel, Validation) {
+  EXPECT_THROW(failureToLength(-0.1), std::invalid_argument);
+  EXPECT_THROW(failureToLength(1.0), std::invalid_argument);
+  EXPECT_THROW(lengthToFailure(-1.0), std::invalid_argument);
+  EXPECT_THROW(lengthToFailure(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(LinkModel, AdditivityMatchesProductRule) {
+  // Two links in series: failure 1-(1-p1)(1-p2) == lengthToFailure(l1+l2).
+  const double p1 = 0.1;
+  const double p2 = 0.25;
+  const double serial = 1.0 - (1.0 - p1) * (1.0 - p2);
+  EXPECT_NEAR(lengthToFailure(failureToLength(p1) + failureToLength(p2)),
+              serial, 1e-12);
+}
+
+TEST(DistanceProportional, ClampsAtPMax) {
+  DistanceProportionalFailure model(0.1, 0.8);
+  EXPECT_DOUBLE_EQ(model.failureAt(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.failureAt(2.0), 0.2);
+  EXPECT_DOUBLE_EQ(model.failureAt(100.0), 0.8);  // clamped
+  EXPECT_DOUBLE_EQ(model.lengthAt(2.0), failureToLength(0.2));
+}
+
+TEST(DistanceProportional, Validation) {
+  EXPECT_THROW(DistanceProportionalFailure(-0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(DistanceProportionalFailure(0.1, 1.0), std::invalid_argument);
+  DistanceProportionalFailure ok(0.1, 0.5);
+  EXPECT_THROW(ok.failureAt(-1.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Path ----
+
+TEST(Path, FailureFromEdgeFailures) {
+  EXPECT_DOUBLE_EQ(msc::wireless::pathFailureFromEdgeFailures({}), 0.0);
+  EXPECT_DOUBLE_EQ(msc::wireless::pathFailureFromEdgeFailures({0.5}), 0.5);
+  EXPECT_NEAR(msc::wireless::pathFailureFromEdgeFailures({0.1, 0.2}),
+              1.0 - 0.9 * 0.8, 1e-12);
+  EXPECT_THROW(msc::wireless::pathFailureFromEdgeFailures({1.5}),
+               std::invalid_argument);
+}
+
+TEST(Path, LengthAlongNodeSequence) {
+  const auto g = msc::test::lineGraph(4, 0.5);
+  EXPECT_DOUBLE_EQ(msc::wireless::pathLength(g, {0, 1, 2, 3}), 1.5);
+  EXPECT_DOUBLE_EQ(msc::wireless::pathLength(g, {2}), 0.0);
+  EXPECT_THROW(msc::wireless::pathLength(g, {0, 2}), std::invalid_argument);
+  EXPECT_THROW(msc::wireless::pathLength(g, {}), std::invalid_argument);
+}
+
+TEST(Path, UsesShortestParallelEdge) {
+  msc::graph::Graph g(2);
+  g.addEdge(0, 1, 3.0);
+  g.addEdge(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(msc::wireless::pathLength(g, {0, 1}), 1.0);
+}
+
+TEST(Path, FailureOfSequence) {
+  msc::graph::Graph g(3);
+  g.addEdge(0, 1, failureToLength(0.1));
+  g.addEdge(1, 2, failureToLength(0.2));
+  EXPECT_NEAR(msc::wireless::pathFailure(g, {0, 1, 2}), 1.0 - 0.9 * 0.8,
+              1e-12);
+}
+
+}  // namespace
