@@ -12,6 +12,7 @@
 #include "eval/experiment.h"
 #include "graph/apsp.h"
 #include "graph/shortcut_distance.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace {
@@ -137,6 +138,26 @@ void BM_GreedyFullRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedyFullRun)->Arg(4)->Arg(10);
+
+// Instrumentation overhead check: the same greedy run with the metrics
+// registry force-enabled (range(1) == 1) vs force-disabled (range(1) == 0).
+// The acceptance bar is: disabled instrumentation stays within 2% of the
+// pre-instrumentation baseline, i.e. BM_GreedyInstrumented/4/0 tracks
+// BM_GreedyFullRun/4.
+void BM_GreedyInstrumented(benchmark::State& state) {
+  const auto spatial = makeRg(100, 80);
+  const auto cands = CandidateSet::allPairs(100);
+  const bool wasEnabled = msc::obs::enabled();
+  msc::obs::setEnabled(state.range(1) != 0);
+  for (auto _ : state) {
+    SigmaEvaluator eval(spatial.instance);
+    benchmark::DoNotOptimize(
+        msc::core::greedyMaximize(eval, cands, static_cast<int>(state.range(0))));
+  }
+  msc::obs::setEnabled(wasEnabled);
+  msc::obs::resetAll();
+}
+BENCHMARK(BM_GreedyInstrumented)->Args({4, 0})->Args({4, 1});
 
 }  // namespace
 

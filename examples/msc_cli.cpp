@@ -11,15 +11,19 @@
 //   msc_cli gen --type rg --nodes 100 --radius 0.15 --seed 1 --out g.txt
 //   msc_cli pairs --graph g.txt --pt 0.14 --m 20 --seed 1 --out pairs.txt
 //   msc_cli solve --graph g.txt --pairs pairs.txt --pt 0.14 --k 6 --algo aa
-//   msc_cli eval  --graph g.txt --pairs pairs.txt --pt 0.14 \
+//   msc_cli eval  --graph g.txt --pairs pairs.txt --pt 0.14
 //                 --placement 3-41,17-88
-//   msc_cli route --graph g.txt --pairs pairs.txt --pt 0.14 \
+//   msc_cli route --graph g.txt --pairs pairs.txt --pt 0.14
 //                 --placement 3-41,17-88
+//   msc_cli solve ... --metrics-out m.json   (solver metrics as JSON)
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "core/aea.h"
+#include "eval/report.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "core/candidates.h"
 #include "core/ea.h"
 #include "core/greedy.h"
@@ -53,8 +57,16 @@ int usage() {
       "  solve --graph FILE --pairs FILE --pt P --k K\n"
       "        [--algo aa|greedy|ea|aea|random] [--iters R] [--seed S]\n"
       "  eval  --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
-      "  route --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n";
+      "  route --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
+      "every subcommand also accepts --metrics-out FILE (solver metrics as\n"
+      "JSON) and honours MSC_METRICS=1 (text metrics footer on stdout)\n";
   return 2;
+}
+
+// Every subcommand accepts --metrics-out in addition to its own flags.
+void checkFlags(const Args& args, std::vector<std::string> allowed) {
+  allowed.push_back("metrics-out");
+  args.allowedFlags(allowed);
 }
 
 msc::graph::Graph loadGraph(const std::string& path) {
@@ -107,6 +119,8 @@ msc::core::Instance makeInstance(const Args& args) {
 }
 
 int cmdGen(const Args& args) {
+  checkFlags(args, {"type", "out", "nodes", "seed", "radius", "prob", "attach",
+                    "neighbors"});
   const std::string type = args.getString("type", "rg");
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
   const int nodes = static_cast<int>(args.getInt("nodes", 100));
@@ -155,6 +169,7 @@ int cmdGen(const Args& args) {
 }
 
 int cmdPairs(const Args& args) {
+  checkFlags(args, {"graph", "pt", "m", "seed", "out"});
   const auto g = loadGraph(args.requireString("graph"));
   const double pt = args.getDouble("pt", 0.14);
   const int m = static_cast<int>(args.getInt("m", 20));
@@ -179,6 +194,7 @@ int cmdPairs(const Args& args) {
 }
 
 int cmdSolve(const Args& args) {
+  checkFlags(args, {"graph", "pairs", "pt", "k", "algo", "iters", "seed"});
   const auto inst = makeInstance(args);
   const int k = static_cast<int>(args.getInt("k", 5));
   const std::string algo = args.getString("algo", "aa");
@@ -245,6 +261,7 @@ int cmdSolve(const Args& args) {
 }
 
 int cmdEval(const Args& args) {
+  checkFlags(args, {"graph", "pairs", "pt", "placement"});
   const auto inst = makeInstance(args);
   const auto placement = parsePlacement(args.requireString("placement"));
   std::cout << "sigma = " << msc::core::sigmaValue(inst, placement) << " / "
@@ -253,6 +270,7 @@ int cmdEval(const Args& args) {
 }
 
 int cmdRoute(const Args& args) {
+  checkFlags(args, {"graph", "pairs", "pt", "placement"});
   const auto inst = makeInstance(args);
   const auto placement = parsePlacement(args.requireString("placement"));
   const auto routes = msc::core::routeAllPairs(inst, placement);
@@ -273,20 +291,40 @@ int cmdRoute(const Args& args) {
   return 0;
 }
 
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "gen") return cmdGen(args);
+  if (cmd == "pairs") return cmdPairs(args);
+  if (cmd == "solve") return cmdSolve(args);
+  if (cmd == "eval") return cmdEval(args);
+  if (cmd == "route") return cmdRoute(args);
+  std::cerr << "unknown command: " << cmd << '\n';
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const Args args(argc - 2, argv + 2);
   try {
-    if (cmd == "gen") return cmdGen(args);
-    if (cmd == "pairs") return cmdPairs(args);
-    if (cmd == "solve") return cmdSolve(args);
-    if (cmd == "eval") return cmdEval(args);
-    if (cmd == "route") return cmdRoute(args);
-    std::cerr << "unknown command: " << cmd << '\n';
-    return usage();
+    const Args args(argc - 2, argv + 2);
+    // Force-enable metrics collection before any work (instance loading
+    // already runs Dijkstra/APSP) so the export sees the whole command.
+    if (args.has("metrics-out")) msc::obs::setEnabled(true);
+
+    const int rc = dispatch(cmd, args);
+
+    if (rc == 0 && args.has("metrics-out")) {
+      const std::string path = args.requireString("metrics-out");
+      msc::obs::writeJsonFile(path, msc::obs::Registry::global());
+      std::cout << "wrote metrics to " << path << '\n';
+    }
+    // With MSC_METRICS=1 (and no explicit JSON export) append the
+    // human-readable footer, mirroring the bench binaries.
+    if (rc == 0 && !args.has("metrics-out")) {
+      msc::eval::printMetricsFooter(std::cout);
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace msc::core {
@@ -30,6 +31,11 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
   if (static_cast<std::size_t>(k) > candidates.size()) {
     throw std::invalid_argument("AEA: budget exceeds candidate universe");
   }
+
+  MSC_OBS_SPAN("aea.run");
+  std::uint64_t greedySwaps = 0;
+  std::uint64_t randomSwaps = 0;
+  std::uint64_t evaluations = 0;
 
   util::Rng rng(config.seed);
   AeaResult result;
@@ -67,6 +73,7 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
     ShortcutList f = population[rng.below(population.size())].placement;
 
     if (rng.uniform() <= 1.0 - config.delta) {
+      ++greedySwaps;
       // Greedy swap. Removal: keep the k-1 edges whose retention preserves
       // the most value, i.e. drop argmax_f sigma(F \ {f}).
       std::size_t dropIdx = 0;
@@ -78,6 +85,7 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
           if (j != i) without.push_back(f[j]);
         }
         const double v = eval.evaluate(without);
+        ++evaluations;
         if (v > bestRemoveValue) {
           bestRemoveValue = v;
           dropIdx = i;
@@ -87,6 +95,7 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
 
       // Greedy add: argmax_{f' not in F} sigma(F ∪ {f'}).
       eval.evaluate(f);  // state = F \ {dropped}
+      ++evaluations;
       double bestGain = 0.0;
       long bestIdx = -1;
       for (std::size_t c = 0; c < candidates.size(); ++c) {
@@ -99,6 +108,7 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
       }
       f.push_back(candidates[static_cast<std::size_t>(bestIdx)]);
     } else {
+      ++randomSwaps;
       // Random swap: one random out, one random (distinct, non-member) in.
       const std::size_t out = rng.below(f.size());
       f.erase(f.begin() + static_cast<long>(out));
@@ -113,6 +123,7 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
 
     Member offspring{std::move(f), 0.0};
     offspring.value = eval.evaluate(offspring.placement);
+    ++evaluations;
 
     if (population.size() < static_cast<std::size_t>(config.populationSize)) {
       population.push_back(std::move(offspring));
@@ -126,11 +137,24 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
       }
     }
     result.bestByIteration.push_back(bestMember().value);
+    if (msc::obs::enabled()) {
+      static auto& sPop = msc::obs::stat("aea.population_size");
+      sPop.record(static_cast<double>(population.size()));
+    }
   }
 
   const Member& best = bestMember();
   result.placement = best.placement;
   result.value = best.value;
+
+  if (msc::obs::enabled()) {
+    msc::obs::counter("aea.runs").add(1);
+    msc::obs::counter("aea.generations")
+        .add(static_cast<std::uint64_t>(config.iterations));
+    msc::obs::counter("aea.greedy_swaps").add(greedySwaps);
+    msc::obs::counter("aea.random_swaps").add(randomSwaps);
+    msc::obs::counter("aea.evaluations").add(evaluations);
+  }
   return result;
 }
 

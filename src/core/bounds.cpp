@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace msc::core {
 
 namespace {
@@ -75,11 +77,19 @@ double MuEvaluator::value(const ShortcutList& placement) const {
 void MuEvaluator::reset() { covered_ = baseSatisfied_; }
 
 double MuEvaluator::gainIfAdd(const Shortcut& f) const {
+  if (msc::obs::enabled()) {
+    static auto& cGain = msc::obs::counter("mu.gain_calls");
+    cGain.add(1);
+  }
   util::Bitset scratch;
   return static_cast<double>(covered_.gainIfUnion(bitsetFor(f, scratch)));
 }
 
 void MuEvaluator::add(const Shortcut& f) {
+  if (msc::obs::enabled()) {
+    static auto& cAdd = msc::obs::counter("mu.adds");
+    cAdd.add(1);
+  }
   util::Bitset scratch;
   covered_ |= bitsetFor(f, scratch);
 }
@@ -170,6 +180,10 @@ double NuEvaluator::gainOfEndpoint(NodeId v,
 }
 
 double NuEvaluator::gainIfAdd(const Shortcut& f) const {
+  if (msc::obs::enabled()) {
+    static auto& cGain = msc::obs::counter("nu.gain_calls");
+    cGain.add(1);
+  }
   if (f.a == f.b) return 0.0;
   double gain = gainOfEndpoint(f.a, covered_);
   // Second endpoint's gain must not double-count pair-nodes the first
@@ -181,6 +195,10 @@ double NuEvaluator::gainIfAdd(const Shortcut& f) const {
 }
 
 void NuEvaluator::add(const Shortcut& f) {
+  if (msc::obs::enabled()) {
+    static auto& cAdd = msc::obs::counter("nu.adds");
+    cAdd.add(1);
+  }
   current_ += gainIfAdd(f);
   covered_ |= coverage_[static_cast<std::size_t>(f.a)];
   covered_ |= coverage_[static_cast<std::size_t>(f.b)];

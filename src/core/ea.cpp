@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace msc::core {
@@ -42,6 +43,10 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
                 static_cast<std::size_t>(std::max(k, 1))
           : candidates.size();
 
+  MSC_OBS_SPAN("ea.run");
+  std::uint64_t mutationFlips = 0;
+  std::uint64_t offspringEvals = 0;
+
   util::Rng rng(config.seed);
   std::vector<Archived> archive;
   archive.push_back({{}, objective.value({})});
@@ -75,6 +80,7 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
         child.insert(it, f);
       }
       mutated = true;
+      ++mutationFlips;
     };
     if (flipP >= 1.0) {
       for (std::size_t c = 0; c < candidates.size(); ++c) flip(candidates[c]);
@@ -98,6 +104,7 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
 
     Archived offspring{std::move(child), 0.0};
     offspring.value = objective.value(offspring.placement);
+    ++offspringEvals;
 
     bool dominated = false;
     for (const Archived& a : archive) {
@@ -116,12 +123,26 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
       archive.push_back(std::move(offspring));
     }
     result.bestByIteration.push_back(bestFeasible().value);
+    if (msc::obs::enabled()) {
+      // Pareto-front (archive) size over time; the exporter reports its
+      // min/mean/max trajectory.
+      static auto& sArchive = msc::obs::stat("ea.archive_size");
+      sArchive.record(static_cast<double>(archive.size()));
+    }
   }
 
   const Archived& best = bestFeasible();
   result.placement = best.placement;
   result.value = best.value;
   result.archiveSize = archive.size();
+
+  if (msc::obs::enabled()) {
+    msc::obs::counter("ea.runs").add(1);
+    msc::obs::counter("ea.generations")
+        .add(static_cast<std::uint64_t>(config.iterations));
+    msc::obs::counter("ea.mutation_flips").add(mutationFlips);
+    msc::obs::counter("ea.offspring_evals").add(offspringEvals);
+  }
   return result;
 }
 

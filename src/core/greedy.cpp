@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace msc::core {
 
 namespace {
@@ -12,20 +14,36 @@ void checkBudget(int k) {
   if (k < 0) throw std::invalid_argument("greedy: negative budget k");
 }
 
+// Publishes a finished pass's counters under the given prefix
+// ("greedy" / "greedy.lazy").
+void publishPass(const char* prefix, const GreedyResult& result) {
+  if (!msc::obs::enabled()) return;
+  const std::string p(prefix);
+  msc::obs::counter(p + ".passes").add(1);
+  msc::obs::counter(p + ".rounds").add(static_cast<std::uint64_t>(result.rounds));
+  msc::obs::counter(p + ".gain_evals").add(result.gainEvaluations);
+  if (result.lazyRecomputes != 0) {
+    msc::obs::counter(p + ".recomputes").add(result.lazyRecomputes);
+  }
+}
+
 }  // namespace
 
 GreedyResult greedyMaximize(IncrementalEvaluator& eval,
                             const CandidateSet& candidates, int k) {
   checkBudget(k);
+  MSC_OBS_SPAN("greedy.pass");
   eval.reset();
   GreedyResult result;
   std::vector<char> chosen(candidates.size(), 0);
   for (int round = 0; round < k; ++round) {
+    MSC_OBS_SPAN("greedy.iteration");
     double bestGain = 0.0;
     long bestIdx = -1;
     for (std::size_t c = 0; c < candidates.size(); ++c) {
       if (chosen[c]) continue;
       const double gain = eval.gainIfAdd(candidates[c]);
+      ++result.gainEvaluations;
       if (gain > bestGain) {
         bestGain = gain;
         bestIdx = static_cast<long>(c);
@@ -36,14 +54,17 @@ GreedyResult greedyMaximize(IncrementalEvaluator& eval,
     eval.add(candidates[static_cast<std::size_t>(bestIdx)]);
     result.placement.push_back(candidates[static_cast<std::size_t>(bestIdx)]);
     result.trajectory.push_back(eval.currentValue());
+    ++result.rounds;
   }
   result.value = eval.currentValue();
+  publishPass("greedy", result);
   return result;
 }
 
 GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
                                 const CandidateSet& candidates, int k) {
   checkBudget(k);
+  MSC_OBS_SPAN("greedy.lazy_pass");
   eval.reset();
   GreedyResult result;
 
@@ -60,6 +81,7 @@ GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     heap.push({eval.gainIfAdd(candidates[c]), c, 0});
+    ++result.gainEvaluations;
   }
 
   for (int round = 0; round < k && !heap.empty();) {
@@ -68,6 +90,8 @@ GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
     if (top.round != round) {
       // Stale cached gain: recompute and reinsert.
       top.gain = eval.gainIfAdd(candidates[top.idx]);
+      ++result.gainEvaluations;
+      ++result.lazyRecomputes;
       top.round = round;
       heap.push(top);
       continue;
@@ -77,8 +101,10 @@ GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
     result.placement.push_back(candidates[top.idx]);
     result.trajectory.push_back(eval.currentValue());
     ++round;
+    ++result.rounds;
   }
   result.value = eval.currentValue();
+  publishPass("greedy.lazy", result);
   return result;
 }
 

@@ -21,6 +21,14 @@ struct GreedyResult {
   double value = 0.0;
   /// Objective value after each accepted pick (size == placement.size()).
   std::vector<double> trajectory;
+
+  // --- observability (always filled, independent of msc::obs state) ---
+  /// Number of eval.gainIfAdd calls this pass made.
+  std::size_t gainEvaluations = 0;
+  /// Accepted picks (== placement.size(), kept separate for reporting).
+  int rounds = 0;
+  /// Stale-gain recomputations (lazy greedy only; 0 for plain greedy).
+  std::size_t lazyRecomputes = 0;
 };
 
 /// Plain greedy: each of (at most) k rounds picks the candidate with the

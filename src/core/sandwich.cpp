@@ -2,6 +2,7 @@
 
 #include "core/bounds.h"
 #include "core/sigma.h"
+#include "obs/metrics.h"
 
 namespace msc::core {
 
@@ -20,6 +21,7 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
                                      const SetFunction& sigmaFn,
                                      const SetFunction& nuFn,
                                      const CandidateSet& candidates, int k) {
+  MSC_OBS_SPAN("sandwich.total");
   SandwichResult result;
 
   const GreedyResult mu = lazyGreedyMaximize(muEval, candidates, k);
@@ -49,6 +51,14 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
     result.placement = nu.placement;
     result.sigma = result.sigmaOfNu;
     result.winner = "nu";
+  }
+
+  if (msc::obs::enabled()) {
+    msc::obs::counter("sandwich.runs").add(1);
+    msc::obs::counter("sandwich.gain_evals.mu").add(mu.gainEvaluations);
+    msc::obs::counter("sandwich.gain_evals.sigma").add(sg.gainEvaluations);
+    msc::obs::counter("sandwich.gain_evals.nu").add(nu.gainEvaluations);
+    msc::obs::counter("sandwich.winner." + result.winner).add(1);
   }
   return result;
 }

@@ -4,8 +4,21 @@
 
 #include "graph/dijkstra.h"
 #include "graph/shortcut_distance.h"
+#include "obs/metrics.h"
 
 namespace msc::core {
+
+namespace {
+
+// Relaxation work in gainIfAdd/add scales with the number of pairs still
+// unsatisfied; published per call so strategy comparisons see operation
+// counts, not just call counts.
+void publishPairScan(std::size_t pairs, int alreadySatisfied) {
+  static auto& cRelax = msc::obs::counter("sigma.relaxations");
+  cRelax.add(pairs - static_cast<std::size_t>(alreadySatisfied));
+}
+
+}  // namespace
 
 SigmaEvaluator::SigmaEvaluator(const Instance& instance)
     : instance_(&instance),
@@ -35,6 +48,11 @@ void SigmaEvaluator::refreshSatisfied() {
 }
 
 double SigmaEvaluator::gainIfAdd(const Shortcut& f) const {
+  if (msc::obs::enabled()) {
+    static auto& cGain = msc::obs::counter("sigma.gain_calls");
+    cGain.add(1);
+    publishPairScan(instance_->pairs().size(), satisfied_);
+  }
   const auto& pairs = instance_->pairs();
   const double dt = instance_->distanceThreshold();
   const auto a = static_cast<std::size_t>(f.a);
@@ -52,6 +70,11 @@ double SigmaEvaluator::gainIfAdd(const Shortcut& f) const {
 }
 
 void SigmaEvaluator::add(const Shortcut& f) {
+  if (msc::obs::enabled()) {
+    static auto& cAdd = msc::obs::counter("sigma.adds");
+    cAdd.add(1);
+    publishPairScan(instance_->pairs().size(), satisfied_);
+  }
   msc::graph::applyZeroEdge(current_, f.a, f.b);
   const auto& pairs = instance_->pairs();
   const double dt = instance_->distanceThreshold();
@@ -84,6 +107,10 @@ int SigmaEvaluator::countSatisfied(
 }
 
 double SigmaEvaluator::value(const ShortcutList& placement) const {
+  if (msc::obs::enabled()) {
+    static auto& cCalls = msc::obs::counter("sigma.calls");
+    cCalls.add(1);
+  }
   // Cost heuristic: matrix relaxations touch |F| * n^2 entries, the overlay
   // touches |F| * (2m + 2|F|)^2. Pick the cheaper exact strategy.
   const auto n = static_cast<double>(instance_->graph().nodeCount());
@@ -96,12 +123,20 @@ double SigmaEvaluator::value(const ShortcutList& placement) const {
 }
 
 double SigmaEvaluator::valueByMatrix(const ShortcutList& placement) const {
+  if (msc::obs::enabled()) {
+    static auto& cMatrix = msc::obs::counter("sigma.value.matrix");
+    cMatrix.add(1);
+  }
   const auto dist = msc::graph::distancesWithShortcuts(
       instance_->baseDistances(), asNodePairs(placement));
   return static_cast<double>(countSatisfied(dist));
 }
 
 double SigmaEvaluator::valueByOverlay(const ShortcutList& placement) const {
+  if (msc::obs::enabled()) {
+    static auto& cOverlay = msc::obs::counter("sigma.value.overlay");
+    cOverlay.add(1);
+  }
   std::vector<std::pair<msc::graph::NodeId, msc::graph::NodeId>> queries;
   queries.reserve(instance_->pairs().size());
   for (const SocialPair& p : instance_->pairs()) queries.push_back({p.u, p.w});
@@ -110,6 +145,10 @@ double SigmaEvaluator::valueByOverlay(const ShortcutList& placement) const {
 }
 
 double SigmaEvaluator::valueByRebuild(const ShortcutList& placement) const {
+  if (msc::obs::enabled()) {
+    static auto& cRebuild = msc::obs::counter("sigma.value.rebuild");
+    cRebuild.add(1);
+  }
   msc::graph::Graph g(instance_->graph().nodeCount());
   for (const msc::graph::Edge& e : instance_->graph().edges()) {
     g.addEdge(e.u, e.v, e.length);

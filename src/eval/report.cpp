@@ -1,18 +1,26 @@
 #include "eval/report.h"
 
+#include <cstdlib>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/env.h"
 
 namespace msc::eval {
 
 void printHeader(std::ostream& os, const std::string& title,
                  const std::string& artifact) {
+  installMetricsFooter();
   os << "==============================================================\n";
   os << title << '\n';
   os << "reproduces: " << artifact << '\n';
   os << msc::util::benchScaleBanner() << '\n';
+  if (msc::obs::enabled()) {
+    os << "metrics: enabled (MSC_METRICS) — footer follows the run\n";
+  }
   os << "==============================================================\n";
 }
 
@@ -23,6 +31,25 @@ std::string describeInstance(const msc::core::Instance& instance) {
      << " m=" << instance.pairCount()
      << " d_t=" << instance.distanceThreshold();
   return os.str();
+}
+
+void printMetricsFooter(std::ostream& os) {
+  const auto& reg = msc::obs::Registry::global();
+  if (!reg.enabled()) return;
+  if (reg.counters().empty() && reg.stats().empty()) return;
+  os << "\n---- metrics (MSC_METRICS=1) ----\n";
+  msc::obs::writeText(os, reg);
+}
+
+void installMetricsFooter() {
+  // Touch the registry before registering the handler so the (leaked)
+  // registry outlives it; `static` makes repeat calls no-ops.
+  static const bool installed = [] {
+    (void)msc::obs::Registry::global();
+    std::atexit([] { printMetricsFooter(std::cout); });
+    return true;
+  }();
+  (void)installed;
 }
 
 }  // namespace msc::eval

@@ -10,11 +10,21 @@
 namespace msc::eval {
 
 /// Prints a bench banner: title, what paper artifact it regenerates, and
-/// the resolved bench scale.
+/// the resolved bench scale. Also installs the metrics exit footer (see
+/// installMetricsFooter), so every bench binary reports solver operation
+/// counts when MSC_METRICS=1.
 void printHeader(std::ostream& os, const std::string& title,
                  const std::string& artifact);
 
 /// One-line instance summary (n, |E|, m, d_t).
 std::string describeInstance(const msc::core::Instance& instance);
+
+/// When the metrics registry is enabled and non-empty, prints a
+/// "---- metrics ----" banner followed by the text export. No-op otherwise.
+void printMetricsFooter(std::ostream& os);
+
+/// Registers an atexit hook that runs printMetricsFooter(std::cout) once at
+/// process exit. Idempotent; called automatically by printHeader.
+void installMetricsFooter();
 
 }  // namespace msc::eval

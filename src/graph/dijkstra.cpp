@@ -1,9 +1,12 @@
 #include "graph/dijkstra.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <queue>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace msc::graph {
 
@@ -25,10 +28,14 @@ ShortestPathTree run(const Graph& g, NodeId source, double limit,
 
   MinHeap heap;
   heap.push({0.0, source});
+  std::uint64_t pops = 0;
+  std::uint64_t settled = 0;
   while (!heap.empty()) {
     const auto [d, u] = heap.top();
     heap.pop();
+    ++pops;
     if (d > tree.dist[static_cast<std::size_t>(u)]) continue;  // stale
+    ++settled;
     if (target >= 0 && u == target) break;
     for (const Arc& arc : g.neighbors(u)) {
       const double nd = d + arc.length;
@@ -39,6 +46,14 @@ ShortestPathTree run(const Graph& g, NodeId source, double limit,
         heap.push({nd, arc.to});
       }
     }
+  }
+  if (msc::obs::enabled()) {
+    static auto& cRuns = msc::obs::counter("dijkstra.runs");
+    static auto& cPops = msc::obs::counter("dijkstra.heap_pops");
+    static auto& cSettled = msc::obs::counter("dijkstra.settled");
+    cRuns.add(1);
+    cPops.add(pops);
+    cSettled.add(settled);
   }
   return tree;
 }

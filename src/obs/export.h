@@ -1,0 +1,37 @@
+// Renderers for the metrics registry: a human-readable text table for
+// bench footers and a machine-readable JSON document (schema
+// "msc.metrics.v1") for `msc_cli solve --metrics-out` and trajectory
+// tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace msc::obs {
+
+/// Aligned text dump: every counter, then every stat with
+/// count/mean/min/max. Stats named "span.*" hold seconds.
+void writeText(std::ostream& os, const Registry& registry);
+
+/// JSON document:
+///   {
+///     "schema": "msc.metrics.v1",
+///     "counters": {"dijkstra.runs": 12, ...},
+///     "stats": {"span.sandwich.total":
+///               {"count": 1, "total": 0.01, "mean": 0.01,
+///                "min": 0.01, "max": 0.01, "stddev": 0.0}, ...}
+///   }
+/// Empty stats emit only {"count": 0}; non-finite values render as null so
+/// the output is always standard JSON.
+void writeJson(std::ostream& os, const Registry& registry);
+
+/// writeJson rendered into a string.
+std::string toJson(const Registry& registry);
+
+/// Writes writeJson output to `path`. Throws std::runtime_error when the
+/// file cannot be opened.
+void writeJsonFile(const std::string& path, const Registry& registry);
+
+}  // namespace msc::obs

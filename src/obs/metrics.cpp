@@ -1,0 +1,83 @@
+#include "obs/metrics.h"
+
+#include "util/env.h"
+
+namespace msc::obs {
+
+namespace {
+
+thread_local int gSpanDepth = 0;
+
+}  // namespace
+
+Registry::Registry() { enabled_.store(util::envBool("MSC_METRICS", false)); }
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumentation sites cache Counter&/Stat& handles
+  // in function-local statics, and atexit reporters may run after other
+  // static destructors; a heap registry removes every ordering hazard.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Stat& Registry::stat(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(name);
+  if (it == stats_.end()) {
+    it = stats_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, s] : stats_) s.reset();
+}
+
+std::vector<Registry::CounterRow> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterRow> rows;
+  rows.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) rows.push_back({name, c.value()});
+  return rows;
+}
+
+std::vector<Registry::StatRow> Registry::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StatRow> rows;
+  rows.reserve(stats_.size());
+  for (const auto& [name, s] : stats_) rows.push_back({name, s.snapshot()});
+  return rows;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  Registry& reg = Registry::global();
+  if (!reg.enabled()) return;
+  std::string key;
+  key.reserve(5 + name.size());
+  key.append("span.").append(name);
+  stat_ = &reg.stat(key);
+  ++gSpanDepth;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (stat_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  --gSpanDepth;
+  stat_->record(std::chrono::duration<double>(elapsed).count());
+}
+
+int ScopedSpan::depth() noexcept { return gSpanDepth; }
+
+}  // namespace msc::obs

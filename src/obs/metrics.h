@@ -1,0 +1,159 @@
+// Solver observability: a process-wide metrics registry with monotonic
+// counters, Welford-backed value stats, and RAII scoped spans.
+//
+// Every algorithm hot path (sigma evaluation, Dijkstra, the greedy passes,
+// the evolutionary loops) publishes operation counts here so that bench
+// runs and the CLI can report *what the solver actually did* — not just
+// wall clock. The registry is disabled by default and costs one relaxed
+// atomic load per guarded call site; enable it programmatically via
+// `setEnabled(true)` or by exporting `MSC_METRICS=1`.
+//
+// Usage at an instrumentation site:
+//
+//   if (msc::obs::enabled()) {
+//     static auto& runs = msc::obs::counter("dijkstra.runs");
+//     runs.add(1);
+//   }
+//   ...
+//   MSC_OBS_SPAN("greedy.iteration");   // records span.greedy.iteration
+//
+// Counter/stat references are stable for the lifetime of the process: the
+// registry is intentionally leaked and entries are never erased (reset()
+// zeroes values but keeps registrations), so cached `static auto&` handles
+// stay valid across resets.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace msc::obs {
+
+/// Monotonic event counter. Thread-safe (relaxed atomic).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Welford accumulator over recorded samples (span durations in seconds,
+/// archive sizes, ...). Thread-safe via a per-stat mutex; record() is only
+/// called on enabled paths, never in disabled-mode hot loops.
+class Stat {
+ public:
+  void record(double x) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.push(x);
+  }
+  /// Copy of the current accumulator state.
+  util::RunningStats snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_ = util::RunningStats();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  util::RunningStats stats_;
+};
+
+/// Process-wide registry of named counters and stats. Lookup allocates on
+/// first use of a name and is mutex-guarded; hot call sites cache the
+/// returned reference in a function-local static.
+class Registry {
+ public:
+  /// The global registry. Constructed on first use with `enabled` seeded
+  /// from the MSC_METRICS environment variable; intentionally leaked so
+  /// handles stay valid during static destruction.
+  static Registry& global();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void setEnabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  Counter& counter(std::string_view name);
+  Stat& stat(std::string_view name);
+
+  /// Zeroes every counter and stat but keeps all registrations (and thus
+  /// all outstanding references) valid.
+  void reset();
+
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct StatRow {
+    std::string name;
+    util::RunningStats stats;
+  };
+  /// Sorted-by-name snapshots for the exporters.
+  std::vector<CounterRow> counters() const;
+  std::vector<StatRow> stats() const;
+
+ private:
+  Registry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Stat, std::less<>> stats_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// Shorthands against the global registry.
+inline bool enabled() noexcept { return Registry::global().enabled(); }
+inline void setEnabled(bool on) noexcept { Registry::global().setEnabled(on); }
+inline Counter& counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+inline Stat& stat(std::string_view name) {
+  return Registry::global().stat(name);
+}
+inline void resetAll() { Registry::global().reset(); }
+
+/// RAII span: when metrics are enabled at construction, records the scope's
+/// wall duration (seconds) into stat "span.<name>" and tracks nesting depth
+/// for the current thread. A disabled span is two relaxed loads and no
+/// clock reads.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Nesting depth of currently-open *enabled* spans on this thread.
+  static int depth() noexcept;
+
+ private:
+  Stat* stat_ = nullptr;  // null when the span is disabled
+  std::chrono::steady_clock::time_point start_{};
+};
+
+#define MSC_OBS_CONCAT_INNER(a, b) a##b
+#define MSC_OBS_CONCAT(a, b) MSC_OBS_CONCAT_INNER(a, b)
+/// Opens a ScopedSpan for the rest of the enclosing scope.
+#define MSC_OBS_SPAN(name) \
+  ::msc::obs::ScopedSpan MSC_OBS_CONCAT(mscObsSpan_, __LINE__)(name)
+
+}  // namespace msc::obs

@@ -53,23 +53,37 @@ std::string Args::requireString(const std::string& flag) const {
 long long Args::getInt(const std::string& flag, long long fallback) const {
   const auto it = flags_.find(flag);
   if (it == flags_.end()) return fallback;
-  std::size_t used = 0;
-  const long long v = std::stoll(it->second, &used);
-  if (used != it->second.size()) {
-    throw std::invalid_argument("flag --" + flag + " expects an integer");
+  // Full-token validation: "3x", "", "0x10" and out-of-range values are all
+  // rejected with a flag-naming message instead of std::stoll's own.
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(it->second, &used);
+    if (used == it->second.size()) return v;
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("flag --" + flag +
+                                " integer out of range: '" + it->second + "'");
+  } catch (const std::invalid_argument&) {
+    // fall through to the uniform message below
   }
-  return v;
+  throw std::invalid_argument("flag --" + flag + " expects an integer, got '" +
+                              it->second + "'");
 }
 
 double Args::getDouble(const std::string& flag, double fallback) const {
   const auto it = flags_.find(flag);
   if (it == flags_.end()) return fallback;
-  std::size_t used = 0;
-  const double v = std::stod(it->second, &used);
-  if (used != it->second.size()) {
-    throw std::invalid_argument("flag --" + flag + " expects a number");
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    if (used == it->second.size()) return v;
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("flag --" + flag + " number out of range: '" +
+                                it->second + "'");
+  } catch (const std::invalid_argument&) {
+    // fall through to the uniform message below
   }
-  return v;
+  throw std::invalid_argument("flag --" + flag + " expects a number, got '" +
+                              it->second + "'");
 }
 
 bool Args::getBool(const std::string& flag, bool fallback) const {

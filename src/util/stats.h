@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -18,8 +19,19 @@ class RunningStats {
 
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return mean_; }
-  double min() const noexcept { return min_; }
-  double max() const noexcept { return max_; }
+
+  /// Smallest / largest sample pushed so far.
+  ///
+  /// Contract: with zero samples there is no extremum, so both return
+  /// quiet NaN (never a fake 0.0 that would silently poison aggregated
+  /// metrics). Callers that fold accumulators together must check count()
+  /// or std::isnan before combining.
+  double min() const noexcept {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const noexcept {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
 
   /// Unbiased sample variance (0 for fewer than two samples).
   double variance() const noexcept;

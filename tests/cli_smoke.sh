@@ -34,8 +34,31 @@ PLACEMENT=$(echo "$OUT" | sed -n 's/^placement: //p')
        --placement "$PLACEMENT" | grep -q "p_fail" \
   || { echo "FAIL: route"; exit 1; }
 
-# Error handling: unknown command and missing flag exit non-zero.
+# Metrics export: solve --metrics-out writes JSON with solver counters.
+"$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
+       --pt 0.14 --k 3 --algo aa --metrics-out "$WORK/m.json" \
+  | grep -q "wrote metrics" || { echo "FAIL: metrics-out"; exit 1; }
+grep -q '"schema": "msc.metrics.v1"' "$WORK/m.json" \
+  || { echo "FAIL: metrics schema"; exit 1; }
+grep -q '"sigma.calls": [1-9]' "$WORK/m.json" \
+  || { echo "FAIL: sigma.calls missing/zero"; exit 1; }
+grep -q '"dijkstra.runs": [1-9]' "$WORK/m.json" \
+  || { echo "FAIL: dijkstra.runs missing/zero"; exit 1; }
+grep -q '"sandwich.gain_evals.mu": [1-9]' "$WORK/m.json" \
+  || { echo "FAIL: per-bound gain evals missing"; exit 1; }
+
+# MSC_METRICS=1 prints a text footer on stdout.
+MSC_METRICS=1 "$CLI" eval --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
+       --pt 0.14 --placement "$PLACEMENT" | grep -q "dijkstra.runs" \
+  || { echo "FAIL: MSC_METRICS footer"; exit 1; }
+
+# Error handling: unknown command, missing flag, unknown flag, and a
+# non-integer value all exit non-zero.
 if "$CLI" frobnicate 2>/dev/null; then echo "FAIL: bad cmd"; exit 1; fi
 if "$CLI" solve --pt 0.14 2>/dev/null; then echo "FAIL: bad flags"; exit 1; fi
+if "$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" --pt 0.14 \
+     --bogus 1 2>/dev/null; then echo "FAIL: unknown flag"; exit 1; fi
+if "$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" --pt 0.14 \
+     --k 3x 2>/dev/null; then echo "FAIL: trailing garbage int"; exit 1; fi
 
 echo "cli smoke OK"

@@ -64,6 +64,27 @@ TEST(Args, TypeValidation) {
   EXPECT_THROW(args.getBool("b", false), std::invalid_argument);
 }
 
+TEST(Args, IntRejectsTrailingGarbageInsteadOfTruncating) {
+  // "--k 3x" must never silently become 3.
+  const auto args = parse({"--k", "3x"});
+  EXPECT_THROW(args.getInt("k", 0), std::invalid_argument);
+  try {
+    args.getInt("k", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message names the offending flag, not std::stoll internals.
+    EXPECT_NE(std::string(e.what()).find("--k"), std::string::npos);
+  }
+}
+
+TEST(Args, IntRejectsNonNumericAndOutOfRange) {
+  const auto args =
+      parse({"--a", "x", "--big", "99999999999999999999999999", "--neg", "-4"});
+  EXPECT_THROW(args.getInt("a", 0), std::invalid_argument);
+  EXPECT_THROW(args.getInt("big", 0), std::invalid_argument);
+  EXPECT_EQ(args.getInt("neg", 0), -4);
+}
+
 TEST(Args, BareDoubleDashRejected) {
   EXPECT_THROW(parse({"--"}), std::invalid_argument);
 }

@@ -1,0 +1,157 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+
+namespace {
+
+using msc::obs::Registry;
+using msc::obs::ScopedSpan;
+
+// The registry is process-global; every test starts from a clean, enabled
+// slate and restores the disabled default on exit.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    msc::obs::resetAll();
+    msc::obs::setEnabled(true);
+  }
+  void TearDown() override {
+    msc::obs::setEnabled(false);
+    msc::obs::resetAll();
+  }
+};
+
+TEST_F(ObsTest, CounterRegistrationAndAccumulation) {
+  auto& c = msc::obs::counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(ObsTest, SameNameYieldsSameCounter) {
+  auto& a = msc::obs::counter("test.same");
+  auto& b = msc::obs::counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(ObsTest, StatRecordsWelfordSummary) {
+  auto& s = msc::obs::stat("test.stat");
+  s.record(2.0);
+  s.record(4.0);
+  s.record(9.0);
+  const auto snap = s.snapshot();
+  EXPECT_EQ(snap.count(), 3u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(snap.min(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.max(), 9.0);
+}
+
+TEST_F(ObsTest, ResetZeroesValuesButKeepsRegistrations) {
+  auto& c = msc::obs::counter("test.reset");
+  auto& s = msc::obs::stat("test.reset_stat");
+  c.add(7);
+  s.record(1.5);
+  msc::obs::resetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(s.snapshot().count(), 0u);
+  // Reference obtained before the reset still addresses the live entry.
+  EXPECT_EQ(&c, &msc::obs::counter("test.reset"));
+}
+
+TEST_F(ObsTest, SpanRecordsDurationWhenEnabled) {
+  {
+    MSC_OBS_SPAN("test.scope");
+  }
+  const auto snap = msc::obs::stat("span.test.scope").snapshot();
+  EXPECT_EQ(snap.count(), 1u);
+  EXPECT_GE(snap.min(), 0.0);
+}
+
+TEST_F(ObsTest, SpanNestingTracksDepthAndRecordsBothLevels) {
+  EXPECT_EQ(ScopedSpan::depth(), 0);
+  {
+    MSC_OBS_SPAN("test.outer");
+    EXPECT_EQ(ScopedSpan::depth(), 1);
+    {
+      MSC_OBS_SPAN("test.inner");
+      EXPECT_EQ(ScopedSpan::depth(), 2);
+    }
+    EXPECT_EQ(ScopedSpan::depth(), 1);
+  }
+  EXPECT_EQ(ScopedSpan::depth(), 0);
+  EXPECT_EQ(msc::obs::stat("span.test.outer").snapshot().count(), 1u);
+  EXPECT_EQ(msc::obs::stat("span.test.inner").snapshot().count(), 1u);
+}
+
+TEST_F(ObsTest, DisabledModeIsANoOpForSpans) {
+  msc::obs::setEnabled(false);
+  {
+    MSC_OBS_SPAN("test.disabled");
+    // Disabled spans do not join the nesting chain.
+    EXPECT_EQ(ScopedSpan::depth(), 0);
+  }
+  msc::obs::setEnabled(true);
+  // The span stat was never created, so it reads back empty.
+  EXPECT_EQ(msc::obs::stat("span.test.disabled").snapshot().count(), 0u);
+}
+
+TEST_F(ObsTest, EnabledFlagFlipsAtRuntime) {
+  EXPECT_TRUE(msc::obs::enabled());
+  msc::obs::setEnabled(false);
+  EXPECT_FALSE(msc::obs::enabled());
+  msc::obs::setEnabled(true);
+  EXPECT_TRUE(msc::obs::enabled());
+}
+
+TEST_F(ObsTest, JsonExportShape) {
+  msc::obs::counter("alpha.count").add(5);
+  msc::obs::stat("span.alpha.time").record(0.25);
+  msc::obs::stat("empty.stat");  // registered, never recorded
+
+  const std::string json = msc::obs::toJson(Registry::global());
+
+  EXPECT_NE(json.find("\"schema\": \"msc.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha.count\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"span.alpha.time\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  // Empty stats stay valid JSON: count only, no NaN min/max leak through.
+  EXPECT_NE(json.find("\"empty.stat\": {\"count\": 0}"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+
+  // Structural sanity: braces balance and the document ends cleanly.
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ObsTest, TextExportListsCountersAndStats) {
+  msc::obs::counter("beta.count").add(2);
+  msc::obs::stat("span.beta.time").record(0.5);
+  std::ostringstream os;
+  msc::obs::writeText(os, Registry::global());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("counters:"), std::string::npos);
+  EXPECT_NE(text.find("beta.count"), std::string::npos);
+  EXPECT_NE(text.find("span.beta.time"), std::string::npos);
+  EXPECT_NE(text.find("count=1"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonEscapesHostileNames) {
+  msc::obs::counter("weird\"name\\with\nstuff").add(1);
+  const std::string json = msc::obs::toJson(Registry::global());
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "helpers.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace {
@@ -147,5 +148,87 @@ TEST_P(SigmaStrategies, GainConsistentWithValue) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SigmaStrategies,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// --- metrics instrumentation -------------------------------------------
+
+// Guard that enables metrics for one test and restores the default after.
+struct MetricsScope {
+  MetricsScope() {
+    msc::obs::resetAll();
+    msc::obs::setEnabled(true);
+  }
+  ~MetricsScope() {
+    msc::obs::setEnabled(false);
+    msc::obs::resetAll();
+  }
+};
+
+TEST(SigmaMetrics, StrategiesReportConsistentCallCounts) {
+  // Instance construction runs APSP (one Dijkstra per node); build it
+  // before enabling metrics so the counters below see only strategy work.
+  Instance inst(msc::test::lineGraph(6), {{0, 5}, {1, 4}}, 2.0);
+  SigmaEvaluator eval(inst);
+  const MetricsScope metrics;
+  const ShortcutList f = {Shortcut::make(0, 5)};
+
+  constexpr std::uint64_t kCalls = 3;
+  double byMatrix = 0.0, byOverlay = 0.0, byRebuild = 0.0;
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    byMatrix = eval.valueByMatrix(f);
+    byOverlay = eval.valueByOverlay(f);
+    byRebuild = eval.valueByRebuild(f);
+  }
+
+  // All three exact strategies agree on the value...
+  EXPECT_DOUBLE_EQ(byMatrix, byOverlay);
+  EXPECT_DOUBLE_EQ(byMatrix, byRebuild);
+  // ...and each reports exactly the calls it served.
+  EXPECT_EQ(msc::obs::counter("sigma.value.matrix").value(), kCalls);
+  EXPECT_EQ(msc::obs::counter("sigma.value.overlay").value(), kCalls);
+  EXPECT_EQ(msc::obs::counter("sigma.value.rebuild").value(), kCalls);
+  // The rebuild strategy runs one Dijkstra per pair per call.
+  EXPECT_EQ(msc::obs::counter("dijkstra.runs").value(),
+            kCalls * inst.pairs().size());
+}
+
+TEST(SigmaMetrics, ValueDispatchCountsOnceAndPicksOneStrategy) {
+  Instance inst(msc::test::lineGraph(6), {{0, 5}, {1, 4}}, 2.0);
+  SigmaEvaluator eval(inst);
+  const MetricsScope metrics;
+
+  eval.value({Shortcut::make(0, 5)});
+  EXPECT_EQ(msc::obs::counter("sigma.calls").value(), 1u);
+  const std::uint64_t strategies =
+      msc::obs::counter("sigma.value.matrix").value() +
+      msc::obs::counter("sigma.value.overlay").value() +
+      msc::obs::counter("sigma.value.rebuild").value();
+  EXPECT_EQ(strategies, 1u);
+}
+
+TEST(SigmaMetrics, IncrementalPathCountsGainsAndAdds) {
+  Instance inst(msc::test::lineGraph(6), {{0, 5}, {1, 4}}, 2.0);
+  SigmaEvaluator eval(inst);
+  const MetricsScope metrics;
+
+  eval.gainIfAdd(Shortcut::make(0, 5));
+  eval.gainIfAdd(Shortcut::make(2, 3));
+  eval.add(Shortcut::make(0, 5));
+  EXPECT_EQ(msc::obs::counter("sigma.gain_calls").value(), 2u);
+  EXPECT_EQ(msc::obs::counter("sigma.adds").value(), 1u);
+  // Both pairs were unsatisfied at every probe: 2 + 2 + 2 relaxations.
+  EXPECT_EQ(msc::obs::counter("sigma.relaxations").value(), 6u);
+}
+
+TEST(SigmaMetrics, DisabledRegistryRecordsNothing) {
+  msc::obs::resetAll();
+  msc::obs::setEnabled(false);
+  Instance inst(msc::test::lineGraph(6), {{0, 5}}, 2.0);
+  SigmaEvaluator eval(inst);
+  eval.value({Shortcut::make(0, 5)});
+  eval.gainIfAdd(Shortcut::make(0, 5));
+  EXPECT_EQ(msc::obs::counter("sigma.calls").value(), 0u);
+  EXPECT_EQ(msc::obs::counter("sigma.gain_calls").value(), 0u);
+  msc::obs::resetAll();
+}
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -61,6 +62,20 @@ TEST(RunningStats, MeanAndVariance) {
   EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyMinMaxAreNaN) {
+  // Contract: no samples -> no extremum. A fake 0.0 would silently poison
+  // aggregated metrics, so min()/max() return quiet NaN instead.
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  // One sample pins both extrema.
+  RunningStats one;
+  one.push(-2.5);
+  EXPECT_DOUBLE_EQ(one.min(), -2.5);
+  EXPECT_DOUBLE_EQ(one.max(), -2.5);
 }
 
 TEST(RunningStats, SingleSample) {
