@@ -51,7 +51,7 @@ int main() {
         cfg.populationSize = 10;
         cfg.delta = delta;
         cfg.seed = static_cast<std::uint64_t>(trial + 1);
-        stat.push(core::adaptiveEvolutionaryAlgorithm(sigma, cands, k, cfg)
+        stat.push(core::adaptiveEvolutionaryAlgorithm(sigma, cands, {.k = k, .seed = cfg.seed}, cfg)
                       .value);
       }
       table.addRow({util::formatFixed(delta, 2),
@@ -76,7 +76,7 @@ int main() {
         cfg.populationSize = l;
         cfg.delta = 0.05;
         cfg.seed = static_cast<std::uint64_t>(trial + 1);
-        stat.push(core::adaptiveEvolutionaryAlgorithm(sigma, cands, k, cfg)
+        stat.push(core::adaptiveEvolutionaryAlgorithm(sigma, cands, {.k = k, .seed = cfg.seed}, cfg)
                       .value);
       }
       table.addRow({std::to_string(l), util::formatFixed(stat.mean(), 2),

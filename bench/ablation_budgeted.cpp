@@ -40,7 +40,7 @@ int main() {
       // Unit-square coordinates: a cross-square link costs ~0.5 + 2*1.4.
       const auto cost = core::distanceCost(spatial.positions, 0.5, 2.0);
       core::SigmaEvaluator sigma(spatial.instance);
-      const auto res = core::budgetedGreedy(sigma, cands, cost, budget);
+      const auto res = core::budgetedGreedy(sigma, cands, cost, budget, {});
       density.push(res.densityValue);
       uniform.push(res.uniformValue);
       best.push(res.value);

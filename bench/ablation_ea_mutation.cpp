@@ -44,7 +44,7 @@ int main() {
       cfg.iterations = iterations;
       cfg.flipProbability = c / static_cast<double>(cands.size());
       cfg.seed = static_cast<std::uint64_t>(trial + 1);
-      stat.push(core::evolutionaryAlgorithm(sigma, cands, k, cfg).value);
+      stat.push(core::evolutionaryAlgorithm(sigma, cands, {.k = k, .seed = cfg.seed}, cfg).value);
     }
     table.addRow({util::formatFixed(c, 1), util::formatFixed(stat.mean(), 2),
                   util::formatFixed(stat.ci95HalfWidth(), 2)});

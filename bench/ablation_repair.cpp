@@ -51,7 +51,7 @@ int main() {
 
   // t = 0 placement shared by all three policies.
   core::SigmaEvaluator sigma0(instances[0]);
-  const auto initial = core::greedyMaximize(sigma0, cands, k).placement;
+  const auto initial = core::greedyMaximize(sigma0, cands, {.k = k}).placement;
 
   util::TableWriter table({"t", "m_t", "static", "fresh", "repair",
                            "churn fresh", "churn repair"});
@@ -64,7 +64,7 @@ int main() {
     core::SigmaEvaluator sigma(instances[t]);
     const double staticValue = sigma.value(initial);
 
-    const auto fresh = core::greedyMaximize(sigma, cands, k);
+    const auto fresh = core::greedyMaximize(sigma, cands, {.k = k});
     const int cf = placementDiff(freshPrev, fresh.placement);
 
     const auto repaired =

@@ -58,7 +58,7 @@ int main() {
   util::TableWriter table({"strategy", "worst scenario", "avg scenario",
                            "|F|"});
 
-  const auto sumGreedy = core::greedyMaximize(sum, cands, k);
+  const auto sumGreedy = core::greedyMaximize(sum, cands, {.k = k});
   {
     const auto [worst, avg] = evaluate(sumGreedy.placement);
     table.addRow({"sum greedy (§VI objective)", util::formatFixed(worst, 1),
@@ -66,7 +66,7 @@ int main() {
                   std::to_string(sumGreedy.placement.size())});
   }
 
-  const auto minGreedy = core::greedyMaximize(robust, cands, k);
+  const auto minGreedy = core::greedyMaximize(robust, cands, {.k = k});
   {
     const auto [worst, avg] = evaluate(minGreedy.placement);
     table.addRow({"plain greedy on min (plateau)",
@@ -78,7 +78,7 @@ int main() {
   for (const auto& inst : instances) {
     maxTarget = std::min(maxTarget, static_cast<double>(inst.pairCount()));
   }
-  const auto saturate = core::robustSaturate(kids, fns, cands, k, maxTarget);
+  const auto saturate = core::robustSaturate(kids, fns, cands, {.k = k}, maxTarget);
   {
     const auto [worst, avg] = evaluate(saturate.placement);
     table.addRow({"robustSaturate (truncated sum)",

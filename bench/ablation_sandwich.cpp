@@ -49,7 +49,7 @@ int main() {
         const auto cands = core::CandidateSet::allPairs(
             spatial.instance.graph().nodeCount());
         const auto aa =
-            core::sandwichApproximation(spatial.instance, cands, k);
+            core::sandwichApproximation(spatial.instance, cands, {.k = k});
         ++wins[aa.winner];
         aaStat.push(aa.sigma);
         sgStat.push(aa.sigmaOfSigma);

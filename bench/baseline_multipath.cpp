@@ -81,7 +81,7 @@ void runDataset(const std::string& dataset, const std::vector<double>& pts,
 
     const auto cands =
         msc::core::CandidateSet::allPairs(inst.graph().nodeCount());
-    const auto aa = msc::core::sandwichApproximation(inst, cands, k);
+    const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = k});
 
     table.addRow({msc::util::formatFixed(pt, 2), std::to_string(singleOk),
                   std::to_string(multipathOk),

@@ -82,7 +82,7 @@ int main() {
   const int k = static_cast<int>(util::envInt("MSC_K", 6));
   const auto cands = core::CandidateSet::allPairs(inst.graph().nodeCount());
 
-  const auto aa = core::sandwichApproximation(inst, cands, k);
+  const auto aa = core::sandwichApproximation(inst, cands, {.k = k});
   report("Approximation Algorithm (k=" + std::to_string(k) + ")", inst,
          aa.placement, spatial.positions, "fig1_aa.dot");
 

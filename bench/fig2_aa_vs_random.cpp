@@ -52,7 +52,7 @@ void runDataset(const std::string& dataset,
         const auto cands =
             msc::core::CandidateSet::allPairs(inst.graph().nodeCount());
 
-        const auto aa = msc::core::sandwichApproximation(inst, cands, k);
+        const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = k});
         aaStat.push(aa.sigma);
 
         msc::core::SigmaEvaluator sigma(inst);

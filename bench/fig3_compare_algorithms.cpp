@@ -50,14 +50,14 @@ void runDataset(const std::string& dataset,
         msc::core::CandidateSet::allPairs(inst.graph().nodeCount());
 
     for (const int k : budgets) {
-      const auto aa = msc::core::sandwichApproximation(inst, cands, k);
+      const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = k});
 
       msc::core::SigmaEvaluator sigma(inst);
       msc::core::EaConfig eaCfg;
       eaCfg.iterations = iterations;
       eaCfg.seed = seed + static_cast<std::uint64_t>(k);
       const auto ea =
-          msc::core::evolutionaryAlgorithm(sigma, cands, k, eaCfg);
+          msc::core::evolutionaryAlgorithm(sigma, cands, {.k = k, .seed = eaCfg.seed}, eaCfg);
 
       msc::core::AeaConfig aeaCfg;
       aeaCfg.iterations = iterations;
@@ -65,7 +65,7 @@ void runDataset(const std::string& dataset,
       aeaCfg.delta = 0.05;
       aeaCfg.seed = seed + static_cast<std::uint64_t>(k);
       const auto aea =
-          msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, k, aeaCfg);
+          msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, {.k = k, .seed = aeaCfg.seed}, aeaCfg);
 
       table.addRow({msc::util::formatFixed(pt, 2), std::to_string(k),
                     msc::util::formatFixed(aa.sigma, 0),

@@ -56,13 +56,13 @@ void runDataset(const std::string& dataset, double pt,
   }
 
   for (const int k : budgets) {
-    const auto aa = msc::core::sandwichApproximation(inst, cands, k);
+    const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = k});
 
     msc::core::SigmaEvaluator sigma(inst);
     msc::core::EaConfig eaCfg;
     eaCfg.iterations = maxIterations;
     eaCfg.seed = seed + static_cast<std::uint64_t>(k);
-    const auto ea = msc::core::evolutionaryAlgorithm(sigma, cands, k, eaCfg);
+    const auto ea = msc::core::evolutionaryAlgorithm(sigma, cands, {.k = k, .seed = eaCfg.seed}, eaCfg);
 
     msc::core::AeaConfig aeaCfg;
     aeaCfg.iterations = maxIterations;
@@ -70,7 +70,7 @@ void runDataset(const std::string& dataset, double pt,
     aeaCfg.delta = 0.05;
     aeaCfg.seed = seed + static_cast<std::uint64_t>(k);
     const auto aea =
-        msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, k, aeaCfg);
+        msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, {.k = k, .seed = aeaCfg.seed}, aeaCfg);
 
     msc::util::TableWriter table({"r", "EA", "AEA", "AA (ref)"});
     for (const int r : checkpoints) {

@@ -46,12 +46,12 @@ AlgoValues runAll(msc::core::DynamicProblem& problem,
                   const msc::core::CandidateSet& cands, int k, int iterations,
                   std::uint64_t seed) {
   AlgoValues out;
-  out.aa = problem.sandwich(cands, k).sigma;
+  out.aa = problem.sandwich(cands, {.k = k}).sigma;
 
   msc::core::EaConfig eaCfg;
   eaCfg.iterations = iterations;
   eaCfg.seed = seed;
-  out.ea = msc::core::evolutionaryAlgorithm(problem.sigmaFn(), cands, k, eaCfg)
+  out.ea = msc::core::evolutionaryAlgorithm(problem.sigmaFn(), cands, {.k = k, .seed = eaCfg.seed}, eaCfg)
                .value;
 
   msc::core::AeaConfig aeaCfg;
@@ -59,8 +59,8 @@ AlgoValues runAll(msc::core::DynamicProblem& problem,
   aeaCfg.populationSize = 10;
   aeaCfg.delta = 0.05;
   aeaCfg.seed = seed;
-  out.aea = msc::core::adaptiveEvolutionaryAlgorithm(problem.sigma(), cands,
-                                                     k, aeaCfg)
+  out.aea = msc::core::adaptiveEvolutionaryAlgorithm(
+                problem.sigma(), cands, {.k = k, .seed = aeaCfg.seed}, aeaCfg)
                 .value;
   return out;
 }

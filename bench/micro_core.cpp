@@ -133,8 +133,9 @@ void BM_GreedyFullRun(benchmark::State& state) {
   const auto cands = CandidateSet::allPairs(100);
   for (auto _ : state) {
     SigmaEvaluator eval(spatial.instance);
-    benchmark::DoNotOptimize(
-        msc::core::greedyMaximize(eval, cands, static_cast<int>(state.range(0))));
+    benchmark::DoNotOptimize(msc::core::greedyMaximize(
+        eval, cands,
+        msc::core::SolveOptions{.k = static_cast<int>(state.range(0))}));
   }
 }
 BENCHMARK(BM_GreedyFullRun)->Arg(4)->Arg(10);
@@ -151,13 +152,62 @@ void BM_GreedyInstrumented(benchmark::State& state) {
   msc::obs::setEnabled(state.range(1) != 0);
   for (auto _ : state) {
     SigmaEvaluator eval(spatial.instance);
-    benchmark::DoNotOptimize(
-        msc::core::greedyMaximize(eval, cands, static_cast<int>(state.range(0))));
+    benchmark::DoNotOptimize(msc::core::greedyMaximize(
+        eval, cands,
+        msc::core::SolveOptions{.k = static_cast<int>(state.range(0))}));
   }
   msc::obs::setEnabled(wasEnabled);
   msc::obs::resetAll();
 }
 BENCHMARK(BM_GreedyInstrumented)->Args({4, 0})->Args({4, 1});
+
+// --------------------------------------------------- parallel scaling ----
+// The acceptance bar for the parallel layer (ALGORITHMS.md §10): >= 2x on
+// APSP and on a greedy gain-scan round at 8 threads on n >= 2000 RG graphs
+// (needs an 8-core machine; on fewer cores the 8-thread rows oversubscribe
+// and only show whatever parallelism the hardware has). Compare the
+// threads=1 and threads=8 rows of each benchmark.
+
+const Instance& bigRgInstance() {
+  // n = 2000, radius 0.05, 200 pairs — built once and shared across
+  // benchmark registrations (construction itself runs a full APSP).
+  static const msc::eval::SpatialInstance spatial = [] {
+    msc::eval::RgSetup setup;
+    setup.nodes = 2000;
+    setup.radius = 0.05;
+    setup.pairs = 200;
+    setup.failureThreshold = 0.14;
+    setup.seed = 1;
+    return msc::eval::makeRgInstance(setup);
+  }();
+  return spatial.instance;
+}
+
+void BM_ApspParallel(benchmark::State& state) {
+  const auto& inst = bigRgInstance();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        msc::graph::allPairsDistances(inst.graph(), threads));
+  }
+}
+BENCHMARK(BM_ApspParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyGainScanParallel(benchmark::State& state) {
+  // One greedy round (k = 1) == one full candidate gain scan plus one add;
+  // the scan over ~2M candidates dominates.
+  const auto& inst = bigRgInstance();
+  const auto cands = CandidateSet::allPairs(inst.graph().nodeCount());
+  const int threads = static_cast<int>(state.range(0));
+  SigmaEvaluator eval(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msc::core::greedyMaximize(
+        eval, cands, msc::core::SolveOptions{.k = 1, .threads = threads}));
+  }
+}
+BENCHMARK(BM_GreedyGainScanParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -54,7 +54,7 @@ int main() {
         const auto cands = core::CandidateSet::allPairs(
             spatial.instance.graph().nodeCount());
         const auto aa =
-            core::sandwichApproximation(spatial.instance, cands, k);
+            core::sandwichApproximation(spatial.instance, cands, {.k = k});
         stat.push(aa.dataDependentRatio().value_or(0.0));
       }
       row.push_back(util::formatFixed(stat.mean(), 4));

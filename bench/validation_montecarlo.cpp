@@ -43,7 +43,7 @@ void runDataset(const std::string& dataset, double pt, int k, int trials,
   const auto& inst = spatial.instance;
   const auto cands =
       msc::core::CandidateSet::allPairs(inst.graph().nodeCount());
-  const auto aa = msc::core::sandwichApproximation(inst, cands, k);
+  const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = k});
   const auto routes = msc::core::routeAllPairs(inst, aa.placement);
 
   msc::sim::MonteCarloConfig cfg;

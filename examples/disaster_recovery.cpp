@@ -67,7 +67,7 @@ int main() {
   const int k = 4;  // four satellite terminals
 
   // Sandwich approximation on the summed objective (§VI-2).
-  const auto aa = problem.sandwich(cands, k);
+  const auto aa = problem.sandwich(cands, {.k = k});
   std::cout << "AA  (k=" << k << "): " << aa.sigma << " / "
             << problem.totalPairCount() << " pair-instances; shortcuts:";
   for (const auto& f : aa.placement) std::cout << " (" << f.a << "-" << f.b << ")";
@@ -78,7 +78,7 @@ int main() {
   aeaCfg.iterations = 150;
   aeaCfg.seed = 1;
   const auto aea =
-      core::adaptiveEvolutionaryAlgorithm(problem.sigma(), cands, k, aeaCfg);
+      core::adaptiveEvolutionaryAlgorithm(problem.sigma(), cands, {.k = k, .seed = aeaCfg.seed}, aeaCfg);
   std::cout << "AEA (k=" << k << ", r=" << aeaCfg.iterations
             << "): " << aea.value << "\n\n";
 

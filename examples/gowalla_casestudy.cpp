@@ -39,7 +39,7 @@ int main() {
 
   util::TableWriter table({"algorithm", "maintained", "of", "notes"});
 
-  const auto aa = core::sandwichApproximation(inst, cands, k);
+  const auto aa = core::sandwichApproximation(inst, cands, {.k = k});
   table.addRow({"AA (sandwich)", util::formatFixed(aa.sigma, 0),
                 std::to_string(inst.pairCount()),
                 "winner: greedy-on-" + aa.winner});
@@ -48,7 +48,7 @@ int main() {
   core::EaConfig eaCfg;
   eaCfg.iterations = 500;
   eaCfg.seed = 3;
-  const auto ea = core::evolutionaryAlgorithm(sigma, cands, k, eaCfg);
+  const auto ea = core::evolutionaryAlgorithm(sigma, cands, {.k = k, .seed = eaCfg.seed}, eaCfg);
   table.addRow({"EA (GSEMO)", util::formatFixed(ea.value, 0),
                 std::to_string(inst.pairCount()), "r=500"});
 
@@ -56,7 +56,7 @@ int main() {
   aeaCfg.iterations = 500;
   aeaCfg.seed = 3;
   const auto aea =
-      core::adaptiveEvolutionaryAlgorithm(sigma, cands, k, aeaCfg);
+      core::adaptiveEvolutionaryAlgorithm(sigma, cands, {.k = k, .seed = aeaCfg.seed}, aeaCfg);
   table.addRow({"AEA", util::formatFixed(aea.value, 0),
                 std::to_string(inst.pairCount()), "r=500, l=10, delta=0.05"});
 

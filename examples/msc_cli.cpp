@@ -40,6 +40,7 @@
 #include "graph/apsp.h"
 #include "graph/graph_io.h"
 #include "util/args.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "wireless/link_model.h"
@@ -58,15 +59,28 @@ int usage() {
       "        [--algo aa|greedy|ea|aea|random] [--iters R] [--seed S]\n"
       "  eval  --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
       "  route --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
-      "every subcommand also accepts --metrics-out FILE (solver metrics as\n"
-      "JSON) and honours MSC_METRICS=1 (text metrics footer on stdout)\n";
+      "every subcommand also accepts --threads N (worker threads for APSP\n"
+      "and solver gain scans; 0 = all hardware cores; results are identical\n"
+      "for any N) and --metrics-out FILE (solver metrics as JSON), and\n"
+      "honours MSC_METRICS=1 (text metrics footer on stdout)\n";
   return 2;
 }
 
-// Every subcommand accepts --metrics-out in addition to its own flags.
+// Every subcommand accepts --metrics-out and --threads in addition to its
+// own flags.
 void checkFlags(const Args& args, std::vector<std::string> allowed) {
   allowed.push_back("metrics-out");
+  allowed.push_back("threads");
   args.allowedFlags(allowed);
+}
+
+// --threads N: 0 = all hardware cores. Parsed through Args::getInt (so
+// non-numeric values hit its error path) and range-checked by
+// resolveThreadCount (negative values throw).
+int threadsArg(const Args& args) {
+  const int threads = static_cast<int>(args.getInt("threads", 1));
+  msc::util::resolveThreadCount(threads);  // validates, throws on negative
+  return threads;
 }
 
 msc::graph::Graph loadGraph(const std::string& path) {
@@ -114,13 +128,14 @@ msc::core::Instance makeInstance(const Args& args) {
   auto g = loadGraph(args.requireString("graph"));
   auto pairs = loadPairs(args.requireString("pairs"));
   const double pt = args.getDouble("pt", 0.14);
-  return msc::core::Instance::fromFailureThreshold(std::move(g),
-                                                   std::move(pairs), pt);
+  return msc::core::Instance::fromFailureThreshold(
+      std::move(g), std::move(pairs), pt, threadsArg(args));
 }
 
 int cmdGen(const Args& args) {
   checkFlags(args, {"type", "out", "nodes", "seed", "radius", "prob", "attach",
                     "neighbors"});
+  threadsArg(args);  // accepted (and validated) everywhere; gen has no APSP
   const std::string type = args.getString("type", "rg");
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
   const int nodes = static_cast<int>(args.getInt("nodes", 100));
@@ -174,7 +189,7 @@ int cmdPairs(const Args& args) {
   const double pt = args.getDouble("pt", 0.14);
   const int m = static_cast<int>(args.getInt("m", 20));
   msc::util::Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 1)));
-  const auto dist = msc::graph::allPairsDistances(g);
+  const auto dist = msc::graph::allPairsDistances(g, threadsArg(args));
   const double dt = msc::wireless::failureThresholdToDistance(pt);
   const auto pairs = msc::core::sampleImportantPairs(g, dist, m, dt, rng);
 
@@ -200,12 +215,14 @@ int cmdSolve(const Args& args) {
   const std::string algo = args.getString("algo", "aa");
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
   const int iters = static_cast<int>(args.getInt("iters", 500));
+  const msc::core::SolveOptions options{
+      .k = k, .threads = threadsArg(args), .seed = seed};
   const auto cands = msc::core::CandidateSet::allPairs(inst.graph().nodeCount());
 
   msc::core::ShortcutList placement;
   double value = 0.0;
   if (algo == "aa") {
-    const auto aa = msc::core::sandwichApproximation(inst, cands, k);
+    const auto aa = msc::core::sandwichApproximation(inst, cands, options);
     placement = aa.placement;
     value = aa.sigma;
     if (const auto ratio = aa.dataDependentRatio()) {
@@ -214,24 +231,22 @@ int cmdSolve(const Args& args) {
     }
   } else if (algo == "greedy") {
     msc::core::SigmaEvaluator sigma(inst);
-    const auto res = msc::core::greedyMaximize(sigma, cands, k);
+    const auto res = msc::core::greedyMaximize(sigma, cands, options);
     placement = res.placement;
     value = res.value;
   } else if (algo == "ea") {
     msc::core::SigmaEvaluator sigma(inst);
     msc::core::EaConfig cfg;
     cfg.iterations = iters;
-    cfg.seed = seed;
-    const auto res = msc::core::evolutionaryAlgorithm(sigma, cands, k, cfg);
+    const auto res = msc::core::evolutionaryAlgorithm(sigma, cands, options, cfg);
     placement = res.placement;
     value = res.value;
   } else if (algo == "aea") {
     msc::core::SigmaEvaluator sigma(inst);
     msc::core::AeaConfig cfg;
     cfg.iterations = iters;
-    cfg.seed = seed;
     const auto res =
-        msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, k, cfg);
+        msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, options, cfg);
     placement = res.placement;
     value = res.value;
   } else if (algo == "random") {

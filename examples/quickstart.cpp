@@ -49,7 +49,7 @@ int main() {
   const int k = 3;
   const auto candidates =
       core::CandidateSet::allPairs(instance.graph().nodeCount());
-  const auto aa = core::sandwichApproximation(instance, candidates, k);
+  const auto aa = core::sandwichApproximation(instance, candidates, {.k = k});
 
   std::cout << "\nAA placed " << aa.placement.size() << " shortcuts:";
   for (const auto& f : aa.placement) {

@@ -1,9 +1,12 @@
 #include "core/aea.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
+#include "core/gain_scan.h"
 #include "obs/metrics.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace msc::core {
@@ -18,8 +21,11 @@ struct Member {
 }  // namespace
 
 AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
-                                        const CandidateSet& candidates, int k,
+                                        const CandidateSet& candidates,
+                                        const SolveOptions& options,
                                         const AeaConfig& config) {
+  const int k = options.k;
+  const int threads = util::resolveThreadCount(options.threads);
   if (k < 0) throw std::invalid_argument("AEA: negative budget");
   if (config.iterations < 0) throw std::invalid_argument("AEA: negative r");
   if (config.populationSize < 1) {
@@ -33,18 +39,28 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
   }
 
   MSC_OBS_SPAN("aea.run");
+  const auto startTime = std::chrono::steady_clock::now();
   std::uint64_t greedySwaps = 0;
   std::uint64_t randomSwaps = 0;
   std::uint64_t evaluations = 0;
+  const auto finishResult = [&](AeaResult& r) {
+    r.gainEvaluations = evaluations;
+    r.iterations = config.iterations;
+    r.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - startTime)
+                        .count();
+  };
 
-  util::Rng rng(config.seed);
+  util::Rng rng(options.seed);
   AeaResult result;
   result.bestByIteration.reserve(static_cast<std::size_t>(config.iterations));
 
   if (k == 0 || candidates.empty()) {
     result.value = eval.evaluate({});
+    ++evaluations;
     result.bestByIteration.assign(static_cast<std::size_t>(config.iterations),
                                   result.value);
+    finishResult(result);
     return result;
   }
 
@@ -58,6 +74,7 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
       first.placement.push_back(candidates[idx]);
     }
     first.value = eval.evaluate(first.placement);
+    ++evaluations;
     population.push_back(std::move(first));
   }
 
@@ -93,20 +110,17 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
       }
       f.erase(f.begin() + static_cast<long>(dropIdx));
 
-      // Greedy add: argmax_{f' not in F} sigma(F ∪ {f'}).
+      // Greedy add: argmax_{f' not in F} sigma(F ∪ {f'}). Unlike plain
+      // greedy there is no positive-gain requirement — a swap always
+      // completes — so the scan falls back to the first non-member.
       eval.evaluate(f);  // state = F \ {dropped}
       ++evaluations;
-      double bestGain = 0.0;
-      long bestIdx = -1;
-      for (std::size_t c = 0; c < candidates.size(); ++c) {
-        if (contains(f, candidates[c])) continue;
-        const double gain = eval.gainIfAdd(candidates[c]);
-        if (bestIdx < 0 || gain > bestGain) {
-          bestGain = gain;
-          bestIdx = static_cast<long>(c);
-        }
-      }
-      f.push_back(candidates[static_cast<std::size_t>(bestIdx)]);
+      const detail::ScanBest add = detail::gainScan(
+          eval, candidates, threads, /*requirePositiveGain=*/false,
+          [&](std::size_t c) { return contains(f, candidates[c]); },
+          [](double gain, std::size_t) { return gain; });
+      evaluations += add.evaluations;
+      f.push_back(candidates[static_cast<std::size_t>(add.index)]);
     } else {
       ++randomSwaps;
       // Random swap: one random out, one random (distinct, non-member) in.
@@ -146,6 +160,7 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
   const Member& best = bestMember();
   result.placement = best.placement;
   result.value = best.value;
+  finishResult(result);
 
   if (msc::obs::enabled()) {
     msc::obs::counter("aea.runs").add(1);

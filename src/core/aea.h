@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "core/options.h"
 #include "core/set_function.h"
 
 namespace msc::core {
@@ -29,6 +30,8 @@ struct AeaConfig {
   int populationSize = 10;
   /// Probability of a random (exploration) swap; the paper uses 0.05.
   double delta = 0.05;
+  /// Swap RNG seed. Only honored through the deprecated int-k entry point;
+  /// the SolveOptions overload uses options.seed (authoritative).
   std::uint64_t seed = 1;
 };
 
@@ -37,13 +40,32 @@ struct AeaResult {
   double value = 0.0;
   /// Best population value after each iteration (for Fig. 4 curves).
   std::vector<double> bestByIteration;
+
+  // --- observability (always filled, independent of msc::obs state) ---
+  /// Whole-set evaluations + greedy-add gainIfAdd calls across the run.
+  std::size_t gainEvaluations = 0;
+  /// Swap iterations actually run (== config.iterations).
+  int iterations = 0;
+  /// Wall-clock duration of the run in seconds.
+  double wallSeconds = 0.0;
 };
 
 /// `eval` provides both whole-set evaluation (population scoring) and
 /// incremental gains (the greedy add step); it is left in an unspecified
-/// state afterwards.
+/// state afterwards. options.seed drives the swap RNG; options.threads
+/// shards the greedy-add candidate scan (deterministic — identical result
+/// for any thread count).
 AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
-                                        const CandidateSet& candidates, int k,
-                                        const AeaConfig& config);
+                                        const CandidateSet& candidates,
+                                        const SolveOptions& options,
+                                        const AeaConfig& config = {});
+
+[[deprecated("use the SolveOptions overload")]]
+inline AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
+                                               const CandidateSet& candidates,
+                                               int k, const AeaConfig& config) {
+  return adaptiveEvolutionaryAlgorithm(
+      eval, candidates, SolveOptions{.k = k, .seed = config.seed}, config);
+}
 
 }  // namespace msc::core

@@ -1,8 +1,12 @@
 #include "core/budgeted.h"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
+
+#include "core/gain_scan.h"
+#include "util/parallel.h"
 
 namespace msc::core {
 
@@ -28,33 +32,29 @@ struct GreedyRun {
   ShortcutList placement;
   double value = 0.0;
   double cost = 0.0;
+  std::size_t gainEvaluations = 0;
 };
 
 // One greedy pass; when `byDensity` the selection criterion is gain/cost,
 // otherwise raw gain. Candidates that no longer fit the remaining budget
 // are skipped (not aborted on — a cheaper useful candidate may still fit).
 GreedyRun run(IncrementalEvaluator& eval, const CandidateSet& candidates,
-              const std::vector<double>& costs, double budget,
-              bool byDensity) {
+              const std::vector<double>& costs, double budget, bool byDensity,
+              int threads) {
   eval.reset();
   GreedyRun out;
   std::vector<char> chosen(candidates.size(), 0);
   double remaining = budget;
   for (;;) {
-    double bestScore = 0.0;
-    long bestIdx = -1;
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      if (chosen[c] || costs[c] > remaining) continue;
-      const double gain = eval.gainIfAdd(candidates[c]);
-      if (gain <= 0.0) continue;
-      const double score = byDensity ? gain / costs[c] : gain;
-      if (bestIdx < 0 || score > bestScore) {
-        bestScore = score;
-        bestIdx = static_cast<long>(c);
-      }
-    }
-    if (bestIdx < 0) break;
-    const auto idx = static_cast<std::size_t>(bestIdx);
+    const detail::ScanBest best = detail::gainScan(
+        eval, candidates, threads, /*requirePositiveGain=*/true,
+        [&](std::size_t c) { return chosen[c] != 0 || costs[c] > remaining; },
+        [&](double gain, std::size_t c) {
+          return byDensity ? gain / costs[c] : gain;
+        });
+    out.gainEvaluations += best.evaluations;
+    if (best.index < 0) break;
+    const auto idx = static_cast<std::size_t>(best.index);
     chosen[idx] = 1;
     remaining -= costs[idx];
     out.cost += costs[idx];
@@ -69,10 +69,13 @@ GreedyRun run(IncrementalEvaluator& eval, const CandidateSet& candidates,
 
 BudgetedResult budgetedGreedy(IncrementalEvaluator& eval,
                               const CandidateSet& candidates,
-                              const CostFunction& cost, double budget) {
+                              const CostFunction& cost, double budget,
+                              const SolveOptions& options) {
   if (!(budget >= 0.0) || !std::isfinite(budget)) {
     throw std::invalid_argument("budgetedGreedy: budget must be finite >= 0");
   }
+  const auto startTime = std::chrono::steady_clock::now();
+  const int threads = util::resolveThreadCount(options.threads);
   std::vector<double> costs(candidates.size());
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     costs[c] = cost(candidates[c]);
@@ -82,10 +85,14 @@ BudgetedResult budgetedGreedy(IncrementalEvaluator& eval,
     }
   }
 
-  const GreedyRun density = run(eval, candidates, costs, budget, true);
-  const GreedyRun uniform = run(eval, candidates, costs, budget, false);
+  const GreedyRun density = run(eval, candidates, costs, budget, true, threads);
+  const GreedyRun uniform =
+      run(eval, candidates, costs, budget, false, threads);
 
   BudgetedResult result;
+  result.gainEvaluations = density.gainEvaluations + uniform.gainEvaluations;
+  result.rounds = static_cast<int>(density.placement.size() +
+                                   uniform.placement.size());
   result.densityPlacement = density.placement;
   result.densityValue = density.value;
   result.uniformPlacement = uniform.placement;
@@ -102,6 +109,9 @@ BudgetedResult budgetedGreedy(IncrementalEvaluator& eval,
     result.cost = uniform.cost;
     result.winner = "uniform";
   }
+  result.wallSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - startTime)
+                           .count();
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <functional>
 
 #include "core/candidates.h"
+#include "core/options.h"
 #include "core/set_function.h"
 #include "gen/point.h"
 
@@ -45,12 +46,30 @@ struct BudgetedResult {
   /// Both component results, for ablations.
   ShortcutList densityPlacement, uniformPlacement;
   double densityValue = 0.0, uniformValue = 0.0;
+
+  // --- observability (always filled, independent of msc::obs state) ---
+  /// gainIfAdd calls summed over both greedy rules.
+  std::size_t gainEvaluations = 0;
+  /// Accepted picks summed over both greedy rules.
+  int rounds = 0;
+  /// Wall-clock duration of the run in seconds.
+  double wallSeconds = 0.0;
 };
 
 /// Best of density-greedy and uniform-greedy under the knapsack budget.
-/// The evaluator is left holding the returned placement.
+/// The evaluator is left holding the returned placement. The knapsack
+/// budget replaces options.k (which is ignored); options.threads shards
+/// both rules' per-round candidate scans deterministically.
 BudgetedResult budgetedGreedy(IncrementalEvaluator& eval,
                               const CandidateSet& candidates,
-                              const CostFunction& cost, double budget);
+                              const CostFunction& cost, double budget,
+                              const SolveOptions& options);
+
+[[deprecated("use the SolveOptions overload")]]
+inline BudgetedResult budgetedGreedy(IncrementalEvaluator& eval,
+                                     const CandidateSet& candidates,
+                                     const CostFunction& cost, double budget) {
+  return budgetedGreedy(eval, candidates, cost, budget, SolveOptions{});
+}
 
 }  // namespace msc::core

@@ -92,7 +92,7 @@ CommonNodeResult solveCommonNodeSigmaGreedy(const Instance& instance,
   const CandidateSet candidates =
       CandidateSet::incidentTo(instance.graph().nodeCount(), commonNode);
   SigmaEvaluator eval(instance);
-  const GreedyResult greedy = greedyMaximize(eval, candidates, k);
+  const GreedyResult greedy = greedyMaximize(eval, candidates, SolveOptions{.k = k});
   return CommonNodeResult{greedy.placement, greedy.value};
 }
 

@@ -90,9 +90,9 @@ std::vector<double> DynamicProblem::perInstanceSigma(
 }
 
 SandwichResult DynamicProblem::sandwich(const CandidateSet& candidates,
-                                        int k) {
+                                        const SolveOptions& options) {
   return sandwichApproximation(*sigma_, *mu_, *nu_, *sigma_, *nu_, candidates,
-                               k);
+                               options);
 }
 
 }  // namespace msc::core

@@ -73,7 +73,13 @@ class DynamicProblem {
   std::vector<double> perInstanceSigma(const ShortcutList& placement) const;
 
   /// Sandwich approximation on the dynamic objective.
-  SandwichResult sandwich(const CandidateSet& candidates, int k);
+  SandwichResult sandwich(const CandidateSet& candidates,
+                          const SolveOptions& options);
+
+  [[deprecated("use the SolveOptions overload")]]
+  SandwichResult sandwich(const CandidateSet& candidates, int k) {
+    return sandwich(candidates, SolveOptions{.k = k});
+  }
 
  private:
   std::vector<Instance> instances_;

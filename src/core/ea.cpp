@@ -1,6 +1,7 @@
 #include "core/ea.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -24,13 +25,25 @@ bool dominates(const Archived& a, const Archived& b) {
 }  // namespace
 
 EaResult evolutionaryAlgorithm(const SetFunction& objective,
-                               const CandidateSet& candidates, int k,
+                               const CandidateSet& candidates,
+                               const SolveOptions& options,
                                const EaConfig& config) {
+  const int k = options.k;
   if (k < 0) throw std::invalid_argument("EA: negative budget");
   if (config.iterations < 0) throw std::invalid_argument("EA: negative r");
+  const auto startTime = std::chrono::steady_clock::now();
   if (candidates.empty()) {
-    return EaResult{{}, objective.value({}), std::vector<double>(
-        static_cast<std::size_t>(config.iterations), objective.value({})), 1};
+    EaResult empty;
+    empty.value = objective.value({});
+    empty.bestByIteration.assign(static_cast<std::size_t>(config.iterations),
+                                 empty.value);
+    empty.archiveSize = 1;
+    empty.gainEvaluations = 1;
+    empty.iterations = config.iterations;
+    empty.wallSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - startTime)
+                            .count();
+    return empty;
   }
   const double flipP =
       config.flipProbability.value_or(1.0 / static_cast<double>(candidates.size()));
@@ -47,7 +60,7 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
   std::uint64_t mutationFlips = 0;
   std::uint64_t offspringEvals = 0;
 
-  util::Rng rng(config.seed);
+  util::Rng rng(options.seed);
   std::vector<Archived> archive;
   archive.push_back({{}, objective.value({})});
 
@@ -135,6 +148,11 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
   result.placement = best.placement;
   result.value = best.value;
   result.archiveSize = archive.size();
+  result.gainEvaluations = offspringEvals + 1;  // + the initial archive seed
+  result.iterations = config.iterations;
+  result.wallSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - startTime)
+                           .count();
 
   if (msc::obs::enabled()) {
     msc::obs::counter("ea.runs").add(1);

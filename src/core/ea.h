@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "core/options.h"
 #include "core/set_function.h"
 
 namespace msc::core {
@@ -33,6 +34,8 @@ struct EaConfig {
   std::optional<double> flipProbability;
   /// Discard offspring with |F| > sizeCapFactor * k; 0 disables the cap.
   int sizeCapFactor = 2;
+  /// Mutation RNG seed. Only honored through the deprecated int-k entry
+  /// point; the SolveOptions overload uses options.seed (authoritative).
   std::uint64_t seed = 1;
 };
 
@@ -44,10 +47,31 @@ struct EaResult {
   std::vector<double> bestByIteration;
   /// Final archive size (diagnostic).
   std::size_t archiveSize = 0;
+
+  // --- observability (always filled, independent of msc::obs state) ---
+  /// Offspring objective evaluations (mutation-free iterations skip one).
+  std::size_t gainEvaluations = 0;
+  /// Mutation iterations actually run (== config.iterations).
+  int iterations = 0;
+  /// Wall-clock duration of the run in seconds.
+  double wallSeconds = 0.0;
 };
 
+/// options.k is the size budget and options.seed drives mutation; the EA's
+/// mutate-evaluate-archive loop is inherently sequential, so options.threads
+/// only reaches any parallel-aware SetFunction the caller passes in.
 EaResult evolutionaryAlgorithm(const SetFunction& objective,
-                               const CandidateSet& candidates, int k,
-                               const EaConfig& config);
+                               const CandidateSet& candidates,
+                               const SolveOptions& options,
+                               const EaConfig& config = {});
+
+[[deprecated("use the SolveOptions overload")]]
+inline EaResult evolutionaryAlgorithm(const SetFunction& objective,
+                                      const CandidateSet& candidates, int k,
+                                      const EaConfig& config) {
+  return evolutionaryAlgorithm(objective, candidates,
+                               SolveOptions{.k = k, .seed = config.seed},
+                               config);
+}
 
 }  // namespace msc::core

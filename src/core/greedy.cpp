@@ -1,10 +1,13 @@
 #include "core/greedy.h"
 
+#include <chrono>
 #include <queue>
 #include <stdexcept>
 #include <vector>
 
+#include "core/gain_scan.h"
 #include "obs/metrics.h"
+#include "util/parallel.h"
 
 namespace msc::core {
 
@@ -12,6 +15,12 @@ namespace {
 
 void checkBudget(int k) {
   if (k < 0) throw std::invalid_argument("greedy: negative budget k");
+}
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 // Publishes a finished pass's counters under the given prefix
@@ -30,41 +39,43 @@ void publishPass(const char* prefix, const GreedyResult& result) {
 }  // namespace
 
 GreedyResult greedyMaximize(IncrementalEvaluator& eval,
-                            const CandidateSet& candidates, int k) {
-  checkBudget(k);
+                            const CandidateSet& candidates,
+                            const SolveOptions& options) {
+  checkBudget(options.k);
+  const int threads = util::resolveThreadCount(options.threads);
   MSC_OBS_SPAN("greedy.pass");
+  const auto start = std::chrono::steady_clock::now();
   eval.reset();
   GreedyResult result;
   std::vector<char> chosen(candidates.size(), 0);
-  for (int round = 0; round < k; ++round) {
+  for (int round = 0; round < options.k; ++round) {
     MSC_OBS_SPAN("greedy.iteration");
-    double bestGain = 0.0;
-    long bestIdx = -1;
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      if (chosen[c]) continue;
-      const double gain = eval.gainIfAdd(candidates[c]);
-      ++result.gainEvaluations;
-      if (gain > bestGain) {
-        bestGain = gain;
-        bestIdx = static_cast<long>(c);
-      }
-    }
-    if (bestIdx < 0) break;  // nothing improves the objective
-    chosen[static_cast<std::size_t>(bestIdx)] = 1;
-    eval.add(candidates[static_cast<std::size_t>(bestIdx)]);
-    result.placement.push_back(candidates[static_cast<std::size_t>(bestIdx)]);
+    const detail::ScanBest best = detail::gainScan(
+        eval, candidates, threads, /*requirePositiveGain=*/true,
+        [&](std::size_t c) { return chosen[c] != 0; },
+        [](double gain, std::size_t) { return gain; });
+    result.gainEvaluations += best.evaluations;
+    if (best.index < 0) break;  // nothing improves the objective
+    const auto idx = static_cast<std::size_t>(best.index);
+    chosen[idx] = 1;
+    eval.add(candidates[idx]);
+    result.placement.push_back(candidates[idx]);
     result.trajectory.push_back(eval.currentValue());
     ++result.rounds;
   }
   result.value = eval.currentValue();
+  result.wallSeconds = secondsSince(start);
   publishPass("greedy", result);
   return result;
 }
 
 GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
-                                const CandidateSet& candidates, int k) {
-  checkBudget(k);
+                                const CandidateSet& candidates,
+                                const SolveOptions& options) {
+  checkBudget(options.k);
+  const int threads = util::resolveThreadCount(options.threads);
   MSC_OBS_SPAN("greedy.lazy_pass");
+  const auto start = std::chrono::steady_clock::now();
   eval.reset();
   GreedyResult result;
 
@@ -79,12 +90,27 @@ GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
     return a.idx > b.idx;
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
-  for (std::size_t c = 0; c < candidates.size(); ++c) {
-    heap.push({eval.gainIfAdd(candidates[c]), c, 0});
-    ++result.gainEvaluations;
+  // The initial fill computes every candidate's gain against the empty
+  // placement — read-only on the evaluator, so it shards cleanly. Pushing
+  // in index order afterwards keeps the heap identical to a serial fill.
+  {
+    std::vector<double> initialGain(candidates.size());
+    util::parallelForThreads(
+        threads, 0, candidates.size(),
+        std::max<std::size_t>(1, candidates.size() /
+                                     (static_cast<std::size_t>(threads) * 4)),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t c = begin; c < end; ++c) {
+            initialGain[c] = eval.gainIfAdd(candidates[c]);
+          }
+        });
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      heap.push({initialGain[c], c, 0});
+      ++result.gainEvaluations;
+    }
   }
 
-  for (int round = 0; round < k && !heap.empty();) {
+  for (int round = 0; round < options.k && !heap.empty();) {
     Entry top = heap.top();
     heap.pop();
     if (top.round != round) {
@@ -104,6 +130,7 @@ GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
     ++result.rounds;
   }
   result.value = eval.currentValue();
+  result.wallSeconds = secondsSince(start);
   publishPass("greedy.lazy", result);
   return result;
 }

@@ -7,11 +7,18 @@
 // (Minoux's accelerated variant) is exact for monotone submodular functions
 // (mu, nu, the MSC-CN coverage form) and is what the sandwich algorithm
 // uses for its bound runs.
+//
+// With options.threads > 1 the per-round candidate gain scan (and lazy
+// greedy's initial heap fill) is sharded across the global thread pool
+// against read-only evaluator state; the deterministic lowest-index
+// tie-break reduction makes parallel picks bit-identical to sequential
+// (ALGORITHMS.md §10).
 #pragma once
 
 #include <vector>
 
 #include "core/candidates.h"
+#include "core/options.h"
 #include "core/set_function.h"
 
 namespace msc::core {
@@ -29,20 +36,38 @@ struct GreedyResult {
   int rounds = 0;
   /// Stale-gain recomputations (lazy greedy only; 0 for plain greedy).
   std::size_t lazyRecomputes = 0;
+  /// Wall-clock duration of the pass in seconds.
+  double wallSeconds = 0.0;
 };
 
-/// Plain greedy: each of (at most) k rounds picks the candidate with the
-/// largest marginal gain (ties -> lowest candidate index) and stops early
-/// when no candidate has positive gain. The evaluator is left holding the
-/// returned placement.
+/// Plain greedy: each of (at most) options.k rounds picks the candidate
+/// with the largest marginal gain (ties -> lowest candidate index) and
+/// stops early when no candidate has positive gain. The evaluator is left
+/// holding the returned placement. options.seed is unused (deterministic).
 GreedyResult greedyMaximize(IncrementalEvaluator& eval,
-                            const CandidateSet& candidates, int k);
+                            const CandidateSet& candidates,
+                            const SolveOptions& options);
 
 /// Lazy greedy with a stale-gain priority queue. Produces exactly the same
 /// picks as greedyMaximize when the function is monotone submodular
 /// (cached gains are then valid upper bounds); on non-submodular functions
-/// it is a heuristic. Same tie-breaking (lowest index).
+/// it is a heuristic. Same tie-breaking (lowest index). options.threads
+/// parallelizes the initial whole-set gain computation; the per-round heap
+/// walk is inherently sequential.
 GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
-                                const CandidateSet& candidates, int k);
+                                const CandidateSet& candidates,
+                                const SolveOptions& options);
+
+[[deprecated("use the SolveOptions overload")]]
+inline GreedyResult greedyMaximize(IncrementalEvaluator& eval,
+                                   const CandidateSet& candidates, int k) {
+  return greedyMaximize(eval, candidates, SolveOptions{.k = k});
+}
+
+[[deprecated("use the SolveOptions overload")]]
+inline GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
+                                       const CandidateSet& candidates, int k) {
+  return lazyGreedyMaximize(eval, candidates, SolveOptions{.k = k});
+}
 
 }  // namespace msc::core

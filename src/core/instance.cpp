@@ -9,7 +9,7 @@
 namespace msc::core {
 
 Instance::Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
-                   double distanceThreshold)
+                   double distanceThreshold, int threads)
     : pairs_(std::move(pairs)), distanceThreshold_(distanceThreshold) {
   if (!(distanceThreshold >= 0.0)) {
     throw std::invalid_argument("Instance: distance threshold must be >= 0");
@@ -32,15 +32,17 @@ Instance::Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
 
   auto owned = std::make_shared<msc::graph::Graph>(std::move(g));
   baseDistances_ = std::make_shared<const msc::graph::DistanceMatrix>(
-      msc::graph::allPairsDistances(*owned));
+      msc::graph::allPairsDistances(*owned, threads));
   graph_ = std::move(owned);
 }
 
 Instance Instance::fromFailureThreshold(msc::graph::Graph g,
                                         std::vector<SocialPair> pairs,
-                                        double failureThreshold) {
+                                        double failureThreshold,
+                                        int threads) {
   return Instance(std::move(g), std::move(pairs),
-                  msc::wireless::failureThresholdToDistance(failureThreshold));
+                  msc::wireless::failureThresholdToDistance(failureThreshold),
+                  threads);
 }
 
 namespace {

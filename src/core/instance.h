@@ -19,15 +19,18 @@ namespace msc::core {
 
 class Instance {
  public:
-  /// Takes ownership of the graph, computes base distances eagerly.
-  /// Validates pair endpoints and that distanceThreshold >= 0.
+  /// Takes ownership of the graph, computes base distances eagerly
+  /// (`threads` workers, 0 = all hardware threads; the result is identical
+  /// for any thread count). Validates pair endpoints and that
+  /// distanceThreshold >= 0.
   Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
-           double distanceThreshold);
+           double distanceThreshold, int threads = 1);
 
   /// Convenience: threshold given as a path-failure probability p_t.
   static Instance fromFailureThreshold(msc::graph::Graph g,
                                        std::vector<SocialPair> pairs,
-                                       double failureThreshold);
+                                       double failureThreshold,
+                                       int threads = 1);
 
   const msc::graph::Graph& graph() const noexcept { return *graph_; }
   const msc::graph::DistanceMatrix& baseDistances() const noexcept {

@@ -3,6 +3,7 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 
@@ -105,16 +106,19 @@ void TruncatedSumEvaluator::add(const Shortcut& f) {
 
 SaturateResult robustSaturate(std::vector<IncrementalEvaluator*> children,
                               std::vector<const SetFunction*> childFunctions,
-                              const CandidateSet& candidates, int k,
-                              double maxTarget) {
+                              const CandidateSet& candidates,
+                              const SolveOptions& options, double maxTarget) {
   if (children.empty() || children.size() != childFunctions.size()) {
     throw std::invalid_argument("robustSaturate: invalid child lists");
   }
-  if (k < 0) throw std::invalid_argument("robustSaturate: negative budget");
+  if (options.k < 0) {
+    throw std::invalid_argument("robustSaturate: negative budget");
+  }
   if (!(maxTarget >= 0.0)) {
     throw std::invalid_argument("robustSaturate: maxTarget must be >= 0");
   }
 
+  const auto startTime = std::chrono::steady_clock::now();
   MinEvaluator minFn(children, childFunctions, "robust");
   SaturateResult best;
   best.worstCase = minFn.value({});
@@ -125,7 +129,11 @@ SaturateResult robustSaturate(std::vector<IncrementalEvaluator*> children,
     const long c = lo + (hi - lo) / 2;
     TruncatedSumEvaluator truncated(children, childFunctions,
                                     static_cast<double>(c));
-    const GreedyResult run = greedyMaximize(truncated, candidates, k);
+    const GreedyResult run = greedyMaximize(
+        truncated, candidates,
+        SolveOptions{.k = options.k, .threads = options.threads});
+    best.gainEvaluations += run.gainEvaluations;
+    ++best.iterations;
     const double achieved = run.value;
     const bool feasible =
         achieved >= static_cast<double>(c) *
@@ -146,6 +154,9 @@ SaturateResult robustSaturate(std::vector<IncrementalEvaluator*> children,
       hi = c - 1;
     }
   }
+  best.wallSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - startTime)
+                         .count();
   return best;
 }
 

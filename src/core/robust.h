@@ -17,6 +17,7 @@
 
 #include "core/candidates.h"
 #include "core/greedy.h"
+#include "core/options.h"
 #include "core/set_function.h"
 
 namespace msc::core {
@@ -79,6 +80,14 @@ struct SaturateResult {
   /// Largest target level c whose truncated-greedy run reached c in every
   /// scenario.
   double targetReached = 0.0;
+
+  // --- observability (always filled, independent of msc::obs state) ---
+  /// gainIfAdd calls summed over all inner greedy runs.
+  std::size_t gainEvaluations = 0;
+  /// Binary-search steps (inner greedy runs) taken.
+  int iterations = 0;
+  /// Wall-clock duration of the search in seconds.
+  double wallSeconds = 0.0;
 };
 
 /// SATURATE-style robust placement (Krause et al.), adapted to a hard
@@ -91,7 +100,16 @@ struct SaturateResult {
 /// in practice — the ablation bench quantifies it.
 SaturateResult robustSaturate(std::vector<IncrementalEvaluator*> children,
                               std::vector<const SetFunction*> childFunctions,
-                              const CandidateSet& candidates, int k,
-                              double maxTarget);
+                              const CandidateSet& candidates,
+                              const SolveOptions& options, double maxTarget);
+
+[[deprecated("use the SolveOptions overload")]]
+inline SaturateResult robustSaturate(
+    std::vector<IncrementalEvaluator*> children,
+    std::vector<const SetFunction*> childFunctions,
+    const CandidateSet& candidates, int k, double maxTarget) {
+  return robustSaturate(std::move(children), std::move(childFunctions),
+                        candidates, SolveOptions{.k = k}, maxTarget);
+}
 
 }  // namespace msc::core

@@ -1,18 +1,24 @@
 #include "core/sandwich.h"
 
+#include <chrono>
+#include <exception>
+#include <thread>
+
 #include "core/bounds.h"
 #include "core/sigma.h"
 #include "obs/metrics.h"
+#include "util/parallel.h"
 
 namespace msc::core {
 
 SandwichResult sandwichApproximation(const Instance& instance,
-                                     const CandidateSet& candidates, int k) {
+                                     const CandidateSet& candidates,
+                                     const SolveOptions& options) {
   SigmaEvaluator sigmaEval(instance);
   MuEvaluator muEval(instance, candidates);
   NuEvaluator nuEval(instance);
   return sandwichApproximation(sigmaEval, muEval, nuEval, sigmaEval, nuEval,
-                               candidates, k);
+                               candidates, options);
 }
 
 SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
@@ -20,13 +26,52 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
                                      IncrementalEvaluator& nuEval,
                                      const SetFunction& sigmaFn,
                                      const SetFunction& nuFn,
-                                     const CandidateSet& candidates, int k) {
+                                     const CandidateSet& candidates,
+                                     const SolveOptions& options) {
   MSC_OBS_SPAN("sandwich.total");
+  const auto startTime = std::chrono::steady_clock::now();
   SandwichResult result;
 
-  const GreedyResult mu = lazyGreedyMaximize(muEval, candidates, k);
-  const GreedyResult sg = greedyMaximize(sigmaEval, candidates, k);
-  const GreedyResult nu = lazyGreedyMaximize(nuEval, candidates, k);
+  GreedyResult mu, sg, nu;
+  const int threads = util::resolveThreadCount(options.threads);
+  if (threads <= 1) {
+    mu = lazyGreedyMaximize(muEval, candidates, options);
+    sg = greedyMaximize(sigmaEval, candidates, options);
+    nu = lazyGreedyMaximize(nuEval, candidates, options);
+  } else {
+    // The three passes touch disjoint evaluators, so they can overlap;
+    // their inner gain scans serialize on (and share) the global pool.
+    // Each pass is individually deterministic, so the concurrent schedule
+    // returns exactly the sequential result.
+    std::exception_ptr muError, sigmaError, nuError;
+    std::thread muThread([&] {
+      try {
+        MSC_OBS_SPAN("sandwich.pass.mu");
+        mu = lazyGreedyMaximize(muEval, candidates, options);
+      } catch (...) {
+        muError = std::current_exception();
+      }
+    });
+    std::thread nuThread([&] {
+      try {
+        MSC_OBS_SPAN("sandwich.pass.nu");
+        nu = lazyGreedyMaximize(nuEval, candidates, options);
+      } catch (...) {
+        nuError = std::current_exception();
+      }
+    });
+    try {
+      MSC_OBS_SPAN("sandwich.pass.sigma");
+      sg = greedyMaximize(sigmaEval, candidates, options);
+    } catch (...) {
+      sigmaError = std::current_exception();
+    }
+    muThread.join();
+    nuThread.join();
+    if (muError) std::rethrow_exception(muError);
+    if (sigmaError) std::rethrow_exception(sigmaError);
+    if (nuError) std::rethrow_exception(nuError);
+  }
 
   result.placementMu = mu.placement;
   result.placementSigma = sg.placement;
@@ -52,6 +97,12 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
     result.sigma = result.sigmaOfNu;
     result.winner = "nu";
   }
+
+  result.gainEvaluations =
+      mu.gainEvaluations + sg.gainEvaluations + nu.gainEvaluations;
+  result.wallSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - startTime)
+                           .count();
 
   if (msc::obs::enabled()) {
     msc::obs::counter("sandwich.runs").add(1);

@@ -9,12 +9,17 @@
 //     sigma(F_app) >= sigma(F_nu)/nu(F_nu) * (1 - 1/e) * sigma(F*),
 // and Tables I/II of the paper report exactly the sigma(F_nu)/nu(F_nu)
 // factor — exposed here as dataDependentRatio().
+//
+// The three greedy passes own independent evaluators, so with
+// options.threads > 1 they run concurrently (their inner gain scans share
+// the global pool); results are bit-identical to the sequential schedule.
 #pragma once
 
 #include <optional>
 
 #include "core/candidates.h"
 #include "core/greedy.h"
+#include "core/options.h"
 #include "core/set_function.h"
 
 namespace msc::core {
@@ -35,6 +40,12 @@ struct SandwichResult {
   double nuOfFnu = 0.0;
   double sigmaOfFnu = 0.0;
 
+  // --- observability (always filled, independent of msc::obs state) ---
+  /// gainIfAdd calls summed over the three greedy passes.
+  std::size_t gainEvaluations = 0;
+  /// Wall-clock duration of the whole sandwich run in seconds.
+  double wallSeconds = 0.0;
+
   /// sigma(F_nu) / nu(F_nu); nullopt when nu(F_nu) == 0 (no pair-node is
   /// coverable at all — then any placement is optimal anyway).
   std::optional<double> dataDependentRatio() const {
@@ -52,12 +63,30 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
                                      IncrementalEvaluator& nuEval,
                                      const SetFunction& sigmaFn,
                                      const SetFunction& nuFn,
-                                     const CandidateSet& candidates, int k);
+                                     const CandidateSet& candidates,
+                                     const SolveOptions& options);
 
 /// Convenience wrapper for a single static instance: builds the three
 /// evaluators internally.
 class Instance;
 SandwichResult sandwichApproximation(const Instance& instance,
-                                     const CandidateSet& candidates, int k);
+                                     const CandidateSet& candidates,
+                                     const SolveOptions& options);
+
+[[deprecated("use the SolveOptions overload")]]
+inline SandwichResult sandwichApproximation(
+    IncrementalEvaluator& sigmaEval, IncrementalEvaluator& muEval,
+    IncrementalEvaluator& nuEval, const SetFunction& sigmaFn,
+    const SetFunction& nuFn, const CandidateSet& candidates, int k) {
+  return sandwichApproximation(sigmaEval, muEval, nuEval, sigmaFn, nuFn,
+                               candidates, SolveOptions{.k = k});
+}
+
+[[deprecated("use the SolveOptions overload")]]
+inline SandwichResult sandwichApproximation(const Instance& instance,
+                                            const CandidateSet& candidates,
+                                            int k) {
+  return sandwichApproximation(instance, candidates, SolveOptions{.k = k});
+}
 
 }  // namespace msc::core

@@ -271,11 +271,12 @@ void WeightedNuEvaluator::add(const Shortcut& f) {
 
 SandwichResult weightedSandwich(const Instance& instance,
                                 const std::vector<double>& pairWeights,
-                                const CandidateSet& candidates, int k) {
+                                const CandidateSet& candidates,
+                                const SolveOptions& options) {
   WeightedSigmaEvaluator sigma(instance, pairWeights);
   WeightedMuEvaluator mu(instance, candidates, pairWeights);
   WeightedNuEvaluator nu(instance, pairWeights);
-  return sandwichApproximation(sigma, mu, nu, sigma, nu, candidates, k);
+  return sandwichApproximation(sigma, mu, nu, sigma, nu, candidates, options);
 }
 
 }  // namespace msc::core

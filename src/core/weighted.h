@@ -112,6 +112,15 @@ class WeightedNuEvaluator final : public SetFunction,
 /// Sandwich approximation on the weighted objective.
 SandwichResult weightedSandwich(const Instance& instance,
                                 const std::vector<double>& pairWeights,
-                                const CandidateSet& candidates, int k);
+                                const CandidateSet& candidates,
+                                const SolveOptions& options);
+
+[[deprecated("use the SolveOptions overload")]]
+inline SandwichResult weightedSandwich(const Instance& instance,
+                                       const std::vector<double>& pairWeights,
+                                       const CandidateSet& candidates, int k) {
+  return weightedSandwich(instance, pairWeights, candidates,
+                          SolveOptions{.k = k});
+}
 
 }  // namespace msc::core

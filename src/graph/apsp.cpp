@@ -3,26 +3,43 @@
 #include <algorithm>
 
 #include "graph/dijkstra.h"
+#include "obs/metrics.h"
+#include "util/parallel.h"
 
 namespace msc::graph {
 
-DistanceMatrix allPairsDistances(const Graph& g) {
+DistanceMatrix allPairsDistances(const Graph& g, int threads) {
+  MSC_OBS_SPAN("apsp.run");
   const auto n = static_cast<std::size_t>(g.nodeCount());
   DistanceMatrix d(n, n, kInfDist);
-  for (std::size_t s = 0; s < n; ++s) {
-    const auto tree = dijkstra(g, static_cast<NodeId>(s));
-    for (std::size_t v = 0; v < n; ++v) d(s, v) = tree.dist[v];
-  }
+  // One Dijkstra per source; each writes only its own row.
+  msc::util::parallelForThreads(
+      threads, 0, n, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          const auto tree = dijkstra(g, static_cast<NodeId>(s));
+          for (std::size_t v = 0; v < n; ++v) d(s, v) = tree.dist[v];
+        }
+      });
   // Runs from different sources sum edge lengths in different orders and
   // can differ in the last ulp; enforce exact symmetry so downstream
-  // relaxations (which write both triangles) stay consistent.
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double m = std::min(d(i, j), d(j, i));
-      d(i, j) = m;
-      d(j, i) = m;
-    }
-  }
+  // relaxations (which write both triangles) stay consistent. Two passes
+  // keep the writes row-disjoint: first fold the min into the upper
+  // triangle (row i only writes columns > i and reads d(j, i) values no
+  // phase-one writer touches), then mirror it down.
+  msc::util::parallelForThreads(
+      threads, 0, n, 8, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = i + 1; j < n; ++j) {
+            d(i, j) = std::min(d(i, j), d(j, i));
+          }
+        }
+      });
+  msc::util::parallelForThreads(
+      threads, 0, n, 8, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = 0; j < i; ++j) d(i, j) = d(j, i);
+        }
+      });
   return d;
 }
 

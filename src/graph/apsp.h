@@ -2,10 +2,12 @@
 //
 // The MSC evaluators repeatedly ask for distances between arbitrary node
 // pairs under varying shortcut placements; all of them start from the base
-// graph's APSP matrix computed once per instance. Graphs in every paper
-// experiment have n <= a few hundred, so n Dijkstra runs are instantaneous
-// and the O(n^2) matrix is tiny. A Floyd-Warshall implementation is kept as
-// an independent reference for the test suite.
+// graph's APSP matrix computed once per instance. The n per-source Dijkstra
+// runs are independent (each writes its own matrix row), so the matrix
+// build parallelizes embarrassingly — pass threads > 1 for large instances
+// (the result is bit-identical to the sequential build for any thread
+// count). A Floyd-Warshall implementation is kept as an independent
+// reference for the test suite.
 #pragma once
 
 #include "graph/graph.h"
@@ -17,8 +19,9 @@ namespace msc::graph {
 /// disconnected, 0 on the diagonal.
 using DistanceMatrix = util::Matrix<double>;
 
-/// APSP via one Dijkstra per node. O(n * (m + n) log n).
-DistanceMatrix allPairsDistances(const Graph& g);
+/// APSP via one Dijkstra per node, `threads` sources in flight at a time
+/// (0 = all hardware threads, 1 = sequential). O(n * (m + n) log n) work.
+DistanceMatrix allPairsDistances(const Graph& g, int threads = 1);
 
 /// APSP via Floyd-Warshall. O(n^3); reference implementation for tests.
 DistanceMatrix allPairsDistancesFloydWarshall(const Graph& g);

@@ -1,0 +1,206 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace msc::util {
+
+namespace {
+
+// Set while this thread executes a chunk callback; parallelFor refuses to
+// start when it is, which keeps the "no nested parallelFor" rule uniform
+// across serial and pooled execution.
+thread_local bool tlsInChunk = false;
+
+struct ChunkGuard {
+  ChunkGuard() { tlsInChunk = true; }
+  ~ChunkGuard() { tlsInChunk = false; }
+};
+
+void publishJob(std::size_t chunkCount, int participants,
+                std::size_t minChunks, std::size_t maxChunks, bool pooled) {
+  if (!msc::obs::enabled()) return;
+  msc::obs::counter(pooled ? "pool.jobs" : "pool.jobs.serial").add(1);
+  msc::obs::counter("pool.chunks").add(chunkCount);
+  if (pooled) {
+    msc::obs::counter("pool.participants")
+        .add(static_cast<std::uint64_t>(participants));
+    // Spread between the busiest and laziest participant, in chunks: 0 is
+    // a perfectly balanced job, chunkCount-ish means one thread did it all.
+    msc::obs::stat("pool.chunk_imbalance")
+        .record(static_cast<double>(maxChunks - minChunks));
+  }
+}
+
+}  // namespace
+
+bool inParallelRegion() noexcept { return tlsInChunk; }
+
+int resolveThreadCount(int requested) {
+  if (requested < 0) {
+    throw std::invalid_argument("parallel: thread count must be >= 0");
+  }
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  if (threads < 1) {
+    throw std::invalid_argument("ThreadPool: need at least one thread");
+  }
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { workerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  workCv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::runChunks(Job& job) noexcept {
+  std::size_t mine = 0;
+  for (;;) {
+    const std::size_t c = job.nextChunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunkCount) break;
+    const std::size_t chunkBegin = job.begin + c * job.grain;
+    const std::size_t chunkEnd = std::min(job.end, chunkBegin + job.grain);
+    try {
+      const ChunkGuard guard;
+      (*job.fn)(chunkBegin, chunkEnd);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!job.error) job.error = std::current_exception();
+    }
+    ++mine;
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (++job.chunksDone == job.chunkCount) doneCv_.notify_all();
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  job.minWorkerChunks = std::min(job.minWorkerChunks, mine);
+  job.maxWorkerChunks = std::max(job.maxWorkerChunks, mine);
+}
+
+void ThreadPool::workerMain() {
+  std::uint64_t seenGeneration = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    workCv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seenGeneration);
+    });
+    if (stop_) return;
+    seenGeneration = generation_;
+    Job& job = *job_;
+    if (job.joined >= job.maxParticipants ||
+        job.nextChunk.load(std::memory_order_relaxed) >= job.chunkCount) {
+      continue;
+    }
+    ++job.joined;
+    ++job.active;
+    lock.unlock();
+    runChunks(job);
+    lock.lock();
+    --job.active;
+    doneCv_.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                             std::size_t grain, int maxThreads,
+                             const ChunkFn& fn) {
+  if (tlsInChunk) {
+    throw std::logic_error(
+        "ThreadPool: nested parallelFor (called from a chunk callback)");
+  }
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t count = end - begin;
+  const std::size_t chunkCount = (count + grain - 1) / grain;
+  const int limit = maxThreads <= 0 ? threads_ : std::min(maxThreads, threads_);
+
+  if (chunkCount == 1 || limit == 1) {
+    // Inline execution, same chunk layout; exceptions propagate directly.
+    for (std::size_t c = 0; c < chunkCount; ++c) {
+      const std::size_t chunkBegin = begin + c * grain;
+      const ChunkGuard guard;
+      fn(chunkBegin, std::min(end, chunkBegin + grain));
+    }
+    publishJob(chunkCount, 1, chunkCount, chunkCount, false);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> submitLock(submitMu_);
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.chunkCount = chunkCount;
+  job.fn = &fn;
+  job.maxParticipants = limit;
+  job.minWorkerChunks = std::numeric_limits<std::size_t>::max();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++generation_;
+  }
+  workCv_.notify_all();
+  runChunks(job);
+  int participants = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    doneCv_.wait(lock, [&] {
+      return job.chunksDone == job.chunkCount && job.active == 0;
+    });
+    job_ = nullptr;  // late-waking workers must not see the dead job
+    participants = job.joined;
+  }
+  publishJob(chunkCount, participants, job.minWorkerChunks,
+             job.maxWorkerChunks, true);
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& globalPool(int threads) {
+  static std::mutex gmu;
+  static ThreadPool* pool = nullptr;  // leaked, like the obs registry
+  const int want = resolveThreadCount(threads);
+  const std::lock_guard<std::mutex> lock(gmu);
+  if (pool == nullptr || pool->threads() < want) {
+    // Grow-only replacement; the old pool (if any) keeps serving whatever
+    // jobs are in flight and is never torn down.
+    pool = new ThreadPool(want);
+  }
+  return *pool;
+}
+
+void parallelForThreads(int threads, std::size_t begin, std::size_t end,
+                        std::size_t grain, const ThreadPool::ChunkFn& fn) {
+  const int resolved = resolveThreadCount(threads);
+  if (resolved == 1) {
+    if (tlsInChunk) {
+      throw std::logic_error(
+          "ThreadPool: nested parallelFor (called from a chunk callback)");
+    }
+    if (begin >= end) return;
+    if (grain == 0) grain = 1;
+    const std::size_t chunkCount = (end - begin + grain - 1) / grain;
+    for (std::size_t c = 0; c < chunkCount; ++c) {
+      const std::size_t chunkBegin = begin + c * grain;
+      const ChunkGuard guard;
+      fn(chunkBegin, std::min(end, chunkBegin + grain));
+    }
+    publishJob(chunkCount, 1, chunkCount, chunkCount, false);
+    return;
+  }
+  globalPool(resolved).parallelFor(begin, end, grain, resolved, fn);
+}
+
+}  // namespace msc::util

@@ -1,0 +1,113 @@
+// Deterministic data parallelism for the solver hot loops.
+//
+// A small fixed-size thread pool with no external dependencies. The only
+// primitive is parallelFor over an index range with STATIC partitioning:
+// the range is cut into fixed chunks of `grain` indices, so the chunk
+// layout is a pure function of (range, grain) — never of the thread count
+// or of scheduling. Workers claim chunks from a shared cursor; which
+// thread runs which chunk is unspecified, but call sites that write
+// per-chunk results and fold them in chunk order get bit-identical output
+// for any thread count (see ALGORITHMS.md §10 for the contract).
+//
+// One job runs at a time per pool; concurrent submitters queue on an
+// internal mutex. parallelFor may NOT be called from inside a parallelFor
+// callback (std::logic_error) — compose parallelism by splitting at the
+// outermost loop instead. Exceptions thrown by the callback are captured
+// (first one wins) and rethrown on the submitting thread after the job
+// drains.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msc::util {
+
+/// Maps a SolveOptions-style thread request to an actual count:
+/// 0 -> std::thread::hardware_concurrency() (at least 1), n > 0 -> n.
+/// Throws std::invalid_argument on negative requests.
+int resolveThreadCount(int requested);
+
+class ThreadPool {
+ public:
+  /// Pool that executes jobs on `threads` threads total: the submitting
+  /// thread plus `threads - 1` workers. Throws on threads < 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const noexcept { return threads_; }
+
+  using ChunkFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// Runs fn(chunkBegin, chunkEnd) over [begin, end) cut into chunks of
+  /// `grain` indices (the last chunk may be shorter; grain 0 is treated as
+  /// 1). The submitting thread always participates; at most
+  /// `maxThreads - 1` pool workers join (maxThreads <= 0 means the whole
+  /// pool). Blocks until every chunk ran; rethrows the first callback
+  /// exception. Throws std::logic_error when called from inside a chunk
+  /// callback (nested use), on any thread count including 1.
+  void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   int maxThreads, const ChunkFn& fn);
+  void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const ChunkFn& fn) {
+    parallelFor(begin, end, grain, 0, fn);
+  }
+
+ private:
+  struct Job {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::size_t chunkCount = 0;
+    const ChunkFn* fn = nullptr;
+    std::atomic<std::size_t> nextChunk{0};
+    // Everything below is guarded by the pool mutex.
+    std::size_t chunksDone = 0;
+    int active = 0;       // threads currently executing chunks
+    int joined = 1;       // participants so far (the submitter counts)
+    int maxParticipants = 1;
+    std::size_t minWorkerChunks = 0;
+    std::size_t maxWorkerChunks = 0;
+    std::exception_ptr error;
+  };
+
+  void workerMain();
+  void runChunks(Job& job) noexcept;
+
+  int threads_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex mu_;
+  std::condition_variable workCv_;  // workers: a new job generation exists
+  std::condition_variable doneCv_;  // submitter: chunks drained, workers out
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::mutex submitMu_;  // one job at a time; submitters queue here
+};
+
+/// Process-global lazily-started pool. The first call creates it with
+/// `resolveThreadCount(threads)` threads; later calls grow it when they ask
+/// for more (a replaced pool is intentionally leaked so in-flight jobs and
+/// cached references stay valid) and never shrink it — per-call limits are
+/// what parallelFor's maxThreads argument is for.
+ThreadPool& globalPool(int threads);
+
+/// True while the calling thread is inside a parallelFor chunk callback.
+bool inParallelRegion() noexcept;
+
+/// Convenience for SolveOptions-style call sites: runs fn over [begin, end)
+/// using `threads` threads (0 = all cores) from the global pool. threads == 1
+/// runs the chunks inline on the caller with no pool interaction (but the
+/// same chunk layout and nested-use rule).
+void parallelForThreads(int threads, std::size_t begin, std::size_t end,
+                        std::size_t grain, const ThreadPool::ChunkFn& fn);
+
+}  // namespace msc::util

@@ -21,9 +21,9 @@ TEST(Budgeted, UnitCostsMatchCardinalityGreedy) {
   SigmaEvaluator a(inst);
   SigmaEvaluator b(inst);
   for (const int k : {1, 3, 5}) {
-    const auto plain = msc::core::greedyMaximize(a, cands, k);
+    const auto plain = msc::core::greedyMaximize(a, cands, {.k = k});
     const auto budgeted =
-        budgetedGreedy(b, cands, unitCost(), static_cast<double>(k));
+        budgetedGreedy(b, cands, unitCost(), static_cast<double>(k), {});
     // Uniform rule with unit costs IS cardinality greedy; density rule
     // coincides too (cost 1). Values must match exactly.
     EXPECT_DOUBLE_EQ(budgeted.value, plain.value) << "k=" << k;
@@ -40,7 +40,7 @@ TEST(Budgeted, RespectsBudgetWithHeterogeneousCosts) {
     return 1.0 + static_cast<double>((f.a + f.b) % 3);
   };
   for (const double budget : {2.0, 5.0, 9.0}) {
-    const auto res = budgetedGreedy(sigma, cands, cost, budget);
+    const auto res = budgetedGreedy(sigma, cands, cost, budget, {});
     EXPECT_LE(res.cost, budget + 1e-12);
     double recomputed = 0.0;
     for (const auto& f : res.placement) recomputed += cost(f);
@@ -61,7 +61,7 @@ TEST(Budgeted, DensityRuleBeatsUniformWhenCheapEdgesSuffice) {
     return direct ? 1.0 : 3.0;
   };
   SigmaEvaluator sigma(inst);
-  const auto res = budgetedGreedy(sigma, cands, cost, 3.0);
+  const auto res = budgetedGreedy(sigma, cands, cost, 3.0, {});
   EXPECT_DOUBLE_EQ(res.value, 3.0);  // all three pairs with three cheap edges
   EXPECT_EQ(res.winner, "density");
 }
@@ -73,7 +73,7 @@ TEST(Budgeted, ReturnedPlacementMatchesValue) {
   const auto cost = [](const Shortcut& f) {
     return 0.5 + 0.1 * static_cast<double>(f.a % 5);
   };
-  const auto res = budgetedGreedy(sigma, cands, cost, 3.0);
+  const auto res = budgetedGreedy(sigma, cands, cost, 3.0, {});
   EXPECT_DOUBLE_EQ(sigma.value(res.placement), res.value);
   EXPECT_GE(res.value, std::max(res.densityValue, res.uniformValue) - 1e-12);
 }
@@ -82,7 +82,7 @@ TEST(Budgeted, ZeroBudgetPlacesNothing) {
   const auto inst = msc::test::randomInstance(12, 5, 1.0, 4);
   const auto cands = CandidateSet::allPairs(12);
   SigmaEvaluator sigma(inst);
-  const auto res = budgetedGreedy(sigma, cands, unitCost(), 0.0);
+  const auto res = budgetedGreedy(sigma, cands, unitCost(), 0.0, {});
   EXPECT_TRUE(res.placement.empty());
   EXPECT_DOUBLE_EQ(res.cost, 0.0);
 }
@@ -91,10 +91,10 @@ TEST(Budgeted, Validation) {
   const auto inst = msc::test::randomInstance(10, 4, 1.0, 5);
   const auto cands = CandidateSet::allPairs(10);
   SigmaEvaluator sigma(inst);
-  EXPECT_THROW(budgetedGreedy(sigma, cands, unitCost(), -1.0),
+  EXPECT_THROW(budgetedGreedy(sigma, cands, unitCost(), -1.0, {}),
                std::invalid_argument);
   EXPECT_THROW(budgetedGreedy(
-                   sigma, cands, [](const Shortcut&) { return 0.0; }, 5.0),
+                   sigma, cands, [](const Shortcut&) { return 0.0; }, 5.0, {}),
                std::invalid_argument);
   EXPECT_THROW(
       budgetedGreedy(
@@ -102,7 +102,7 @@ TEST(Budgeted, Validation) {
           [](const Shortcut&) {
             return std::numeric_limits<double>::infinity();
           },
-          5.0),
+          5.0, {}),
       std::invalid_argument);
 }
 

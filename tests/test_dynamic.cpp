@@ -81,10 +81,10 @@ TEST(Dynamic, GreedyAndSandwichRun) {
   const auto cands = CandidateSet::allPairs(14);
   DynamicProblem problem(std::move(series), cands);
 
-  const auto greedy = msc::core::greedyMaximize(problem.sigma(), cands, 3);
+  const auto greedy = msc::core::greedyMaximize(problem.sigma(), cands, {.k = 3});
   EXPECT_LE(greedy.placement.size(), 3u);
 
-  const auto aa = problem.sandwich(cands, 3);
+  const auto aa = problem.sandwich(cands, {.k = 3});
   EXPECT_GE(aa.sigma, 0.0);
   EXPECT_DOUBLE_EQ(problem.sigmaFn().value(aa.placement), aa.sigma);
   // AA dominates its own sigma-greedy component on the dynamic objective.
@@ -99,16 +99,16 @@ TEST(Dynamic, EvolutionaryAlgorithmsRunOnDynamicObjective) {
   msc::core::EaConfig eaCfg;
   eaCfg.iterations = 100;
   eaCfg.seed = 3;
-  const auto ea = msc::core::evolutionaryAlgorithm(problem.sigmaFn(), cands,
-                                                   3, eaCfg);
+  const auto ea = msc::core::evolutionaryAlgorithm(
+      problem.sigmaFn(), cands, {.k = 3, .seed = eaCfg.seed}, eaCfg);
   EXPECT_LE(ea.placement.size(), 3u);
   EXPECT_DOUBLE_EQ(problem.sigmaFn().value(ea.placement), ea.value);
 
   msc::core::AeaConfig aeaCfg;
   aeaCfg.iterations = 30;
   aeaCfg.seed = 3;
-  const auto aea = msc::core::adaptiveEvolutionaryAlgorithm(problem.sigma(),
-                                                            cands, 3, aeaCfg);
+  const auto aea = msc::core::adaptiveEvolutionaryAlgorithm(
+      problem.sigma(), cands, {.k = 3, .seed = aeaCfg.seed}, aeaCfg);
   EXPECT_EQ(aea.placement.size(), 3u);
   EXPECT_DOUBLE_EQ(problem.sigmaFn().value(aea.placement), aea.value);
 }

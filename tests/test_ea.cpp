@@ -21,8 +21,8 @@ TEST(Ea, FeasibleAndDeterministic) {
   EaConfig cfg;
   cfg.iterations = 200;
   cfg.seed = 42;
-  const auto a = evolutionaryAlgorithm(sigma, cands, 3, cfg);
-  const auto b = evolutionaryAlgorithm(sigma, cands, 3, cfg);
+  const auto a = evolutionaryAlgorithm(sigma, cands, {.k = 3, .seed = cfg.seed}, cfg);
+  const auto b = evolutionaryAlgorithm(sigma, cands, {.k = 3, .seed = cfg.seed}, cfg);
   EXPECT_LE(a.placement.size(), 3u);
   EXPECT_EQ(a.placement, b.placement);
   EXPECT_DOUBLE_EQ(a.value, b.value);
@@ -38,8 +38,8 @@ TEST(Ea, DifferentSeedsCanDiffer) {
   cfgA.seed = 1;
   EaConfig cfgB = cfgA;
   cfgB.seed = 999;
-  const auto a = evolutionaryAlgorithm(sigma, cands, 3, cfgA);
-  const auto b = evolutionaryAlgorithm(sigma, cands, 3, cfgB);
+  const auto a = evolutionaryAlgorithm(sigma, cands, {.k = 3, .seed = cfgA.seed}, cfgA);
+  const auto b = evolutionaryAlgorithm(sigma, cands, {.k = 3, .seed = cfgB.seed}, cfgB);
   // Values may coincide, but runs must at least be independent objects.
   EXPECT_LE(a.placement.size(), 3u);
   EXPECT_LE(b.placement.size(), 3u);
@@ -52,7 +52,7 @@ TEST(Ea, BestByIterationIsNondecreasing) {
   EaConfig cfg;
   cfg.iterations = 300;
   cfg.seed = 7;
-  const auto result = evolutionaryAlgorithm(sigma, cands, 3, cfg);
+  const auto result = evolutionaryAlgorithm(sigma, cands, {.k = 3, .seed = cfg.seed}, cfg);
   for (std::size_t i = 1; i < result.bestByIteration.size(); ++i) {
     EXPECT_GE(result.bestByIteration[i], result.bestByIteration[i - 1]);
   }
@@ -66,7 +66,7 @@ TEST(Ea, ReportedValueMatchesPlacement) {
   EaConfig cfg;
   cfg.iterations = 150;
   cfg.seed = 11;
-  const auto result = evolutionaryAlgorithm(sigma, cands, 3, cfg);
+  const auto result = evolutionaryAlgorithm(sigma, cands, {.k = 3, .seed = cfg.seed}, cfg);
   EXPECT_DOUBLE_EQ(sigma.value(result.placement), result.value);
 }
 
@@ -79,7 +79,7 @@ TEST(Ea, ReachesOptimumOnTinyInstanceWithEnoughIterations) {
   EaConfig cfg;
   cfg.iterations = 2000;
   cfg.seed = 5;
-  const auto result = evolutionaryAlgorithm(sigma, cands, 2, cfg);
+  const auto result = evolutionaryAlgorithm(sigma, cands, {.k = 2, .seed = cfg.seed}, cfg);
   EXPECT_DOUBLE_EQ(result.value, 3.0);
 }
 
@@ -89,7 +89,7 @@ TEST(Ea, ZeroIterationsReturnsEmpty) {
   const auto cands = CandidateSet::allPairs(10);
   EaConfig cfg;
   cfg.iterations = 0;
-  const auto result = evolutionaryAlgorithm(sigma, cands, 2, cfg);
+  const auto result = evolutionaryAlgorithm(sigma, cands, {.k = 2, .seed = cfg.seed}, cfg);
   EXPECT_TRUE(result.placement.empty());
   EXPECT_DOUBLE_EQ(result.value, sigma.value({}));
 }
@@ -100,14 +100,14 @@ TEST(Ea, Validation) {
   const auto cands = CandidateSet::allPairs(10);
   EaConfig cfg;
   cfg.iterations = -1;
-  EXPECT_THROW(evolutionaryAlgorithm(sigma, cands, 2, cfg),
+  EXPECT_THROW(evolutionaryAlgorithm(sigma, cands, {.k = 2, .seed = cfg.seed}, cfg),
                std::invalid_argument);
   cfg.iterations = 10;
   cfg.flipProbability = 1.5;
-  EXPECT_THROW(evolutionaryAlgorithm(sigma, cands, 2, cfg),
+  EXPECT_THROW(evolutionaryAlgorithm(sigma, cands, {.k = 2, .seed = cfg.seed}, cfg),
                std::invalid_argument);
   cfg.flipProbability.reset();
-  EXPECT_THROW(evolutionaryAlgorithm(sigma, cands, -2, cfg),
+  EXPECT_THROW(evolutionaryAlgorithm(sigma, cands, {.k = -2, .seed = cfg.seed}, cfg),
                std::invalid_argument);
 }
 
@@ -119,7 +119,7 @@ TEST(Ea, CustomFlipProbability) {
   cfg.iterations = 100;
   cfg.flipProbability = 0.05;
   cfg.seed = 3;
-  const auto result = evolutionaryAlgorithm(sigma, cands, 3, cfg);
+  const auto result = evolutionaryAlgorithm(sigma, cands, {.k = 3, .seed = cfg.seed}, cfg);
   EXPECT_LE(result.placement.size(), 3u);
 }
 

@@ -97,7 +97,7 @@ TEST(ThresholdBoundary, ExactEqualityCounts) {
 TEST(ThresholdBoundary, GreedyOnAllSatisfiedInstanceIsEmpty) {
   Instance inst(msc::test::lineGraph(5), {{0, 4}, {1, 3}}, 10.0);
   const auto cands = CandidateSet::allPairs(5);
-  const auto aa = msc::core::sandwichApproximation(inst, cands, 3);
+  const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = 3});
   EXPECT_TRUE(aa.placement.empty());
   EXPECT_DOUBLE_EQ(aa.sigma, 2.0);
 }

@@ -21,7 +21,7 @@ TEST(Greedy, PicksObviousBestShortcut) {
   Instance inst(msc::test::lineGraph(10), {{0, 9}, {1, 8}}, 2.0);
   SigmaEvaluator eval(inst);
   const auto cands = CandidateSet::allPairs(10);
-  const auto result = greedyMaximize(eval, cands, 1);
+  const auto result = greedyMaximize(eval, cands, {.k = 1});
   EXPECT_DOUBLE_EQ(result.value, 2.0);
   ASSERT_EQ(result.placement.size(), 1u);
 }
@@ -31,10 +31,10 @@ TEST(Greedy, RespectsBudget) {
   SigmaEvaluator eval(inst);
   const auto cands = CandidateSet::allPairs(12);
   for (int k = 0; k <= 3; ++k) {
-    const auto result = greedyMaximize(eval, cands, k);
+    const auto result = greedyMaximize(eval, cands, {.k = k});
     EXPECT_LE(result.placement.size(), static_cast<std::size_t>(k));
   }
-  EXPECT_THROW(greedyMaximize(eval, cands, -1), std::invalid_argument);
+  EXPECT_THROW(greedyMaximize(eval, cands, {.k = -1}), std::invalid_argument);
 }
 
 TEST(Greedy, StopsWhenNothingImproves) {
@@ -42,7 +42,7 @@ TEST(Greedy, StopsWhenNothingImproves) {
   Instance inst(msc::test::lineGraph(5), {{0, 1}}, 1.5);
   SigmaEvaluator eval(inst);
   const auto cands = CandidateSet::allPairs(5);
-  const auto result = greedyMaximize(eval, cands, 3);
+  const auto result = greedyMaximize(eval, cands, {.k = 3});
   EXPECT_TRUE(result.placement.empty());
   EXPECT_DOUBLE_EQ(result.value, 1.0);
 }
@@ -51,7 +51,7 @@ TEST(Greedy, TrajectoryIsNondecreasingAndMatchesValue) {
   const auto inst = msc::test::randomInstance(30, 10, 1.2, 3);
   SigmaEvaluator eval(inst);
   const auto cands = CandidateSet::allPairs(30);
-  const auto result = greedyMaximize(eval, cands, 5);
+  const auto result = greedyMaximize(eval, cands, {.k = 5});
   for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
     EXPECT_GE(result.trajectory[i], result.trajectory[i - 1]);
   }
@@ -64,7 +64,7 @@ TEST(Greedy, EmptyCandidateSet) {
   Instance inst(msc::test::lineGraph(4), {{0, 3}}, 1.0);
   SigmaEvaluator eval(inst);
   CandidateSet empty((msc::core::ShortcutList()));
-  const auto result = greedyMaximize(eval, empty, 3);
+  const auto result = greedyMaximize(eval, empty, {.k = 3});
   EXPECT_TRUE(result.placement.empty());
 }
 
@@ -78,8 +78,8 @@ TEST_P(LazyVsPlain, IdenticalOnSubmodularMu) {
   const auto cands = CandidateSet::allPairs(24);
   msc::core::MuEvaluator muA(inst, cands);
   msc::core::MuEvaluator muB(inst, cands);
-  const auto plain = greedyMaximize(muA, cands, 4);
-  const auto lazy = lazyGreedyMaximize(muB, cands, 4);
+  const auto plain = greedyMaximize(muA, cands, {.k = 4});
+  const auto lazy = lazyGreedyMaximize(muB, cands, {.k = 4});
   EXPECT_EQ(plain.placement, lazy.placement);
   EXPECT_DOUBLE_EQ(plain.value, lazy.value);
 }
@@ -90,8 +90,8 @@ TEST_P(LazyVsPlain, IdenticalOnSubmodularNu) {
   const auto cands = CandidateSet::allPairs(24);
   msc::core::NuEvaluator nuA(inst);
   msc::core::NuEvaluator nuB(inst);
-  const auto plain = greedyMaximize(nuA, cands, 4);
-  const auto lazy = lazyGreedyMaximize(nuB, cands, 4);
+  const auto plain = greedyMaximize(nuA, cands, {.k = 4});
+  const auto lazy = lazyGreedyMaximize(nuB, cands, {.k = 4});
   EXPECT_EQ(plain.placement, lazy.placement);
   EXPECT_NEAR(plain.value, lazy.value, 1e-9);
 }

@@ -36,19 +36,19 @@ TEST(Integration, RgPipelineAllAlgorithms) {
   const auto cands = CandidateSet::allPairs(inst.graph().nodeCount());
   const int k = 4;
 
-  const auto aa = msc::core::sandwichApproximation(inst, cands, k);
+  const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = k});
   SigmaEvaluator sigma(inst);
 
   msc::core::EaConfig eaCfg;
   eaCfg.iterations = 150;
   eaCfg.seed = 1;
-  const auto ea = msc::core::evolutionaryAlgorithm(sigma, cands, k, eaCfg);
+  const auto ea = msc::core::evolutionaryAlgorithm(sigma, cands, {.k = k, .seed = eaCfg.seed}, eaCfg);
 
   msc::core::AeaConfig aeaCfg;
   aeaCfg.iterations = 60;
   aeaCfg.seed = 1;
   const auto aea =
-      msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, k, aeaCfg);
+      msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, {.k = k, .seed = aeaCfg.seed}, aeaCfg);
 
   msc::core::RandomBaselineConfig rndCfg;
   rndCfg.repeats = 100;
@@ -76,7 +76,7 @@ TEST(Integration, GowallaPipelineFewShortcutsSatisfyMany) {
   const Instance& inst = spatial.instance;
   const auto cands = CandidateSet::allPairs(inst.graph().nodeCount());
 
-  const auto aa = msc::core::sandwichApproximation(inst, cands, 4);
+  const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = 4});
   // The clustered structure means a handful of shortcuts should maintain a
   // sizeable share of the pairs (paper §VII-D's observation).
   EXPECT_GE(aa.sigma, 0.25 * inst.pairCount());
@@ -95,7 +95,7 @@ TEST(Integration, TrivialCaseDirectConnectionWhenBudgetCoversPairs) {
   }
   EXPECT_DOUBLE_EQ(sigma.value(direct), inst.pairCount());
 
-  const auto greedy = msc::core::greedyMaximize(sigma, cands, 4);
+  const auto greedy = msc::core::greedyMaximize(sigma, cands, {.k = 4});
   EXPECT_DOUBLE_EQ(greedy.value, inst.pairCount());
 }
 
@@ -111,7 +111,7 @@ TEST(Integration, DynamicPipeline) {
 
   const auto cands = CandidateSet::allPairs(30);
   msc::core::DynamicProblem problem(std::move(instances), cands);
-  const auto aa = problem.sandwich(cands, 4);
+  const auto aa = problem.sandwich(cands, {.k = 4});
   EXPECT_GE(aa.sigma, 1.0);
   EXPECT_LE(aa.sigma, problem.totalPairCount());
 }
@@ -122,7 +122,7 @@ TEST(Degenerate, EdgelessGraph) {
   msc::graph::Graph g(6);
   Instance inst(std::move(g), {{0, 1}, {2, 3}}, 0.5);
   const auto cands = CandidateSet::allPairs(6);
-  const auto aa = msc::core::sandwichApproximation(inst, cands, 2);
+  const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = 2});
   EXPECT_DOUBLE_EQ(aa.sigma, 2.0);  // direct shortcuts fix both pairs
 }
 
@@ -140,7 +140,7 @@ TEST(Degenerate, HugeThresholdEverythingSatisfied) {
   SigmaEvaluator sigma(inst);
   EXPECT_DOUBLE_EQ(sigma.value({}), 2.0);
   const auto cands = CandidateSet::allPairs(5);
-  const auto greedy = msc::core::greedyMaximize(sigma, cands, 2);
+  const auto greedy = msc::core::greedyMaximize(sigma, cands, {.k = 2});
   EXPECT_TRUE(greedy.placement.empty());  // nothing to improve
 }
 
@@ -149,7 +149,7 @@ TEST(Degenerate, NoPairs) {
   SigmaEvaluator sigma(inst);
   EXPECT_DOUBLE_EQ(sigma.value({}), 0.0);
   const auto cands = CandidateSet::allPairs(5);
-  const auto aa = msc::core::sandwichApproximation(inst, cands, 2);
+  const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = 2});
   EXPECT_DOUBLE_EQ(aa.sigma, 0.0);
 }
 

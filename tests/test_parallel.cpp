@@ -1,0 +1,189 @@
+// Unit tests for the thread pool (src/util/parallel.h): chunk layout,
+// edge cases, nested-use detection, exception propagation, global pool.
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using msc::util::ThreadPool;
+
+TEST(ResolveThreadCount, ZeroMeansHardwareConcurrency) {
+  const int resolved = msc::util::resolveThreadCount(0);
+  EXPECT_GE(resolved, 1);
+}
+
+TEST(ResolveThreadCount, PositivePassesThrough) {
+  EXPECT_EQ(msc::util::resolveThreadCount(1), 1);
+  EXPECT_EQ(msc::util::resolveThreadCount(7), 7);
+}
+
+TEST(ResolveThreadCount, NegativeThrows) {
+  EXPECT_THROW(msc::util::resolveThreadCount(-1), std::invalid_argument);
+  EXPECT_THROW(msc::util::resolveThreadCount(-8), std::invalid_argument);
+}
+
+TEST(ThreadPool, RejectsNonPositiveThreadCount) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(ThreadPool(-2), std::invalid_argument);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallelFor(5, 5, 2, [&](std::size_t, std::size_t) { ++calls; });
+  pool.parallelFor(7, 3, 2, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  std::mutex mu;
+  pool.parallelFor(2, 10, 100, [&](std::size_t b, std::size_t e) {
+    const std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 2u);
+  EXPECT_EQ(chunks[0].second, 10u);
+}
+
+TEST(ThreadPool, ZeroGrainIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallelFor(0, 5, 0, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(e, b + 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 5);
+}
+
+// The chunk layout must be a pure function of (range, grain): every index
+// covered exactly once, chunk boundaries at begin + i*grain, regardless of
+// thread count.
+TEST(ThreadPool, ChunksPartitionTheRangeExactly) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    std::vector<int> hits(103, 0);
+    pool.parallelFor(3, 103, 7, [&](std::size_t b, std::size_t e) {
+      const std::lock_guard<std::mutex> lock(mu);
+      chunks.insert({b, e});
+      for (std::size_t i = b; i < e; ++i) ++hits[i];
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i], i >= 3 ? 1 : 0) << "index " << i;
+    }
+    for (const auto& [b, e] : chunks) {
+      EXPECT_EQ((b - 3) % 7, 0u);
+      EXPECT_EQ(e, std::min<std::size_t>(b + 7, 103));
+    }
+  }
+}
+
+TEST(ThreadPool, MaxThreadsOneRunsInline) {
+  ThreadPool pool(4);
+  const auto self = std::this_thread::get_id();
+  std::atomic<bool> offThread{false};
+  pool.parallelFor(0, 64, 4, /*maxThreads=*/1,
+                   [&](std::size_t, std::size_t) {
+                     if (std::this_thread::get_id() != self) offThread = true;
+                   });
+  EXPECT_FALSE(offThread.load());
+}
+
+TEST(ThreadPool, NestedUseThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> nestedErrors{0};
+  pool.parallelFor(0, 4, 1, [&](std::size_t, std::size_t) {
+    EXPECT_TRUE(msc::util::inParallelRegion());
+    try {
+      pool.parallelFor(0, 2, 1, [](std::size_t, std::size_t) {});
+    } catch (const std::logic_error&) {
+      ++nestedErrors;
+    }
+  });
+  EXPECT_EQ(nestedErrors.load(), 4);
+  EXPECT_FALSE(msc::util::inParallelRegion());
+}
+
+TEST(ThreadPool, NestedUseThrowsOnSerialPathToo) {
+  // The rule is uniform: threads == 1 (inline) must reject nesting as well,
+  // so code doesn't silently depend on the serial path.
+  std::atomic<int> nestedErrors{0};
+  msc::util::parallelForThreads(1, 0, 2, 1, [&](std::size_t, std::size_t) {
+    try {
+      msc::util::parallelForThreads(1, 0, 2, 1, [](std::size_t, std::size_t) {});
+    } catch (const std::logic_error&) {
+      ++nestedErrors;
+    }
+  });
+  EXPECT_EQ(nestedErrors.load(), 2);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToSubmitter) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallelFor(0, 32, 1,
+                                [&](std::size_t b, std::size_t) {
+                                  if (b == 17) {
+                                    throw std::runtime_error("chunk 17");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after a throwing job.
+  std::atomic<int> calls{0};
+  pool.parallelFor(0, 8, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPool, ManySequentialJobsAccumulateCorrectly) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.parallelFor(0, 1000, 64, [&](std::size_t b, std::size_t e) {
+      long local = 0;
+      for (std::size_t i = b; i < e; ++i) local += static_cast<long>(i);
+      total += local;
+    });
+  }
+  EXPECT_EQ(total.load(), 50L * (999L * 1000L / 2));
+}
+
+TEST(GlobalPool, GrowsButNeverShrinks) {
+  ThreadPool& a = msc::util::globalPool(2);
+  const int before = a.threads();
+  EXPECT_GE(before, 2);
+  ThreadPool& b = msc::util::globalPool(1);  // smaller request: same pool
+  EXPECT_EQ(b.threads(), before);
+  ThreadPool& c = msc::util::globalPool(before + 1);
+  EXPECT_GE(c.threads(), before + 1);
+}
+
+TEST(ParallelForThreads, SerialAndPooledSeeSameChunks) {
+  for (const int threads : {1, 3, 8}) {
+    std::mutex mu;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    msc::util::parallelForThreads(threads, 10, 55, 6,
+                                  [&](std::size_t b, std::size_t e) {
+                                    const std::lock_guard<std::mutex> lock(mu);
+                                    chunks.insert({b, e});
+                                  });
+    std::set<std::pair<std::size_t, std::size_t>> expected;
+    for (std::size_t b = 10; b < 55; b += 6) {
+      expected.insert({b, std::min<std::size_t>(b + 6, 55)});
+    }
+    EXPECT_EQ(chunks, expected) << "threads=" << threads;
+  }
+}
+
+}  // namespace

@@ -39,20 +39,20 @@ TEST_P(AlgorithmsVsOptimum, NoAlgorithmExceedsExactOptimum) {
   SigmaEvaluator sigma(inst);
   const double opt = msc::core::exactOptimum(sigma, cands, k).value;
 
-  const auto aa = msc::core::sandwichApproximation(inst, cands, k);
+  const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = k});
   EXPECT_LE(aa.sigma, opt + 1e-9);
 
   msc::core::EaConfig eaCfg;
   eaCfg.iterations = 300;
   eaCfg.seed = seed;
-  EXPECT_LE(msc::core::evolutionaryAlgorithm(sigma, cands, k, eaCfg).value,
+  EXPECT_LE(msc::core::evolutionaryAlgorithm(sigma, cands, {.k = k, .seed = eaCfg.seed}, eaCfg).value,
             opt + 1e-9);
 
   msc::core::AeaConfig aeaCfg;
   aeaCfg.iterations = 50;
   aeaCfg.seed = seed;
   EXPECT_LE(
-      msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, k, aeaCfg).value,
+      msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, {.k = k, .seed = aeaCfg.seed}, aeaCfg).value,
       opt + 1e-9);
 }
 
@@ -67,7 +67,7 @@ TEST_P(AlgorithmsVsOptimum, AeaWithEnoughIterationsMatchesOptimumOnTiny) {
   cfg.iterations = 400;
   cfg.seed = seed;
   const double aea =
-      msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, k, cfg).value;
+      msc::core::adaptiveEvolutionaryAlgorithm(sigma, cands, {.k = k, .seed = cfg.seed}, cfg).value;
   // AEA is a heuristic (greedy swaps can settle in a 1-swap-optimal
   // plateau), but on a 28-candidate space with 400 iterations it must land
   // within one pair of the optimum.
@@ -159,7 +159,7 @@ TEST(Extensions, BudgetedGreedyOnWeightedObjective) {
   const auto cost = [](const Shortcut& f) {
     return 1.0 + 0.2 * static_cast<double>(f.b % 4);
   };
-  const auto res = msc::core::budgetedGreedy(wsigma, cands, cost, 5.0);
+  const auto res = msc::core::budgetedGreedy(wsigma, cands, cost, 5.0, {});
   EXPECT_LE(res.cost, 5.0 + 1e-12);
   EXPECT_NEAR(wsigma.value(res.placement), res.value, 1e-9);
 }
@@ -172,7 +172,7 @@ TEST(Extensions, RoutingConsistentAcrossDynamicInstances) {
   const std::vector<Instance> copies = series;
   const auto cands = CandidateSet::allPairs(15);
   msc::core::DynamicProblem problem(std::move(series), cands);
-  const auto aa = problem.sandwich(cands, 3);
+  const auto aa = problem.sandwich(cands, {.k = 3});
 
   // Per-instance sigma equals per-instance count of requirement-meeting
   // routes under the same placement.
@@ -194,7 +194,7 @@ TEST(Extensions, WeightedSandwichOnCommonNodeInstance) {
   const auto cands = CandidateSet::allPairs(12);
   // Pair (0,11) is 10x more important.
   const auto aa =
-      msc::core::weightedSandwich(inst, {1.0, 10.0}, cands, 1);
+      msc::core::weightedSandwich(inst, {1.0, 10.0}, cands, {.k = 1});
   EXPECT_GE(aa.sigma, 10.0);  // the heavy pair must be maintained
 }
 

@@ -47,7 +47,7 @@ TEST(Repair, StopsWhenNoSwapImproves) {
   const auto inst = msc::test::randomInstance(18, 8, 1.2, 3);
   const auto cands = CandidateSet::allPairs(18);
   SigmaEvaluator sigma(inst);
-  const auto greedy = msc::core::greedyMaximize(sigma, cands, 4);
+  const auto greedy = msc::core::greedyMaximize(sigma, cands, {.k = 4});
   const auto repaired = repairPlacement(sigma, cands, greedy.placement, 10);
   EXPECT_GE(repaired.value, greedy.value);
   // edgesChanged counts replaced originals only.
@@ -77,7 +77,7 @@ TEST(Repair, AdaptsToTopologyChange) {
   const auto cands = CandidateSet::allPairs(20);
 
   SigmaEvaluator oldSigma(oldInst);
-  const auto stale = msc::core::greedyMaximize(oldSigma, cands, 5).placement;
+  const auto stale = msc::core::greedyMaximize(oldSigma, cands, {.k = 5}).placement;
 
   SigmaEvaluator newSigma(newInst);
   const double staleValue = newSigma.value(stale);

@@ -66,7 +66,7 @@ TEST(Robust, IncrementalConsistency) {
 TEST(Robust, GreedyAndAeaRunOnRobustObjective) {
   Scenario s(3, 300);
   const auto cands = CandidateSet::allPairs(16);
-  const auto greedy = msc::core::greedyMaximize(*s.robust, cands, 3);
+  const auto greedy = msc::core::greedyMaximize(*s.robust, cands, {.k = 3});
   EXPECT_LE(greedy.placement.size(), 3u);
   EXPECT_DOUBLE_EQ(s.robust->value(greedy.placement), greedy.value);
 
@@ -74,7 +74,7 @@ TEST(Robust, GreedyAndAeaRunOnRobustObjective) {
   cfg.iterations = 40;
   cfg.seed = 3;
   const auto aea =
-      msc::core::adaptiveEvolutionaryAlgorithm(*s.robust, cands, 3, cfg);
+      msc::core::adaptiveEvolutionaryAlgorithm(*s.robust, cands, {.k = 3, .seed = cfg.seed}, cfg);
   EXPECT_EQ(aea.placement.size(), 3u);
   EXPECT_DOUBLE_EQ(s.robust->value(aea.placement), aea.value);
 }
@@ -90,7 +90,7 @@ TEST(Robust, PlainGreedyStallsOnMinPlateau) {
   SigmaEvaluator ea(a), eb(b);
   MinEvaluator robust({&ea, &eb}, {&ea, &eb});
   const auto cands = CandidateSet::allPairs(8);
-  const auto plain = msc::core::greedyMaximize(robust, cands, 2);
+  const auto plain = msc::core::greedyMaximize(robust, cands, {.k = 2});
   EXPECT_TRUE(plain.placement.empty());
   EXPECT_DOUBLE_EQ(plain.value, 0.0);
 }
@@ -103,7 +103,7 @@ TEST(Robust, SaturateEscapesThePlateau) {
   const auto cands = CandidateSet::allPairs(8);
 
   const auto result = msc::core::robustSaturate(
-      {&ea, &eb}, {&ea, &eb}, cands, 2, /*maxTarget=*/3.0);
+      {&ea, &eb}, {&ea, &eb}, cands, {.k = 2}, /*maxTarget=*/3.0);
   // With k = 2 the saturated greedy covers scenario b's lone pair AND one
   // pair of scenario a: worst case 1.
   EXPECT_DOUBLE_EQ(result.worstCase, 1.0);
@@ -114,7 +114,7 @@ TEST(Robust, SaturateEscapesThePlateau) {
   // (it may spend both edges on scenario a).
   SigmaEvaluator sa(a), sb(b);
   msc::core::SumEvaluator sum({&sa, &sb}, {&sa, &sb}, "sum");
-  const auto sumGreedy = msc::core::greedyMaximize(sum, cands, 2);
+  const auto sumGreedy = msc::core::greedyMaximize(sum, cands, {.k = 2});
   MinEvaluator robust({&sa, &sb}, {&sa, &sb});
   EXPECT_LE(robust.value(sumGreedy.placement), result.worstCase + 1e-9);
 }
@@ -128,7 +128,7 @@ TEST(Robust, SaturateOnRandomScenarios) {
     fns.push_back(e.get());
   }
   const auto cands = CandidateSet::allPairs(16);
-  const auto result = msc::core::robustSaturate(kids, fns, cands, 4, 6.0);
+  const auto result = msc::core::robustSaturate(kids, fns, cands, {.k = 4}, 6.0);
   EXPECT_DOUBLE_EQ(s.robust->value(result.placement), result.worstCase);
   EXPECT_LE(result.placement.size(), 4u);
   // Never worse than doing nothing.
@@ -144,11 +144,11 @@ TEST(Robust, SaturateValidation) {
     fns.push_back(e.get());
   }
   const auto cands = CandidateSet::allPairs(16);
-  EXPECT_THROW(msc::core::robustSaturate({}, {}, cands, 2, 3.0),
+  EXPECT_THROW(msc::core::robustSaturate({}, {}, cands, {.k = 2}, 3.0),
                std::invalid_argument);
-  EXPECT_THROW(msc::core::robustSaturate(kids, fns, cands, -1, 3.0),
+  EXPECT_THROW(msc::core::robustSaturate(kids, fns, cands, {.k = -1}, 3.0),
                std::invalid_argument);
-  EXPECT_THROW(msc::core::robustSaturate(kids, fns, cands, 2, -1.0),
+  EXPECT_THROW(msc::core::robustSaturate(kids, fns, cands, {.k = 2}, -1.0),
                std::invalid_argument);
 }
 

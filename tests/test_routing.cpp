@@ -79,7 +79,7 @@ TEST_P(RoutingProperty, RoutesAgreeWithSigmaAndAreValidPaths) {
   const std::uint64_t seed = GetParam();
   const auto inst = msc::test::randomInstance(25, 8, 1.2, seed);
   const auto cands = msc::core::CandidateSet::allPairs(25);
-  const auto aa = msc::core::sandwichApproximation(inst, cands, 3);
+  const auto aa = msc::core::sandwichApproximation(inst, cands, {.k = 3});
 
   const auto routes = routeAllPairs(inst, aa.placement);
   int meets = 0;

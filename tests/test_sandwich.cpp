@@ -19,7 +19,7 @@ using msc::core::SigmaEvaluator;
 TEST(Sandwich, BestOfThreeIsReturned) {
   const auto inst = msc::test::randomInstance(30, 10, 1.2, 1);
   const auto cands = CandidateSet::allPairs(30);
-  const auto result = sandwichApproximation(inst, cands, 4);
+  const auto result = sandwichApproximation(inst, cands, {.k = 4});
   EXPECT_GE(result.sigma, result.sigmaOfMu);
   EXPECT_GE(result.sigma, result.sigmaOfSigma);
   EXPECT_GE(result.sigma, result.sigmaOfNu);
@@ -34,7 +34,7 @@ TEST(Sandwich, BestOfThreeIsReturned) {
 TEST(Sandwich, RatioPiecesConsistent) {
   const auto inst = msc::test::randomInstance(25, 8, 1.2, 2);
   const auto cands = CandidateSet::allPairs(25);
-  const auto result = sandwichApproximation(inst, cands, 3);
+  const auto result = sandwichApproximation(inst, cands, {.k = 3});
   // sigma(F_nu) <= nu(F_nu) (nu upper-bounds sigma), so ratio in [0, 1].
   if (const auto ratio = result.dataDependentRatio()) {
     EXPECT_GE(*ratio, 0.0);
@@ -46,7 +46,7 @@ TEST(Sandwich, RatioPiecesConsistent) {
 TEST(Sandwich, ZeroBudget) {
   const auto inst = msc::test::randomInstance(15, 5, 1.0, 3);
   const auto cands = CandidateSet::allPairs(15);
-  const auto result = sandwichApproximation(inst, cands, 0);
+  const auto result = sandwichApproximation(inst, cands, {.k = 0});
   EXPECT_TRUE(result.placement.empty());
 }
 
@@ -59,7 +59,7 @@ TEST_P(SandwichProperty, GuaranteeHoldsAgainstExactOptimum) {
   const auto inst = msc::test::randomInstance(10, 5, 1.0, seed);
   const auto cands = CandidateSet::allPairs(10);
   const int k = 2;
-  const auto aa = sandwichApproximation(inst, cands, k);
+  const auto aa = sandwichApproximation(inst, cands, {.k = k});
 
   SigmaEvaluator sigma(inst);
   const auto opt = msc::core::exactOptimum(sigma, cands, k);
@@ -80,7 +80,7 @@ TEST_P(SandwichProperty, NeverWorseThanPlainSigmaGreedy) {
   const std::uint64_t seed = GetParam();
   const auto inst = msc::test::randomInstance(20, 8, 1.2, seed);
   const auto cands = CandidateSet::allPairs(20);
-  const auto aa = sandwichApproximation(inst, cands, 3);
+  const auto aa = sandwichApproximation(inst, cands, {.k = 3});
   EXPECT_GE(aa.sigma, aa.sigmaOfSigma);
 }
 

@@ -126,7 +126,7 @@ TEST(Delivery, MaintainedPairsMeetTargetInSimulation) {
   auto spatialInst = msc::test::randomInstance(
       25, 8, msc::wireless::failureThresholdToDistance(pt), 13);
   const auto cands = msc::core::CandidateSet::allPairs(25);
-  const auto aa = msc::core::sandwichApproximation(spatialInst, cands, 4);
+  const auto aa = msc::core::sandwichApproximation(spatialInst, cands, {.k = 4});
 
   MonteCarloConfig cfg;
   cfg.trials = 6000;

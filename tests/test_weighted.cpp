@@ -61,7 +61,7 @@ TEST(Weighted, HeavyPairDominatesGreedyChoice) {
   std::vector<double> weights{10.0, 1.0};
   msc::core::WeightedSigmaEvaluator sigma(inst, weights);
   const auto cands = CandidateSet::allPairs(10);
-  const auto res = msc::core::greedyMaximize(sigma, cands, 1);
+  const auto res = msc::core::greedyMaximize(sigma, cands, {.k = 1});
   EXPECT_DOUBLE_EQ(res.value, 10.0);
   ASSERT_EQ(res.placement.size(), 1u);
   EXPECT_EQ(res.placement[0], Shortcut::make(0, 9));
@@ -148,7 +148,7 @@ TEST_P(WeightedProperty, WeightedSandwichSelfConsistent) {
   const auto inst = msc::test::randomInstance(18, 8, 1.2, seed);
   const auto cands = CandidateSet::allPairs(18);
   const auto weights = randomWeights(inst, seed ^ 0x55ULL);
-  const auto aa = msc::core::weightedSandwich(inst, weights, cands, 3);
+  const auto aa = msc::core::weightedSandwich(inst, weights, cands, {.k = 3});
   msc::core::WeightedSigmaEvaluator sigma(inst, weights);
   EXPECT_NEAR(sigma.value(aa.placement), aa.sigma, 1e-9);
   EXPECT_GE(aa.sigma, aa.sigmaOfSigma - 1e-9);
