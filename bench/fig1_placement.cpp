@@ -2,7 +2,8 @@
 // random-selection baseline on one RG instance (paper §VII-C).
 //
 // Prints both placements with per-pair satisfied status and exports DOT
-// files (fig1_aa.dot / fig1_random.dot; render with `neato -n2 -Tpng`).
+// files (out/fig1_aa.dot / out/fig1_random.dot, honouring MSC_OUT_DIR;
+// render with `neato -n2 -Tpng`).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -82,9 +83,10 @@ int main() {
   const int k = static_cast<int>(util::envInt("MSC_K", 6));
   const auto cands = core::CandidateSet::allPairs(inst.graph().nodeCount());
 
+  const std::string outDir = eval::outputDir();
   const auto aa = core::sandwichApproximation(inst, cands, {.k = k});
   report("Approximation Algorithm (k=" + std::to_string(k) + ")", inst,
-         aa.placement, spatial.positions, "fig1_aa.dot");
+         aa.placement, spatial.positions, outDir + "/fig1_aa.dot");
 
   core::SigmaEvaluator sigma(inst);
   core::RandomBaselineConfig rndCfg;
@@ -92,7 +94,7 @@ int main() {
   rndCfg.seed = setup.seed;
   const auto rnd = core::randomBaseline(sigma, cands, k, rndCfg);
   report("Random selection (best of " + std::to_string(rndCfg.repeats) + ")",
-         inst, rnd.placement, spatial.positions, "fig1_random.dot");
+         inst, rnd.placement, spatial.positions, outDir + "/fig1_random.dot");
 
   std::cout << "\nexpected shape: AA maintains at least as many pairs as the "
                "random baseline, with shortcuts bridging pair clusters\n";

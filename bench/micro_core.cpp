@@ -5,6 +5,8 @@
 // strategy wins at which (n, m, |F|) regime.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "core/bounds.h"
 #include "core/candidates.h"
 #include "core/greedy.h"
@@ -12,7 +14,9 @@
 #include "eval/experiment.h"
 #include "graph/apsp.h"
 #include "graph/shortcut_distance.h"
+#include "harness.h"
 #include "obs/metrics.h"
+#include "util/env.h"
 #include "util/rng.h"
 
 namespace {
@@ -209,6 +213,52 @@ void BM_GreedyGainScanParallel(benchmark::State& state) {
 BENCHMARK(BM_GreedyGainScanParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------ regression harness ----
+// A small harness-backed suite alongside the google-benchmark cases: the
+// same hot paths, timed as warmup+repeats and exported to
+// out/BENCH_micro_core.json for tools/bench_diff.py to compare across
+// commits (CI perf-smoke job). Skippable with MSC_BENCH_JSON=0.
+
+void runRegressionHarness() {
+  if (!msc::util::envBool("MSC_BENCH_JSON", true)) return;
+  msc::bench::Harness harness("micro_core");
+
+  {
+    const auto spatial = makeRg(150, 10);
+    harness.run("apsp_n150", [&] {
+      benchmark::DoNotOptimize(
+          msc::graph::allPairsDistances(spatial.instance.graph()));
+    });
+  }
+  {
+    const auto spatial = makeRg(100, 80);
+    const auto cands = CandidateSet::allPairs(100);
+    harness.run("greedy_k4", [&] {
+      SigmaEvaluator eval(spatial.instance);
+      benchmark::DoNotOptimize(msc::core::greedyMaximize(
+          eval, cands, msc::core::SolveOptions{.k = 4}));
+    });
+    harness.run("sigma_gain_scan", [&] {
+      SigmaEvaluator eval(spatial.instance);
+      eval.reset();
+      double best = 0.0;
+      for (std::size_t c = 0; c < cands.size(); ++c) {
+        best = std::max(best, eval.gainIfAdd(cands[c]));
+      }
+      benchmark::DoNotOptimize(best);
+    });
+  }
+
+  std::cout << "bench json: " << harness.writeJson() << '\n';
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  runRegressionHarness();
+  return 0;
+}

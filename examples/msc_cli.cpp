@@ -24,6 +24,8 @@
 #include "eval/report.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "core/candidates.h"
 #include "core/ea.h"
 #include "core/greedy.h"
@@ -61,15 +63,19 @@ int usage() {
       "  route --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
       "every subcommand also accepts --threads N (worker threads for APSP\n"
       "and solver gain scans; 0 = all hardware cores; results are identical\n"
-      "for any N) and --metrics-out FILE (solver metrics as JSON), and\n"
-      "honours MSC_METRICS=1 (text metrics footer on stdout)\n";
+      "for any N), --metrics-out FILE (solver metrics as JSON), and\n"
+      "--trace-out FILE (solver timeline as Chrome trace-event JSON for\n"
+      "Perfetto/chrome://tracing; a .jsonl extension selects flat JSONL),\n"
+      "and honours MSC_METRICS=1 (text metrics footer on stdout) and\n"
+      "MSC_TRACE=1 (trace summary footer; MSC_TRACE_OUT=FILE to export)\n";
   return 2;
 }
 
-// Every subcommand accepts --metrics-out and --threads in addition to its
-// own flags.
+// Every subcommand accepts --metrics-out, --trace-out and --threads in
+// addition to its own flags.
 void checkFlags(const Args& args, std::vector<std::string> allowed) {
   allowed.push_back("metrics-out");
+  allowed.push_back("trace-out");
   allowed.push_back("threads");
   args.allowedFlags(allowed);
 }
@@ -323,9 +329,11 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc - 2, argv + 2);
-    // Force-enable metrics collection before any work (instance loading
-    // already runs Dijkstra/APSP) so the export sees the whole command.
+    // Force-enable collection before any work (instance loading already
+    // runs Dijkstra/APSP) so the exports see the whole command.
     if (args.has("metrics-out")) msc::obs::setEnabled(true);
+    if (args.has("trace-out")) msc::obs::trace::setEnabled(true);
+    msc::obs::trace::setCurrentThreadName("main");
 
     const int rc = dispatch(cmd, args);
 
@@ -334,10 +342,18 @@ int main(int argc, char** argv) {
       msc::obs::writeJsonFile(path, msc::obs::Registry::global());
       std::cout << "wrote metrics to " << path << '\n';
     }
-    // With MSC_METRICS=1 (and no explicit JSON export) append the
-    // human-readable footer, mirroring the bench binaries.
+    if (rc == 0 && args.has("trace-out")) {
+      const std::string path = args.requireString("trace-out");
+      msc::obs::trace::writeFile(path, msc::obs::trace::snapshot());
+      std::cout << "wrote trace to " << path << '\n';
+    }
+    // With MSC_METRICS=1 / MSC_TRACE=1 (and no explicit export) append the
+    // human-readable footers, mirroring the bench binaries.
     if (rc == 0 && !args.has("metrics-out")) {
       msc::eval::printMetricsFooter(std::cout);
+    }
+    if (rc == 0 && !args.has("trace-out")) {
+      msc::eval::printTraceFooter(std::cout);
     }
     return rc;
   } catch (const std::exception& e) {

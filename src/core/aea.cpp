@@ -6,6 +6,7 @@
 
 #include "core/gain_scan.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -154,6 +155,16 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
     if (msc::obs::enabled()) {
       static auto& sPop = msc::obs::stat("aea.population_size");
       sPop.record(static_cast<double>(population.size()));
+    }
+    if (msc::obs::trace::enabled()) {
+      // Per-generation timeline (Theorem 7 / Fig. 4 iteration trajectory).
+      const double best = result.bestByIteration.back();
+      msc::obs::trace::instant("aea.generation",
+                               {{"generation", iter},
+                                {"population_size", population.size()},
+                                {"best_sigma", best},
+                                {"evaluations", evaluations}});
+      msc::obs::trace::counter("aea.best_sigma", best);
     }
   }
 

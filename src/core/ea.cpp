@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace msc::core {
@@ -141,6 +142,16 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
       // min/mean/max trajectory.
       static auto& sArchive = msc::obs::stat("ea.archive_size");
       sArchive.record(static_cast<double>(archive.size()));
+    }
+    if (msc::obs::trace::enabled()) {
+      // Timeline of the run (validates the paper's Theorem 6 iteration
+      // claims): one instant per generation plus a best-σ counter track.
+      const double best = result.bestByIteration.back();
+      msc::obs::trace::instant("ea.generation",
+                               {{"generation", iter},
+                                {"archive_size", archive.size()},
+                                {"best_sigma", best}});
+      msc::obs::trace::counter("ea.best_sigma", best);
     }
   }
 

@@ -7,6 +7,7 @@
 
 #include "core/gain_scan.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace msc::core {
@@ -62,6 +63,15 @@ GreedyResult greedyMaximize(IncrementalEvaluator& eval,
     result.placement.push_back(candidates[idx]);
     result.trajectory.push_back(eval.currentValue());
     ++result.rounds;
+    if (msc::obs::trace::enabled()) {
+      msc::obs::trace::instant("greedy.round",
+                               {{"round", round},
+                                {"edge_a", candidates[idx].a},
+                                {"edge_b", candidates[idx].b},
+                                {"gain", best.gain},
+                                {"gain_evals", best.evaluations},
+                                {"value", eval.currentValue()}});
+    }
   }
   result.value = eval.currentValue();
   result.wallSeconds = secondsSince(start);
@@ -128,6 +138,15 @@ GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
     result.trajectory.push_back(eval.currentValue());
     ++round;
     ++result.rounds;
+    if (msc::obs::trace::enabled()) {
+      msc::obs::trace::instant("greedy.lazy.round",
+                               {{"round", round - 1},
+                                {"edge_a", candidates[top.idx].a},
+                                {"edge_b", candidates[top.idx].b},
+                                {"gain", top.gain},
+                                {"recomputes", result.lazyRecomputes},
+                                {"value", eval.currentValue()}});
+    }
   }
   result.value = eval.currentValue();
   result.wallSeconds = secondsSince(start);

@@ -7,6 +7,7 @@
 #include "core/bounds.h"
 #include "core/sigma.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace msc::core {
@@ -35,9 +36,18 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
   GreedyResult mu, sg, nu;
   const int threads = util::resolveThreadCount(options.threads);
   if (threads <= 1) {
-    mu = lazyGreedyMaximize(muEval, candidates, options);
-    sg = greedyMaximize(sigmaEval, candidates, options);
-    nu = lazyGreedyMaximize(nuEval, candidates, options);
+    {
+      MSC_OBS_SPAN("sandwich.pass.mu");
+      mu = lazyGreedyMaximize(muEval, candidates, options);
+    }
+    {
+      MSC_OBS_SPAN("sandwich.pass.sigma");
+      sg = greedyMaximize(sigmaEval, candidates, options);
+    }
+    {
+      MSC_OBS_SPAN("sandwich.pass.nu");
+      nu = lazyGreedyMaximize(nuEval, candidates, options);
+    }
   } else {
     // The three passes touch disjoint evaluators, so they can overlap;
     // their inner gain scans serialize on (and share) the global pool.
@@ -46,6 +56,7 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
     std::exception_ptr muError, sigmaError, nuError;
     std::thread muThread([&] {
       try {
+        msc::obs::trace::setCurrentThreadName("sandwich.mu");
         MSC_OBS_SPAN("sandwich.pass.mu");
         mu = lazyGreedyMaximize(muEval, candidates, options);
       } catch (...) {
@@ -54,6 +65,7 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
     });
     std::thread nuThread([&] {
       try {
+        msc::obs::trace::setCurrentThreadName("sandwich.nu");
         MSC_OBS_SPAN("sandwich.pass.nu");
         nu = lazyGreedyMaximize(nuEval, candidates, options);
       } catch (...) {
@@ -104,6 +116,17 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
                            std::chrono::steady_clock::now() - startTime)
                            .count();
 
+  if (msc::obs::trace::enabled()) {
+    const char* winner = result.winner == "mu"      ? "mu"
+                         : result.winner == "sigma" ? "sigma"
+                                                    : "nu";
+    msc::obs::trace::instant("sandwich.winner",
+                             {{"winner", winner},
+                              {"sigma", result.sigma},
+                              {"sigma_of_mu", result.sigmaOfMu},
+                              {"sigma_of_sigma", result.sigmaOfSigma},
+                              {"sigma_of_nu", result.sigmaOfNu}});
+  }
   if (msc::obs::enabled()) {
     msc::obs::counter("sandwich.runs").add(1);
     msc::obs::counter("sandwich.gain_evals.mu").add(mu.gainEvaluations);

@@ -1,12 +1,15 @@
 #include "eval/report.h"
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <ostream>
 #include <sstream>
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "util/env.h"
 
 namespace msc::eval {
@@ -20,6 +23,9 @@ void printHeader(std::ostream& os, const std::string& title,
   os << msc::util::benchScaleBanner() << '\n';
   if (msc::obs::enabled()) {
     os << "metrics: enabled (MSC_METRICS) — footer follows the run\n";
+  }
+  if (msc::obs::trace::enabled()) {
+    os << "trace: enabled (MSC_TRACE) — timeline summary follows the run\n";
   }
   os << "==============================================================\n";
 }
@@ -41,15 +47,50 @@ void printMetricsFooter(std::ostream& os) {
   msc::obs::writeText(os, reg);
 }
 
+void printTraceFooter(std::ostream& os) {
+  if (!msc::obs::trace::enabled()) return;
+  const auto snap = msc::obs::trace::snapshot();
+  if (snap.eventCount() == 0) return;
+  os << "\n---- trace (MSC_TRACE=1) ----\n";
+  os << "events: " << snap.eventCount() << " across " << snap.lanes.size()
+     << " thread lane(s), dropped " << snap.droppedTotal << '\n';
+  const char* out = std::getenv("MSC_TRACE_OUT");
+  if (out != nullptr && *out != '\0') {
+    // Runs from an atexit hook: report failures, never throw.
+    try {
+      msc::obs::trace::writeFile(out, snap);
+      os << "timeline written to " << out
+         << " (load in ui.perfetto.dev or chrome://tracing)\n";
+    } catch (const std::exception& e) {
+      os << "trace export failed: " << e.what() << '\n';
+    }
+  } else {
+    os << "set MSC_TRACE_OUT=trace.json to export the full timeline\n";
+  }
+}
+
 void installMetricsFooter() {
-  // Touch the registry before registering the handler so the (leaked)
-  // registry outlives it; `static` makes repeat calls no-ops.
+  // Touch the registries before registering the handler so the (leaked)
+  // registries outlive it; `static` makes repeat calls no-ops.
   static const bool installed = [] {
     (void)msc::obs::Registry::global();
-    std::atexit([] { printMetricsFooter(std::cout); });
+    (void)msc::obs::trace::enabled();
+    std::atexit([] {
+      printMetricsFooter(std::cout);
+      printTraceFooter(std::cout);
+    });
     return true;
   }();
   (void)installed;
+}
+
+std::string outputDir() {
+  const char* env = std::getenv("MSC_OUT_DIR");
+  std::string dir = (env != nullptr && *env != '\0') ? env : "out";
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort; open() reports
+  return dir;
 }
 
 }  // namespace msc::eval

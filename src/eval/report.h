@@ -23,8 +23,21 @@ std::string describeInstance(const msc::core::Instance& instance);
 /// "---- metrics ----" banner followed by the text export. No-op otherwise.
 void printMetricsFooter(std::ostream& os);
 
-/// Registers an atexit hook that runs printMetricsFooter(std::cout) once at
-/// process exit. Idempotent; called automatically by printHeader.
+/// When trace collection (obs/trace.h) is enabled and events were recorded,
+/// prints a one-line "---- trace ----" summary (event/lane/drop counts) and,
+/// if MSC_TRACE_OUT names a path, writes the full timeline there (Chrome
+/// trace JSON, or JSONL for a .jsonl extension). No-op otherwise.
+void printTraceFooter(std::ostream& os);
+
+/// Registers an atexit hook that runs printMetricsFooter and
+/// printTraceFooter on std::cout once at process exit. Idempotent; called
+/// automatically by printHeader.
 void installMetricsFooter();
+
+/// Directory for generated bench artifacts (DOT layouts, BENCH_*.json,
+/// trace dumps): $MSC_OUT_DIR when set, else "out/" under the current
+/// working directory — both gitignored. Created on first call; returns the
+/// path without a trailing slash.
+std::string outputDir();
 
 }  // namespace msc::eval

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include "obs/trace.h"
 #include "util/env.h"
 
 namespace msc::obs {
@@ -60,22 +61,32 @@ std::vector<Registry::StatRow> Registry::stats() const {
   return rows;
 }
 
-ScopedSpan::ScopedSpan(std::string_view name) {
+ScopedSpan::ScopedSpan(const char* name) {
   Registry& reg = Registry::global();
-  if (!reg.enabled()) return;
-  std::string key;
-  key.reserve(5 + name.size());
-  key.append("span.").append(name);
-  stat_ = &reg.stat(key);
+  const bool metricsOn = reg.enabled();
+  const bool traceOn = trace::enabled();
+  if (!metricsOn && !traceOn) return;
+  if (metricsOn) {
+    std::string key("span.");
+    key.append(name);
+    stat_ = &reg.stat(key);
+    start_ = std::chrono::steady_clock::now();
+  }
+  if (traceOn) {
+    traceName_ = name;
+    trace::begin(name);
+  }
   ++gSpanDepth;
-  start_ = std::chrono::steady_clock::now();
 }
 
 ScopedSpan::~ScopedSpan() {
-  if (stat_ == nullptr) return;
-  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  if (stat_ == nullptr && traceName_ == nullptr) return;
+  if (traceName_ != nullptr) trace::end(traceName_);
+  if (stat_ != nullptr) {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    stat_->record(std::chrono::duration<double>(elapsed).count());
+  }
   --gSpanDepth;
-  stat_->record(std::chrono::duration<double>(elapsed).count());
 }
 
 int ScopedSpan::depth() noexcept { return gSpanDepth; }

@@ -132,12 +132,17 @@ inline Stat& stat(std::string_view name) {
 inline void resetAll() { Registry::global().reset(); }
 
 /// RAII span: when metrics are enabled at construction, records the scope's
-/// wall duration (seconds) into stat "span.<name>" and tracks nesting depth
-/// for the current thread. A disabled span is two relaxed loads and no
-/// clock reads.
+/// wall duration (seconds) into stat "span.<name>"; when tracing
+/// (obs/trace.h) is enabled, additionally emits a begin/end event pair on
+/// the current thread's timeline lane. Tracks nesting depth for the
+/// current thread while either backend is on. A fully disabled span is two
+/// relaxed loads and no clock reads.
+///
+/// `name` must have static storage duration (pass a string literal) — the
+/// trace backend stores the pointer, not a copy.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(std::string_view name);
+  explicit ScopedSpan(const char* name);
   ~ScopedSpan();
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -146,7 +151,8 @@ class ScopedSpan {
   static int depth() noexcept;
 
  private:
-  Stat* stat_ = nullptr;  // null when the span is disabled
+  Stat* stat_ = nullptr;            // null when metrics are off
+  const char* traceName_ = nullptr; // null when tracing is off
   std::chrono::steady_clock::time_point start_{};
 };
 

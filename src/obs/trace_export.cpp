@@ -1,0 +1,166 @@
+#include "obs/trace_export.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace msc::obs::trace {
+
+namespace {
+
+// Event names are static literals under our control, but escape defensively
+// (interned thread names can carry anything a caller passes).
+void appendEscaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// JSON has no NaN/Inf literal; map them to null (msc.metrics.v1 behavior).
+void appendNumber(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  os << std::setprecision(17) << v;
+}
+
+void appendArgs(std::ostream& os, const Event& e) {
+  os << '{';
+  for (int i = 0; i < e.argCount; ++i) {
+    if (i) os << ", ";
+    os << '"';
+    appendEscaped(os, e.args[i].key);
+    os << "\": ";
+    if (e.args[i].str != nullptr) {
+      os << '"';
+      appendEscaped(os, e.args[i].str);
+      os << '"';
+    } else {
+      appendNumber(os, e.args[i].num);
+    }
+  }
+  os << '}';
+}
+
+const char* kindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::Begin: return "begin";
+    case EventKind::End: return "end";
+    case EventKind::Instant: return "instant";
+    case EventKind::Counter: return "counter";
+  }
+  return "unknown";
+}
+
+const char* chromePhase(EventKind kind) {
+  switch (kind) {
+    case EventKind::Begin: return "B";
+    case EventKind::End: return "E";
+    case EventKind::Instant: return "i";
+    case EventKind::Counter: return "C";
+  }
+  return "i";
+}
+
+}  // namespace
+
+void writeChromeJson(std::ostream& os, const Snapshot& snapshot) {
+  os << "{\n  \"schema\": \"msc.trace.v1\",\n"
+     << "  \"displayTimeUnit\": \"ms\",\n"
+     << "  \"otherData\": {\"droppedEvents\": " << snapshot.droppedTotal
+     << "},\n  \"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+    os << "\n    ";
+  };
+  for (const Lane& lane : snapshot.lanes) {
+    if (lane.threadName != nullptr) {
+      sep();
+      os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"tid\": "
+         << lane.tid << ", \"args\": {\"name\": \"";
+      appendEscaped(os, lane.threadName);
+      os << "\"}}";
+    }
+    for (const Event& e : lane.events) {
+      sep();
+      os << "{\"name\": \"";
+      appendEscaped(os, e.name);
+      os << "\", \"ph\": \"" << chromePhase(e.kind) << "\"";
+      if (e.kind == EventKind::Instant) os << ", \"s\": \"t\"";
+      os << ", \"pid\": 1, \"tid\": " << lane.tid << ", \"ts\": ";
+      // Chrome timestamps are microseconds; keep sub-us resolution.
+      appendNumber(os, static_cast<double>(e.tsNs) / 1000.0);
+      if (e.argCount > 0) {
+        os << ", \"args\": ";
+        appendArgs(os, e);
+      }
+      os << '}';
+    }
+  }
+  os << (first ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+void writeJsonl(std::ostream& os, const Snapshot& snapshot) {
+  for (const Lane& lane : snapshot.lanes) {
+    for (const Event& e : lane.events) {
+      os << "{\"schema\": \"msc.trace.v1\", \"tid\": " << lane.tid;
+      if (lane.threadName != nullptr) {
+        os << ", \"thread\": \"";
+        appendEscaped(os, lane.threadName);
+        os << '"';
+      }
+      os << ", \"ts_ns\": " << e.tsNs << ", \"kind\": \""
+         << kindName(e.kind) << "\", \"name\": \"";
+      appendEscaped(os, e.name);
+      os << '"';
+      if (e.argCount > 0) {
+        os << ", \"args\": ";
+        appendArgs(os, e);
+      }
+      os << "}\n";
+    }
+  }
+}
+
+std::string toChromeJson(const Snapshot& snapshot) {
+  std::ostringstream os;
+  writeChromeJson(os, snapshot);
+  return os.str();
+}
+
+void writeFile(const std::string& path, const Snapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open trace output file: " + path);
+  }
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  if (jsonl) {
+    writeJsonl(out, snapshot);
+  } else {
+    writeChromeJson(out, snapshot);
+  }
+}
+
+}  // namespace msc::obs::trace

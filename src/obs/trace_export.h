@@ -1,0 +1,48 @@
+// Renderers for a trace::Snapshot (schema "msc.trace.v1"):
+//
+//   * Chrome trace-event JSON — load in Perfetto (ui.perfetto.dev) or
+//     chrome://tracing. Begin/End map to "B"/"E" duration slices per
+//     thread lane, Instant to "i" (thread scope), Counter to "C"; named
+//     lanes additionally emit "thread_name" metadata events.
+//   * Flat JSONL — one self-contained JSON object per line, for grep/jq
+//     pipelines and log shippers.
+//
+// Both renderers emit standard JSON only: non-finite argument values
+// render as null, matching the msc.metrics.v1 exporter.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace msc::obs::trace {
+
+/// Chrome trace-event JSON object format:
+///   {
+///     "schema": "msc.trace.v1",
+///     "displayTimeUnit": "ms",
+///     "otherData": {"droppedEvents": 0},
+///     "traceEvents": [
+///       {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0,
+///        "args": {"name": "main"}},
+///       {"name": "greedy.pass", "ph": "B", "pid": 1, "tid": 0, "ts": 12.5},
+///       ...
+///     ]
+///   }
+/// Timestamps are microseconds (Chrome's unit) relative to the trace epoch.
+void writeChromeJson(std::ostream& os, const Snapshot& snapshot);
+
+/// One event per line:
+///   {"schema":"msc.trace.v1","tid":0,"thread":"main","ts_ns":12500,
+///    "kind":"begin","name":"greedy.pass","args":{...}}
+void writeJsonl(std::ostream& os, const Snapshot& snapshot);
+
+std::string toChromeJson(const Snapshot& snapshot);
+
+/// Writes `snapshot` to `path`; a ".jsonl" extension selects the JSONL
+/// renderer, anything else gets Chrome JSON. Throws std::runtime_error
+/// when the file cannot be opened.
+void writeFile(const std::string& path, const Snapshot& snapshot);
+
+}  // namespace msc::obs::trace

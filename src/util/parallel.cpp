@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace msc::util {
 
@@ -14,6 +15,20 @@ namespace {
 // start when it is, which keeps the "no nested parallelFor" rule uniform
 // across serial and pooled execution.
 thread_local bool tlsInChunk = false;
+
+// Job ids for the trace timeline: every parallelFor submission (pooled or
+// inline) gets a distinct id so per-chunk slices group by job in Perfetto.
+std::atomic<std::uint64_t> gJobTraceId{0};
+
+// Inline-execution variant of the per-chunk trace slice (serial path and
+// single-chunk jobs run on the submitting thread).
+void traceInlineChunk(std::uint64_t jobId, std::size_t chunk,
+                      std::size_t chunkBegin, std::size_t chunkEnd) {
+  msc::obs::trace::begin("pool.chunk", {{"job", jobId},
+                                        {"chunk", chunk},
+                                        {"begin", chunkBegin},
+                                        {"end", chunkEnd}});
+}
 
 struct ChunkGuard {
   ChunkGuard() { tlsInChunk = true; }
@@ -69,11 +84,21 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::runChunks(Job& job) noexcept {
   std::size_t mine = 0;
+  const bool traced = msc::obs::trace::enabled();
   for (;;) {
     const std::size_t c = job.nextChunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= job.chunkCount) break;
     const std::size_t chunkBegin = job.begin + c * job.grain;
     const std::size_t chunkEnd = std::min(job.end, chunkBegin + job.grain);
+    // Flamegraph lanes: one Begin/End slice per chunk on the executing
+    // thread, tagged with the job generation and chunk index so Perfetto
+    // shows how the static chunk layout was scheduled across workers.
+    if (traced) {
+      msc::obs::trace::begin("pool.chunk", {{"job", job.traceId},
+                                            {"chunk", c},
+                                            {"begin", chunkBegin},
+                                            {"end", chunkEnd}});
+    }
     try {
       const ChunkGuard guard;
       (*job.fn)(chunkBegin, chunkEnd);
@@ -81,6 +106,7 @@ void ThreadPool::runChunks(Job& job) noexcept {
       const std::lock_guard<std::mutex> lock(mu_);
       if (!job.error) job.error = std::current_exception();
     }
+    if (traced) msc::obs::trace::end("pool.chunk");
     ++mine;
     const std::lock_guard<std::mutex> lock(mu_);
     if (++job.chunksDone == job.chunkCount) doneCv_.notify_all();
@@ -91,6 +117,8 @@ void ThreadPool::runChunks(Job& job) noexcept {
 }
 
 void ThreadPool::workerMain() {
+  // Label this worker's trace lane; applied lazily on its first event.
+  msc::obs::trace::setCurrentThreadName("pool.worker");
   std::uint64_t seenGeneration = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -129,10 +157,18 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
 
   if (chunkCount == 1 || limit == 1) {
     // Inline execution, same chunk layout; exceptions propagate directly.
+    const bool traced = msc::obs::trace::enabled();
+    const std::uint64_t jobId =
+        traced ? gJobTraceId.fetch_add(1, std::memory_order_relaxed) : 0;
     for (std::size_t c = 0; c < chunkCount; ++c) {
       const std::size_t chunkBegin = begin + c * grain;
-      const ChunkGuard guard;
-      fn(chunkBegin, std::min(end, chunkBegin + grain));
+      const std::size_t chunkEnd = std::min(end, chunkBegin + grain);
+      if (traced) traceInlineChunk(jobId, c, chunkBegin, chunkEnd);
+      {
+        const ChunkGuard guard;
+        fn(chunkBegin, chunkEnd);
+      }
+      if (traced) msc::obs::trace::end("pool.chunk");
     }
     publishJob(chunkCount, 1, chunkCount, chunkCount, false);
     return;
@@ -144,6 +180,7 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
   job.end = end;
   job.grain = grain;
   job.chunkCount = chunkCount;
+  job.traceId = gJobTraceId.fetch_add(1, std::memory_order_relaxed);
   job.fn = &fn;
   job.maxParticipants = limit;
   job.minWorkerChunks = std::numeric_limits<std::size_t>::max();
@@ -192,10 +229,18 @@ void parallelForThreads(int threads, std::size_t begin, std::size_t end,
     if (begin >= end) return;
     if (grain == 0) grain = 1;
     const std::size_t chunkCount = (end - begin + grain - 1) / grain;
+    const bool traced = msc::obs::trace::enabled();
+    const std::uint64_t jobId =
+        traced ? gJobTraceId.fetch_add(1, std::memory_order_relaxed) : 0;
     for (std::size_t c = 0; c < chunkCount; ++c) {
       const std::size_t chunkBegin = begin + c * grain;
-      const ChunkGuard guard;
-      fn(chunkBegin, std::min(end, chunkBegin + grain));
+      const std::size_t chunkEnd = std::min(end, chunkBegin + grain);
+      if (traced) traceInlineChunk(jobId, c, chunkBegin, chunkEnd);
+      {
+        const ChunkGuard guard;
+        fn(chunkBegin, chunkEnd);
+      }
+      if (traced) msc::obs::trace::end("pool.chunk");
     }
     publishJob(chunkCount, 1, chunkCount, chunkCount, false);
     return;

@@ -67,6 +67,7 @@ class ThreadPool {
     std::size_t end = 0;
     std::size_t grain = 1;
     std::size_t chunkCount = 0;
+    std::uint64_t traceId = 0;  // groups per-chunk trace slices by job
     const ChunkFn* fn = nullptr;
     std::atomic<std::size_t> nextChunk{0};
     // Everything below is guarded by the pool mutex.

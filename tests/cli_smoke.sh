@@ -52,6 +52,31 @@ MSC_METRICS=1 "$CLI" eval --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
        --pt 0.14 --placement "$PLACEMENT" | grep -q "dijkstra.runs" \
   || { echo "FAIL: MSC_METRICS footer"; exit 1; }
 
+# Trace export: solve --trace-out writes Chrome trace-event JSON that a
+# standard parser accepts and that carries solver timeline events.
+"$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
+       --pt 0.14 --k 3 --algo aa --trace-out "$WORK/t.json" \
+  | grep -q "wrote trace" || { echo "FAIL: trace-out"; exit 1; }
+grep -q '"schema": "msc.trace.v1"' "$WORK/t.json" \
+  || { echo "FAIL: trace schema"; exit 1; }
+grep -q '"name": "sandwich.total"' "$WORK/t.json" \
+  || { echo "FAIL: trace missing sandwich events"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$WORK/t.json" \
+    || { echo "FAIL: trace JSON does not parse"; exit 1; }
+fi
+
+# A .jsonl extension selects the flat JSONL exporter.
+"$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
+       --pt 0.14 --k 3 --algo aa --trace-out "$WORK/t.jsonl" >/dev/null
+head -1 "$WORK/t.jsonl" | grep -q '^{.*"msc.trace.v1".*}$' \
+  || { echo "FAIL: trace JSONL shape"; exit 1; }
+
+# MSC_TRACE=1 prints a summary footer on stdout.
+MSC_TRACE=1 "$CLI" eval --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
+       --pt 0.14 --placement "$PLACEMENT" | grep -q "thread lane" \
+  || { echo "FAIL: MSC_TRACE footer"; exit 1; }
+
 # Error handling: unknown command, missing flag, unknown flag, and a
 # non-integer value all exit non-zero.
 if "$CLI" frobnicate 2>/dev/null; then echo "FAIL: bad cmd"; exit 1; fi
@@ -60,5 +85,9 @@ if "$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" --pt 0.14 \
      --bogus 1 2>/dev/null; then echo "FAIL: unknown flag"; exit 1; fi
 if "$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" --pt 0.14 \
      --k 3x 2>/dev/null; then echo "FAIL: trailing garbage int"; exit 1; fi
+if "$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" --pt 0.14 \
+     --k 3 --trace-ou "$WORK/t2.json" 2>/dev/null; then
+  echo "FAIL: misspelled --trace-ou accepted"; exit 1
+fi
 
 echo "cli smoke OK"

@@ -95,6 +95,14 @@ TEST(Args, AllowedFlagsDetectsUnknown) {
   EXPECT_NO_THROW(args.allowedFlags({"known", "oops"}));
 }
 
+TEST(Args, AllowedFlagsRejectsNearMissSpelling) {
+  // A truncated flag (--trace-ou for --trace-out) must fail loudly, not
+  // silently run without tracing.
+  const auto args = parse({"--trace-ou", "t.json"});
+  EXPECT_THROW(args.allowedFlags({"trace-out", "metrics-out", "threads"}),
+               std::invalid_argument);
+}
+
 TEST(Args, BoolSpellings) {
   const auto args = parse({"--a", "YES", "--b", "off", "--c", "1"});
   EXPECT_TRUE(args.getBool("a", false));

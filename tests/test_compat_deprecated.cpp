@@ -1,0 +1,100 @@
+// Compatibility coverage for the [[deprecated]] int-k entry points: they
+// must keep forwarding to the SolveOptions overloads with identical
+// results until removal. This is the one translation unit allowed to call
+// them, so tests/CMakeLists.txt scopes -Wno-deprecated-declarations to
+// this target alone and -Werror stays viable everywhere else.
+#include <gtest/gtest.h>
+
+#include "core/aea.h"
+#include "core/candidates.h"
+#include "core/ea.h"
+#include "core/greedy.h"
+#include "core/sandwich.h"
+#include "core/sigma.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using msc::core::CandidateSet;
+using msc::core::SolveOptions;
+
+const msc::eval::SpatialInstance& smallRg() {
+  static const msc::eval::SpatialInstance spatial = [] {
+    msc::eval::RgSetup setup;
+    setup.nodes = 30;
+    setup.radius = 0.3;
+    setup.pairs = 10;
+    setup.failureThreshold = 0.2;
+    setup.seed = 5;
+    return msc::eval::makeRgInstance(setup);
+  }();
+  return spatial;
+}
+
+TEST(CompatDeprecated, GreedyIntKMatchesSolveOptions) {
+  const auto& inst = smallRg().instance;
+  const auto cands = CandidateSet::allPairs(inst.graph().nodeCount());
+  msc::core::SigmaEvaluator evalOld(inst);
+  const auto viaInt = msc::core::greedyMaximize(evalOld, cands, 3);
+  msc::core::SigmaEvaluator evalNew(inst);
+  const auto viaOptions =
+      msc::core::greedyMaximize(evalNew, cands, SolveOptions{.k = 3});
+  EXPECT_EQ(viaInt.placement, viaOptions.placement);
+  EXPECT_DOUBLE_EQ(viaInt.value, viaOptions.value);
+}
+
+TEST(CompatDeprecated, LazyGreedyIntKMatchesSolveOptions) {
+  const auto& inst = smallRg().instance;
+  const auto cands = CandidateSet::allPairs(inst.graph().nodeCount());
+  msc::core::SigmaEvaluator evalOld(inst);
+  const auto viaInt = msc::core::lazyGreedyMaximize(evalOld, cands, 3);
+  msc::core::SigmaEvaluator evalNew(inst);
+  const auto viaOptions =
+      msc::core::lazyGreedyMaximize(evalNew, cands, SolveOptions{.k = 3});
+  EXPECT_EQ(viaInt.placement, viaOptions.placement);
+  EXPECT_DOUBLE_EQ(viaInt.value, viaOptions.value);
+}
+
+TEST(CompatDeprecated, SandwichInstanceIntKMatchesSolveOptions) {
+  const auto& inst = smallRg().instance;
+  const auto cands = CandidateSet::allPairs(inst.graph().nodeCount());
+  const auto viaInt = msc::core::sandwichApproximation(inst, cands, 3);
+  const auto viaOptions =
+      msc::core::sandwichApproximation(inst, cands, SolveOptions{.k = 3});
+  EXPECT_EQ(viaInt.placement, viaOptions.placement);
+  EXPECT_DOUBLE_EQ(viaInt.sigma, viaOptions.sigma);
+  EXPECT_EQ(viaInt.winner, viaOptions.winner);
+}
+
+TEST(CompatDeprecated, EaIntKHonoursConfigSeed) {
+  const auto& inst = smallRg().instance;
+  const auto cands = CandidateSet::allPairs(inst.graph().nodeCount());
+  msc::core::SigmaEvaluator sigma(inst);
+  msc::core::EaConfig cfg;
+  cfg.iterations = 30;
+  cfg.seed = 17;
+  const auto viaInt = msc::core::evolutionaryAlgorithm(sigma, cands, 3, cfg);
+  const auto viaOptions = msc::core::evolutionaryAlgorithm(
+      sigma, cands, SolveOptions{.k = 3, .seed = cfg.seed}, cfg);
+  EXPECT_EQ(viaInt.placement, viaOptions.placement);
+  EXPECT_DOUBLE_EQ(viaInt.value, viaOptions.value);
+}
+
+TEST(CompatDeprecated, AeaIntKHonoursConfigSeed) {
+  const auto& inst = smallRg().instance;
+  const auto cands = CandidateSet::allPairs(inst.graph().nodeCount());
+  msc::core::AeaConfig cfg;
+  cfg.iterations = 20;
+  cfg.populationSize = 4;
+  cfg.seed = 23;
+  msc::core::SigmaEvaluator evalOld(inst);
+  const auto viaInt =
+      msc::core::adaptiveEvolutionaryAlgorithm(evalOld, cands, 3, cfg);
+  msc::core::SigmaEvaluator evalNew(inst);
+  const auto viaOptions = msc::core::adaptiveEvolutionaryAlgorithm(
+      evalNew, cands, SolveOptions{.k = 3, .seed = cfg.seed}, cfg);
+  EXPECT_EQ(viaInt.placement, viaOptions.placement);
+  EXPECT_DOUBLE_EQ(viaInt.value, viaOptions.value);
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace_export.h"
+#include "util/parallel.h"
+
+namespace {
+
+namespace trace = msc::obs::trace;
+
+// The trace recorder is process-global; every test starts from a clean,
+// enabled slate with the default capacity and restores the disabled
+// default on exit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    defaultCapacity_ = trace::bufferCapacity();
+    trace::clearAll();
+    trace::setEnabled(true);
+  }
+  void TearDown() override {
+    trace::setEnabled(false);
+    trace::setBufferCapacity(defaultCapacity_);
+    trace::clearAll();
+  }
+
+ private:
+  std::size_t defaultCapacity_ = 0;
+};
+
+TEST_F(TraceTest, DisabledModeRecordsNothing) {
+  trace::setEnabled(false);
+  trace::begin("test.noop");
+  trace::instant("test.noop.i", {{"x", 1}});
+  trace::counter("test.noop.c", 2.0);
+  trace::end("test.noop");
+  EXPECT_EQ(trace::snapshot().eventCount(), 0u);
+  EXPECT_EQ(trace::droppedEvents(), 0u);
+}
+
+TEST_F(TraceTest, InstantCarriesArgsAndMonotonicTimestamps) {
+  trace::instant("test.args", {{"num", 42}, {"frac", 0.5}, {"s", "lit"}});
+  trace::instant("test.args2", {});
+  const auto snap = trace::snapshot();
+  ASSERT_EQ(snap.eventCount(), 2u);
+  const trace::Lane* lane = nullptr;
+  for (const auto& l : snap.lanes) {
+    if (!l.events.empty()) lane = &l;
+  }
+  ASSERT_NE(lane, nullptr);
+  const trace::Event& e = lane->events[0];
+  EXPECT_STREQ(e.name, "test.args");
+  EXPECT_EQ(e.kind, trace::EventKind::Instant);
+  ASSERT_EQ(e.argCount, 3);
+  EXPECT_STREQ(e.args[0].key, "num");
+  EXPECT_DOUBLE_EQ(e.args[0].num, 42.0);
+  EXPECT_STREQ(e.args[2].key, "s");
+  EXPECT_STREQ(e.args[2].str, "lit");
+  EXPECT_LE(e.tsNs, lane->events[1].tsNs);
+}
+
+TEST_F(TraceTest, RingOverflowSetsDropCounterAndKeepsNewest) {
+  trace::setBufferCapacity(8);
+  trace::clearAll();
+  for (int i = 0; i < 20; ++i) {
+    trace::instant("test.overflow", {{"i", i}});
+  }
+  const auto snap = trace::snapshot();
+  EXPECT_EQ(snap.eventCount(), 8u);
+  EXPECT_EQ(snap.droppedTotal, 12u);
+  EXPECT_EQ(trace::droppedEvents(), 12u);
+  // Oldest-first unwrap: the surviving window is i = 12..19 in order.
+  const trace::Lane* lane = nullptr;
+  for (const auto& l : snap.lanes) {
+    if (!l.events.empty()) lane = &l;
+  }
+  ASSERT_NE(lane, nullptr);
+  ASSERT_EQ(lane->events.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(lane->events[static_cast<std::size_t>(i)].args[0].num,
+                     12.0 + i);
+  }
+}
+
+TEST_F(TraceTest, ClearAllResetsEventsAndDropCounter) {
+  trace::setBufferCapacity(4);
+  trace::clearAll();
+  for (int i = 0; i < 10; ++i) trace::instant("test.clear");
+  EXPECT_GT(trace::droppedEvents(), 0u);
+  trace::clearAll();
+  EXPECT_EQ(trace::snapshot().eventCount(), 0u);
+  EXPECT_EQ(trace::droppedEvents(), 0u);
+}
+
+TEST_F(TraceTest, InternCopiesDynamicStrings) {
+  const std::string dynamic = std::string("test.") + "interned";
+  const char* a = trace::intern(dynamic);
+  const char* b = trace::intern(std::string("test.interned"));
+  EXPECT_EQ(a, b);  // same stable pointer for equal content
+  EXPECT_STREQ(a, "test.interned");
+}
+
+// Begin/end pairing must survive pool execution: on every lane the events
+// form balanced stacks (an End always closes the most recent open Begin of
+// the same name), even with 8 threads racing through chunk callbacks.
+TEST_F(TraceTest, BeginEndPairingSurvivesPoolChunksOnEightThreads) {
+  msc::util::parallelForThreads(
+      8, 0, 64, 1, [](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          trace::begin("test.outer", {{"i", i}});
+          trace::begin("test.inner");
+          trace::instant("test.mark");
+          trace::end("test.inner");
+          trace::end("test.outer");
+        }
+      });
+  const auto snap = trace::snapshot();
+  EXPECT_EQ(snap.droppedTotal, 0u);
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (const auto& lane : snap.lanes) {
+    std::vector<const char*> stack;
+    for (const auto& e : lane.events) {
+      if (e.kind == trace::EventKind::Begin) {
+        stack.push_back(e.name);
+        ++begins;
+      } else if (e.kind == trace::EventKind::End) {
+        ASSERT_FALSE(stack.empty())
+            << "End without open Begin on lane " << lane.tid;
+        EXPECT_STREQ(stack.back(), e.name);
+        stack.pop_back();
+        ++ends;
+      }
+    }
+    EXPECT_TRUE(stack.empty()) << "unclosed Begin on lane " << lane.tid;
+  }
+  // 64 iterations x 2 spans each, all paired. pool.chunk slices from the
+  // instrumented pool add more pairs; they must balance too (checked by the
+  // per-lane walk above).
+  EXPECT_GE(begins, 128u);
+  EXPECT_EQ(begins, ends);
+}
+
+TEST_F(TraceTest, LaneReuseAfterThreadExit) {
+  std::thread([] { trace::instant("test.thread1"); }).join();
+  const std::size_t lanesAfterFirst = trace::snapshot().lanes.size();
+  std::thread([] { trace::instant("test.thread2"); }).join();
+  // The second thread reuses the parked lane instead of growing the table.
+  EXPECT_EQ(trace::snapshot().lanes.size(), lanesAfterFirst);
+}
+
+TEST_F(TraceTest, ChromeJsonIsStandardJsonWithNonFiniteArgsAsNull) {
+  trace::setCurrentThreadName("test.main");
+  trace::begin("test.span", {{"nan", std::nan("")},
+                             {"inf", std::numeric_limits<double>::infinity()},
+                             {"ok", 3.5}});
+  trace::end("test.span");
+  trace::instant("test.instant", {{"s", "quote\"and\\slash"}});
+  trace::counter("test.counter", 7.0);
+
+  std::ostringstream os;
+  trace::writeChromeJson(os, trace::snapshot());
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"schema\": \"msc.trace.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("test.main"), std::string::npos);
+  // Non-finite numbers must render as null, never as nan/inf tokens.
+  EXPECT_NE(json.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"inf\": null"), std::string::npos);
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
+  EXPECT_EQ(json.find(": inf"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"and\\\\slash"), std::string::npos);
+
+  // Structural sanity: balanced braces/brackets outside strings.
+  int braces = 0;
+  int brackets = 0;
+  bool inString = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (inString) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        inString = false;
+      }
+      continue;
+    }
+    if (c == '"') inString = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(inString);
+}
+
+TEST_F(TraceTest, JsonlEmitsOneObjectPerLine) {
+  trace::instant("test.line1", {{"v", 1}});
+  trace::instant("test.line2");
+  std::ostringstream os;
+  trace::writeJsonl(os, trace::snapshot());
+  std::istringstream lines(os.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"schema\": \"msc.trace.v1\""), std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(TraceTest, WriteFileSelectsFormatByExtension) {
+  trace::instant("test.file");
+  const auto snap = trace::snapshot();
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string base = ::testing::TempDir() + info->name();
+  trace::writeFile(base + ".json", snap);
+  trace::writeFile(base + ".jsonl", snap);
+  std::ifstream chrome(base + ".json");
+  std::string first;
+  std::getline(chrome, first);
+  EXPECT_EQ(first, "{");  // Chrome document opens an object
+  std::ifstream jsonl(base + ".jsonl");
+  std::getline(jsonl, first);
+  EXPECT_EQ(first.front(), '{');
+  EXPECT_EQ(first.back(), '}');  // JSONL packs the object on one line
+  EXPECT_THROW(trace::writeFile("/nonexistent-dir/x.json", snap),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare two msc.bench.v1 JSON files and fail on wall-time regressions.
+
+Usage:
+    bench_diff.py OLD.json NEW.json [--max-ratio 2.0]
+
+For every case present in both files, compares the median wall seconds and
+exits 1 when NEW exceeds OLD by more than --max-ratio. Cases that appear in
+only one file produce a warning, not a failure, so adding or retiring a
+case never blocks CI. Stdlib only — runs anywhere python3 does.
+
+The default ratio is deliberately loose (2x): shared CI runners are noisy,
+and the gate exists to catch accidental algorithmic blowups (a dropped
+memo, an O(n) turned O(n^2)), not single-digit-percent drift. Tighten it
+per invocation when comparing runs from the same quiet machine.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "msc.bench.v1":
+        sys.exit(f"error: {path}: expected schema msc.bench.v1, "
+                 f"got {doc.get('schema')!r}")
+    cases = doc.get("cases")
+    if not isinstance(cases, dict):
+        sys.exit(f"error: {path}: missing cases object")
+    return doc.get("name", "?"), cases
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail on bench wall-time regressions between two "
+                    "msc.bench.v1 files.")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when new median > ratio * old median "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+    if args.max_ratio <= 0:
+        parser.error("--max-ratio must be positive")
+
+    old_name, old_cases = load_cases(args.old)
+    new_name, new_cases = load_cases(args.new)
+    if old_name != new_name:
+        print(f"warning: comparing different benches "
+              f"({old_name!r} vs {new_name!r})")
+
+    failures = []
+    for case in sorted(set(old_cases) | set(new_cases)):
+        if case not in old_cases:
+            print(f"warning: case {case!r} only in {args.new} (new case?)")
+            continue
+        if case not in new_cases:
+            print(f"warning: case {case!r} only in {args.old} (removed?)")
+            continue
+        old_median = old_cases[case].get("median")
+        new_median = new_cases[case].get("median")
+        if not isinstance(old_median, (int, float)) or \
+           not isinstance(new_median, (int, float)):
+            print(f"warning: case {case!r}: median missing or null, skipped")
+            continue
+        if old_median <= 0:
+            # Sub-resolution baseline: any finite new time would "regress";
+            # report only, don't gate.
+            print(f"ok?     {case}: old median {old_median:.6f}s is zero, "
+                  f"new {new_median:.6f}s (not gated)")
+            continue
+        ratio = new_median / old_median
+        verdict = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"{verdict:7} {case}: {old_median:.6f}s -> {new_median:.6f}s "
+              f"({ratio:.2f}x, limit {args.max_ratio:.2f}x)")
+        if ratio > args.max_ratio:
+            failures.append(case)
+
+    if failures:
+        print(f"\nregression in {len(failures)} case(s): "
+              f"{', '.join(failures)}")
+        return 1
+    print("\nno regressions above the limit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
