@@ -1,0 +1,127 @@
+// Serve-path throughput: requests/second through serve::Engine, cold vs
+// warm instance cache. "Cold" clears the cache before every request batch,
+// so each solve pays graph hashing + the n-source APSP build; "warm"
+// pre-loads the instance once so every solve reuses the memoized matrix
+// (apsp_cache:"hit"). The gap between the two medians is the cache's whole
+// value proposition, and the per-run counter snapshots in the BENCH json
+// (serve.cache.apsp_hits / apsp_misses) prove which path each case took —
+// tools/bench_diff.py keeps it from regressing.
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "eval/experiment.h"
+#include "graph/graph_io.h"
+#include "harness.h"
+#include "serve/server.h"
+#include "util/env.h"
+
+namespace {
+
+std::string graphText(const msc::core::Instance& inst) {
+  std::ostringstream os;
+  msc::graph::writeEdgeList(os, inst.graph());
+  return os.str();
+}
+
+std::string pairsText(const msc::core::Instance& inst) {
+  std::ostringstream os;
+  for (const auto& p : inst.pairs()) os << p.u << ' ' << p.w << '\n';
+  return os.str();
+}
+
+std::string escape(const std::string& raw) {
+  std::string out;
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void expectOk(const std::string& response) {
+  if (response.find("\"status\":\"ok\"") == std::string::npos) {
+    throw std::runtime_error("serve request failed: " + response);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace msc;
+
+  eval::RgSetup setup;
+  setup.nodes = static_cast<int>(util::envInt("MSC_SERVE_BENCH_NODES", 80));
+  setup.pairs = 24;
+  const auto spatial = eval::makeRgInstance(setup);
+  const std::string loadGraphReq =
+      "{\"cmd\":\"load_graph\",\"as\":\"g\",\"text\":\"" +
+      escape(graphText(spatial.instance)) + "\"}";
+  const std::string loadPairsReq =
+      "{\"cmd\":\"load_pairs\",\"as\":\"p\",\"text\":\"" +
+      escape(pairsText(spatial.instance)) + "\"}";
+  const std::string solveReq =
+      "{\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+      "\"algo\":\"greedy\",\"k\":4,\"threads\":1,\"seed\":1}";
+  const int requestsPerRun =
+      static_cast<int>(util::envInt("MSC_SERVE_BENCH_REQUESTS", 8));
+
+  serve::Engine engine;
+  expectOk(engine.handleLine(loadGraphReq));
+  expectOk(engine.handleLine(loadPairsReq));
+
+  bench::Harness h("serve_throughput");
+
+  // Every request batch re-loads the instance from scratch: each solve is
+  // an APSP compute (serve.cache.apsp_misses == requestsPerRun per run).
+  const auto& cold = h.run("solve_cold_cache", [&] {
+    for (int i = 0; i < requestsPerRun; ++i) {
+      engine.cache().clear();
+      expectOk(engine.handleLine(loadGraphReq));
+      expectOk(engine.handleLine(loadPairsReq));
+      expectOk(engine.handleLine(solveReq));
+    }
+  });
+
+  // Instance stays loaded: every solve reuses the memoized matrix
+  // (serve.cache.apsp_hits == requestsPerRun per run).
+  expectOk(engine.handleLine(loadGraphReq));
+  expectOk(engine.handleLine(loadPairsReq));
+  expectOk(engine.handleLine(solveReq));  // memoize APSP before timing
+  const auto& warm = h.run("solve_warm_cache", [&] {
+    for (int i = 0; i < requestsPerRun; ++i) {
+      expectOk(engine.handleLine(solveReq));
+    }
+  });
+
+  const auto reqPerSec = [requestsPerRun](double seconds) {
+    return seconds > 0.0 ? requestsPerRun / seconds : 0.0;
+  };
+  std::cout << "serve throughput (RG n=" << setup.nodes << ", greedy k=4, "
+            << requestsPerRun << " req/run)\n"
+            << "  cold cache: median " << cold.median << " s  ("
+            << reqPerSec(cold.median) << " req/s)\n"
+            << "  warm cache: median " << warm.median << " s  ("
+            << reqPerSec(warm.median) << " req/s)\n";
+
+  const auto stats = engine.cache().stats();
+  std::cout << "  cache: apsp_computes=" << stats.apspComputes
+            << " apsp_hits=" << stats.apspHits
+            << " evictions=" << stats.evictions << '\n';
+  if (stats.apspHits == 0) {
+    std::cerr << "warm case never hit the APSP cache\n";
+    return 1;
+  }
+  if (warm.median >= cold.median) {
+    std::cerr << "warning: warm median not below cold median (noisy host?)\n";
+  }
+  std::cout << "bench json: " << h.writeJson() << '\n';
+  return 0;
+}

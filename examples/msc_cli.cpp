@@ -16,6 +16,8 @@
 //   msc_cli route --graph g.txt --pairs pairs.txt --pt 0.14
 //                 --placement 3-41,17-88
 //   msc_cli solve ... --metrics-out m.json   (solver metrics as JSON)
+//   msc_cli serve --queue 64                 (JSONL solve service on stdio)
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -41,6 +43,7 @@
 #include "gen/watts_strogatz.h"
 #include "graph/apsp.h"
 #include "graph/graph_io.h"
+#include "serve/server.h"
 #include "util/args.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -53,7 +56,7 @@ using msc::util::Args;
 
 int usage() {
   std::cerr <<
-      "usage: msc_cli <gen|pairs|solve|eval|route> [flags]\n"
+      "usage: msc_cli <gen|pairs|solve|eval|route|serve|version> [flags]\n"
       "  gen   --type rg|er|ba|ws|gowalla --out FILE [--nodes N] [--seed S]\n"
       "        [--radius R] [--prob P] [--attach M] [--neighbors K]\n"
       "  pairs --graph FILE --pt P --m M [--seed S] [--out FILE]\n"
@@ -61,6 +64,11 @@ int usage() {
       "        [--algo aa|greedy|ea|aea|random] [--iters R] [--seed S]\n"
       "  eval  --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
       "  route --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
+      "  serve [--listen SOCKET_PATH] [--queue N] [--cache-mb MB]\n"
+      "        long-running msc.serve.v1 JSONL solve service on stdin/stdout\n"
+      "        (or a Unix socket with --listen); SIGINT/SIGTERM drain and\n"
+      "        exit; see docs/ALGORITHMS.md sec. 12\n"
+      "  version  print the version and the machine-readable schemas\n"
       "every subcommand also accepts --threads N (worker threads for APSP\n"
       "and solver gain scans; 0 = all hardware cores; results are identical\n"
       "for any N), --metrics-out FILE (solver metrics as JSON), and\n"
@@ -312,12 +320,57 @@ int cmdRoute(const Args& args) {
   return 0;
 }
 
+extern "C" void serveSignalHandler(int) {
+  msc::serve::Server::requestShutdown();  // async-signal-safe atomic store
+}
+
+int cmdServe(const Args& args) {
+  checkFlags(args, {"listen", "queue", "cache-mb"});
+  msc::serve::ServerConfig config;
+  config.engine.defaultThreads = threadsArg(args);
+  if (args.has("cache-mb")) {
+    const long long mb = args.getInt("cache-mb", 256);
+    if (mb < 0) throw std::runtime_error("--cache-mb must be >= 0");
+    config.engine.cacheBytes = static_cast<std::size_t>(mb) << 20;
+  }
+  const long long queue = args.getInt("queue", 64);
+  if (queue < 1) throw std::runtime_error("--queue must be >= 1");
+  config.queueLimit = static_cast<std::size_t>(queue);
+
+  // No SA_RESTART: blocked reads return EINTR so the poll loops re-check
+  // the shutdown flag promptly.
+  struct sigaction sa {};
+  sa.sa_handler = serveSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  msc::serve::Server server(config);
+  if (args.has("listen")) {
+    return server.serveUnixSocket(args.requireString("listen"));
+  }
+  return server.serveFd(0, 1);
+}
+
+int cmdVersion() {
+  std::cout << "msc_cli (msc-linkplace) 1.0.0\n"
+            << "machine-readable schemas:\n"
+            << "  msc.metrics.v1  solver metrics JSON (--metrics-out, "
+               "MSC_METRICS_OUT)\n"
+            << "  msc.trace.v1    timeline trace JSON/JSONL (--trace-out, "
+               "MSC_TRACE_OUT)\n"
+            << "  msc.bench.v1    bench harness out/BENCH_<name>.json\n"
+            << "  msc.serve.v1    serve subcommand JSONL request/response\n";
+  return 0;
+}
+
 int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "gen") return cmdGen(args);
   if (cmd == "pairs") return cmdPairs(args);
   if (cmd == "solve") return cmdSolve(args);
   if (cmd == "eval") return cmdEval(args);
   if (cmd == "route") return cmdRoute(args);
+  if (cmd == "serve") return cmdServe(args);
   std::cerr << "unknown command: " << cmd << '\n';
   return usage();
 }
@@ -327,6 +380,11 @@ int dispatch(const std::string& cmd, const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "version" || cmd == "--version") return cmdVersion();
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    usage();
+    return 0;
+  }
   try {
     const Args args(argc - 2, argv + 2);
     // Force-enable collection before any work (instance loading already

@@ -8,32 +8,66 @@
 
 namespace msc::core {
 
-Instance::Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
-                   double distanceThreshold, int threads)
-    : pairs_(std::move(pairs)), distanceThreshold_(distanceThreshold) {
+namespace {
+
+void validatePairsAndThreshold(const msc::graph::Graph& g,
+                               const std::vector<SocialPair>& pairs,
+                               double distanceThreshold) {
   if (!(distanceThreshold >= 0.0)) {
     throw std::invalid_argument("Instance: distance threshold must be >= 0");
   }
-  for (const SocialPair& p : pairs_) {
+  for (const SocialPair& p : pairs) {
     g.checkNode(p.u);
     g.checkNode(p.w);
     if (p.u == p.w) {
       throw std::invalid_argument("Instance: social pair with equal endpoints");
     }
   }
-  pairNodes_.reserve(pairs_.size() * 2);
-  for (const SocialPair& p : pairs_) {
-    pairNodes_.push_back(p.u);
-    pairNodes_.push_back(p.w);
+}
+
+std::vector<NodeId> dedupedPairNodes(const std::vector<SocialPair>& pairs) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(pairs.size() * 2);
+  for (const SocialPair& p : pairs) {
+    nodes.push_back(p.u);
+    nodes.push_back(p.w);
   }
-  std::sort(pairNodes_.begin(), pairNodes_.end());
-  pairNodes_.erase(std::unique(pairNodes_.begin(), pairNodes_.end()),
-                   pairNodes_.end());
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+}  // namespace
+
+Instance::Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
+                   double distanceThreshold, int threads)
+    : pairs_(std::move(pairs)), distanceThreshold_(distanceThreshold) {
+  validatePairsAndThreshold(g, pairs_, distanceThreshold);
+  pairNodes_ = dedupedPairNodes(pairs_);
 
   auto owned = std::make_shared<msc::graph::Graph>(std::move(g));
   baseDistances_ = std::make_shared<const msc::graph::DistanceMatrix>(
       msc::graph::allPairsDistances(*owned, threads));
   graph_ = std::move(owned);
+}
+
+Instance::Instance(std::shared_ptr<const msc::graph::Graph> graph,
+                   std::shared_ptr<const msc::graph::DistanceMatrix> distances,
+                   std::vector<SocialPair> pairs, double distanceThreshold)
+    : graph_(std::move(graph)),
+      baseDistances_(std::move(distances)),
+      pairs_(std::move(pairs)),
+      distanceThreshold_(distanceThreshold) {
+  if (!graph_ || !baseDistances_) {
+    throw std::invalid_argument("Instance: null graph or distance matrix");
+  }
+  const auto n = static_cast<std::size_t>(graph_->nodeCount());
+  if (baseDistances_->rows() != n || baseDistances_->cols() != n) {
+    throw std::invalid_argument(
+        "Instance: distance matrix shape does not match the graph");
+  }
+  validatePairsAndThreshold(*graph_, pairs_, distanceThreshold);
+  pairNodes_ = dedupedPairNodes(pairs_);
 }
 
 Instance Instance::fromFailureThreshold(msc::graph::Graph g,

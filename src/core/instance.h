@@ -32,6 +32,16 @@ class Instance {
                                        double failureThreshold,
                                        int threads = 1);
 
+  /// Shares an existing graph and its precomputed APSP matrix instead of
+  /// recomputing — the serving cache (src/serve) assembles instances this
+  /// way so repeated solves on the same topology skip APSP. `distances`
+  /// must be allPairsDistances(*graph) (the square shape is validated, the
+  /// values are trusted); pair/threshold validation matches the computing
+  /// constructor, so the result is indistinguishable from it.
+  Instance(std::shared_ptr<const msc::graph::Graph> graph,
+           std::shared_ptr<const msc::graph::DistanceMatrix> distances,
+           std::vector<SocialPair> pairs, double distanceThreshold);
+
   const msc::graph::Graph& graph() const noexcept { return *graph_; }
   const msc::graph::DistanceMatrix& baseDistances() const noexcept {
     return *baseDistances_;

@@ -1,0 +1,354 @@
+#include "serve/json.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace msc::serve::json {
+
+namespace {
+
+// Nesting cap: a hostile "[[[[[..." line must produce a ParseError, not a
+// stack overflow.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parseDocument() {
+    skipWs();
+    Value v = parseValue(0);
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("JSON parse error at byte " + std::to_string(pos_) +
+                     ": " + what);
+  }
+
+  bool atEnd() const noexcept { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (atEnd()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skipWs() noexcept {
+    while (!atEnd() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                        peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (atEnd() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parseValue(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (atEnd()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parseObject(depth);
+      case '[':
+        return parseArray(depth);
+      case '"':
+        return Value(parseString());
+      case 't':
+        if (consumeLiteral("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consumeLiteral("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consumeLiteral("null")) return Value(nullptr);
+        fail("invalid literal");
+      default:
+        return parseNumber();
+    }
+  }
+
+  Value parseObject(int depth) {
+    expect('{');
+    Object obj;
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skipWs();
+      if (atEnd() || peek() != '"') fail("expected object key string");
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      skipWs();
+      obj[std::move(key)] = parseValue(depth + 1);
+      skipWs();
+      if (atEnd()) fail("unterminated object");
+      const char c = next();
+      if (c == '}') return Value(std::move(obj));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parseArray(int depth) {
+    expect('[');
+    Array arr;
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      skipWs();
+      arr.push_back(parseValue(depth + 1));
+      skipWs();
+      if (atEnd()) fail("unterminated array");
+      const char c = next();
+      if (c == ']') return Value(std::move(arr));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (atEnd()) fail("unterminated string");
+      char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      c = next();
+      switch (c) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': appendCodepoint(out, parseEscapedCodepoint()); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  unsigned parseHex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return v;
+  }
+
+  /// \uXXXX already consumed up to 'u'; handles surrogate pairs.
+  unsigned parseEscapedCodepoint() {
+    unsigned cp = parseHex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (!consumeLiteral("\\u")) fail("unpaired UTF-16 surrogate");
+      const unsigned lo = parseHex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    return cp;
+  }
+
+  static void appendCodepoint(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos_;
+    if (!atEnd() && peek() == '-') ++pos_;
+    if (atEnd() || peek() < '0' || peek() > '9') fail("invalid number");
+    while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (!atEnd() && peek() == '.') {
+      ++pos_;
+      if (atEnd() || peek() < '0' || peek() > '9') fail("invalid number");
+      while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!atEnd() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (atEnd() || peek() < '0' || peek() > '9') fail("invalid number");
+      while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    return Value(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dumpString(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x", c);
+          out += buf.data();
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dumpNumber(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  // Integral doubles in the exactly-representable range render as integers
+  // so ids and counters round-trip without a spurious ".0".
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (v == std::floor(v) && std::fabs(v) <= kMaxExact) {
+    std::array<char, 32> buf{};
+    std::snprintf(buf.data(), buf.size(), "%.0f", v);
+    out += buf.data();
+    return;
+  }
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.17g", v);
+  out += buf.data();
+}
+
+}  // namespace
+
+bool Value::asBool() const {
+  if (const auto* b = std::get_if<bool>(&v_)) return *b;
+  throw std::runtime_error("JSON value is not a boolean");
+}
+
+double Value::asNumber() const {
+  if (const auto* d = std::get_if<double>(&v_)) return *d;
+  throw std::runtime_error("JSON value is not a number");
+}
+
+const std::string& Value::asString() const {
+  if (const auto* s = std::get_if<std::string>(&v_)) return *s;
+  throw std::runtime_error("JSON value is not a string");
+}
+
+const Array& Value::asArray() const {
+  if (const auto* a = std::get_if<Array>(&v_)) return *a;
+  throw std::runtime_error("JSON value is not an array");
+}
+
+const Object& Value::asObject() const {
+  if (const auto* o = std::get_if<Object>(&v_)) return *o;
+  throw std::runtime_error("JSON value is not an object");
+}
+
+Object& Value::asObject() {
+  if (auto* o = std::get_if<Object>(&v_)) return *o;
+  throw std::runtime_error("JSON value is not an object");
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  const auto* obj = std::get_if<Object>(&v_);
+  if (!obj) return nullptr;
+  const auto it = obj->find(std::string(key));
+  return it == obj->end() ? nullptr : &it->second;
+}
+
+Value parse(std::string_view text) { return Parser(text).parseDocument(); }
+
+void dump(const Value& v, std::string& out) {
+  if (v.isNull()) {
+    out += "null";
+  } else if (v.isBool()) {
+    out += v.asBool() ? "true" : "false";
+  } else if (v.isNumber()) {
+    dumpNumber(v.asNumber(), out);
+  } else if (v.isString()) {
+    dumpString(v.asString(), out);
+  } else if (v.isArray()) {
+    out.push_back('[');
+    bool first = true;
+    for (const Value& e : v.asArray()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump(e, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, val] : v.asObject()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dumpString(key, out);
+      out.push_back(':');
+      dump(val, out);
+    }
+    out.push_back('}');
+  }
+}
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump(v, out);
+  return out;
+}
+
+}  // namespace msc::serve::json

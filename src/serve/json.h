@@ -1,0 +1,83 @@
+// Minimal JSON value model, parser and single-line writer for the serve
+// protocol (serve/protocol.h).
+//
+// The serve front end speaks line-delimited JSON with untrusted clients, so
+// the parser is written for robustness first: it throws json::ParseError
+// with a byte-offset-annotated message on any malformed input (the protocol
+// layer turns that into a structured error response), caps nesting depth so
+// a hostile "[[[[..." line cannot overflow the stack, and accepts exactly
+// standard JSON — no comments, trailing commas or NaN literals. Numbers are
+// stored as double (integral values round-trip unchanged up to 2^53, which
+// covers every id/count the protocol carries); object keys are kept in a
+// sorted map so dump() output is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace msc::serve::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// Sorted keys: rendering is deterministic regardless of insertion order.
+using Object = std::map<std::string, Value>;
+
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  Value() noexcept : v_(nullptr) {}
+  Value(std::nullptr_t) noexcept : v_(nullptr) {}
+  Value(bool b) noexcept : v_(b) {}
+  Value(double d) noexcept : v_(d) {}
+  Value(int i) noexcept : v_(static_cast<double>(i)) {}
+  Value(long long i) noexcept : v_(static_cast<double>(i)) {}
+  Value(unsigned long long i) noexcept : v_(static_cast<double>(i)) {}
+  Value(std::size_t i) noexcept : v_(static_cast<double>(i)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) noexcept : v_(std::move(s)) {}
+  Value(Array a) noexcept : v_(std::move(a)) {}
+  Value(Object o) noexcept : v_(std::move(o)) {}
+
+  bool isNull() const noexcept { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool isBool() const noexcept { return std::holds_alternative<bool>(v_); }
+  bool isNumber() const noexcept { return std::holds_alternative<double>(v_); }
+  bool isString() const noexcept { return std::holds_alternative<std::string>(v_); }
+  bool isArray() const noexcept { return std::holds_alternative<Array>(v_); }
+  bool isObject() const noexcept { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; throw std::runtime_error naming the expected type.
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+  const Array& asArray() const;
+  const Object& asObject() const;
+  Object& asObject();
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  const Value* find(std::string_view key) const noexcept;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parses one complete JSON document (leading/trailing whitespace allowed;
+/// trailing garbage is an error). Throws ParseError.
+Value parse(std::string_view text);
+
+/// Renders on a single line (no newlines, minimal spacing). Non-finite
+/// numbers render as null so the output is always standard JSON; integral
+/// doubles up to 2^53 render without a decimal point.
+std::string dump(const Value& v);
+void dump(const Value& v, std::string& out);
+
+}  // namespace msc::serve::json

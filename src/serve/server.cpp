@@ -1,0 +1,695 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/aea.h"
+#include "core/budgeted.h"
+#include "core/ea.h"
+#include "core/greedy.h"
+#include "core/sandwich.h"
+#include "core/sigma.h"
+#include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/env.h"
+#include "wireless/link_model.h"
+
+namespace msc::serve {
+
+namespace {
+
+std::atomic<bool> g_shutdownFlag{false};
+
+constexpr std::size_t kMaxLineBytes = 32u << 20;  // hostile-input cap
+
+const char* commandSpanName(Command cmd) {
+  switch (cmd) {
+    case Command::LoadGraph: return "serve.cmd.load_graph";
+    case Command::LoadPairs: return "serve.cmd.load_pairs";
+    case Command::Solve: return "serve.cmd.solve";
+    case Command::Eval: return "serve.cmd.eval";
+    case Command::Stats: return "serve.cmd.stats";
+    case Command::Sleep: return "serve.cmd.sleep";
+    case Command::Shutdown: return "serve.cmd.shutdown";
+  }
+  return "serve.cmd.unknown";
+}
+
+void bumpCounter(const char* name) {
+  if (obs::enabled()) obs::counter(name).add(1);
+}
+
+/// Reads the file or inline "text" parameter a load_* request names.
+std::string loadPayload(const Request& req, const char* what) {
+  const json::Value* path = findParam(req, "path");
+  const json::Value* text = findParam(req, "text");
+  if ((path != nullptr) == (text != nullptr)) {
+    throw ProtocolError(std::string(what) +
+                        " needs exactly one of \"path\" or \"text\"");
+  }
+  if (text) {
+    if (!text->isString()) throw ProtocolError("\"text\" must be a string");
+    return text->asString();
+  }
+  if (!path->isString()) throw ProtocolError("\"path\" must be a string");
+  std::ifstream in(path->asString());
+  if (!in) {
+    throw ProtocolError("cannot open file: " + path->asString());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<core::SocialPair> parsePairsText(const std::string& text) {
+  std::vector<core::SocialPair> pairs;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ss(line);
+    int u = 0;
+    int w = 0;
+    if (!(ss >> u >> w)) {
+      throw ProtocolError("malformed pair line: " + line);
+    }
+    pairs.push_back({u, w});
+  }
+  return pairs;
+}
+
+double requestThreshold(const Request& req) {
+  // "p_t" is the schema name; "pt" is accepted as the CLI-flag spelling.
+  double pt = getNumberParam(req, "p_t", -1.0);
+  if (pt < 0.0) pt = getNumberParam(req, "pt", 0.14);
+  if (!(pt >= 0.0) || pt >= 1.0) {
+    throw ProtocolError("\"p_t\" must be in [0, 1)");
+  }
+  return msc::wireless::failureThresholdToDistance(pt);
+}
+
+}  // namespace
+
+std::size_t defaultCacheBytes() {
+  const std::int64_t mb = util::envInt("MSC_SERVE_CACHE_MB", 256);
+  if (mb <= 0) return 0;  // unbounded
+  return static_cast<std::size_t>(mb) << 20;
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      cache_(config.cacheBytes),
+      start_(std::chrono::steady_clock::now()) {}
+
+std::string Engine::handleLine(const std::string& line) {
+  try {
+    return handle(parseRequest(line));
+  } catch (const ProtocolError& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    bumpCounter("serve.errors");
+    return errorResponse(e.id, e.what());
+  }
+}
+
+std::string Engine::handle(const Request& request) {
+  MSC_OBS_SPAN("serve.request");
+  obs::ScopedSpan cmdSpan(commandSpanName(request.cmd));
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  bumpCounter("serve.requests");
+  if (obs::enabled()) obs::counter(commandSpanName(request.cmd)).add(1);
+
+  const auto begin = std::chrono::steady_clock::now();
+  const auto wallSince = [&begin] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         begin)
+        .count();
+  };
+  try {
+    std::uint64_t gainEvals = 0;
+    json::Object fields = dispatch(request, gainEvals);
+    return okResponse(request.id, request.cmd, std::move(fields), wallSince(),
+                      gainEvals);
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    bumpCounter("serve.errors");
+    return errorResponse(request.id, e.what(), wallSince());
+  }
+}
+
+json::Object Engine::dispatch(const Request& request,
+                              std::uint64_t& gainEvals) {
+  switch (request.cmd) {
+    case Command::LoadGraph:
+      return cmdLoadGraph(request);
+    case Command::LoadPairs:
+      return cmdLoadPairs(request);
+    case Command::Solve:
+      return cmdSolve(request, gainEvals);
+    case Command::Eval:
+      return cmdEval(request);
+    case Command::Stats:
+      return cmdStats(request);
+    case Command::Sleep: {
+      const long long ms = getIntParam(request, "ms", 0, 0, 60000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      json::Object fields;
+      fields["slept_ms"] = ms;
+      return fields;
+    }
+    case Command::Shutdown: {
+      shutdown_.store(true, std::memory_order_release);
+      json::Object fields;
+      fields["draining"] = true;
+      return fields;
+    }
+  }
+  throw ProtocolError("unhandled command", request.id);
+}
+
+json::Object Engine::cmdLoadGraph(const Request& request) {
+  const std::string payload = loadPayload(request, "load_graph");
+  std::istringstream in(payload);
+  msc::graph::Graph g;
+  try {
+    g = msc::graph::readEdgeList(in);
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("bad edge list: ") + e.what());
+  }
+  json::Object fields;
+  fields["nodes"] = g.nodeCount();
+  fields["edges"] = g.edgeCount();
+  const std::string key = cache_.putGraph(std::move(g));
+  fields["graph"] = key;
+  const std::string alias = getStringParam(request, "as", "");
+  if (!alias.empty()) {
+    registerAlias(alias, key);
+    fields["alias"] = alias;
+  }
+  return fields;
+}
+
+json::Object Engine::cmdLoadPairs(const Request& request) {
+  const std::string payload = loadPayload(request, "load_pairs");
+  std::vector<core::SocialPair> pairs = parsePairsText(payload);
+  json::Object fields;
+  fields["count"] = pairs.size();
+  const std::string key = cache_.putPairs(std::move(pairs));
+  fields["pairs"] = key;
+  const std::string alias = getStringParam(request, "as", "");
+  if (!alias.empty()) {
+    registerAlias(alias, key);
+    fields["alias"] = alias;
+  }
+  return fields;
+}
+
+json::Object Engine::cmdSolve(const Request& request,
+                              std::uint64_t& gainEvals) {
+  const std::string graphKey = resolveKey(requireStringParam(request, "graph"));
+  const std::string pairsKey = resolveKey(requireStringParam(request, "pairs"));
+  const double threshold = requestThreshold(request);
+  const std::string algo = getStringParam(request, "algo", "greedy");
+  const int k = static_cast<int>(getIntParam(request, "k", 5, 0, 1 << 20));
+  const int threads = static_cast<int>(
+      getIntParam(request, "threads", config_.defaultThreads, 0, 4096));
+  const auto seed =
+      static_cast<std::uint64_t>(getIntParam(request, "seed", 1, 0, 1LL << 62));
+  const int iters =
+      static_cast<int>(getIntParam(request, "iters", 500, 1, 1 << 28));
+
+  bool apspHit = false;
+  const core::Instance inst =
+      cache_.instance(graphKey, pairsKey, threshold, threads, &apspHit);
+  const auto cands = cache_.candidates(graphKey);
+  bumpCounter(apspHit ? "serve.cache.apsp_hits" : "serve.cache.apsp_misses");
+
+  const core::SolveOptions options{.k = k, .threads = threads, .seed = seed};
+
+  json::Object fields;
+  core::ShortcutList placement;
+  double value = 0.0;
+  if (algo == "greedy") {
+    core::SigmaEvaluator sigma(inst);
+    const auto res = core::greedyMaximize(sigma, *cands, options);
+    placement = res.placement;
+    value = res.value;
+    gainEvals = res.gainEvaluations;
+  } else if (algo == "sandwich" || algo == "aa") {
+    const auto res = core::sandwichApproximation(inst, *cands, options);
+    placement = res.placement;
+    value = res.sigma;
+    gainEvals = res.gainEvaluations;
+    fields["winner"] = res.winner;
+    if (const auto ratio = res.dataDependentRatio()) {
+      fields["data_dependent_ratio"] = *ratio;
+    }
+  } else if (algo == "ea") {
+    core::SigmaEvaluator sigma(inst);
+    core::EaConfig cfg;
+    cfg.iterations = iters;
+    const auto res = core::evolutionaryAlgorithm(sigma, *cands, options, cfg);
+    placement = res.placement;
+    value = res.value;
+    gainEvals = res.gainEvaluations;
+  } else if (algo == "aea") {
+    core::SigmaEvaluator sigma(inst);
+    core::AeaConfig cfg;
+    cfg.iterations = iters;
+    const auto res =
+        core::adaptiveEvolutionaryAlgorithm(sigma, *cands, options, cfg);
+    placement = res.placement;
+    value = res.value;
+    gainEvals = res.gainEvaluations;
+  } else if (algo == "budgeted") {
+    const double budget =
+        getNumberParam(request, "budget", static_cast<double>(k));
+    if (!(budget >= 0.0)) throw ProtocolError("\"budget\" must be >= 0");
+    core::SigmaEvaluator sigma(inst);
+    const auto res = core::budgetedGreedy(sigma, *cands, core::unitCost(),
+                                          budget, options);
+    placement = res.placement;
+    value = res.value;
+    gainEvals = res.gainEvaluations;
+    fields["winner"] = res.winner;
+    fields["cost"] = res.cost;
+  } else {
+    throw ProtocolError("unknown algo \"" + algo +
+                        "\" (greedy|sandwich|ea|aea|budgeted)");
+  }
+
+  fields["algo"] = algo;
+  fields["k"] = k;
+  fields["threads"] = threads;
+  fields["placement"] = placementSpec(placement);
+  fields["value"] = value;
+  fields["pairs_total"] = inst.pairCount();
+  fields["apsp_cache"] = apspHit ? "hit" : "miss";
+  return fields;
+}
+
+json::Object Engine::cmdEval(const Request& request) {
+  const std::string graphKey = resolveKey(requireStringParam(request, "graph"));
+  const std::string pairsKey = resolveKey(requireStringParam(request, "pairs"));
+  const double threshold = requestThreshold(request);
+  const core::ShortcutList placement =
+      parsePlacementSpec(requireStringParam(request, "placement"));
+
+  bool apspHit = false;
+  const core::Instance inst = cache_.instance(
+      graphKey, pairsKey, threshold, config_.defaultThreads, &apspHit);
+  bumpCounter(apspHit ? "serve.cache.apsp_hits" : "serve.cache.apsp_misses");
+  for (const core::Shortcut& f : placement) {
+    inst.graph().checkNode(f.a);  // untrusted input: reject out-of-range
+    inst.graph().checkNode(f.b);  // endpoints before they reach the matrix
+  }
+
+  json::Object fields;
+  fields["sigma"] = core::sigmaValue(inst, placement);
+  fields["pairs_total"] = inst.pairCount();
+  fields["placement"] = placementSpec(placement);
+  fields["apsp_cache"] = apspHit ? "hit" : "miss";
+  return fields;
+}
+
+json::Object Engine::cmdStats(const Request&) {
+  const InstanceCache::Stats cs = cache_.stats();
+  json::Object cacheObj;
+  cacheObj["bytes_used"] = cs.bytesUsed;
+  cacheObj["byte_budget"] = cs.byteBudget;
+  cacheObj["entries"] = cs.entries;
+  cacheObj["graph_hits"] = cs.graphHits;
+  cacheObj["graph_misses"] = cs.graphMisses;
+  cacheObj["pairs_hits"] = cs.pairsHits;
+  cacheObj["pairs_misses"] = cs.pairsMisses;
+  cacheObj["apsp_hits"] = cs.apspHits;
+  cacheObj["apsp_computes"] = cs.apspComputes;
+  cacheObj["evictions"] = cs.evictions;
+
+  json::Object fields;
+  fields["schema_versions"] = json::Array{json::Value(kSchemaVersion)};
+  fields["uptime_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  fields["requests"] = requests_.load(std::memory_order_relaxed);
+  fields["errors"] = errors_.load(std::memory_order_relaxed);
+  fields["cache"] = std::move(cacheObj);
+  if (statsHook_) statsHook_(fields);
+  return fields;
+}
+
+std::string Engine::resolveKey(const std::string& ref) {
+  const std::lock_guard<std::mutex> lock(aliasMu_);
+  const auto it = aliases_.find(ref);
+  return it == aliases_.end() ? ref : it->second;
+}
+
+void Engine::registerAlias(const std::string& alias, const std::string& key) {
+  const std::lock_guard<std::mutex> lock(aliasMu_);
+  aliases_[alias] = key;
+}
+
+// ---------------------------------------------------------------------------
+// Server: bounded admission queue + executor shared by all front ends.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Where a response line goes. write() appends '\n' and is safe to call
+/// from the reader (overload/parse errors) and the executor concurrently.
+class ReplySink {
+ public:
+  virtual ~ReplySink() = default;
+  virtual void write(const std::string& line) = 0;
+};
+
+class StreamSink final : public ReplySink {
+ public:
+  explicit StreamSink(std::ostream& out) : out_(out) {}
+  void write(const std::string& line) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out_ << line << '\n';
+    out_.flush();
+  }
+
+ private:
+  std::mutex mu_;
+  std::ostream& out_;
+};
+
+class FdSink final : public ReplySink {
+ public:
+  explicit FdSink(int fd) : fd_(fd) {}
+  void write(const std::string& line) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::string buf = line;
+    buf.push_back('\n');
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // client went away; drop the response
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  int fd_;
+};
+
+/// poll()-based '\n'-delimited reader that re-checks `stop` every 200 ms so
+/// shutdown is noticed even while the peer is idle.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  /// False on EOF, error, stop() or an over-long line (treat all as
+  /// end-of-connection).
+  bool next(std::string& line, const std::function<bool()>& stop) {
+    while (true) {
+      const auto nl = buf_.find('\n', scanned_);
+      if (nl != std::string::npos) {
+        line.assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        scanned_ = 0;
+        return true;
+      }
+      scanned_ = buf_.size();
+      if (eof_) {
+        if (buf_.empty()) return false;
+        line.swap(buf_);  // final line without trailing newline
+        buf_.clear();
+        eof_ = true;
+        return true;
+      }
+      if (buf_.size() > kMaxLineBytes) return false;
+      struct pollfd pfd {fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, 200);
+      if (stop && stop()) return false;
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (pr == 0) continue;
+      char chunk[65536];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) {
+        eof_ = true;
+        continue;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+  std::size_t scanned_ = 0;
+  bool eof_ = false;
+};
+
+bool isBlank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+/// One serving session: the admission queue, its executor thread, and the
+/// admit/drain rules shared by the stream, fd and socket front ends.
+struct ServerRun {
+  struct Job {
+    Request request;
+    std::shared_ptr<ReplySink> sink;
+  };
+
+  Server& server;
+  Engine& engine;
+  const std::size_t queueLimit;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Job> queue;
+  bool readersDone = false;   // no further admissions will arrive
+  bool stopping = false;      // shutdown executed; error-out new arrivals
+  std::thread executor;
+
+  explicit ServerRun(Server& s)
+      : server(s), engine(s.engine_), queueLimit(s.config_.queueLimit) {
+    executor = std::thread([this] { runExecutor(); });
+  }
+
+  ~ServerRun() { finish(); }
+
+  void publishDepth(std::size_t depth) {
+    server.queueDepth_.store(depth, std::memory_order_relaxed);
+    if (obs::trace::enabled()) {
+      obs::trace::counter("serve.queue_depth", static_cast<double>(depth));
+    }
+  }
+
+  /// Parses and admits one line; responses for rejected lines (parse error,
+  /// overload, shutting down) are written immediately by the caller thread.
+  void admitLine(const std::string& line,
+                 const std::shared_ptr<ReplySink>& sink) {
+    if (isBlank(line)) return;
+    Request request;
+    try {
+      request = parseRequest(line);
+    } catch (const ProtocolError& e) {
+      bumpCounter("serve.errors");
+      sink->write(errorResponse(e.id, e.what()));
+      return;
+    }
+    std::size_t depth = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (stopping) {
+        sink->write(errorResponse(request.id, "server is shutting down"));
+        return;
+      }
+      if (queue.size() >= queueLimit) {
+        server.overloaded_.fetch_add(1, std::memory_order_relaxed);
+        bumpCounter("serve.overloaded");
+        sink->write(overloadedResponse(request.id, queue.size(), queueLimit));
+        return;
+      }
+      queue.push_back(Job{std::move(request), sink});
+      depth = queue.size();
+    }
+    publishDepth(depth);
+    cv.notify_one();
+  }
+
+  void runExecutor() {
+    obs::trace::setCurrentThreadName("serve.executor");
+    while (true) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return !queue.empty() || readersDone; });
+        if (queue.empty()) return;  // readersDone and fully drained
+        job = std::move(queue.front());
+        queue.pop_front();
+        publishDepth(queue.size());
+      }
+      job.sink->write(engine.handle(job.request));
+      if (engine.shutdownRequested()) {
+        drainWithShutdownError();
+        return;
+      }
+    }
+  }
+
+  /// After a shutdown request: everything still queued behind it gets a
+  /// structured error instead of silence, then admission is closed.
+  void drainWithShutdownError() {
+    std::deque<Job> rest;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      stopping = true;
+      rest.swap(queue);
+    }
+    publishDepth(0);
+    for (const Job& job : rest) {
+      job.sink->write(
+          errorResponse(job.request.id, "server is shutting down"));
+    }
+  }
+
+  bool stopped() {
+    const std::lock_guard<std::mutex> lock(mu);
+    return stopping;
+  }
+
+  void finish() {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      readersDone = true;
+    }
+    cv.notify_all();
+    if (executor.joinable()) executor.join();
+  }
+};
+
+Server::Server(ServerConfig config)
+    : config_(config), engine_(config.engine) {
+  engine_.setStatsHook([this](json::Object& fields) {
+    fields["queue_limit"] = config_.queueLimit;
+    fields["queue_depth"] = queueDepth_.load(std::memory_order_relaxed);
+    fields["overloaded"] = overloaded_.load(std::memory_order_relaxed);
+  });
+}
+
+Server::~Server() = default;
+
+int Server::serveStream(std::istream& in, std::ostream& out) {
+  ServerRun run(*this);
+  auto sink = std::make_shared<StreamSink>(out);
+  std::string line;
+  while (!shutdownRequested() && !run.stopped() && std::getline(in, line)) {
+    run.admitLine(line, sink);
+  }
+  run.finish();
+  return 0;
+}
+
+int Server::serveFd(int inFd, int outFd) {
+  ServerRun run(*this);
+  auto sink = std::make_shared<FdSink>(outFd);
+  FdLineReader reader(inFd);
+  const auto stop = [this, &run] {
+    return shutdownRequested() || run.stopped();
+  };
+  std::string line;
+  while (reader.next(line, stop)) {
+    run.admitLine(line, sink);
+  }
+  run.finish();
+  return 0;
+}
+
+int Server::serveUnixSocket(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd < 0) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());
+  if (::bind(listenFd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listenFd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listenFd);
+    throw std::runtime_error("bind/listen(" + path + "): " + err);
+  }
+
+  ServerRun run(*this);
+  std::vector<std::thread> connections;
+  const auto stop = [this, &run] {
+    return shutdownRequested() || run.stopped();
+  };
+  while (!stop()) {
+    struct pollfd pfd {listenFd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) continue;
+    const int connFd = ::accept(listenFd, nullptr, nullptr);
+    if (connFd < 0) continue;
+    connections.emplace_back([connFd, &run, &stop] {
+      obs::trace::setCurrentThreadName("serve.conn");
+      auto sink = std::make_shared<FdSink>(connFd);
+      FdLineReader reader(connFd);
+      std::string line;
+      while (reader.next(line, stop)) {
+        run.admitLine(line, sink);
+      }
+      ::close(connFd);
+    });
+  }
+  for (std::thread& t : connections) t.join();
+  run.finish();
+  ::close(listenFd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+void Server::requestShutdown() noexcept {
+  g_shutdownFlag.store(true, std::memory_order_release);
+}
+
+bool Server::shutdownRequested() noexcept {
+  return g_shutdownFlag.load(std::memory_order_acquire);
+}
+
+void Server::clearShutdownFlag() noexcept {
+  g_shutdownFlag.store(false, std::memory_order_release);
+}
+
+}  // namespace msc::serve

@@ -1,0 +1,164 @@
+// Long-running MSC solve service: request execution engine + front ends.
+//
+// Layering (docs/ALGORITHMS.md §12):
+//
+//   Engine  — executes one parsed msc.serve.v1 request against the shared
+//             InstanceCache and the existing solver entry points. Thread-
+//             safe and deterministic: a solve through the engine is
+//             bit-identical to the direct CLI path at equal
+//             {algo, k, threads, seed}, and to any serial replay of the
+//             same request set (content-addressed cache keys make replies
+//             independent of interleaving).
+//   Server  — owns one Engine, a BOUNDED admission queue and one executor
+//             thread. Front ends (stdin/stdout JSONL, arbitrary iostreams
+//             for tests, or a Unix-domain socket accepting concurrent
+//             connections) parse lines and admit them; when the queue is
+//             full the request is answered `status:"overloaded"`
+//             immediately instead of growing the queue — backpressure the
+//             client can see. The executor drains FIFO, so responses to
+//             admitted requests preserve admission order per connection.
+//
+// Shutdown: a `shutdown` request, EOF on the input, or
+// Server::requestShutdown() (async-signal-safe; wire it to SIGINT/SIGTERM)
+// all stop admission, drain every already-admitted request, then return.
+// Requests that arrive after a shutdown request are answered with a
+// structured "server is shutting down" error, never silently dropped.
+//
+// Observability: each request runs under an obs span (span.serve.request +
+// a per-command span), bumps serve.* counters (requests, per-command
+// counts, cache hits/misses, overload rejections) and emits a
+// "serve.queue_depth" trace counter track, so a solve service under load
+// can be profiled with the exact same MSC_METRICS / MSC_TRACE tooling as a
+// one-shot CLI run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "serve/instance_cache.h"
+#include "serve/protocol.h"
+
+namespace msc::serve {
+
+/// MSC_SERVE_CACHE_MB (default 256) in bytes.
+std::size_t defaultCacheBytes();
+
+struct EngineConfig {
+  /// Instance-cache byte budget; 0 disables eviction.
+  std::size_t cacheBytes = defaultCacheBytes();
+  /// Worker threads for requests that omit "threads" (0 = all cores).
+  int defaultThreads = 1;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+
+  /// Parses and executes one request line. Never throws: malformed input
+  /// and execution failures come back as status:"error" responses.
+  std::string handleLine(const std::string& line);
+
+  /// Executes an already-parsed request. Never throws.
+  std::string handle(const Request& request);
+
+  /// True once a shutdown request has been executed.
+  bool shutdownRequested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  InstanceCache& cache() noexcept { return cache_; }
+  const EngineConfig& config() const noexcept { return config_; }
+
+  /// Extra fields merged into every `stats` response (the Server injects
+  /// queue depth/limit and overload counts). Set before serving traffic.
+  void setStatsHook(std::function<void(json::Object&)> hook) {
+    statsHook_ = std::move(hook);
+  }
+
+ private:
+  json::Object dispatch(const Request& request, std::uint64_t& gainEvals);
+  json::Object cmdLoadGraph(const Request& request);
+  json::Object cmdLoadPairs(const Request& request);
+  json::Object cmdSolve(const Request& request, std::uint64_t& gainEvals);
+  json::Object cmdEval(const Request& request);
+  json::Object cmdStats(const Request& request);
+  /// Resolves a client-supplied graph/pairs reference: an alias registered
+  /// via load_*'s "as" field, or a raw content key.
+  std::string resolveKey(const std::string& ref);
+  void registerAlias(const std::string& alias, const std::string& key);
+
+  EngineConfig config_;
+  InstanceCache cache_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::function<void(json::Object&)> statsHook_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex aliasMu_;
+  std::map<std::string, std::string> aliases_;
+};
+
+struct ServerConfig {
+  EngineConfig engine;
+  /// Pending (admitted, not yet executing) requests before new ones are
+  /// answered status:"overloaded".
+  std::size_t queueLimit = 64;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// JSONL loop over iostreams (tests; also fine for pipes). Blocks until
+  /// EOF, a shutdown request, or requestShutdown(); drains admitted
+  /// requests before returning. Returns 0 on clean shutdown.
+  /// Note: a blocking istream read cannot be interrupted mid-call — with a
+  /// terminal attached use serveFd, whose poll loop notices flags promptly.
+  int serveStream(std::istream& in, std::ostream& out);
+
+  /// Same protocol over raw file descriptors (poll-based reader, reacts to
+  /// shutdown within ~200 ms even while idle). The CLI's stdio front end
+  /// is serveFd(0, 1).
+  int serveFd(int inFd, int outFd);
+
+  /// Unix-domain-socket front end: binds `path` (an existing socket file
+  /// is replaced), accepts any number of concurrent connections, shares
+  /// the one admission queue + executor across them. Returns 0 on clean
+  /// shutdown, throws std::runtime_error when the socket cannot be set up.
+  int serveUnixSocket(const std::string& path);
+
+  Engine& engine() noexcept { return engine_; }
+  const ServerConfig& config() const noexcept { return config_; }
+  /// Overload rejections since construction.
+  std::uint64_t overloadedCount() const noexcept {
+    return overloaded_.load(std::memory_order_relaxed);
+  }
+
+  /// Async-signal-safe global stop flag shared by every Server in the
+  /// process: an atomic store, suitable for direct use in a SIGINT/SIGTERM
+  /// handler. Serving loops notice it, stop admitting, drain and return.
+  static void requestShutdown() noexcept;
+  static bool shutdownRequested() noexcept;
+  /// Re-arms after a handled shutdown (tests run many servers per process).
+  static void clearShutdownFlag() noexcept;
+
+ private:
+  friend struct ServerRun;  // per-front-end queue/executor machinery (.cpp)
+
+  ServerConfig config_;
+  Engine engine_;
+  std::atomic<std::uint64_t> overloaded_{0};
+  std::atomic<std::size_t> queueDepth_{0};
+};
+
+}  // namespace msc::serve

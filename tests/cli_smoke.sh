@@ -90,4 +90,81 @@ if "$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" --pt 0.14 \
   echo "FAIL: misspelled --trace-ou accepted"; exit 1
 fi
 
+# version lists every machine-readable schema.
+VERSION=$("$CLI" version)
+for schema in msc.metrics.v1 msc.trace.v1 msc.bench.v1 msc.serve.v1; do
+  echo "$VERSION" | grep -q "$schema" \
+    || { echo "FAIL: version missing $schema"; exit 1; }
+done
+
+# Serve round-trip: a JSONL script through `msc_cli serve` — load the
+# instance, solve cold, solve warm (must be an APSP cache hit), stats,
+# shutdown. Responses are validated with python3 when available, with a
+# grep fallback otherwise.
+cat > "$WORK/serve_script.jsonl" <<EOF
+{"id":1,"cmd":"load_graph","path":"$WORK/g.txt","as":"g"}
+{"id":2,"cmd":"load_pairs","path":"$WORK/p.txt","as":"p"}
+{"id":3,"cmd":"solve","graph":"g","pairs":"p","p_t":0.14,"algo":"greedy","k":3,"threads":1,"seed":1}
+{"id":4,"cmd":"solve","graph":"g","pairs":"p","p_t":0.14,"algo":"greedy","k":3,"threads":1,"seed":1}
+{"id":5,"cmd":"stats"}
+{"id":6,"cmd":"shutdown"}
+EOF
+"$CLI" serve < "$WORK/serve_script.jsonl" > "$WORK/serve_out.jsonl" \
+  || { echo "FAIL: serve exited non-zero"; exit 1; }
+RESPONSES=$(wc -l < "$WORK/serve_out.jsonl")
+[ "$RESPONSES" -eq 6 ] || { echo "FAIL: serve replied $RESPONSES/6"; exit 1; }
+grep -q '"apsp_cache":"hit"' "$WORK/serve_out.jsonl" \
+  || { echo "FAIL: warm solve missed the APSP cache"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$WORK/serve_out.jsonl" <<'PYEOF' || { echo "FAIL: serve responses invalid"; exit 1; }
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+assert len(lines) == 6
+by_id = {r["id"]: r for r in lines}
+assert all(r["schema"] == "msc.serve.v1" for r in lines)
+assert all(by_id[i]["status"] == "ok" for i in range(1, 7))
+assert by_id[3]["apsp_cache"] == "miss" and by_id[4]["apsp_cache"] == "hit"
+assert by_id[3]["placement"] == by_id[4]["placement"]
+assert by_id[3]["gain_evals"] > 0
+assert by_id[5]["cache"]["apsp_hits"] >= 1
+print(by_id[3]["placement"])
+PYEOF
+fi
+
+# The serve path must produce the exact placement the direct CLI does at
+# equal {algo, k, threads, seed}.
+SERVE_PLACEMENT=$(sed -n 's/.*"placement":"\([^"]*\)".*"status":"ok".*/\1/p' \
+  "$WORK/serve_out.jsonl" | head -1)
+DIRECT_PLACEMENT=$("$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
+  --pt 0.14 --k 3 --algo greedy --threads 1 --seed 1 \
+  | sed -n 's/^placement: //p')
+[ -n "$SERVE_PLACEMENT" ] || { echo "FAIL: no serve placement"; exit 1; }
+[ "$SERVE_PLACEMENT" = "$DIRECT_PLACEMENT" ] \
+  || { echo "FAIL: serve '$SERVE_PLACEMENT' != direct '$DIRECT_PLACEMENT'"; \
+       exit 1; }
+
+# Backpressure: with --queue 1 and the executor held by a sleep, a burst
+# must get at least one structured "overloaded" reply (and one per line).
+cat > "$WORK/serve_burst.jsonl" <<EOF
+{"id":1,"cmd":"sleep","ms":300}
+{"id":2,"cmd":"stats"}
+{"id":3,"cmd":"stats"}
+{"id":4,"cmd":"stats"}
+{"id":5,"cmd":"stats"}
+{"id":6,"cmd":"shutdown"}
+EOF
+"$CLI" serve --queue 1 < "$WORK/serve_burst.jsonl" > "$WORK/burst_out.jsonl" \
+  || { echo "FAIL: serve burst exited non-zero"; exit 1; }
+grep -q '"status":"overloaded"' "$WORK/burst_out.jsonl" \
+  || { echo "FAIL: no overloaded reply with --queue 1"; exit 1; }
+BURST=$(wc -l < "$WORK/burst_out.jsonl")
+[ "$BURST" -eq 6 ] || { echo "FAIL: burst replied $BURST/6"; exit 1; }
+
+# Malformed serve input gets a structured error, not a crash.
+printf '%s\n' '{broken' '{"id":9,"cmd":"shutdown"}' \
+  | "$CLI" serve > "$WORK/serve_err.jsonl" \
+  || { echo "FAIL: serve crashed on bad input"; exit 1; }
+grep -q '"status":"error"' "$WORK/serve_err.jsonl" \
+  || { echo "FAIL: no structured serve error"; exit 1; }
+
 echo "cli smoke OK"

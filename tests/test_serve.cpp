@@ -1,0 +1,493 @@
+// Serve subsystem: JSON robustness, protocol parse/error paths, instance
+// cache hits/eviction, engine bit-identity with the direct solver path,
+// queue backpressure and graceful-shutdown drain.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/greedy.h"
+#include "core/sandwich.h"
+#include "core/sigma.h"
+#include "graph/graph_io.h"
+#include "helpers.h"
+#include "serve/instance_cache.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "wireless/link_model.h"
+
+namespace {
+
+namespace json = msc::serve::json;
+using msc::serve::Engine;
+using msc::serve::EngineConfig;
+using msc::serve::InstanceCache;
+using msc::serve::Server;
+using msc::serve::ServerConfig;
+
+// ------------------------------------------------------------------ JSON ---
+
+TEST(ServeJson, RoundTrip) {
+  const auto v = json::parse(
+      R"({"b":true,"a":[1,2.5,"x\n\"y"],"n":null,"z":{"k":-3}})");
+  ASSERT_TRUE(v.isObject());
+  EXPECT_EQ(json::dump(v),
+            R"({"a":[1,2.5,"x\n\"y"],"b":true,"n":null,"z":{"k":-3}})");
+  EXPECT_TRUE(v.find("b")->asBool());
+  EXPECT_DOUBLE_EQ(v.find("a")->asArray()[1].asNumber(), 2.5);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ServeJson, IntegralNumbersRoundTripWithoutDecimalPoint) {
+  EXPECT_EQ(json::dump(json::Value(42)), "42");
+  EXPECT_EQ(json::dump(json::Value(static_cast<std::size_t>(1) << 40)),
+            "1099511627776");
+  EXPECT_EQ(json::dump(json::parse("-7")), "-7");
+}
+
+TEST(ServeJson, ParseErrorsCarryByteOffset) {
+  EXPECT_THROW(json::parse("{\"a\":}"), json::ParseError);
+  EXPECT_THROW(json::parse("[1,2"), json::ParseError);
+  EXPECT_THROW(json::parse("\"unterminated"), json::ParseError);
+  EXPECT_THROW(json::parse("{} trailing"), json::ParseError);
+  EXPECT_THROW(json::parse("nul"), json::ParseError);
+  try {
+    json::parse("{\"a\":tru}");
+    FAIL() << "expected ParseError";
+  } catch (const json::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(ServeJson, NestingBombIsRejectedNotStackOverflow) {
+  const std::string bomb(100000, '[');
+  EXPECT_THROW(json::parse(bomb), json::ParseError);
+  std::string deepObj;
+  for (int i = 0; i < 5000; ++i) deepObj += "{\"a\":";
+  EXPECT_THROW(json::parse(deepObj), json::ParseError);
+}
+
+// -------------------------------------------------------------- protocol ---
+
+TEST(ServeProtocol, ParseRequestErrorPaths) {
+  EXPECT_THROW(msc::serve::parseRequest("{nope"), msc::serve::ProtocolError);
+  EXPECT_THROW(msc::serve::parseRequest("[1,2]"), msc::serve::ProtocolError);
+  EXPECT_THROW(msc::serve::parseRequest("{\"id\":1}"),
+               msc::serve::ProtocolError);
+  EXPECT_THROW(msc::serve::parseRequest("{\"cmd\":17}"),
+               msc::serve::ProtocolError);
+  EXPECT_THROW(msc::serve::parseRequest("{\"cmd\":\"stats\",\"id\":[1]}"),
+               msc::serve::ProtocolError);
+}
+
+TEST(ServeProtocol, UnknownCmdErrorStillEchoesId) {
+  try {
+    msc::serve::parseRequest("{\"id\":8,\"cmd\":\"frobnicate\"}");
+    FAIL() << "expected ProtocolError";
+  } catch (const msc::serve::ProtocolError& e) {
+    EXPECT_EQ(e.id, json::Value(8));
+    const auto resp = json::parse(msc::serve::errorResponse(e.id, e.what()));
+    EXPECT_EQ(resp.find("id")->asNumber(), 8);
+    EXPECT_EQ(resp.find("status")->asString(), "error");
+    EXPECT_EQ(resp.find("schema")->asString(), "msc.serve.v1");
+  }
+}
+
+TEST(ServeProtocol, PlacementSpecRoundTrip) {
+  const auto p = msc::serve::parsePlacementSpec("3-41,17-88");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(msc::serve::placementSpec(p), "3-41,17-88");
+  EXPECT_TRUE(msc::serve::parsePlacementSpec("").empty());
+  EXPECT_THROW(msc::serve::parsePlacementSpec("3-"),
+               msc::serve::ProtocolError);
+  EXPECT_THROW(msc::serve::parsePlacementSpec("abc"),
+               msc::serve::ProtocolError);
+  EXPECT_THROW(msc::serve::parsePlacementSpec("1-2x,3-4"),
+               msc::serve::ProtocolError);
+}
+
+// ---------------------------------------------------------------- cache ----
+
+TEST(ServeCache, ContentKeysAreStableAndDeduplicated) {
+  InstanceCache cache(0);
+  const auto k1 = cache.putGraph(msc::test::lineGraph(6));
+  const auto k2 = cache.putGraph(msc::test::lineGraph(6));
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1[0], 'g');
+  EXPECT_NE(k1, cache.putGraph(msc::test::lineGraph(7)));
+  const auto p1 = cache.putPairs({{0, 5}});
+  EXPECT_EQ(p1, cache.putPairs({{0, 5}}));
+  EXPECT_EQ(p1[0], 'p');
+}
+
+TEST(ServeCache, ApspMemoizedAcrossInstances) {
+  InstanceCache cache(0);
+  const auto g = cache.putGraph(msc::test::lineGraph(8));
+  const auto p = cache.putPairs({{0, 7}});
+  bool hit = true;
+  const auto a = cache.instance(g, p, 10.0, 1, &hit);
+  EXPECT_FALSE(hit);
+  const auto b = cache.instance(g, p, 10.0, 4, &hit);
+  EXPECT_TRUE(hit);
+  // Shared matrix, and equal to a fresh direct compute.
+  EXPECT_EQ(&a.baseDistances(), &b.baseDistances());
+  EXPECT_DOUBLE_EQ(a.baseDistance({0, 7}), 7.0);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.apspComputes, 1u);
+  EXPECT_EQ(stats.apspHits, 1u);
+}
+
+TEST(ServeCache, UnknownKeyThrows) {
+  InstanceCache cache(0);
+  const auto p = cache.putPairs({{0, 1}});
+  EXPECT_THROW(cache.instance("g0000000000000000", p, 1.0, 1),
+               std::runtime_error);
+  EXPECT_THROW(cache.candidates("g0000000000000000"), std::runtime_error);
+}
+
+TEST(ServeCache, EvictsLruUnderByteBudgetAndReloadRecovers) {
+  InstanceCache cache(4096);  // fits roughly one graph + matrix
+  const auto gA = cache.putGraph(msc::test::lineGraph(12));
+  const auto p = cache.putPairs({{0, 11}});
+  (void)cache.instance(gA, p, 100.0, 1);  // memoize matrix for A
+  const auto gB = cache.putGraph(msc::test::cycleGraph(13));
+  (void)cache.instance(gB, p, 100.0, 1);  // B's matrix pushes A out
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_THROW(cache.instance(gA, p, 100.0, 1), std::runtime_error);
+  // Re-loading the same content yields the same key and works again.
+  EXPECT_EQ(cache.putGraph(msc::test::lineGraph(12)), gA);
+  bool hit = true;
+  (void)cache.instance(gA, p, 100.0, 1, &hit);
+  EXPECT_FALSE(hit);  // matrix was evicted with the entry
+  EXPECT_LE(cache.stats().bytesUsed, 2 * 4096u);  // keep-entry slack only
+}
+
+TEST(ServeCache, OverBudgetEntryJustTouchedIsNotEvicted) {
+  InstanceCache cache(64);  // smaller than any single entry
+  const auto g = cache.putGraph(msc::test::lineGraph(10));
+  // The graph alone blows the budget but must stay usable for its request.
+  EXPECT_NE(cache.findGraph(g), nullptr);
+  const auto p = cache.putPairs({{0, 9}});
+  // The just-loaded pair set is protected; the colder graph entry goes.
+  EXPECT_NE(cache.findPairs(p), nullptr);
+  EXPECT_EQ(cache.findGraph(g), nullptr);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+// ---------------------------------------------------------------- engine ---
+
+std::string graphText(const msc::graph::Graph& g) {
+  std::ostringstream os;
+  msc::graph::writeEdgeList(os, g);
+  return os.str();
+}
+
+std::string jsonEscape(const std::string& raw) {
+  std::string out;
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+json::Value loadFixture(Engine& engine, const msc::graph::Graph& g,
+                        const std::string& pairsText) {
+  const auto r1 = json::parse(engine.handleLine(
+      "{\"cmd\":\"load_graph\",\"as\":\"g\",\"text\":\"" +
+      jsonEscape(graphText(g)) + "\"}"));
+  EXPECT_EQ(r1.find("status")->asString(), "ok");
+  const auto r2 = json::parse(engine.handleLine(
+      "{\"cmd\":\"load_pairs\",\"as\":\"p\",\"text\":\"" +
+      jsonEscape(pairsText) + "\"}"));
+  EXPECT_EQ(r2.find("status")->asString(), "ok");
+  return r1;
+}
+
+class ServeEngineBitIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServeEngineBitIdentity, GreedyAndSandwichMatchDirectPath) {
+  const int threads = GetParam();
+  const double pt = 0.14;
+  auto g = msc::test::randomGraph(40, 0.1, 7);
+  Engine engine;
+  loadFixture(engine, g, "0 39\n3 31\n5 22\n8 17\n1 30\n2 28\n");
+
+  const std::vector<msc::core::SocialPair> pairs = {{0, 39}, {3, 31}, {5, 22},
+                                                    {8, 17}, {1, 30}, {2, 28}};
+  const auto inst = msc::core::Instance::fromFailureThreshold(
+      std::move(g), pairs, pt, threads);
+  const auto cands =
+      msc::core::CandidateSet::allPairs(inst.graph().nodeCount());
+  const msc::core::SolveOptions options{.k = 3, .threads = threads, .seed = 1};
+
+  {
+    msc::core::SigmaEvaluator sigma(inst);
+    const auto direct = msc::core::greedyMaximize(sigma, cands, options);
+    const auto resp = json::parse(engine.handleLine(
+        "{\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+        "\"algo\":\"greedy\",\"k\":3,\"threads\":" +
+        std::to_string(threads) + ",\"seed\":1}"));
+    ASSERT_EQ(resp.find("status")->asString(), "ok");
+    EXPECT_EQ(resp.find("placement")->asString(),
+              msc::serve::placementSpec(direct.placement));
+    EXPECT_DOUBLE_EQ(resp.find("value")->asNumber(), direct.value);
+    EXPECT_EQ(static_cast<std::size_t>(resp.find("gain_evals")->asNumber()),
+              direct.gainEvaluations);
+  }
+  {
+    const auto direct = msc::core::sandwichApproximation(inst, cands, options);
+    const auto resp = json::parse(engine.handleLine(
+        "{\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+        "\"algo\":\"sandwich\",\"k\":3,\"threads\":" +
+        std::to_string(threads) + ",\"seed\":1}"));
+    ASSERT_EQ(resp.find("status")->asString(), "ok");
+    EXPECT_EQ(resp.find("placement")->asString(),
+              msc::serve::placementSpec(direct.placement));
+    EXPECT_DOUBLE_EQ(resp.find("value")->asNumber(), direct.sigma);
+    EXPECT_EQ(resp.find("winner")->asString(), direct.winner);
+    EXPECT_EQ(resp.find("apsp_cache")->asString(), "hit");  // 2nd solve
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServeEngineBitIdentity,
+                         ::testing::Values(1, 4));
+
+TEST(ServeEngine, EvalMatchesSigmaValueAndValidatesEndpoints) {
+  auto g = msc::test::lineGraph(10);
+  Engine engine;
+  loadFixture(engine, g, "0 9\n1 8\n");
+  const auto inst = msc::core::Instance::fromFailureThreshold(
+      std::move(g), {{0, 9}, {1, 8}}, 0.14, 1);
+  const auto placement = msc::core::ShortcutList{
+      msc::core::Shortcut::make(0, 9)};
+  const auto resp = json::parse(engine.handleLine(
+      "{\"cmd\":\"eval\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+      "\"placement\":\"0-9\"}"));
+  ASSERT_EQ(resp.find("status")->asString(), "ok");
+  EXPECT_DOUBLE_EQ(resp.find("sigma")->asNumber(),
+                   msc::core::sigmaValue(inst, placement));
+
+  const auto bad = json::parse(engine.handleLine(
+      "{\"cmd\":\"eval\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+      "\"placement\":\"0-999\"}"));
+  EXPECT_EQ(bad.find("status")->asString(), "error");
+}
+
+TEST(ServeEngine, MalformedInputNeverThrowsAlwaysStructuredError) {
+  Engine engine;
+  for (const char* line :
+       {"", "garbage", "{\"cmd\":\"solve\"}", "{\"cmd\":\"solve\",\"graph\":7}",
+        "{\"cmd\":\"load_graph\"}",
+        "{\"cmd\":\"load_graph\",\"path\":\"/nonexistent/x\"}",
+        "{\"cmd\":\"load_graph\",\"text\":\"not an edge list\"}",
+        "{\"cmd\":\"solve\",\"graph\":\"g000\",\"pairs\":\"p000\"}",
+        "{\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\",\"k\":-1}",
+        "{\"cmd\":\"sleep\",\"ms\":1e99}"}) {
+    const auto resp = json::parse(engine.handleLine(line));
+    EXPECT_EQ(resp.find("status")->asString(), "error") << line;
+    EXPECT_EQ(resp.find("schema")->asString(), "msc.serve.v1") << line;
+    EXPECT_NE(resp.find("error"), nullptr) << line;
+  }
+}
+
+TEST(ServeEngine, StatsReportsCacheAndRequestCounters) {
+  Engine engine;
+  loadFixture(engine, msc::test::lineGraph(5), "0 4\n");
+  (void)engine.handleLine("not json");
+  const auto resp = json::parse(engine.handleLine("{\"cmd\":\"stats\"}"));
+  ASSERT_EQ(resp.find("status")->asString(), "ok");
+  EXPECT_GE(resp.find("requests")->asNumber(), 3.0);
+  EXPECT_GE(resp.find("errors")->asNumber(), 1.0);
+  const auto* cache = resp.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GE(cache->find("entries")->asNumber(), 2.0);
+  EXPECT_EQ(resp.find("schema_versions")->asArray()[0].asString(),
+            "msc.serve.v1");
+}
+
+// ---------------------------------------------------------------- server ---
+
+std::vector<json::Value> runScript(Server& server,
+                                   const std::vector<std::string>& lines) {
+  std::string script;
+  for (const auto& l : lines) script += l + "\n";
+  std::istringstream in(script);
+  std::ostringstream out;
+  EXPECT_EQ(server.serveStream(in, out), 0);
+  std::vector<json::Value> responses;
+  std::istringstream parsed(out.str());
+  std::string line;
+  while (std::getline(parsed, line)) responses.push_back(json::parse(line));
+  return responses;
+}
+
+const json::Value* responseForId(const std::vector<json::Value>& responses,
+                                 double id) {
+  for (const auto& r : responses) {
+    const auto* rid = r.find("id");
+    if (rid && rid->isNumber() && rid->asNumber() == id) return &r;
+  }
+  return nullptr;
+}
+
+TEST(ServeServer, ShutdownDrainsAdmittedRequestsWithStructuredErrors) {
+  Server server;
+  // The sleep keeps the executor busy long enough for the reader to admit
+  // everything, so the post-shutdown stats are deterministically drained.
+  const auto responses = runScript(
+      server, {"{\"id\":1,\"cmd\":\"stats\"}",
+               "{\"id\":2,\"cmd\":\"sleep\",\"ms\":150}",
+               "{\"id\":3,\"cmd\":\"shutdown\"}", "{\"id\":4,\"cmd\":\"stats\"}",
+               "{\"id\":5,\"cmd\":\"stats\"}"});
+  ASSERT_EQ(responses.size(), 5u);
+  EXPECT_EQ(responseForId(responses, 1)->find("status")->asString(), "ok");
+  EXPECT_EQ(responseForId(responses, 2)->find("status")->asString(), "ok");
+  EXPECT_EQ(responseForId(responses, 3)->find("status")->asString(), "ok");
+  for (const double id : {4.0, 5.0}) {
+    const auto* r = responseForId(responses, id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->find("status")->asString(), "error");
+    EXPECT_NE(r->find("error")->asString().find("shutting down"),
+              std::string::npos);
+  }
+}
+
+TEST(ServeServer, TinyQueueRepliesOverloadedUnderBurst) {
+  ServerConfig config;
+  config.queueLimit = 1;
+  Server server(config);
+  std::vector<std::string> lines = {"{\"id\":1,\"cmd\":\"sleep\",\"ms\":300}"};
+  for (int i = 2; i <= 8; ++i) {
+    lines.push_back("{\"id\":" + std::to_string(i) + ",\"cmd\":\"stats\"}");
+  }
+  const auto responses = runScript(server, lines);
+  EXPECT_EQ(responses.size(), 8u);  // every request gets exactly one reply
+  EXPECT_GE(server.overloadedCount(), 1u);
+  std::size_t overloaded = 0;
+  for (const auto& r : responses) {
+    if (r.find("status")->asString() == "overloaded") {
+      ++overloaded;
+      EXPECT_EQ(r.find("queue_limit")->asNumber(), 1.0);
+    }
+  }
+  EXPECT_EQ(overloaded, server.overloadedCount());
+}
+
+TEST(ServeServer, ConcurrentMixedRequestsBitIdenticalToSerialReplay) {
+  const auto g = msc::test::randomGraph(30, 0.12, 11);
+  std::vector<std::string> requests;
+  for (int i = 0; i < 12; ++i) {
+    requests.push_back(
+        "{\"id\":" + std::to_string(i) +
+        ",\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+        "\"algo\":\"" + (i % 2 ? "greedy" : "sandwich") +
+        "\",\"k\":" + std::to_string(1 + i % 3) +
+        ",\"threads\":" + std::to_string(1 + i % 2) + ",\"seed\":1}");
+  }
+  const std::string pairsText = "0 29\n3 21\n5 12\n8 27\n";
+
+  Engine concurrent;
+  loadFixture(concurrent, g, pairsText);
+  std::vector<std::string> got(requests.size());
+  {
+    std::vector<std::thread> workers;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      workers.emplace_back(
+          [&, i] { got[i] = concurrent.handleLine(requests[i]); });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  Engine serial;
+  loadFixture(serial, g, pairsText);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto want = json::parse(serial.handleLine(requests[i])).asObject();
+    auto have = json::parse(got[i]).asObject();
+    // Identical up to timing and cache temperature (a concurrent first
+    // touch may see a different hit/miss than the serial replay).
+    for (auto* obj : {&want, &have}) {
+      obj->erase("wall_seconds");
+      obj->erase("apsp_cache");
+    }
+    EXPECT_EQ(json::dump(json::Value(want)), json::dump(json::Value(have)))
+        << requests[i];
+  }
+}
+
+TEST(ServeServer, UnixSocketRoundTrip) {
+  const std::string path =
+      "/tmp/msc_serve_test_" + std::to_string(::getpid()) + ".sock";
+  Server server;
+  std::thread serving([&] { server.serveUnixSocket(path); });
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = -1;
+  for (int attempt = 0; attempt < 100; ++attempt) {  // wait for bind
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(fd, 0) << "could not connect to " << path;
+
+  const std::string script =
+      "{\"id\":1,\"cmd\":\"stats\"}\n{\"id\":2,\"cmd\":\"shutdown\"}\n";
+  ASSERT_EQ(::write(fd, script.data(), script.size()),
+            static_cast<ssize_t>(script.size()));
+  std::string reply;
+  char buf[4096];
+  while (reply.find('\n') == std::string::npos ||
+         reply.find('\n') == reply.rfind('\n')) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  serving.join();
+
+  std::istringstream lines(reply);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(json::parse(line).find("status")->asString(), "ok");
+  ASSERT_TRUE(std::getline(lines, line));
+  const auto second = json::parse(line);
+  EXPECT_EQ(second.find("cmd")->asString(), "shutdown");
+}
+
+TEST(ServeServer, GlobalShutdownFlagStopsStreamLoop) {
+  Server::clearShutdownFlag();
+  Server::requestShutdown();
+  EXPECT_TRUE(Server::shutdownRequested());
+  Server server;
+  std::istringstream in("{\"id\":1,\"cmd\":\"stats\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serveStream(in, out), 0);
+  EXPECT_TRUE(out.str().empty());  // flag was set before any admission
+  Server::clearShutdownFlag();
+  EXPECT_FALSE(Server::shutdownRequested());
+}
+
+}  // namespace

@@ -21,14 +21,30 @@ import sys
 
 
 def load_cases(path):
-    with open(path) as fh:
-        doc = json.load(fh)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        sys.exit(f"error: {path}: cannot read: {exc.strerror}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path}: not valid JSON: {exc}")
     if doc.get("schema") != "msc.bench.v1":
         sys.exit(f"error: {path}: expected schema msc.bench.v1, "
                  f"got {doc.get('schema')!r}")
+    if "repeats" not in doc:
+        sys.exit(f"error: {path}: lacks a 'repeats' field — not a complete "
+                 f"msc.bench.v1 document (truncated write?)")
     cases = doc.get("cases")
     if not isinstance(cases, dict):
         sys.exit(f"error: {path}: missing cases object")
+    for case, entry in cases.items():
+        if not isinstance(entry, dict):
+            sys.exit(f"error: {path}: case {case!r} is not an object "
+                     f"(hand-edited bench json?)")
+        if "median" not in entry:
+            sys.exit(f"error: {path}: case {case!r} lacks a 'median' field "
+                     f"— not written by the bench harness (truncated or "
+                     f"hand-edited json?)")
     return doc.get("name", "?"), cases
 
 
