@@ -101,6 +101,8 @@ const CaseResult& Harness::run(const std::string& caseName,
   result.stddev = stats.stddev();
   result.min = stats.min();
   result.max = stats.max();
+  result.p50 = result.median;
+  result.p99 = util::percentile(seconds, 99.0);
   results_.push_back(std::move(result));
   return results_.back();
 }
@@ -133,6 +135,10 @@ std::string Harness::toJson() const {
     appendNumber(out, c.min);
     out += ",\n      \"max\": ";
     appendNumber(out, c.max);
+    out += ",\n      \"p50\": ";
+    appendNumber(out, c.p50);
+    out += ",\n      \"p99\": ";
+    appendNumber(out, c.p99);
     out += ",\n      \"runs\": [";
     for (std::size_t i = 0; i < c.runs.size(); ++i) {
       out += i == 0 ? "\n        {" : ",\n        {";

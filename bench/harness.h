@@ -49,6 +49,8 @@ struct CaseResult {
   double stddev = 0.0;           ///< Unbiased sample stddev (0 for 1 run).
   double min = 0.0;
   double max = 0.0;
+  double p50 = 0.0;              ///< Interpolated percentile (== median).
+  double p99 = 0.0;              ///< ~max at default repeat counts.
 };
 
 /// Collects cases and writes BENCH_<name>.json. Not thread-safe; a bench
@@ -79,6 +81,7 @@ class Harness {
   ///     "cases": {
   ///       "greedy_k4": {"seconds": [...], "median": ..., "mean": ...,
   ///                     "stddev": ..., "min": ..., "max": ...,
+  ///                     "p50": ..., "p99": ...,
   ///                     "runs": [{"seconds": ..., "counters": {...}}]}
   ///     }
   ///   }

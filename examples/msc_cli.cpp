@@ -26,6 +26,7 @@
 #include "eval/report.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/prom_export.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "core/candidates.h"
@@ -65,24 +66,31 @@ int usage() {
       "  eval  --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
       "  route --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
       "  serve [--listen SOCKET_PATH] [--queue N] [--cache-mb MB]\n"
+      "        [--metrics-listen PORT]\n"
       "        long-running msc.serve.v1 JSONL solve service on stdin/stdout\n"
-      "        (or a Unix socket with --listen); SIGINT/SIGTERM drain and\n"
-      "        exit; see docs/ALGORITHMS.md sec. 12\n"
+      "        (or a Unix socket with --listen); --metrics-listen starts a\n"
+      "        plain-HTTP GET /metrics + /healthz endpoint on 127.0.0.1;\n"
+      "        SIGINT/SIGTERM drain and exit; see docs/ALGORITHMS.md\n"
+      "        sec. 12-13\n"
       "  version  print the version and the machine-readable schemas\n"
       "every subcommand also accepts --threads N (worker threads for APSP\n"
       "and solver gain scans; 0 = all hardware cores; results are identical\n"
-      "for any N), --metrics-out FILE (solver metrics as JSON), and\n"
+      "for any N), --metrics-out FILE (solver metrics as JSON),\n"
+      "--metrics-prom FILE (metrics as Prometheus text exposition), and\n"
       "--trace-out FILE (solver timeline as Chrome trace-event JSON for\n"
       "Perfetto/chrome://tracing; a .jsonl extension selects flat JSONL),\n"
-      "and honours MSC_METRICS=1 (text metrics footer on stdout) and\n"
-      "MSC_TRACE=1 (trace summary footer; MSC_TRACE_OUT=FILE to export)\n";
+      "and honours MSC_METRICS=1 (text metrics footer on stdout),\n"
+      "MSC_METRICS_PROM=FILE (Prometheus export at exit), MSC_LOG=info\n"
+      "(structured JSONL logs; MSC_LOG_FILE=PATH), and MSC_TRACE=1 (trace\n"
+      "summary footer; MSC_TRACE_OUT=FILE to export)\n";
   return 2;
 }
 
-// Every subcommand accepts --metrics-out, --trace-out and --threads in
-// addition to its own flags.
+// Every subcommand accepts --metrics-out, --metrics-prom, --trace-out and
+// --threads in addition to its own flags.
 void checkFlags(const Args& args, std::vector<std::string> allowed) {
   allowed.push_back("metrics-out");
+  allowed.push_back("metrics-prom");
   allowed.push_back("trace-out");
   allowed.push_back("threads");
   args.allowedFlags(allowed);
@@ -325,7 +333,7 @@ extern "C" void serveSignalHandler(int) {
 }
 
 int cmdServe(const Args& args) {
-  checkFlags(args, {"listen", "queue", "cache-mb"});
+  checkFlags(args, {"listen", "queue", "cache-mb", "metrics-listen"});
   msc::serve::ServerConfig config;
   config.engine.defaultThreads = threadsArg(args);
   if (args.has("cache-mb")) {
@@ -346,6 +354,15 @@ int cmdServe(const Args& args) {
   sigaction(SIGTERM, &sa, nullptr);
 
   msc::serve::Server server(config);
+  if (args.has("metrics-listen")) {
+    const long long port = args.getInt("metrics-listen", 0);
+    if (port < 0 || port > 65535) {
+      throw std::runtime_error("--metrics-listen must be in [0, 65535]");
+    }
+    const int bound = server.startMetricsHttp(static_cast<int>(port));
+    std::cerr << "telemetry: http://127.0.0.1:" << bound
+              << "/metrics (and /healthz)\n";
+  }
   if (args.has("listen")) {
     return server.serveUnixSocket(args.requireString("listen"));
   }
@@ -360,7 +377,9 @@ int cmdVersion() {
             << "  msc.trace.v1    timeline trace JSON/JSONL (--trace-out, "
                "MSC_TRACE_OUT)\n"
             << "  msc.bench.v1    bench harness out/BENCH_<name>.json\n"
-            << "  msc.serve.v1    serve subcommand JSONL request/response\n";
+            << "  msc.serve.v1    serve subcommand JSONL request/response\n"
+            << "  prometheus-text-0.0.4  metrics exposition (--metrics-prom, "
+               "serve `metrics` cmd, GET /metrics)\n";
   return 0;
 }
 
@@ -389,7 +408,9 @@ int main(int argc, char** argv) {
     const Args args(argc - 2, argv + 2);
     // Force-enable collection before any work (instance loading already
     // runs Dijkstra/APSP) so the exports see the whole command.
-    if (args.has("metrics-out")) msc::obs::setEnabled(true);
+    if (args.has("metrics-out") || args.has("metrics-prom")) {
+      msc::obs::setEnabled(true);
+    }
     if (args.has("trace-out")) msc::obs::trace::setEnabled(true);
     msc::obs::trace::setCurrentThreadName("main");
 
@@ -399,6 +420,11 @@ int main(int argc, char** argv) {
       const std::string path = args.requireString("metrics-out");
       msc::obs::writeJsonFile(path, msc::obs::Registry::global());
       std::cout << "wrote metrics to " << path << '\n';
+    }
+    if (rc == 0 && args.has("metrics-prom")) {
+      const std::string path = args.requireString("metrics-prom");
+      msc::obs::writePromFile(path, msc::obs::Registry::global());
+      std::cout << "wrote prometheus metrics to " << path << '\n';
     }
     if (rc == 0 && args.has("trace-out")) {
       const std::string path = args.requireString("trace-out");

@@ -49,12 +49,18 @@ GreedyResult greedyMaximize(IncrementalEvaluator& eval,
   eval.reset();
   GreedyResult result;
   std::vector<char> chosen(candidates.size(), 0);
+  // One sample per round (each round is a full candidate scan, so the two
+  // extra clock reads are noise); recorded even with metrics disabled so
+  // the serve layer's Prometheus export always has gain-scan tail latency.
+  static auto& scanHist = msc::obs::histogram("greedy.round_scan_seconds");
   for (int round = 0; round < options.k; ++round) {
     MSC_OBS_SPAN("greedy.iteration");
+    const auto scanStart = std::chrono::steady_clock::now();
     const detail::ScanBest best = detail::gainScan(
         eval, candidates, threads, /*requirePositiveGain=*/true,
         [&](std::size_t c) { return chosen[c] != 0; },
         [](double gain, std::size_t) { return gain; });
+    scanHist.record(secondsSince(scanStart));
     result.gainEvaluations += best.evaluations;
     if (best.index < 0) break;  // nothing improves the objective
     const auto idx = static_cast<std::size_t>(best.index);

@@ -8,6 +8,7 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/prom_export.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "util/env.h"
@@ -40,7 +41,19 @@ std::string describeInstance(const msc::core::Instance& instance) {
 }
 
 void printMetricsFooter(std::ostream& os) {
-  const auto& reg = msc::obs::Registry::global();
+  auto& reg = msc::obs::Registry::global();
+  // MSC_METRICS_PROM=FILE exports the registry as Prometheus text even when
+  // the human footer is off (histograms record unconditionally, so there is
+  // something to scrape without MSC_METRICS=1). Atexit context: never throw.
+  const char* prom = std::getenv("MSC_METRICS_PROM");
+  if (prom != nullptr && *prom != '\0') {
+    try {
+      msc::obs::writePromFile(prom, reg);
+      os << "prometheus metrics written to " << prom << '\n';
+    } catch (const std::exception& e) {
+      os << "prometheus metrics export failed: " << e.what() << '\n';
+    }
+  }
   if (!reg.enabled()) return;
   if (reg.counters().empty() && reg.stats().empty()) return;
   os << "\n---- metrics (MSC_METRICS=1) ----\n";

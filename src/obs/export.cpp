@@ -46,6 +46,25 @@ void appendNumber(std::ostream& os, double v) {
   os << std::setprecision(17) << v;
 }
 
+void appendHistogramFields(std::ostream& os, const HistogramSnapshot& h) {
+  os << "{\"count\": " << h.count;
+  if (h.count > 0) {
+    os << ", \"sum\": ";
+    appendNumber(os, h.sum);
+    os << ", \"min\": ";
+    appendNumber(os, h.min);
+    os << ", \"max\": ";
+    appendNumber(os, h.max);
+    os << ", \"p50\": ";
+    appendNumber(os, h.p50());
+    os << ", \"p90\": ";
+    appendNumber(os, h.p90());
+    os << ", \"p99\": ";
+    appendNumber(os, h.p99());
+  }
+  os << "}";
+}
+
 void appendStatFields(std::ostream& os, const util::RunningStats& s) {
   os << "{\"count\": " << s.count();
   if (s.count() > 0) {
@@ -68,10 +87,12 @@ void appendStatFields(std::ostream& os, const util::RunningStats& s) {
 void writeText(std::ostream& os, const Registry& registry) {
   const auto counters = registry.counters();
   const auto stats = registry.stats();
+  const auto histograms = registry.histograms();
 
   std::size_t width = 0;
   for (const auto& row : counters) width = std::max(width, row.name.size());
   for (const auto& row : stats) width = std::max(width, row.name.size());
+  for (const auto& row : histograms) width = std::max(width, row.name.size());
 
   if (!counters.empty()) {
     os << "counters:\n";
@@ -94,11 +115,25 @@ void writeText(std::ostream& os, const Registry& registry) {
       os << '\n';
     }
   }
+  if (!histograms.empty()) {
+    os << "histograms (seconds):\n";
+    for (const auto& row : histograms) {
+      os << "  " << std::left << std::setw(static_cast<int>(width))
+         << row.name << "  count=" << row.snapshot.count;
+      if (row.snapshot.count > 0) {
+        os << std::setprecision(6) << " p50=" << row.snapshot.p50()
+           << " p90=" << row.snapshot.p90() << " p99=" << row.snapshot.p99()
+           << " max=" << row.snapshot.max;
+      }
+      os << '\n';
+    }
+  }
 }
 
 void writeJson(std::ostream& os, const Registry& registry) {
   const auto counters = registry.counters();
   const auto stats = registry.stats();
+  const auto histograms = registry.histograms();
 
   os << "{\n  \"schema\": \"msc.metrics.v1\",\n  \"counters\": {";
   for (std::size_t i = 0; i < counters.size(); ++i) {
@@ -113,8 +148,17 @@ void writeJson(std::ostream& os, const Registry& registry) {
     os << "\n    \"" << jsonEscape(stats[i].name) << "\": ";
     appendStatFields(os, stats[i].stats);
   }
-  os << (stats.empty() ? "}\n" : "\n  }\n");
-  os << "}\n";
+  os << (stats.empty() ? "}" : "\n  }");
+  if (!histograms.empty()) {
+    os << ",\n  \"histograms\": {";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+      if (i) os << ',';
+      os << "\n    \"" << jsonEscape(histograms[i].name) << "\": ";
+      appendHistogramFields(os, histograms[i].snapshot);
+    }
+    os << "\n  }";
+  }
+  os << "\n}\n";
 }
 
 std::string toJson(const Registry& registry) {

@@ -1,0 +1,134 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace msc::obs {
+
+namespace {
+
+constexpr std::size_t kBuckets =
+    static_cast<std::size_t>(Histogram::kOctaves) * Histogram::kSubBuckets + 1;
+
+/// Bucket index for a (already clamped non-negative) value. Values below
+/// kMinTrackable land in bucket 0; values past the last octave land in the
+/// overflow bucket kBuckets - 1.
+std::size_t bucketIndex(double value) noexcept {
+  if (!(value > Histogram::kMinTrackable)) return 0;
+  // value = m * 2^e with m in [0.5, 1): octave = e - 1 relative to
+  // kMinTrackable, sub-bucket = linear position of 2m inside [1, 2).
+  int exp = 0;
+  const double m = std::frexp(value / Histogram::kMinTrackable, &exp);
+  const int octave = exp - 1;
+  if (octave < 0) return 0;
+  if (octave >= Histogram::kOctaves) return kBuckets - 1;
+  auto sub = static_cast<int>((m * 2.0 - 1.0) * Histogram::kSubBuckets);
+  sub = std::clamp(sub, 0, Histogram::kSubBuckets - 1);
+  return static_cast<std::size_t>(octave) * Histogram::kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+/// Atomic fold via CAS; Op is min/max/plus over doubles.
+template <typename Op>
+void atomicFold(std::atomic<double>& target, double value, Op op) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, op(cur, value),
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double HistogramSnapshot::upperBound(std::size_t index) {
+  if (index + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  const std::size_t octave = index / Histogram::kSubBuckets;
+  const std::size_t sub = index % Histogram::kSubBuckets;
+  // Bucket `sub` of octave o spans value = kMin * 2^o * (1 + sub/S ..
+  // 1 + (sub+1)/S); its upper edge:
+  return Histogram::kMinTrackable * std::ldexp(1.0, static_cast<int>(octave)) *
+         (1.0 + static_cast<double>(sub + 1) / Histogram::kSubBuckets);
+}
+
+std::size_t HistogramSnapshot::bucketCount() { return kBuckets; }
+
+double HistogramSnapshot::quantile(double p) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) return min;
+  if (p >= 100.0) return max;
+  // Rank of the sample we want (1-based, ceil: the nearest-rank method).
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // The sample lies in bucket i; report its upper edge clamped into the
+      // exactly-observed range so quantiles never exceed max (or undershoot
+      // min for tiny values clamped into bucket 0).
+      return std::clamp(upperBound(i), min, max);
+    }
+  }
+  return max;  // unreachable when buckets are consistent with count
+}
+
+Histogram::Shard& Histogram::currentShard() noexcept {
+  static std::atomic<std::size_t> nextShard{0};
+  thread_local const std::size_t shard =
+      nextShard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shards_[shard];
+}
+
+void Histogram::record(double value) noexcept {
+  if (!(value >= 0.0)) value = 0.0;  // negative and NaN clamp to zero
+  Shard& s = currentShard();
+  s.buckets[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  atomicFold(s.sum, value, [](double a, double b) { return a + b; });
+  atomicFold(s.min, value, [](double a, double b) { return std::min(a, b); });
+  atomicFold(s.max, value, [](double a, double b) { return std::max(a, b); });
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  snap.min = std::numeric_limits<double>::infinity();
+  snap.max = -std::numeric_limits<double>::infinity();
+  for (const Shard& s : shards_) {
+    const std::uint64_t c = s.count.load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    snap.count += c;
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    snap.min = std::min(snap.min, s.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, s.max.load(std::memory_order_relaxed));
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      snap.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  if (snap.count == 0) {
+    snap.min = std::numeric_limits<double>::quiet_NaN();
+    snap.max = std::numeric_limits<double>::quiet_NaN();
+  } else if (!(snap.min <= snap.max)) {
+    // A writer incremented count but had not folded min/max yet when we
+    // read; normalize so quantile()'s clamp stays well-ordered.
+    snap.min = 0.0;
+    snap.max = std::max(snap.max, 0.0);
+    if (!std::isfinite(snap.max)) snap.max = 0.0;
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.min.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s.max.store(-std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace msc::obs

@@ -1,0 +1,103 @@
+// Thread-safe log-linear latency histograms (HDR-histogram style) for the
+// metrics registry.
+//
+// A Histogram tracks non-negative double samples (seconds, typically) in a
+// fixed, bounded set of buckets: each power-of-two octave between
+// kMinTrackable and kMaxTrackable is split into kSubBuckets linear
+// sub-buckets, so the quantile estimate's relative error is bounded by
+// 1/kSubBuckets regardless of the value range, and memory is constant no
+// matter how many samples are recorded. Values outside the trackable range
+// are clamped into the first/last bucket but still counted exactly in
+// count/sum/min/max.
+//
+// record() is wait-free apart from a bounded CAS loop on sum/min/max: the
+// histogram is internally striped into kShards independent shard arrays of
+// relaxed atomics (threads pick a shard once, by a round-robin
+// thread-local), so concurrent writers on different shards never touch the
+// same cacheline. snapshot() merges the shards into an immutable
+// HistogramSnapshot that answers p50/p90/p99/max-style quantile queries and
+// exposes the raw cumulative buckets for the Prometheus exporter
+// (obs/prom_export.h).
+//
+// Like Counter/Stat, Histograms live in the leaked global Registry
+// (obs/metrics.h): references returned by obs::histogram(name) stay valid
+// for the process lifetime, and Registry::reset() zeroes values but keeps
+// registrations.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace msc::obs {
+
+/// Immutable merged view of a Histogram. Quantiles are estimated from the
+/// log-linear buckets (relative error <= 1/kSubBuckets) and clamped into
+/// the exactly-tracked [min, max] observed range, so for any 0 <= a <= b
+/// <= 100, quantile(a) <= quantile(b) <= max holds by construction.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< NaN when count == 0 (RunningStats contract).
+  double max = 0.0;  ///< NaN when count == 0.
+  /// Per-bucket (non-cumulative) counts; index i covers values up to
+  /// upperBound(i). Entry `bucketCount() - 1` is the overflow bucket.
+  std::vector<std::uint64_t> buckets;
+
+  /// Upper value bound of bucket `index` (+Inf for the overflow bucket).
+  static double upperBound(std::size_t index);
+  static std::size_t bucketCount();
+
+  /// Value at percentile p in [0, 100]; NaN when count == 0. p=0 returns
+  /// min, p=100 returns max (both exact).
+  double quantile(double p) const;
+  double p50() const { return quantile(50.0); }
+  double p90() const { return quantile(90.0); }
+  double p99() const { return quantile(99.0); }
+};
+
+class Histogram {
+ public:
+  /// Smallest / largest value resolved by a dedicated bucket: 1 ns .. ~1.1e5
+  /// seconds (about 30 hours). Samples outside clamp but stay counted.
+  static constexpr double kMinTrackable = 1e-9;
+  static constexpr int kOctaves = 47;
+  static constexpr int kSubBuckets = 16;  ///< per octave; 1/16 rel. error
+  static constexpr std::size_t kShards = 8;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one sample. Thread-safe; negative/NaN samples clamp to 0.
+  void record(double value) noexcept;
+
+  /// Merges every shard into one consistent-enough view (relaxed reads: a
+  /// snapshot taken concurrently with writers may be mid-update by a few
+  /// samples, never torn).
+  HistogramSnapshot snapshot() const;
+
+  /// Zeroes all shards; outstanding references stay valid.
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>,
+               static_cast<std::size_t>(kOctaves) * kSubBuckets + 1>
+        buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    // +/-Inf identities: record() folds unconditionally, no seeding race.
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+
+  Shard& currentShard() noexcept;
+
+  std::array<Shard, kShards> shards_{};
+};
+
+}  // namespace msc::obs

@@ -1,0 +1,206 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace msc::obs::log {
+
+namespace {
+
+void appendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  out += os.str();
+}
+
+/// Logger state: threshold + sink, initialized once from the environment.
+/// Leaked like the metrics registry so atexit-time logging stays safe.
+struct State {
+  std::atomic<int> threshold{static_cast<int>(Level::Off)};
+  std::mutex mu;
+  std::ofstream file;       // open when MSC_LOG_FILE parsed successfully
+  std::ostream* override_ = nullptr;  // test seam
+
+  State() {
+    const char* lvl = std::getenv("MSC_LOG");
+    threshold.store(
+        static_cast<int>(parseLevel(lvl != nullptr ? lvl : "")),
+        std::memory_order_relaxed);
+    const char* path = std::getenv("MSC_LOG_FILE");
+    if (path != nullptr && *path != '\0') {
+      file.open(path, std::ios::app);
+      if (!file) {
+        std::cerr << "MSC_LOG_FILE: cannot open " << path
+                  << "; logging to stderr\n";
+      }
+    }
+  }
+
+  std::ostream& sink() {
+    if (override_ != nullptr) return *override_;
+    if (file.is_open()) return file;
+    return std::cerr;
+  }
+};
+
+State& state() {
+  static State* instance = new State();
+  return *instance;
+}
+
+}  // namespace
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::Debug: return "debug";
+    case Level::Info: return "info";
+    case Level::Warn: return "warn";
+    case Level::Error: return "error";
+    case Level::Off: return "off";
+  }
+  return "?";
+}
+
+Level parseLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                                         : c);
+  }
+  if (lower == "debug") return Level::Debug;
+  if (lower == "info" || lower == "1" || lower == "true" || lower == "on") {
+    return Level::Info;
+  }
+  if (lower == "warn" || lower == "warning") return Level::Warn;
+  if (lower == "error") return Level::Error;
+  return Level::Off;
+}
+
+bool enabled(Level level) noexcept {
+  return static_cast<int>(level) >=
+         state().threshold.load(std::memory_order_relaxed);
+}
+
+Level threshold() noexcept {
+  return static_cast<Level>(state().threshold.load(std::memory_order_relaxed));
+}
+
+void setThreshold(Level level) noexcept {
+  state().threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void setStream(std::ostream* os) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.override_ = os;
+}
+
+void Field::appendTo(std::string& out) const {
+  out.push_back('"');
+  appendEscaped(out, key_);
+  out += "\":";
+  switch (kind_) {
+    case Kind::String:
+      out.push_back('"');
+      appendEscaped(out, str_);
+      out.push_back('"');
+      break;
+    case Kind::Number:
+      appendNumber(out, num_);
+      break;
+    case Kind::Unsigned:
+      out += std::to_string(uint_);
+      break;
+    case Kind::Signed:
+      out += std::to_string(int_);
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+  }
+}
+
+namespace {
+
+template <typename Fields>
+void writeImpl(Level level, const char* event, const Fields& fields);
+
+}  // namespace
+
+void write(Level level, const char* event,
+           std::initializer_list<Field> fields) {
+  writeImpl(level, event, fields);
+}
+
+void write(Level level, const char* event, const std::vector<Field>& fields) {
+  writeImpl(level, event, fields);
+}
+
+namespace {
+
+template <typename Fields>
+void writeImpl(Level level, const char* event, const Fields& fields) {
+  if (!enabled(level) || level == Level::Off) return;
+  const double ts =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::string line;
+  line.reserve(128);
+  line += "{\"ts\":";
+  appendNumber(line, ts);
+  line += ",\"level\":\"";
+  line += levelName(level);
+  line += "\",\"event\":\"";
+  appendEscaped(line, event);
+  line.push_back('"');
+  for (const Field& f : fields) {
+    line.push_back(',');
+    f.appendTo(line);
+  }
+  line += "}\n";
+
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  std::ostream& os = s.sink();
+  os << line;
+  os.flush();
+}
+
+}  // namespace
+
+}  // namespace msc::obs::log

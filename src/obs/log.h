@@ -1,0 +1,96 @@
+// Leveled structured JSONL logger for the serve subsystem (and anything
+// else that wants machine-parseable operational logs).
+//
+// Disabled by default and off the hot path: a disabled call site costs one
+// relaxed atomic load. Enable by exporting MSC_LOG=<level> (debug | info |
+// warn | error; "1" is an alias for info) and optionally MSC_LOG_FILE=PATH
+// to write somewhere other than stderr. Each event is one JSON object per
+// line with a fixed envelope plus free-form typed fields:
+//
+//   {"ts":1754390000.123,"level":"info","event":"serve.request",
+//    "id":"7","cmd":"solve","status":"ok","cache":"hit",
+//    "queue_wait_seconds":0.0001,"wall_seconds":0.004}
+//
+// Lines are written atomically (one mutex-guarded write + flush per event)
+// so concurrent threads never interleave mid-line, and string values are
+// JSON-escaped / non-finite numbers mapped to null so every emitted line is
+// standard JSON. Timestamps are Unix epoch seconds (system clock, double).
+//
+// Usage:
+//
+//   if (msc::obs::log::enabled(msc::obs::log::Level::Info)) {
+//     msc::obs::log::write(msc::obs::log::Level::Info, "serve.request",
+//                          {{"cmd", "solve"}, {"wall_seconds", 0.004}});
+//   }
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msc::obs::log {
+
+enum class Level : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// "debug" | "info" | "warn" | "error" | "off".
+const char* levelName(Level level);
+
+/// Parses a level string as MSC_LOG accepts it (case-insensitive; "1",
+/// "true", "on" mean Info; unrecognized/empty -> Off).
+Level parseLevel(std::string_view text);
+
+/// True when events at `level` would be written. One relaxed atomic load;
+/// the first call initializes the logger from MSC_LOG / MSC_LOG_FILE.
+bool enabled(Level level) noexcept;
+
+/// Current threshold / programmatic override of the MSC_LOG threshold.
+Level threshold() noexcept;
+void setThreshold(Level level) noexcept;
+
+/// Redirects output to `os` (tests), or back to the MSC_LOG_FILE / stderr
+/// default when `os` is nullptr. Not for concurrent use with write().
+void setStream(std::ostream* os);
+
+/// One typed key/value for a log event.
+class Field {
+ public:
+  Field(const char* key, std::string value)
+      : key_(key), kind_(Kind::String), str_(std::move(value)) {}
+  Field(const char* key, const char* value)
+      : key_(key), kind_(Kind::String), str_(value) {}
+  Field(const char* key, double value)
+      : key_(key), kind_(Kind::Number), num_(value) {}
+  Field(const char* key, std::uint64_t value)
+      : key_(key), kind_(Kind::Unsigned), uint_(value) {}
+  Field(const char* key, std::int64_t value)
+      : key_(key), kind_(Kind::Signed), int_(value) {}
+  Field(const char* key, int value)
+      : key_(key), kind_(Kind::Signed), int_(value) {}
+  Field(const char* key, bool value)
+      : key_(key), kind_(Kind::Bool), bool_(value) {}
+
+  /// Appends `"key":<value>` JSON to out.
+  void appendTo(std::string& out) const;
+
+ private:
+  enum class Kind { String, Number, Unsigned, Signed, Bool };
+  const char* key_;
+  Kind kind_;
+  std::string str_;
+  union {
+    double num_;
+    std::uint64_t uint_;
+    std::int64_t int_ = 0;
+    bool bool_;
+  };
+};
+
+/// Emits one event line when `level` clears the threshold (call sites
+/// usually guard with enabled() first to skip field construction).
+void write(Level level, const char* event, std::initializer_list<Field> fields);
+void write(Level level, const char* event, const std::vector<Field>& fields);
+
+}  // namespace msc::obs::log

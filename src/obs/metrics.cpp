@@ -39,10 +39,20 @@ Stat& Registry::stat(std::string_view name) {
   return it->second;
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
 void Registry::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, s] : stats_) s.reset();
+  for (auto& [name, h] : histograms_) h.reset();
 }
 
 std::vector<Registry::CounterRow> Registry::counters() const {
@@ -58,6 +68,16 @@ std::vector<Registry::StatRow> Registry::stats() const {
   std::vector<StatRow> rows;
   rows.reserve(stats_.size());
   for (const auto& [name, s] : stats_) rows.push_back({name, s.snapshot()});
+  return rows;
+}
+
+std::vector<Registry::HistogramRow> Registry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramRow> rows;
+  rows.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    rows.push_back({name, h.snapshot()});
+  }
   return rows;
 }
 

@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "util/stats.h"
 
 namespace msc::obs {
@@ -94,6 +95,11 @@ class Registry {
 
   Counter& counter(std::string_view name);
   Stat& stat(std::string_view name);
+  /// Log-linear latency histogram (obs/histogram.h). Unlike counters and
+  /// stats, histogram record() sites are NOT gated on enabled(): recording
+  /// is a few relaxed atomic ops into bounded storage, cheap enough for
+  /// service hot paths that need tail latency visible at all times.
+  Histogram& histogram(std::string_view name);
 
   /// Zeroes every counter and stat but keeps all registrations (and thus
   /// all outstanding references) valid.
@@ -107,9 +113,14 @@ class Registry {
     std::string name;
     util::RunningStats stats;
   };
+  struct HistogramRow {
+    std::string name;
+    HistogramSnapshot snapshot;
+  };
   /// Sorted-by-name snapshots for the exporters.
   std::vector<CounterRow> counters() const;
   std::vector<StatRow> stats() const;
+  std::vector<HistogramRow> histograms() const;
 
  private:
   Registry();
@@ -117,6 +128,7 @@ class Registry {
   mutable std::mutex mu_;
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Stat, std::less<>> stats_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
   std::atomic<bool> enabled_{false};
 };
 
@@ -128,6 +140,9 @@ inline Counter& counter(std::string_view name) {
 }
 inline Stat& stat(std::string_view name) {
   return Registry::global().stat(name);
+}
+inline Histogram& histogram(std::string_view name) {
+  return Registry::global().histogram(name);
 }
 inline void resetAll() { Registry::global().reset(); }
 

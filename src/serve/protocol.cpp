@@ -15,7 +15,8 @@ struct CommandEntry {
 constexpr CommandEntry kCommands[] = {
     {"load_graph", Command::LoadGraph}, {"load_pairs", Command::LoadPairs},
     {"solve", Command::Solve},          {"eval", Command::Eval},
-    {"stats", Command::Stats},          {"sleep", Command::Sleep},
+    {"stats", Command::Stats},          {"metrics", Command::Metrics},
+    {"health", Command::Health},        {"sleep", Command::Sleep},
     {"shutdown", Command::Shutdown},
 };
 

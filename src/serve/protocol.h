@@ -6,9 +6,11 @@
 //   {"id": 7, "cmd": "solve", "graph": "g", "pairs": "p",
 //    "p_t": 0.14, "algo": "greedy", "k": 3, "threads": 4, "seed": 1}
 //
-// Commands: load_graph, load_pairs, solve, eval, stats, sleep, shutdown
-// (sleep is a testing aid for exercising queue backpressure; see
-// docs/ALGORITHMS.md §12 for the full field tables). Every response is one
+// Commands: load_graph, load_pairs, solve, eval, stats, metrics, health,
+// sleep, shutdown (sleep is a testing aid for exercising queue
+// backpressure; `metrics` returns the Prometheus text exposition;
+// `health` is a readiness probe answered out-of-band of the admission
+// queue — see docs/ALGORITHMS.md §12/§13 for the full field tables). Every response is one
 // JSON object per line that echoes the request "id" verbatim and always
 // carries "schema", "status" ("ok" | "error" | "overloaded"),
 // "wall_seconds" and "gain_evals":
@@ -50,6 +52,8 @@ enum class Command {
   Solve,
   Eval,
   Stats,
+  Metrics,
+  Health,
   Sleep,
   Shutdown,
 };

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include <netinet/in.h>
+
 #include "core/aea.h"
 #include "core/budgeted.h"
 #include "core/ea.h"
@@ -23,7 +25,9 @@
 #include "core/sandwich.h"
 #include "core/sigma.h"
 #include "graph/graph_io.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prom_export.h"
 #include "obs/trace.h"
 #include "util/env.h"
 #include "wireless/link_model.h"
@@ -43,6 +47,8 @@ const char* commandSpanName(Command cmd) {
     case Command::Solve: return "serve.cmd.solve";
     case Command::Eval: return "serve.cmd.eval";
     case Command::Stats: return "serve.cmd.stats";
+    case Command::Metrics: return "serve.cmd.metrics";
+    case Command::Health: return "serve.cmd.health";
     case Command::Sleep: return "serve.cmd.sleep";
     case Command::Shutdown: return "serve.cmd.shutdown";
   }
@@ -126,12 +132,17 @@ std::string Engine::handleLine(const std::string& line) {
   }
 }
 
-std::string Engine::handle(const Request& request) {
+std::string Engine::handle(const Request& request, double queueWaitSeconds) {
   MSC_OBS_SPAN("serve.request");
   obs::ScopedSpan cmdSpan(commandSpanName(request.cmd));
   requests_.fetch_add(1, std::memory_order_relaxed);
   bumpCounter("serve.requests");
   if (obs::enabled()) obs::counter(commandSpanName(request.cmd)).add(1);
+  // Always-on latency histograms: a few relaxed atomics per request, cheap
+  // enough that tail latency stays visible without MSC_METRICS.
+  static auto& requestHist = obs::histogram("serve.request_seconds");
+  static auto& queueWaitHist = obs::histogram("serve.queue_wait_seconds");
+  queueWaitHist.record(queueWaitSeconds);
 
   const auto begin = std::chrono::steady_clock::now();
   const auto wallSince = [&begin] {
@@ -139,16 +150,41 @@ std::string Engine::handle(const Request& request) {
                                          begin)
         .count();
   };
+  std::string response;
+  const char* status = "ok";
+  std::string error;
+  std::string cache;
   try {
     std::uint64_t gainEvals = 0;
     json::Object fields = dispatch(request, gainEvals);
-    return okResponse(request.id, request.cmd, std::move(fields), wallSince(),
-                      gainEvals);
+    if (const auto it = fields.find("apsp_cache");
+        it != fields.end() && it->second.isString()) {
+      cache = it->second.asString();
+    }
+    response = okResponse(request.id, request.cmd, std::move(fields),
+                          wallSince(), gainEvals);
   } catch (const std::exception& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     bumpCounter("serve.errors");
-    return errorResponse(request.id, e.what(), wallSince());
+    status = "error";
+    error = e.what();
+    response = errorResponse(request.id, error, wallSince());
   }
+  const double wall = wallSince();
+  requestHist.record(wall);
+  if (obs::log::enabled(obs::log::Level::Info)) {
+    std::vector<obs::log::Field> logFields{
+        {"id", json::dump(request.id)},
+        {"cmd", commandName(request.cmd)},
+        {"status", status},
+        {"queue_wait_seconds", queueWaitSeconds},
+        {"wall_seconds", wall},
+    };
+    if (!cache.empty()) logFields.emplace_back("cache", cache);
+    if (!error.empty()) logFields.emplace_back("error", error);
+    obs::log::write(obs::log::Level::Info, "serve.request", logFields);
+  }
+  return response;
 }
 
 json::Object Engine::dispatch(const Request& request,
@@ -164,6 +200,10 @@ json::Object Engine::dispatch(const Request& request,
       return cmdEval(request);
     case Command::Stats:
       return cmdStats(request);
+    case Command::Metrics:
+      return cmdMetrics(request);
+    case Command::Health:
+      return cmdHealth(request);
     case Command::Sleep: {
       const long long ms = getIntParam(request, "ms", 0, 0, 60000);
       std::this_thread::sleep_for(std::chrono::milliseconds(ms));
@@ -348,7 +388,52 @@ json::Object Engine::cmdStats(const Request&) {
   fields["requests"] = requests_.load(std::memory_order_relaxed);
   fields["errors"] = errors_.load(std::memory_order_relaxed);
   fields["cache"] = std::move(cacheObj);
+
+  // Obs snapshot: every registered counter (counters only move when
+  // MSC_METRICS is on) plus the always-on request-latency histogram, so
+  // one stats request answers "what has this server been doing".
+  json::Object countersObj;
+  for (const auto& row : obs::Registry::global().counters()) {
+    countersObj[row.name] = row.value;
+  }
+  fields["obs_counters"] = std::move(countersObj);
+  const obs::HistogramSnapshot lat =
+      obs::Registry::global().histogram("serve.request_seconds").snapshot();
+  json::Object latObj;
+  latObj["count"] = lat.count;
+  if (lat.count > 0) {
+    latObj["p50"] = lat.p50();
+    latObj["p90"] = lat.p90();
+    latObj["p99"] = lat.p99();
+    latObj["max"] = lat.max;
+  }
+  fields["request_seconds"] = std::move(latObj);
+
   if (statsHook_) statsHook_(fields);
+  return fields;
+}
+
+json::Object Engine::cmdMetrics(const Request&) {
+  json::Object fields;
+  fields["format"] = "prometheus-text-0.0.4";
+  fields["prometheus"] = obs::toProm(obs::Registry::global());
+  return fields;
+}
+
+bool Engine::ready() const {
+  if (shutdownRequested()) return false;
+  if (readyHook_ && !readyHook_()) return false;
+  return true;
+}
+
+json::Object Engine::cmdHealth(const Request&) {
+  const bool isReady = ready();
+  json::Object fields;
+  fields["ready"] = isReady;
+  fields["state"] = isReady ? "ready" : "draining";
+  fields["uptime_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
   return fields;
 }
 
@@ -393,7 +478,14 @@ class StreamSink final : public ReplySink {
 
 class FdSink final : public ReplySink {
  public:
-  explicit FdSink(int fd) : fd_(fd) {}
+  /// With `ownsFd`, the fd closes when the last sink reference goes away —
+  /// queued Jobs keep the sink alive, so a connection whose reader hit EOF
+  /// (e.g. a pipelining client that half-closed) still receives every
+  /// response for its admitted requests before the fd is released.
+  explicit FdSink(int fd, bool ownsFd = false) : fd_(fd), ownsFd_(ownsFd) {}
+  ~FdSink() override {
+    if (ownsFd_) ::close(fd_);
+  }
   void write(const std::string& line) override {
     const std::lock_guard<std::mutex> lock(mu_);
     std::string buf = line;
@@ -412,6 +504,7 @@ class FdSink final : public ReplySink {
  private:
   std::mutex mu_;
   int fd_;
+  bool ownsFd_;
 };
 
 /// poll()-based '\n'-delimited reader that re-checks `stop` every 200 ms so
@@ -481,6 +574,7 @@ struct ServerRun {
   struct Job {
     Request request;
     std::shared_ptr<ReplySink> sink;
+    std::chrono::steady_clock::time_point admitted;
   };
 
   Server& server;
@@ -521,6 +615,14 @@ struct ServerRun {
       sink->write(errorResponse(e.id, e.what()));
       return;
     }
+    // Readiness probes bypass the admission queue entirely: answered on
+    // the reader thread (cheap, never queued behind a long solve) and
+    // still answered — with ready:false — while draining, so a load
+    // balancer sees "not ready" instead of a hard error.
+    if (request.cmd == Command::Health) {
+      sink->write(engine.handle(request));
+      return;
+    }
     std::size_t depth = 0;
     {
       const std::lock_guard<std::mutex> lock(mu);
@@ -534,7 +636,8 @@ struct ServerRun {
         sink->write(overloadedResponse(request.id, queue.size(), queueLimit));
         return;
       }
-      queue.push_back(Job{std::move(request), sink});
+      queue.push_back(
+          Job{std::move(request), sink, std::chrono::steady_clock::now()});
       depth = queue.size();
     }
     publishDepth(depth);
@@ -553,7 +656,11 @@ struct ServerRun {
         queue.pop_front();
         publishDepth(queue.size());
       }
-      job.sink->write(engine.handle(job.request));
+      const double queueWait = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   job.admitted)
+                                   .count();
+      job.sink->write(engine.handle(job.request, queueWait));
       if (engine.shutdownRequested()) {
         drainWithShutdownError();
         return;
@@ -599,9 +706,126 @@ Server::Server(ServerConfig config)
     fields["queue_depth"] = queueDepth_.load(std::memory_order_relaxed);
     fields["overloaded"] = overloaded_.load(std::memory_order_relaxed);
   });
+  // A server also drains on the process-wide (signal-driven) stop flag, so
+  // health must report not-ready as soon as it is raised.
+  engine_.setReadyHook([] { return !Server::shutdownRequested(); });
 }
 
-Server::~Server() = default;
+Server::~Server() { stopMetricsHttp(); }
+
+int Server::startMetricsHttp(int port) {
+  if (metricsHttpThread_.joinable()) {
+    throw std::runtime_error("metrics HTTP listener already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("metrics listener bind/listen(port " +
+                             std::to_string(port) + "): " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("metrics listener getsockname(): " + err);
+  }
+  const int boundPort = ntohs(bound.sin_port);
+
+  metricsHttpStop_.store(false, std::memory_order_release);
+  metricsHttpFd_ = fd;
+  metricsHttpThread_ = std::thread([this, fd] {
+    obs::trace::setCurrentThreadName("serve.metrics_http");
+    const auto stop = [this] {
+      return metricsHttpStop_.load(std::memory_order_acquire) ||
+             shutdownRequested();
+    };
+    while (!stop()) {
+      struct pollfd pfd {fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, 200);
+      if (pr < 0 && errno != EINTR) break;
+      if (pr <= 0) continue;
+      const int conn = ::accept(fd, nullptr, nullptr);
+      if (conn < 0) continue;
+      serveOneMetricsHttpConn(conn);
+      ::close(conn);
+    }
+  });
+  return boundPort;
+}
+
+void Server::stopMetricsHttp() {
+  metricsHttpStop_.store(true, std::memory_order_release);
+  if (metricsHttpThread_.joinable()) metricsHttpThread_.join();
+  if (metricsHttpFd_ >= 0) {
+    ::close(metricsHttpFd_);
+    metricsHttpFd_ = -1;
+  }
+}
+
+void Server::serveOneMetricsHttpConn(int conn) {
+  // Scrapes and probes are one-shot GETs: read until the blank line that
+  // ends the request head (or 64 KiB / a short poll timeout, whichever
+  // comes first), answer, close. No keep-alive.
+  std::string head;
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos && head.size() < 65536) {
+    struct pollfd pfd {conn, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 1000);
+    if (pr <= 0) break;
+    char chunk[4096];
+    const ssize_t n = ::read(conn, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    head.append(chunk, static_cast<std::size_t>(n));
+  }
+  const auto lineEnd = head.find_first_of("\r\n");
+  const std::string requestLine =
+      lineEnd == std::string::npos ? head : head.substr(0, lineEnd);
+
+  std::string status = "404 Not Found";
+  std::string contentType = "text/plain; charset=utf-8";
+  std::string body = "not found\n";
+  if (requestLine.rfind("GET /metrics", 0) == 0) {
+    status = "200 OK";
+    contentType = "text/plain; version=0.0.4; charset=utf-8";
+    body = obs::toProm(obs::Registry::global());
+  } else if (requestLine.rfind("GET /healthz", 0) == 0 ||
+             requestLine.rfind("GET /health", 0) == 0) {
+    if (engine_.ready()) {
+      status = "200 OK";
+      body = "ok\n";
+    } else {
+      status = "503 Service Unavailable";
+      body = "draining\n";
+    }
+  }
+
+  std::string response = "HTTP/1.1 " + status +
+                         "\r\nContent-Type: " + contentType +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  std::size_t off = 0;
+  while (off < response.size()) {
+    const ssize_t n =
+        ::write(conn, response.data() + off, response.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
 
 int Server::serveStream(std::istream& in, std::ostream& out) {
   ServerRun run(*this);
@@ -664,13 +888,14 @@ int Server::serveUnixSocket(const std::string& path) {
     if (connFd < 0) continue;
     connections.emplace_back([connFd, &run, &stop] {
       obs::trace::setCurrentThreadName("serve.conn");
-      auto sink = std::make_shared<FdSink>(connFd);
+      // The owning sink closes connFd once the last queued Job for this
+      // connection has been answered, not when the reader sees EOF.
+      auto sink = std::make_shared<FdSink>(connFd, /*ownsFd=*/true);
       FdLineReader reader(connFd);
       std::string line;
       while (reader.next(line, stop)) {
         run.admitLine(line, sink);
       }
-      ::close(connFd);
     });
   }
   for (std::thread& t : connections) t.join();

@@ -29,7 +29,20 @@
 // counts, cache hits/misses, overload rejections) and emits a
 // "serve.queue_depth" trace counter track, so a solve service under load
 // can be profiled with the exact same MSC_METRICS / MSC_TRACE tooling as a
-// one-shot CLI run.
+// one-shot CLI run. Service-grade telemetry on top of that
+// (docs/ALGORITHMS.md §13):
+//   - latency histograms (obs/histogram.h), always on: per-request wall
+//     time ("serve.request_seconds") and admission-queue wait
+//     ("serve.queue_wait_seconds"), alongside the library-level
+//     "apsp.build_seconds" / "greedy.round_scan_seconds";
+//   - Prometheus text exposition of the whole registry via the `metrics`
+//     command or a plain-HTTP GET /metrics listener
+//     (startMetricsHttp, `msc_cli serve --metrics-listen PORT`);
+//   - one structured JSONL log line per request (obs/log.h, MSC_LOG=info)
+//     with id, command, status, cache hit/miss, queue wait and wall time;
+//   - a `health` readiness probe answered on the reader thread (never
+//     queued behind solves) that reports ready:false while
+//     draining/shutting down, mirrored as HTTP 200/503 on GET /healthz.
 #pragma once
 
 #include <atomic>
@@ -41,6 +54,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "serve/instance_cache.h"
 #include "serve/protocol.h"
@@ -65,8 +79,11 @@ class Engine {
   /// and execution failures come back as status:"error" responses.
   std::string handleLine(const std::string& line);
 
-  /// Executes an already-parsed request. Never throws.
-  std::string handle(const Request& request);
+  /// Executes an already-parsed request. Never throws. `queueWaitSeconds`
+  /// is how long the request sat in the admission queue (0 when executed
+  /// directly); it feeds the serve.queue_wait_seconds histogram and the
+  /// per-request log line.
+  std::string handle(const Request& request, double queueWaitSeconds = 0.0);
 
   /// True once a shutdown request has been executed.
   bool shutdownRequested() const noexcept {
@@ -82,6 +99,16 @@ class Engine {
     statsHook_ = std::move(hook);
   }
 
+  /// Extra readiness condition ANDed into `health` replies (the Server
+  /// wires the process-wide shutdown flag in). Set before serving traffic.
+  void setReadyHook(std::function<bool()> hook) {
+    readyHook_ = std::move(hook);
+  }
+
+  /// Readiness as `health` reports it: false once shutdown was requested
+  /// (draining) or the ready hook vetoes.
+  bool ready() const;
+
  private:
   json::Object dispatch(const Request& request, std::uint64_t& gainEvals);
   json::Object cmdLoadGraph(const Request& request);
@@ -89,6 +116,8 @@ class Engine {
   json::Object cmdSolve(const Request& request, std::uint64_t& gainEvals);
   json::Object cmdEval(const Request& request);
   json::Object cmdStats(const Request& request);
+  json::Object cmdMetrics(const Request& request);
+  json::Object cmdHealth(const Request& request);
   /// Resolves a client-supplied graph/pairs reference: an alias registered
   /// via load_*'s "as" field, or a raw content key.
   std::string resolveKey(const std::string& ref);
@@ -100,6 +129,7 @@ class Engine {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::function<void(json::Object&)> statsHook_;
+  std::function<bool()> readyHook_;
   std::chrono::steady_clock::time_point start_;
   mutable std::mutex aliasMu_;
   std::map<std::string, std::string> aliases_;
@@ -137,6 +167,16 @@ class Server {
   /// shutdown, throws std::runtime_error when the socket cannot be set up.
   int serveUnixSocket(const std::string& path);
 
+  /// Starts a plain-HTTP telemetry listener on 127.0.0.1:`port` (0 picks an
+  /// ephemeral port) running on its own thread beside any serve front end:
+  ///   GET /metrics -> 200, Prometheus text exposition of the registry
+  ///   GET /healthz -> 200 "ok" while ready, 503 "draining" afterwards
+  /// Returns the bound port; throws std::runtime_error on bind failure.
+  /// Stopped (thread joined, socket closed) by stopMetricsHttp() or the
+  /// destructor; also exits by itself once shutdown is requested.
+  int startMetricsHttp(int port);
+  void stopMetricsHttp();
+
   Engine& engine() noexcept { return engine_; }
   const ServerConfig& config() const noexcept { return config_; }
   /// Overload rejections since construction.
@@ -155,10 +195,16 @@ class Server {
  private:
   friend struct ServerRun;  // per-front-end queue/executor machinery (.cpp)
 
+  /// Answers one already-accepted telemetry HTTP connection (no keep-alive).
+  void serveOneMetricsHttpConn(int conn);
+
   ServerConfig config_;
   Engine engine_;
   std::atomic<std::uint64_t> overloaded_{0};
   std::atomic<std::size_t> queueDepth_{0};
+  std::atomic<bool> metricsHttpStop_{false};
+  int metricsHttpFd_ = -1;
+  std::thread metricsHttpThread_;
 };
 
 }  // namespace msc::serve

@@ -52,6 +52,77 @@ MSC_METRICS=1 "$CLI" eval --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
        --pt 0.14 --placement "$PLACEMENT" | grep -q "dijkstra.runs" \
   || { echo "FAIL: MSC_METRICS footer"; exit 1; }
 
+# Prometheus export: --metrics-prom writes text exposition with counter
+# and histogram series; validate format invariants with python3 when
+# available (bucket monotonicity, _count/_sum consistency).
+"$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
+       --pt 0.14 --k 3 --algo aa --metrics-prom "$WORK/m.prom" \
+  | grep -q "wrote prometheus metrics" \
+  || { echo "FAIL: metrics-prom"; exit 1; }
+grep -q '^msc_dijkstra_runs_total [1-9]' "$WORK/m.prom" \
+  || { echo "FAIL: prom counter missing"; exit 1; }
+grep -q '^msc_apsp_build_seconds_bucket{le="+Inf"}' "$WORK/m.prom" \
+  || { echo "FAIL: prom histogram missing"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$WORK/m.prom" <<'PYEOF' || { echo "FAIL: prom format invalid"; exit 1; }
+import re, sys
+from collections import defaultdict
+
+buckets = defaultdict(list)   # metric -> [(le, count)] in file order
+counts, sums, types = {}, {}, {}
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split(" ", 3)
+        types[name] = kind
+        continue
+    if line.startswith("#"):
+        continue
+    m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$', line)
+    assert m, f"malformed sample line: {line!r}"
+    name, labels, value = m.groups()
+    if name.endswith("_bucket"):
+        le = re.search(r'le="([^"]+)"', labels or "").group(1)
+        buckets[name[:-len("_bucket")]].append((le, int(value)))
+    elif name.endswith("_count"):
+        counts[name[:-len("_count")]] = int(value)
+    elif name.endswith("_sum"):
+        sums[name[:-len("_sum")]] = float(value)
+
+assert buckets, "no histogram series found"
+for metric, series in buckets.items():
+    assert types.get(metric) == "histogram", f"{metric} lacks TYPE histogram"
+    assert series[-1][0] == "+Inf", f"{metric}: missing le=+Inf bucket"
+    les = [float("inf") if le == "+Inf" else float(le) for le, _ in series]
+    assert les == sorted(les), f"{metric}: le boundaries not increasing"
+    cs = [c for _, c in series]
+    assert cs == sorted(cs), f"{metric}: bucket counts not cumulative"
+    assert metric in counts and metric in sums, f"{metric}: _count/_sum missing"
+    assert cs[-1] == counts[metric], \
+        f"{metric}: +Inf bucket {cs[-1]} != _count {counts[metric]}"
+    assert counts[metric] == 0 or sums[metric] > 0, \
+        f"{metric}: _sum inconsistent with _count"
+print(f"validated {len(buckets)} histogram(s), {len(counts)} series")
+PYEOF
+fi
+
+# MSC_METRICS_PROM exports at exit without any explicit flag.
+MSC_METRICS_PROM="$WORK/m2.prom" "$CLI" eval --graph "$WORK/g.txt" \
+       --pairs "$WORK/p.txt" --pt 0.14 --placement "$PLACEMENT" >/dev/null
+grep -q '^msc_apsp_build_seconds_count [1-9]' "$WORK/m2.prom" \
+  || { echo "FAIL: MSC_METRICS_PROM export"; exit 1; }
+
+# MSC_LOG=info writes structured JSONL request logs.
+printf '%s\n' '{"id":1,"cmd":"health"}' '{"id":2,"cmd":"shutdown"}' \
+  | MSC_LOG=info MSC_LOG_FILE="$WORK/serve_log.jsonl" "$CLI" serve \
+  > /dev/null || { echo "FAIL: serve with MSC_LOG"; exit 1; }
+grep -q '"event":"serve.request"' "$WORK/serve_log.jsonl" \
+  || { echo "FAIL: no structured request log"; exit 1; }
+grep -q '"cmd":"health"' "$WORK/serve_log.jsonl" \
+  || { echo "FAIL: health request not logged"; exit 1; }
+
 # Trace export: solve --trace-out writes Chrome trace-event JSON that a
 # standard parser accepts and that carries solver timeline events.
 "$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
@@ -97,36 +168,45 @@ for schema in msc.metrics.v1 msc.trace.v1 msc.bench.v1 msc.serve.v1; do
     || { echo "FAIL: version missing $schema"; exit 1; }
 done
 
-# Serve round-trip: a JSONL script through `msc_cli serve` — load the
-# instance, solve cold, solve warm (must be an APSP cache hit), stats,
-# shutdown. Responses are validated with python3 when available, with a
-# grep fallback otherwise.
+# Serve round-trip: a JSONL script through `msc_cli serve` — health probe,
+# load the instance, solve cold, solve warm (must be an APSP cache hit),
+# stats, a Prometheus metrics scrape, shutdown. Responses are validated
+# with python3 when available, with a grep fallback otherwise.
 cat > "$WORK/serve_script.jsonl" <<EOF
 {"id":1,"cmd":"load_graph","path":"$WORK/g.txt","as":"g"}
 {"id":2,"cmd":"load_pairs","path":"$WORK/p.txt","as":"p"}
 {"id":3,"cmd":"solve","graph":"g","pairs":"p","p_t":0.14,"algo":"greedy","k":3,"threads":1,"seed":1}
 {"id":4,"cmd":"solve","graph":"g","pairs":"p","p_t":0.14,"algo":"greedy","k":3,"threads":1,"seed":1}
 {"id":5,"cmd":"stats"}
-{"id":6,"cmd":"shutdown"}
+{"id":6,"cmd":"health"}
+{"id":7,"cmd":"metrics"}
+{"id":8,"cmd":"shutdown"}
 EOF
 "$CLI" serve < "$WORK/serve_script.jsonl" > "$WORK/serve_out.jsonl" \
   || { echo "FAIL: serve exited non-zero"; exit 1; }
 RESPONSES=$(wc -l < "$WORK/serve_out.jsonl")
-[ "$RESPONSES" -eq 6 ] || { echo "FAIL: serve replied $RESPONSES/6"; exit 1; }
+[ "$RESPONSES" -eq 8 ] || { echo "FAIL: serve replied $RESPONSES/8"; exit 1; }
 grep -q '"apsp_cache":"hit"' "$WORK/serve_out.jsonl" \
   || { echo "FAIL: warm solve missed the APSP cache"; exit 1; }
+grep -q '"ready":true' "$WORK/serve_out.jsonl" \
+  || { echo "FAIL: health probe not ready"; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$WORK/serve_out.jsonl" <<'PYEOF' || { echo "FAIL: serve responses invalid"; exit 1; }
 import json, sys
 lines = [json.loads(l) for l in open(sys.argv[1])]
-assert len(lines) == 6
+assert len(lines) == 8
 by_id = {r["id"]: r for r in lines}
 assert all(r["schema"] == "msc.serve.v1" for r in lines)
-assert all(by_id[i]["status"] == "ok" for i in range(1, 7))
+assert all(by_id[i]["status"] == "ok" for i in range(1, 9))
 assert by_id[3]["apsp_cache"] == "miss" and by_id[4]["apsp_cache"] == "hit"
 assert by_id[3]["placement"] == by_id[4]["placement"]
 assert by_id[3]["gain_evals"] > 0
 assert by_id[5]["cache"]["apsp_hits"] >= 1
+assert by_id[5]["request_seconds"]["count"] >= 4
+assert "obs_counters" in by_id[5]
+assert by_id[6]["ready"] is True and by_id[6]["state"] == "ready"
+assert by_id[7]["format"] == "prometheus-text-0.0.4"
+assert "msc_serve_request_seconds_bucket" in by_id[7]["prometheus"]
 print(by_id[3]["placement"])
 PYEOF
 fi

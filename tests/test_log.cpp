@@ -1,0 +1,136 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+
+namespace {
+
+namespace log = msc::obs::log;
+using log::Level;
+
+// Captures logger output into a string stream for the duration of a test
+// and restores the Off default afterwards so tests cannot leak state.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    log::setStream(&captured_);
+    log::setThreshold(Level::Info);
+  }
+  void TearDown() override {
+    log::setThreshold(Level::Off);
+    log::setStream(nullptr);
+  }
+
+  /// Parses the n-th captured line as JSON (asserts on parse failure).
+  msc::serve::json::Value line(std::size_t n) {
+    std::istringstream ss(captured_.str());
+    std::string text;
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (!std::getline(ss, text)) {
+        ADD_FAILURE() << "fewer than " << n + 1 << " lines captured";
+        return {};
+      }
+    }
+    return msc::serve::json::parse(text);
+  }
+
+  std::ostringstream captured_;
+};
+
+TEST(LogLevelTest, ParseLevelAcceptsAliases) {
+  EXPECT_EQ(log::parseLevel("debug"), Level::Debug);
+  EXPECT_EQ(log::parseLevel("INFO"), Level::Info);
+  EXPECT_EQ(log::parseLevel("1"), Level::Info);
+  EXPECT_EQ(log::parseLevel("true"), Level::Info);
+  EXPECT_EQ(log::parseLevel("on"), Level::Info);
+  EXPECT_EQ(log::parseLevel("Warn"), Level::Warn);
+  EXPECT_EQ(log::parseLevel("warning"), Level::Warn);
+  EXPECT_EQ(log::parseLevel("error"), Level::Error);
+  EXPECT_EQ(log::parseLevel(""), Level::Off);
+  EXPECT_EQ(log::parseLevel("verbose"), Level::Off);
+}
+
+TEST(LogLevelTest, LevelNamesRoundTrip) {
+  EXPECT_STREQ(log::levelName(Level::Debug), "debug");
+  EXPECT_STREQ(log::levelName(Level::Info), "info");
+  EXPECT_STREQ(log::levelName(Level::Warn), "warn");
+  EXPECT_STREQ(log::levelName(Level::Error), "error");
+  EXPECT_STREQ(log::levelName(Level::Off), "off");
+}
+
+TEST_F(LogTest, EmitsOneParseableJsonLinePerEvent) {
+  log::write(Level::Info, "test.event",
+             {{"str", "value"},
+              {"num", 1.5},
+              {"count", std::uint64_t{42}},
+              {"neg", std::int64_t{-7}},
+              {"flag", true}});
+  const auto doc = line(0);
+  ASSERT_TRUE(doc.isObject());
+  const auto& obj = doc.asObject();
+  EXPECT_EQ(obj.at("level").asString(), "info");
+  EXPECT_EQ(obj.at("event").asString(), "test.event");
+  EXPECT_EQ(obj.at("str").asString(), "value");
+  EXPECT_DOUBLE_EQ(obj.at("num").asNumber(), 1.5);
+  EXPECT_DOUBLE_EQ(obj.at("count").asNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(obj.at("neg").asNumber(), -7.0);
+  EXPECT_TRUE(obj.at("flag").asBool());
+  EXPECT_GT(obj.at("ts").asNumber(), 1.5e9);  // sane Unix epoch seconds
+}
+
+TEST_F(LogTest, EscapesHostileStringsIntoValidJson) {
+  log::write(Level::Warn, "bad\"event\nname",
+             {{"key", std::string("quote\" slash\\ tab\t ctrl\x01")}});
+  const auto doc = line(0);
+  ASSERT_TRUE(doc.isObject());
+  EXPECT_EQ(doc.asObject().at("event").asString(), "bad\"event\nname");
+  EXPECT_EQ(doc.asObject().at("key").asString(),
+            "quote\" slash\\ tab\t ctrl\x01");
+}
+
+TEST_F(LogTest, NonFiniteNumbersBecomeNull) {
+  log::write(Level::Info, "nf",
+             {{"inf", std::numeric_limits<double>::infinity()},
+              {"nan", std::numeric_limits<double>::quiet_NaN()}});
+  const auto doc = line(0);
+  EXPECT_TRUE(doc.asObject().at("inf").isNull());
+  EXPECT_TRUE(doc.asObject().at("nan").isNull());
+}
+
+TEST_F(LogTest, ThresholdFiltersLowerLevels) {
+  log::setThreshold(Level::Warn);
+  EXPECT_FALSE(log::enabled(Level::Info));
+  EXPECT_TRUE(log::enabled(Level::Warn));
+  log::write(Level::Info, "dropped", {});
+  log::write(Level::Error, "kept", {});
+  const auto doc = line(0);
+  EXPECT_EQ(doc.asObject().at("event").asString(), "kept");
+  // Exactly one line came out.
+  const std::string all = captured_.str();
+  EXPECT_EQ(std::count(all.begin(), all.end(), '\n'), 1);
+}
+
+TEST_F(LogTest, OffThresholdWritesNothing) {
+  log::setThreshold(Level::Off);
+  log::write(Level::Error, "dropped", {});
+  EXPECT_TRUE(captured_.str().empty());
+}
+
+TEST_F(LogTest, VectorOverloadMatchesInitializerList) {
+  const std::vector<log::Field> fields{{"a", 1.0}, {"b", "two"}};
+  log::write(Level::Info, "vec", fields);
+  const auto doc = line(0);
+  EXPECT_DOUBLE_EQ(doc.asObject().at("a").asNumber(), 1.0);
+  EXPECT_EQ(doc.asObject().at("b").asString(), "two");
+}
+
+}  // namespace

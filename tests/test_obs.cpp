@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "obs/export.h"
+#include "serve/json.h"
 
 namespace {
 
@@ -152,6 +154,91 @@ TEST_F(ObsTest, JsonEscapesHostileNames) {
   msc::obs::counter("weird\"name\\with\nstuff").add(1);
   const std::string json = msc::obs::toJson(Registry::global());
   EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
+}
+
+// The exporter's output must stay machine-parseable JSON no matter what the
+// registry holds; use the in-repo serve JSON parser as the oracle.
+
+TEST_F(ObsTest, JsonExportWithHostileNamesParses) {
+  msc::obs::counter("quote\"back\\slash").add(3);
+  msc::obs::counter("ctrl\x01\x1fname").add(1);
+  msc::obs::stat("tab\tnewline\nname").record(0.5);
+  msc::obs::histogram("hist\"with\\escapes").record(0.001);
+
+  const std::string json = msc::obs::toJson(Registry::global());
+  const auto doc = msc::serve::json::parse(json);
+  ASSERT_TRUE(doc.isObject());
+  const auto& counters = doc.asObject().at("counters").asObject();
+  EXPECT_EQ(counters.at("quote\"back\\slash").asNumber(), 3.0);
+  EXPECT_EQ(counters.at("ctrl\x01\x1fname").asNumber(), 1.0);
+  EXPECT_EQ(doc.asObject()
+                .at("histograms")
+                .asObject()
+                .at("hist\"with\\escapes")
+                .asObject()
+                .at("count")
+                .asNumber(),
+            1.0);
+}
+
+TEST_F(ObsTest, JsonExportWithNonFiniteStatsParses) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Names deliberately avoid the substrings checked below.
+  msc::obs::stat("bad.pos").record(kInf);
+  msc::obs::stat("bad.notnum").record(std::numeric_limits<double>::quiet_NaN());
+  msc::obs::stat("bad.neg").record(-kInf);
+
+  const std::string json = msc::obs::toJson(Registry::global());
+  // No bare inf/nan literal may appear; they map to null.
+  EXPECT_EQ(json.find("inf"), std::string::npos)
+      << "non-finite leaked into JSON: " << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  const auto doc = msc::serve::json::parse(json);
+  const auto& stats = doc.asObject().at("stats").asObject();
+  EXPECT_TRUE(stats.at("bad.pos").asObject().at("mean").isNull());
+  EXPECT_TRUE(stats.at("bad.notnum").asObject().at("mean").isNull());
+}
+
+TEST_F(ObsTest, JsonExportEmptyRegistryParses) {
+  const std::string json = msc::obs::toJson(Registry::global());
+  const auto doc = msc::serve::json::parse(json);
+  ASSERT_TRUE(doc.isObject());
+  EXPECT_TRUE(doc.asObject().at("counters").asObject().empty());
+  EXPECT_TRUE(doc.asObject().at("stats").asObject().empty());
+  // Back-compat: the histograms key only appears once one is registered.
+  EXPECT_EQ(doc.asObject().count("histograms"), 0u);
+}
+
+TEST_F(ObsTest, JsonExportHistogramShape) {
+  auto& h = msc::obs::histogram("test.latency");
+  for (int i = 1; i <= 100; ++i) h.record(i * 0.001);
+  msc::obs::histogram("test.empty_hist");  // registered, never recorded
+
+  const auto doc = msc::serve::json::parse(msc::obs::toJson(Registry::global()));
+  const auto& hists = doc.asObject().at("histograms").asObject();
+  const auto& lat = hists.at("test.latency").asObject();
+  EXPECT_EQ(lat.at("count").asNumber(), 100.0);
+  const double p50 = lat.at("p50").asNumber();
+  const double p90 = lat.at("p90").asNumber();
+  const double p99 = lat.at("p99").asNumber();
+  const double max = lat.at("max").asNumber();
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, max);
+  // Empty histograms render as count-only objects (no NaN min/max).
+  const auto& empty = hists.at("test.empty_hist").asObject();
+  EXPECT_EQ(empty.at("count").asNumber(), 0.0);
+  EXPECT_EQ(empty.count("min"), 0u);
+}
+
+TEST_F(ObsTest, TextExportListsHistograms) {
+  msc::obs::histogram("gamma.seconds").record(0.25);
+  std::ostringstream os;
+  msc::obs::writeText(os, Registry::global());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("histograms (seconds):"), std::string::npos);
+  EXPECT_NE(text.find("gamma.seconds"), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
 }
 
 }  // namespace

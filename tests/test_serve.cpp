@@ -1,17 +1,23 @@
 // Serve subsystem: JSON robustness, protocol parse/error paths, instance
 // cache hits/eviction, engine bit-identity with the direct solver path,
-// queue backpressure and graceful-shutdown drain.
+// queue backpressure, graceful-shutdown drain, and service telemetry
+// (health probes, metrics command, latency histograms, HTTP listener).
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 #include "core/candidates.h"
 #include "core/greedy.h"
@@ -475,6 +481,201 @@ TEST(ServeServer, UnixSocketRoundTrip) {
   ASSERT_TRUE(std::getline(lines, line));
   const auto second = json::parse(line);
   EXPECT_EQ(second.find("cmd")->asString(), "shutdown");
+}
+
+// ------------------------------------------------------------- telemetry ---
+
+TEST(ServeTelemetry, HealthReportsReadyThenDraining) {
+  Server::clearShutdownFlag();
+  Engine engine;
+  const auto up = json::parse(engine.handleLine("{\"cmd\":\"health\"}"));
+  ASSERT_EQ(up.find("status")->asString(), "ok");
+  EXPECT_TRUE(up.find("ready")->asBool());
+  EXPECT_EQ(up.find("state")->asString(), "ready");
+  EXPECT_GE(up.find("uptime_seconds")->asNumber(), 0.0);
+
+  // Draining servers still answer health — with ready:false — instead of
+  // the structured shutdown error every other command gets.
+  (void)engine.handleLine("{\"cmd\":\"shutdown\"}");
+  const auto down = json::parse(engine.handleLine("{\"cmd\":\"health\"}"));
+  ASSERT_EQ(down.find("status")->asString(), "ok");
+  EXPECT_FALSE(down.find("ready")->asBool());
+  EXPECT_EQ(down.find("state")->asString(), "draining");
+}
+
+TEST(ServeTelemetry, ReadyHookVetoesReadiness) {
+  Engine engine;
+  EXPECT_TRUE(engine.ready());
+  engine.setReadyHook([] { return false; });
+  EXPECT_FALSE(engine.ready());
+  const auto resp = json::parse(engine.handleLine("{\"cmd\":\"health\"}"));
+  EXPECT_FALSE(resp.find("ready")->asBool());
+}
+
+TEST(ServeTelemetry, MetricsCommandReturnsPrometheusText) {
+  Engine engine;
+  (void)engine.handleLine("{\"cmd\":\"stats\"}");  // records latency
+  const auto resp = json::parse(engine.handleLine("{\"cmd\":\"metrics\"}"));
+  ASSERT_EQ(resp.find("status")->asString(), "ok");
+  EXPECT_EQ(resp.find("format")->asString(), "prometheus-text-0.0.4");
+  const std::string prom = resp.find("prometheus")->asString();
+  EXPECT_NE(prom.find("# TYPE msc_serve_request_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("msc_serve_request_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+}
+
+TEST(ServeTelemetry, StatsIncludesObsSnapshotAndCacheBytes) {
+  Engine engine;
+  loadFixture(engine, msc::test::lineGraph(5), "0 4\n");
+  const auto resp = json::parse(engine.handleLine("{\"cmd\":\"stats\"}"));
+  ASSERT_EQ(resp.find("status")->asString(), "ok");
+  EXPECT_GT(resp.find("cache")->find("bytes_used")->asNumber(), 0.0);
+  ASSERT_NE(resp.find("obs_counters"), nullptr);
+  EXPECT_TRUE(resp.find("obs_counters")->isObject());
+  const auto* lat = resp.find("request_seconds");
+  ASSERT_NE(lat, nullptr);
+  // The stats request itself runs after the snapshot is taken, but the two
+  // prior loads already recorded.
+  EXPECT_GE(lat->find("count")->asNumber(), 2.0);
+  EXPECT_LE(lat->find("p50")->asNumber(), lat->find("p99")->asNumber());
+}
+
+TEST(ServeTelemetry, ConcurrentLoadHistogramCountsEveryServedRequest) {
+  msc::obs::resetAll();
+  const std::string path =
+      "/tmp/msc_serve_lat_" + std::to_string(::getpid()) + ".sock";
+  ServerConfig config;
+  config.queueLimit = 4096;  // never overloaded: every request is served
+  Server server(config);
+  std::thread serving([&] { server.serveUnixSocket(path); });
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 30;
+  std::atomic<int> okResponses{0};
+  auto client = [&](int c) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = -1;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      ASSERT_GE(fd, 0);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        break;
+      }
+      ::close(fd);
+      fd = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GE(fd, 0);
+    std::string script;
+    for (int i = 0; i < kPerClient; ++i) {
+      script += "{\"id\":" + std::to_string(c * kPerClient + i) +
+                ",\"cmd\":" +
+                (i % 5 == 0 ? "\"health\"" : "\"stats\"") + "}\n";
+    }
+    ASSERT_EQ(::write(fd, script.data(), script.size()),
+              static_cast<ssize_t>(script.size()));
+    ::shutdown(fd, SHUT_WR);
+    std::string reply;
+    char buf[8192];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+      reply.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    std::istringstream lines(reply);
+    std::string line;
+    int got = 0;
+    while (std::getline(lines, line)) {
+      const auto r = json::parse(line);
+      EXPECT_EQ(r.find("status")->asString(), "ok") << line;
+      ++got;
+    }
+    EXPECT_EQ(got, kPerClient);
+    okResponses.fetch_add(got);
+  };
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+    for (auto& t : clients) t.join();
+  }
+  server.engine().handleLine("{\"cmd\":\"shutdown\"}");
+  Server::requestShutdown();
+  serving.join();
+  Server::clearShutdownFlag();
+
+  // Histograms are always-on: without MSC_METRICS, the exported request
+  // latency distribution must cover exactly the requests served (the
+  // explicit shutdown line above included) with ordered quantiles.
+  const auto snap = msc::obs::Registry::global()
+                        .histogram("serve.request_seconds")
+                        .snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(okResponses.load()) + 1);
+  EXPECT_EQ(okResponses.load(), kClients * kPerClient);
+  EXPECT_LE(snap.p50(), snap.p90());
+  EXPECT_LE(snap.p90(), snap.p99());
+  EXPECT_LE(snap.p99(), snap.max);
+  const auto waits = msc::obs::Registry::global()
+                         .histogram("serve.queue_wait_seconds")
+                         .snapshot();
+  EXPECT_GT(waits.count, 0u);  // queued (non-health) requests record waits
+  msc::obs::resetAll();
+}
+
+TEST(ServeTelemetry, MetricsHttpListenerServesScrapesAndHealth) {
+  Server::clearShutdownFlag();
+  Server server;
+  const int port = server.startMetricsHttp(0);  // ephemeral
+  ASSERT_GT(port, 0);
+
+  const auto fetch = [&](const std::string& target) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string req = "GET " + target + " HTTP/1.1\r\n"
+                            "Host: 127.0.0.1\r\nConnection: close\r\n\r\n";
+    EXPECT_EQ(::write(fd, req.data(), req.size()),
+              static_cast<ssize_t>(req.size()));
+    std::string reply;
+    char buf[8192];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+      reply.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return reply;
+  };
+
+  (void)server.engine().handleLine("{\"cmd\":\"stats\"}");  // seed histogram
+  const std::string metrics = fetch("/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("msc_serve_request_seconds_count"),
+            std::string::npos);
+
+  const std::string healthy = fetch("/healthz");
+  EXPECT_NE(healthy.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(healthy.find("ok"), std::string::npos);
+
+  EXPECT_NE(fetch("/nope").find("404"), std::string::npos);
+
+  // Once global shutdown is requested, the probe flips to 503 draining.
+  Server::requestShutdown();
+  const std::string draining = fetch("/healthz");
+  EXPECT_NE(draining.find("503"), std::string::npos);
+  EXPECT_NE(draining.find("draining"), std::string::npos);
+
+  server.stopMetricsHttp();
+  Server::clearShutdownFlag();
 }
 
 TEST(ServeServer, GlobalShutdownFlagStopsStreamLoop) {

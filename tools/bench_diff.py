@@ -5,9 +5,14 @@ Usage:
     bench_diff.py OLD.json NEW.json [--max-ratio 2.0]
 
 For every case present in both files, compares the median wall seconds and
-exits 1 when NEW exceeds OLD by more than --max-ratio. Cases that appear in
-only one file produce a warning, not a failure, so adding or retiring a
-case never blocks CI. Stdlib only — runs anywhere python3 does.
+exits 1 when NEW exceeds OLD by more than --max-ratio. When BOTH files
+carry tail-latency quantiles (the harness emits "p50"/"p99" since bench
+schema msc.bench.v1 gained them; older files without them still diff
+cleanly), p99 is gated with the same ratio and p50 is reported. Quantile
+fields that are present but malformed (non-numeric, e.g. hand-edited) are
+a hard error. Cases that appear in only one file produce a warning, not a
+failure, so adding or retiring a case never blocks CI. Stdlib only — runs
+anywhere python3 does.
 
 The default ratio is deliberately loose (2x): shared CI runners are noisy,
 and the gate exists to catch accidental algorithmic blowups (a dropped
@@ -45,6 +50,15 @@ def load_cases(path):
             sys.exit(f"error: {path}: case {case!r} lacks a 'median' field "
                      f"— not written by the bench harness (truncated or "
                      f"hand-edited json?)")
+        for quantile in ("p50", "p99"):
+            # Optional (pre-quantile harness output lacks them), but when
+            # present they must be numeric or null (null = non-finite, the
+            # harness's JSON mapping) — anything else is a hand-edit.
+            if quantile in entry and entry[quantile] is not None and \
+                    not isinstance(entry[quantile], (int, float)):
+                sys.exit(f"error: {path}: case {case!r}: {quantile!r} must "
+                         f"be a number or null, got "
+                         f"{entry[quantile]!r} (hand-edited bench json?)")
     return doc.get("name", "?"), cases
 
 
@@ -93,6 +107,27 @@ def main():
               f"({ratio:.2f}x, limit {args.max_ratio:.2f}x)")
         if ratio > args.max_ratio:
             failures.append(case)
+
+        # Tail-latency gate: only when both sides carry the quantile (mixed
+        # old/new harness versions diff on median alone).
+        old_p99 = old_cases[case].get("p99")
+        new_p99 = new_cases[case].get("p99")
+        if isinstance(old_p99, (int, float)) and \
+                isinstance(new_p99, (int, float)) and old_p99 > 0:
+            p99_ratio = new_p99 / old_p99
+            p99_verdict = "FAIL" if p99_ratio > args.max_ratio else "ok"
+            print(f"{p99_verdict:7} {case} [p99]: {old_p99:.6f}s -> "
+                  f"{new_p99:.6f}s ({p99_ratio:.2f}x, "
+                  f"limit {args.max_ratio:.2f}x)")
+            if p99_ratio > args.max_ratio and case not in failures:
+                failures.append(case)
+        old_p50 = old_cases[case].get("p50")
+        new_p50 = new_cases[case].get("p50")
+        if isinstance(old_p50, (int, float)) and \
+                isinstance(new_p50, (int, float)) and old_p50 > 0:
+            # p50 ~= median (reported for context, the median line gates).
+            print(f"        {case} [p50]: {old_p50:.6f}s -> {new_p50:.6f}s "
+                  f"({new_p50 / old_p50:.2f}x, not gated)")
 
     if failures:
         print(f"\nregression in {len(failures)} case(s): "
