@@ -107,6 +107,21 @@ const CaseResult& Harness::run(const std::string& caseName,
   return results_.back();
 }
 
+void Harness::addPhaseSamples(const std::string& phaseName,
+                              const std::vector<double>& seconds) {
+  if (results_.empty()) {
+    throw std::logic_error(
+        "bench harness: addPhaseSamples() before any run()");
+  }
+  if (seconds.empty()) return;
+  PhaseResult phase;
+  phase.name = phaseName;
+  phase.count = seconds.size();
+  phase.median = util::percentile(seconds, 50.0);
+  phase.p99 = util::percentile(seconds, 99.0);
+  results_.back().phases.push_back(std::move(phase));
+}
+
 std::string Harness::toJson() const {
   std::string out;
   out += "{\n  \"schema\": \"msc.bench.v1\",\n  \"name\": \"";
@@ -139,6 +154,22 @@ std::string Harness::toJson() const {
     appendNumber(out, c.p50);
     out += ",\n      \"p99\": ";
     appendNumber(out, c.p99);
+    if (!c.phases.empty()) {
+      out += ",\n      \"phases\": {";
+      bool firstPhase = true;
+      for (const PhaseResult& p : c.phases) {
+        if (!firstPhase) out += ", ";
+        firstPhase = false;
+        out += '"';
+        appendEscaped(out, p.name);
+        out += "\": {\"count\": " + std::to_string(p.count) + ", \"median\": ";
+        appendNumber(out, p.median);
+        out += ", \"p99\": ";
+        appendNumber(out, p.p99);
+        out += '}';
+      }
+      out += '}';
+    }
     out += ",\n      \"runs\": [";
     for (std::size_t i = 0; i < c.runs.size(); ++i) {
       out += i == 0 ? "\n        {" : ",\n        {";

@@ -40,6 +40,15 @@ struct RunSample {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
+/// Aggregated duration samples for one request phase within a case
+/// (queue_wait / apsp / round_scan / ... — the serve usage-block phases).
+struct PhaseResult {
+  std::string name;
+  std::size_t count = 0;  ///< Samples the aggregates were computed from.
+  double median = 0.0;
+  double p99 = 0.0;
+};
+
 /// Aggregated result of one named case.
 struct CaseResult {
   std::string name;
@@ -51,6 +60,7 @@ struct CaseResult {
   double max = 0.0;
   double p50 = 0.0;              ///< Interpolated percentile (== median).
   double p99 = 0.0;              ///< ~max at default repeat counts.
+  std::vector<PhaseResult> phases;  ///< Optional; see addPhaseSamples().
 };
 
 /// Collects cases and writes BENCH_<name>.json. Not thread-safe; a bench
@@ -69,6 +79,16 @@ class Harness {
   const CaseResult& run(const std::string& caseName,
                         const std::function<void()>& fn);
 
+  /// Attaches per-phase duration samples (seconds) to the most recently
+  /// run case, aggregated to {count, median, p99} and rendered as a
+  /// "phases" object in the JSON — the per-phase series
+  /// tools/bench_diff.py gates separately from end-to-end latency. Serve
+  /// benches collect these from response `usage.phases` blocks after the
+  /// timed runs. Empty sample sets are ignored; throws std::logic_error
+  /// when no case has run yet.
+  void addPhaseSamples(const std::string& phaseName,
+                       const std::vector<double>& seconds);
+
   const std::string& name() const noexcept { return name_; }
   const HarnessConfig& config() const noexcept { return config_; }
   const std::vector<CaseResult>& results() const noexcept { return results_; }
@@ -82,6 +102,8 @@ class Harness {
   ///       "greedy_k4": {"seconds": [...], "median": ..., "mean": ...,
   ///                     "stddev": ..., "min": ..., "max": ...,
   ///                     "p50": ..., "p99": ...,
+  ///                     "phases": {"apsp": {"count": ..., "median": ...,
+  ///                                         "p99": ...}},  // optional
   ///                     "runs": [{"seconds": ..., "counters": {...}}]}
   ///     }
   ///   }

@@ -7,13 +7,16 @@
 // (serve.cache.apsp_hits / apsp_misses) prove which path each case took —
 // tools/bench_diff.py keeps it from regressing.
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "eval/experiment.h"
 #include "graph/graph_io.h"
 #include "harness.h"
+#include "serve/json.h"
 #include "serve/server.h"
 #include "util/env.h"
 
@@ -52,6 +55,24 @@ void expectOk(const std::string& response) {
   }
 }
 
+/// Pulls usage.phases durations out of stored response lines (parsed after
+/// the timed runs — JSON parsing must not pollute the measurement).
+std::map<std::string, std::vector<double>> collectPhases(
+    const std::vector<std::string>& responses) {
+  std::map<std::string, std::vector<double>> phases;
+  for (const std::string& line : responses) {
+    const msc::serve::json::Value doc = msc::serve::json::parse(line);
+    const msc::serve::json::Value* usage = doc.find("usage");
+    if (usage == nullptr) continue;
+    const msc::serve::json::Value* phaseObj = usage->find("phases");
+    if (phaseObj == nullptr || !phaseObj->isObject()) continue;
+    for (const auto& [name, value] : phaseObj->asObject()) {
+      if (value.isNumber()) phases[name].push_back(value.asNumber());
+    }
+  }
+  return phases;
+}
+
 }  // namespace
 
 int main() {
@@ -79,6 +100,13 @@ int main() {
 
   bench::Harness h("serve_throughput");
 
+  // Solve responses are kept (push_back only, parsed after the runs) so
+  // the usage.phases attribution can be aggregated into the BENCH json —
+  // the per-phase p99 series bench_diff.py gates (apsp separately from
+  // end-to-end).
+  std::vector<std::string> solveResponses;
+  solveResponses.reserve(256);
+
   // Every request batch re-loads the instance from scratch: each solve is
   // an APSP compute (serve.cache.apsp_misses == requestsPerRun per run).
   const auto& cold = h.run("solve_cold_cache", [&] {
@@ -86,9 +114,14 @@ int main() {
       engine.cache().clear();
       expectOk(engine.handleLine(loadGraphReq));
       expectOk(engine.handleLine(loadPairsReq));
-      expectOk(engine.handleLine(solveReq));
+      solveResponses.push_back(engine.handleLine(solveReq));
+      expectOk(solveResponses.back());
     }
   });
+  for (const auto& [phase, samples] : collectPhases(solveResponses)) {
+    h.addPhaseSamples(phase, samples);
+  }
+  solveResponses.clear();
 
   // Instance stays loaded: every solve reuses the memoized matrix
   // (serve.cache.apsp_hits == requestsPerRun per run).
@@ -97,9 +130,13 @@ int main() {
   expectOk(engine.handleLine(solveReq));  // memoize APSP before timing
   const auto& warm = h.run("solve_warm_cache", [&] {
     for (int i = 0; i < requestsPerRun; ++i) {
-      expectOk(engine.handleLine(solveReq));
+      solveResponses.push_back(engine.handleLine(solveReq));
+      expectOk(solveResponses.back());
     }
   });
+  for (const auto& [phase, samples] : collectPhases(solveResponses)) {
+    h.addPhaseSamples(phase, samples);
+  }
 
   const auto reqPerSec = [requestsPerRun](double seconds) {
     return seconds > 0.0 ? requestsPerRun / seconds : 0.0;

@@ -24,6 +24,7 @@
 
 #include "core/aea.h"
 #include "eval/report.h"
+#include "obs/context.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/prom_export.h"
@@ -66,12 +67,13 @@ int usage() {
       "  eval  --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
       "  route --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
       "  serve [--listen SOCKET_PATH] [--queue N] [--cache-mb MB]\n"
-      "        [--metrics-listen PORT]\n"
+      "        [--metrics-listen PORT] [--slowreq-ms MS] [--slowreq-dir D]\n"
       "        long-running msc.serve.v1 JSONL solve service on stdin/stdout\n"
       "        (or a Unix socket with --listen); --metrics-listen starts a\n"
       "        plain-HTTP GET /metrics + /healthz endpoint on 127.0.0.1;\n"
-      "        SIGINT/SIGTERM drain and exit; see docs/ALGORITHMS.md\n"
-      "        sec. 12-13\n"
+      "        --slowreq-ms dumps a Perfetto trace of any request slower\n"
+      "        than MS to --slowreq-dir (default out/); SIGINT/SIGTERM\n"
+      "        drain and exit; see docs/ALGORITHMS.md sec. 12-14\n"
       "  version  print the version and the machine-readable schemas\n"
       "every subcommand also accepts --threads N (worker threads for APSP\n"
       "and solver gain scans; 0 = all hardware cores; results are identical\n"
@@ -333,9 +335,19 @@ extern "C" void serveSignalHandler(int) {
 }
 
 int cmdServe(const Args& args) {
-  checkFlags(args, {"listen", "queue", "cache-mb", "metrics-listen"});
+  checkFlags(args, {"listen", "queue", "cache-mb", "metrics-listen",
+                    "slowreq-ms", "slowreq-dir"});
   msc::serve::ServerConfig config;
   config.engine.defaultThreads = threadsArg(args);
+  // Flight-recorder knobs; flags win over MSC_SLOWREQ_MS / MSC_SLOWREQ_DIR.
+  if (args.has("slowreq-ms")) {
+    const double ms = args.getDouble("slowreq-ms", 0.0);
+    if (ms < 0) throw std::runtime_error("--slowreq-ms must be >= 0");
+    msc::obs::setSlowRequestThresholdMs(ms);
+  }
+  if (args.has("slowreq-dir")) {
+    msc::obs::setSlowRequestDir(args.requireString("slowreq-dir"));
+  }
   if (args.has("cache-mb")) {
     const long long mb = args.getInt("cache-mb", 256);
     if (mb < 0) throw std::runtime_error("--cache-mb must be >= 0");

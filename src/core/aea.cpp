@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/gain_scan.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
@@ -116,6 +117,8 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
       // completes — so the scan falls back to the first non-member.
       eval.evaluate(f);  // state = F \ {dropped}
       ++evaluations;
+      // Same phase as the greedy round scans: a full candidate sweep.
+      const msc::obs::ScopedPhaseTimer scanPhase(msc::obs::Phase::RoundScan);
       const detail::ScanBest add = detail::gainScan(
           eval, candidates, threads, /*requirePositiveGain=*/false,
           [&](std::size_t c) { return contains(f, candidates[c]); },

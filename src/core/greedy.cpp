@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/gain_scan.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
@@ -60,7 +61,11 @@ GreedyResult greedyMaximize(IncrementalEvaluator& eval,
         eval, candidates, threads, /*requirePositiveGain=*/true,
         [&](std::size_t c) { return chosen[c] != 0; },
         [](double gain, std::size_t) { return gain; });
-    scanHist.record(secondsSince(scanStart));
+    const double scanSeconds = secondsSince(scanStart);
+    scanHist.record(scanSeconds);
+    // Reuses the duration the histogram already measured — zero extra
+    // clock reads on the unattributed path.
+    msc::obs::notePhaseSeconds(msc::obs::Phase::RoundScan, scanSeconds);
     result.gainEvaluations += best.evaluations;
     if (best.index < 0) break;  // nothing improves the objective
     const auto idx = static_cast<std::size_t>(best.index);
@@ -110,6 +115,9 @@ GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
   // placement — read-only on the evaluator, so it shards cleanly. Pushing
   // in index order afterwards keeps the heap identical to a serial fill.
   {
+    // The fill is the lazy pass's analogue of a full gain scan; charge it
+    // to the same request phase (clock read only under a bound context).
+    const msc::obs::ScopedPhaseTimer scanPhase(msc::obs::Phase::RoundScan);
     std::vector<double> initialGain(candidates.size());
     util::parallelForThreads(
         threads, 0, candidates.size(),

@@ -6,6 +6,7 @@
 
 #include "core/bounds.h"
 #include "core/sigma.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
@@ -54,18 +55,26 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
     // Each pass is individually deterministic, so the concurrent schedule
     // returns exactly the sequential result.
     std::exception_ptr muError, sigmaError, nuError;
-    std::thread muThread([&] {
+    // Directly-spawned threads don't inherit the serve request binding the
+    // way pool workers do; capture it here and re-bind inside each pass so
+    // their trace events, phase notes and CPU time stay attributed.
+    msc::obs::RequestContext* const requestCtx = msc::obs::currentRequest();
+    std::thread muThread([&, requestCtx] {
       try {
         msc::obs::trace::setCurrentThreadName("sandwich.mu");
+        const msc::obs::ScopedRequestBind bind(requestCtx);
+        const msc::obs::ScopedCpuAttribution cpu;
         MSC_OBS_SPAN("sandwich.pass.mu");
         mu = lazyGreedyMaximize(muEval, candidates, options);
       } catch (...) {
         muError = std::current_exception();
       }
     });
-    std::thread nuThread([&] {
+    std::thread nuThread([&, requestCtx] {
       try {
         msc::obs::trace::setCurrentThreadName("sandwich.nu");
+        const msc::obs::ScopedRequestBind bind(requestCtx);
+        const msc::obs::ScopedCpuAttribution cpu;
         MSC_OBS_SPAN("sandwich.pass.nu");
         nu = lazyGreedyMaximize(nuEval, candidates, options);
       } catch (...) {

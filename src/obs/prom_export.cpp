@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace msc::obs {
 
 namespace {
@@ -28,6 +30,19 @@ void appendValue(std::ostream& os, double v) {
 
 std::string promName(const std::string& registryName) {
   return "msc_" + promSanitizeName(registryName);
+}
+
+// Label values allow any UTF-8 but \, " and newline must be escaped
+// (Prometheus text format 0.0.4).
+void appendLabelValue(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '\\': os << "\\\\"; break;
+      case '"': os << "\\\""; break;
+      case '\n': os << "\\n"; break;
+      default: os << *s;
+    }
+  }
 }
 
 }  // namespace
@@ -65,14 +80,19 @@ void writeProm(std::ostream& os, const Registry& registry) {
     appendValue(os, s.count() > 0 ? s.mean() * static_cast<double>(s.count())
                                   : 0.0);
     os << '\n';
-    os << "# TYPE " << name << "_min gauge\n";
-    os << name << "_min ";
-    appendValue(os, s.min());
-    os << '\n';
-    os << "# TYPE " << name << "_max gauge\n";
-    os << name << "_max ";
-    appendValue(os, s.max());
-    os << '\n';
+    // A stat with no samples has no min/max; omit the gauges rather than
+    // print NaN — a freshly started server must never serve a page whose
+    // very first scrape some collectors reject wholesale.
+    if (s.count() > 0) {
+      os << "# TYPE " << name << "_min gauge\n";
+      os << name << "_min ";
+      appendValue(os, s.min());
+      os << '\n';
+      os << "# TYPE " << name << "_max gauge\n";
+      os << name << "_max ";
+      appendValue(os, s.max());
+      os << '\n';
+    }
   }
 
   for (const auto& row : registry.histograms()) {
@@ -98,6 +118,26 @@ void writeProm(std::ostream& os, const Registry& registry) {
     appendValue(os, snap.sum);
     os << '\n';
     os << name << "_count " << snap.count << '\n';
+  }
+
+  // Per-lane trace drop counters: silent ring-buffer loss (PR 3's per-lane
+  // `dropped`) made visible to monitoring. Emitted whenever any thread has
+  // ever recorded a trace event, zeros included, so a rate() query shows a
+  // flat 0 instead of an absent series until the first loss.
+  const std::vector<trace::LaneDropCount> drops = trace::laneDropCounts();
+  if (!drops.empty()) {
+    os << "# HELP msc_trace_dropped_events_total trace events overwritten "
+          "by ring-buffer wrap, per thread lane\n";
+    os << "# TYPE msc_trace_dropped_events_total counter\n";
+    for (const trace::LaneDropCount& lane : drops) {
+      os << "msc_trace_dropped_events_total{lane=\"" << lane.tid << '"';
+      if (lane.threadName != nullptr) {
+        os << ",thread=\"";
+        appendLabelValue(os, lane.threadName);
+        os << '"';
+      }
+      os << "} " << lane.dropped << '\n';
+    }
   }
 }
 

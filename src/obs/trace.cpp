@@ -65,6 +65,10 @@ struct TlsLane {
 
 thread_local TlsLane tlsLane;
 
+// Request id stamped into this thread's events; owned by the context layer
+// (obs/context.h ScopedRequestBind), read once per record().
+thread_local std::uint64_t tlsRequestId = 0;
+
 LaneBuffer& acquireLane() {
   TlsLane& t = tlsLane;
   if (t.lane == nullptr) {
@@ -101,6 +105,7 @@ void record(EventKind kind, const char* name,
                .count();
   e.name = name;
   e.kind = kind;
+  e.req = tlsRequestId;
   e.argCount = static_cast<std::uint8_t>(
       std::min<std::size_t>(args.size(), Event::kMaxArgs));
   std::size_t i = 0;
@@ -150,6 +155,16 @@ void instant(const char* name, std::initializer_list<Arg> args) {
 
 void counter(const char* name, double value) {
   record(EventKind::Counter, name, {{"value", value}});
+}
+
+void setCurrentRequestId(std::uint64_t id) noexcept { tlsRequestId = id; }
+
+std::uint64_t currentRequestId() noexcept { return tlsRequestId; }
+
+std::int64_t nowNs() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - g().epoch)
+      .count();
 }
 
 void setCurrentThreadName(const char* name) {
@@ -228,6 +243,22 @@ std::uint64_t droppedEvents() noexcept {
     total += buffer->dropped;
   }
   return total;
+}
+
+std::vector<LaneDropCount> laneDropCounts() {
+  Global& G = g();
+  std::vector<LaneBuffer*> lanes;
+  {
+    const std::lock_guard<std::mutex> lock(G.mu);
+    lanes = G.lanes;
+  }
+  std::vector<LaneDropCount> counts;
+  counts.reserve(lanes.size());
+  for (LaneBuffer* buffer : lanes) {
+    const std::lock_guard<std::mutex> laneLock(buffer->mu);
+    counts.push_back({buffer->tid, buffer->threadName, buffer->dropped});
+  }
+  return counts;
 }
 
 void setBufferCapacity(std::size_t events) {

@@ -80,6 +80,11 @@ struct Event {
   const char* name = nullptr;
   EventKind kind = EventKind::Instant;
   std::uint8_t argCount = 0;
+  /// Trace id of the request this event was recorded on behalf of
+  /// (obs::RequestContext::traceId(), stamped from a thread-local set by
+  /// setCurrentRequestId); 0 = not request-scoped. A dedicated field, not
+  /// an Arg: events already using all kMaxArgs slots must still carry it.
+  std::uint64_t req = 0;
   Arg args[kMaxArgs];
 };
 
@@ -100,6 +105,16 @@ void counter(const char* name, double value);
 /// ...). Takes effect on the thread's next recorded event; safe to call
 /// while tracing is disabled.
 void setCurrentThreadName(const char* name);
+
+/// Request id stamped into this thread's subsequent events (Event::req);
+/// 0 clears it. Managed by obs::ScopedRequestBind — call sites rarely
+/// touch this directly. A plain thread-local write, safe while disabled.
+void setCurrentRequestId(std::uint64_t id) noexcept;
+std::uint64_t currentRequestId() noexcept;
+
+/// Nanoseconds on the trace clock (steady, shared epoch with Event::tsNs),
+/// for callers that need timestamps comparable to recorded events.
+std::int64_t nowNs() noexcept;
 
 // ---- snapshot & management ----------------------------------------------
 
@@ -129,6 +144,18 @@ void clearAll();
 
 /// Sum of drop counters across all lanes.
 std::uint64_t droppedEvents() noexcept;
+
+/// One lane's drop counter, for per-lane monitoring exposition
+/// (msc_trace_dropped_events_total{lane=...} in obs/prom_export.h).
+struct LaneDropCount {
+  int tid = 0;
+  const char* threadName = nullptr;  // null when never named
+  std::uint64_t dropped = 0;
+};
+
+/// Drop counters for every registered lane (including zero-drop lanes),
+/// sorted by tid. Cheap: copies counters, never event payloads.
+std::vector<LaneDropCount> laneDropCounts();
 
 /// Per-thread ring capacity in events for lanes created afterwards (and for
 /// existing lanes at the next clearAll()). Values < 1 clamp to 1. Defaults

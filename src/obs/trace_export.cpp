@@ -44,8 +44,11 @@ void appendNumber(std::ostream& os, double v) {
 
 void appendArgs(std::ostream& os, const Event& e) {
   os << '{';
+  // The request stamp renders as an ordinary "req" argument so Perfetto
+  // queries can group/filter slices by request without a schema extension.
+  if (e.req != 0) os << "\"req\": " << e.req;
   for (int i = 0; i < e.argCount; ++i) {
-    if (i) os << ", ";
+    if (i || e.req != 0) os << ", ";
     os << '"';
     appendEscaped(os, e.args[i].key);
     os << "\": ";
@@ -111,7 +114,7 @@ void writeChromeJson(std::ostream& os, const Snapshot& snapshot) {
       os << ", \"pid\": 1, \"tid\": " << lane.tid << ", \"ts\": ";
       // Chrome timestamps are microseconds; keep sub-us resolution.
       appendNumber(os, static_cast<double>(e.tsNs) / 1000.0);
-      if (e.argCount > 0) {
+      if (e.argCount > 0 || e.req != 0) {
         os << ", \"args\": ";
         appendArgs(os, e);
       }
@@ -134,7 +137,7 @@ void writeJsonl(std::ostream& os, const Snapshot& snapshot) {
          << kindName(e.kind) << "\", \"name\": \"";
       appendEscaped(os, e.name);
       os << '"';
-      if (e.argCount > 0) {
+      if (e.argCount > 0 || e.req != 0) {
         os << ", \"args\": ";
         appendArgs(os, e);
       }

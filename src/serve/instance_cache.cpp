@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/context.h"
+
 namespace msc::serve {
 
 namespace {
@@ -168,6 +170,9 @@ bool InstanceCache::ensureDistances(GraphEntry& entry, int threads) {
     return true;
   }
   ++counters_.apspComputes;
+  // Request-phase attribution: the APSP rebuild is the dominant cold-cache
+  // cost, so it gets its own phase in the serve usage block (§14).
+  const obs::ScopedPhaseTimer phase(obs::Phase::Apsp);
   entry.distances = std::make_shared<const msc::graph::DistanceMatrix>(
       msc::graph::allPairsDistances(*entry.graph, threads));
   bytesUsed_ += matrixBytes(*entry.distances);

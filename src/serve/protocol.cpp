@@ -160,6 +160,16 @@ long long getIntParam(const Request& req, const char* key, long long fallback,
   return value;
 }
 
+bool getBoolParam(const Request& req, const char* key, bool fallback) {
+  const json::Value* v = findParam(req, key);
+  if (!v) return fallback;
+  if (!v->isBool()) {
+    throw ProtocolError(std::string("field \"") + key +
+                        "\" must be a boolean");
+  }
+  return v->asBool();
+}
+
 core::ShortcutList parsePlacementSpec(const std::string& spec) {
   core::ShortcutList out;
   std::size_t pos = 0;

@@ -17,7 +17,14 @@
 //
 //   {"schema": "msc.serve.v1", "id": 7, "status": "ok", "cmd": "solve",
 //    "placement": "3-41,17-88", "value": 6, "apsp_cache": "hit",
-//    "wall_seconds": 0.004, "gain_evals": 5310}
+//    "wall_seconds": 0.004, "gain_evals": 5310, "usage": {...}}
+//
+// Every status:"ok" response additionally carries a "usage" object with
+// per-request attribution (docs/ALGORITHMS.md §14): gain_evals,
+// cpu_seconds summed across all participating threads, and a "phases"
+// object (queue_wait / apsp / round_scan / other wall seconds). Any
+// request may set `"profile": true` (boolean) to force a flight-recorder
+// trace dump; the dump's path comes back as usage.trace_file.
 //
 // Malformed input — bad JSON, a non-object, unknown or missing cmd, wrong
 // field types — is answered with a status:"error" response carrying a
@@ -98,6 +105,7 @@ double getNumberParam(const Request& req, const char* key, double fallback);
 /// Number that must be integral (no fractional part) and in [min, max].
 long long getIntParam(const Request& req, const char* key, long long fallback,
                       long long min, long long max);
+bool getBoolParam(const Request& req, const char* key, bool fallback);
 
 // ---- placement specs ----------------------------------------------------
 

@@ -25,6 +25,7 @@
 #include "core/sandwich.h"
 #include "core/sigma.h"
 #include "graph/graph_io.h"
+#include "obs/context.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/prom_export.h"
@@ -99,6 +100,30 @@ std::vector<core::SocialPair> parsePairsText(const std::string& text) {
   return pairs;
 }
 
+/// Tail-sampling flight recorder (docs/ALGORITHMS.md §14): dump the
+/// request's trace events when it breached the latency threshold or asked
+/// for a profile. Returns the dump path, "" when no dump was made. A dump
+/// failure (unwritable dir) is reported in the log, never to the client —
+/// diagnostics must not fail the request they diagnose.
+std::string maybeDumpFlightRecord(const obs::RequestContext& rctx,
+                                  double totalSeconds) {
+  const double thresholdMs = obs::slowRequestThresholdMs();
+  const bool slow = thresholdMs > 0.0 && totalSeconds * 1000.0 >= thresholdMs;
+  // Always-on counter (like the latency histograms): tail breaches must be
+  // visible on /metrics without MSC_METRICS.
+  if (slow) obs::counter("serve.slow_requests").add(1);
+  if (!slow && !rctx.profile()) return "";
+  try {
+    return obs::dumpFlightRecord(rctx);
+  } catch (const std::exception& e) {
+    if (obs::log::enabled(obs::log::Level::Warn)) {
+      obs::log::write(obs::log::Level::Warn, "serve.flight_record_failed",
+                      {{"id", rctx.id()}, {"error", e.what()}});
+    }
+    return "";
+  }
+}
+
 double requestThreshold(const Request& req) {
   // "p_t" is the schema name; "pt" is accepted as the CLI-flag spelling.
   double pt = getNumberParam(req, "p_t", -1.0);
@@ -150,28 +175,96 @@ std::string Engine::handle(const Request& request, double queueWaitSeconds) {
                                          begin)
         .count();
   };
+
+  // Request-scoped attribution (docs/ALGORITHMS.md §14): one context per
+  // request, bound to the executor thread and inherited by every pool
+  // worker / pass thread the solve spawns. "profile" is validated lazily
+  // so a malformed value takes the normal error-response path below.
+  bool profile = false;
+  std::string profileError;
+  try {
+    profile = getBoolParam(request, "profile", false);
+  } catch (const std::exception& e) {
+    profileError = e.what();
+  }
+  obs::RequestContext rctx(json::dump(request.id), profile);
+  rctx.addPhaseNs(obs::Phase::QueueWait,
+                  static_cast<std::int64_t>(queueWaitSeconds * 1e9));
+  const obs::ScopedRequestBind bindRequest(&rctx);
+
   std::string response;
   const char* status = "ok";
   std::string error;
   std::string cache;
+  std::string traceFile;
+  double wallExec = 0.0;
   try {
+    if (!profileError.empty()) throw ProtocolError(profileError, request.id);
     std::uint64_t gainEvals = 0;
-    json::Object fields = dispatch(request, gainEvals);
+    json::Object fields;
+    {
+      // The executor thread's own CPU share; workers add theirs in the
+      // pool (util/parallel.cpp), pass threads in sandwich.cpp.
+      const obs::ScopedCpuAttribution cpu;
+      fields = dispatch(request, gainEvals);
+    }
+    rctx.addGainEvals(gainEvals);
     if (const auto it = fields.find("apsp_cache");
         it != fields.end() && it->second.isString()) {
       cache = it->second.asString();
+      rctx.noteApspCache(cache == "hit");
     }
+    // Execution wall time is frozen before the (possibly file-writing)
+    // flight-record dump so usage phases sum to queue_wait + wall_seconds.
+    wallExec = wallSince();
+    rctx.finalize(wallExec);
+    traceFile = maybeDumpFlightRecord(rctx, queueWaitSeconds + wallExec);
+
+    json::Object usage;
+    usage["gain_evals"] = rctx.gainEvals();
+    usage["cpu_seconds"] = rctx.cpuSeconds();
+    if (*rctx.apspCache() != '\0') usage["apsp_cache"] = rctx.apspCache();
+    json::Object phases;
+    for (const obs::Phase phase :
+         {obs::Phase::QueueWait, obs::Phase::Apsp, obs::Phase::RoundScan,
+          obs::Phase::Other}) {
+      phases[obs::phaseName(phase)] = rctx.phaseSeconds(phase);
+    }
+    usage["phases"] = std::move(phases);
+    if (!traceFile.empty()) usage["trace_file"] = traceFile;
+    fields["usage"] = std::move(usage);
     response = okResponse(request.id, request.cmd, std::move(fields),
-                          wallSince(), gainEvals);
+                          wallExec, gainEvals);
   } catch (const std::exception& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     bumpCounter("serve.errors");
     status = "error";
     error = e.what();
-    response = errorResponse(request.id, error, wallSince());
+    wallExec = wallSince();
+    rctx.finalize(wallExec);
+    // Slow *failing* requests are the ones most worth a flight record;
+    // the error schema carries no usage block, so the path is log-only.
+    traceFile = maybeDumpFlightRecord(rctx, queueWaitSeconds + wallExec);
+    response = errorResponse(request.id, error, wallExec);
   }
   const double wall = wallSince();
   requestHist.record(wall);
+  // Always-on per-phase latency histograms (Prometheus: the per-phase p99s
+  // tools/bench_diff.py gates). Zero-duration phases are skipped so cheap
+  // commands (health, stats) don't flood the apsp/round_scan series.
+  static auto& apspPhaseHist = obs::histogram("serve.phase.apsp_seconds");
+  static auto& scanPhaseHist =
+      obs::histogram("serve.phase.round_scan_seconds");
+  static auto& otherPhaseHist = obs::histogram("serve.phase.other_seconds");
+  if (rctx.phaseNs(obs::Phase::Apsp) > 0) {
+    apspPhaseHist.record(rctx.phaseSeconds(obs::Phase::Apsp));
+  }
+  if (rctx.phaseNs(obs::Phase::RoundScan) > 0) {
+    scanPhaseHist.record(rctx.phaseSeconds(obs::Phase::RoundScan));
+  }
+  if (rctx.phaseNs(obs::Phase::Other) > 0) {
+    otherPhaseHist.record(rctx.phaseSeconds(obs::Phase::Other));
+  }
   if (obs::log::enabled(obs::log::Level::Info)) {
     std::vector<obs::log::Field> logFields{
         {"id", json::dump(request.id)},
@@ -179,9 +272,14 @@ std::string Engine::handle(const Request& request, double queueWaitSeconds) {
         {"status", status},
         {"queue_wait_seconds", queueWaitSeconds},
         {"wall_seconds", wall},
+        {"cpu_seconds", rctx.cpuSeconds()},
+        {"apsp_seconds", rctx.phaseSeconds(obs::Phase::Apsp)},
+        {"round_scan_seconds", rctx.phaseSeconds(obs::Phase::RoundScan)},
+        {"gain_evals", rctx.gainEvals()},
     };
     if (!cache.empty()) logFields.emplace_back("cache", cache);
     if (!error.empty()) logFields.emplace_back("error", error);
+    if (!traceFile.empty()) logFields.emplace_back("trace_file", traceFile);
     obs::log::write(obs::log::Level::Info, "serve.request", logFields);
   }
   return response;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -135,7 +136,17 @@ void ThreadPool::workerMain() {
     ++job.joined;
     ++job.active;
     lock.unlock();
-    runChunks(job);
+    {
+      // Attribute this worker's share of the job to the submitting
+      // request: bind its context (tags trace events, routes phase notes)
+      // and charge the CPU this thread burns on the chunks. The submitter
+      // is already bound and CPU-measured by the serve layer, so only
+      // workers account here — no double counting. One TLS write each way
+      // when ctx is null, preserving the unattributed hot path.
+      const msc::obs::ScopedRequestBind bind(job.ctx);
+      const msc::obs::ScopedCpuAttribution cpu;
+      runChunks(job);
+    }
     lock.lock();
     --job.active;
     doneCv_.notify_all();
@@ -181,6 +192,7 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
   job.grain = grain;
   job.chunkCount = chunkCount;
   job.traceId = gJobTraceId.fetch_add(1, std::memory_order_relaxed);
+  job.ctx = msc::obs::currentRequest();
   job.fn = &fn;
   job.maxParticipants = limit;
   job.minWorkerChunks = std::numeric_limits<std::size_t>::max();

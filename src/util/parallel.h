@@ -27,6 +27,10 @@
 #include <thread>
 #include <vector>
 
+namespace msc::obs {
+class RequestContext;
+}
+
 namespace msc::util {
 
 /// Maps a SolveOptions-style thread request to an actual count:
@@ -68,6 +72,10 @@ class ThreadPool {
     std::size_t grain = 1;
     std::size_t chunkCount = 0;
     std::uint64_t traceId = 0;  // groups per-chunk trace slices by job
+    // Submitter's request context (obs/context.h), captured at submission
+    // and bound around each worker's chunk run so pooled work is
+    // attributed to the request that caused it; null outside serve.
+    msc::obs::RequestContext* ctx = nullptr;
     const ChunkFn* fn = nullptr;
     std::atomic<std::size_t> nextChunk{0};
     // Everything below is guarded by the pool mutex.

@@ -170,8 +170,9 @@ done
 
 # Serve round-trip: a JSONL script through `msc_cli serve` — health probe,
 # load the instance, solve cold, solve warm (must be an APSP cache hit),
-# stats, a Prometheus metrics scrape, shutdown. Responses are validated
-# with python3 when available, with a grep fallback otherwise.
+# stats, a Prometheus metrics scrape, a profiled solve (which must dump a
+# flight record), shutdown. Responses are validated with python3 when
+# available, with a grep fallback otherwise.
 cat > "$WORK/serve_script.jsonl" <<EOF
 {"id":1,"cmd":"load_graph","path":"$WORK/g.txt","as":"g"}
 {"id":2,"cmd":"load_pairs","path":"$WORK/p.txt","as":"p"}
@@ -180,24 +181,38 @@ cat > "$WORK/serve_script.jsonl" <<EOF
 {"id":5,"cmd":"stats"}
 {"id":6,"cmd":"health"}
 {"id":7,"cmd":"metrics"}
-{"id":8,"cmd":"shutdown"}
+{"id":8,"cmd":"solve","graph":"g","pairs":"p","p_t":0.14,"algo":"greedy","k":3,"threads":1,"seed":1,"profile":true}
+{"id":9,"cmd":"shutdown"}
 EOF
-"$CLI" serve < "$WORK/serve_script.jsonl" > "$WORK/serve_out.jsonl" \
+MSC_SLOWREQ_DIR="$WORK/slow" \
+  "$CLI" serve < "$WORK/serve_script.jsonl" > "$WORK/serve_out.jsonl" \
   || { echo "FAIL: serve exited non-zero"; exit 1; }
 RESPONSES=$(wc -l < "$WORK/serve_out.jsonl")
-[ "$RESPONSES" -eq 8 ] || { echo "FAIL: serve replied $RESPONSES/8"; exit 1; }
+[ "$RESPONSES" -eq 9 ] || { echo "FAIL: serve replied $RESPONSES/9"; exit 1; }
 grep -q '"apsp_cache":"hit"' "$WORK/serve_out.jsonl" \
   || { echo "FAIL: warm solve missed the APSP cache"; exit 1; }
 grep -q '"ready":true' "$WORK/serve_out.jsonl" \
   || { echo "FAIL: health probe not ready"; exit 1; }
+grep -q '"usage":{' "$WORK/serve_out.jsonl" \
+  || { echo "FAIL: solve responses carry no usage block"; exit 1; }
+grep -q '"phases":{' "$WORK/serve_out.jsonl" \
+  || { echo "FAIL: usage block carries no per-phase attribution"; exit 1; }
+# The profiled solve (id 8) dumps a Perfetto-loadable flight record into
+# MSC_SLOWREQ_DIR, named after the request id.
+[ -s "$WORK/slow/slowreq_8.trace.json" ] \
+  || { echo "FAIL: profile:true produced no flight record"; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$WORK/slow/slowreq_8.trace.json" > /dev/null \
+    || { echo "FAIL: flight record is not valid JSON"; exit 1; }
+  grep -q '"request.phases"' "$WORK/slow/slowreq_8.trace.json" \
+    || { echo "FAIL: flight record lacks the phase lane"; exit 1; }
   python3 - "$WORK/serve_out.jsonl" <<'PYEOF' || { echo "FAIL: serve responses invalid"; exit 1; }
 import json, sys
 lines = [json.loads(l) for l in open(sys.argv[1])]
-assert len(lines) == 8
+assert len(lines) == 9
 by_id = {r["id"]: r for r in lines}
 assert all(r["schema"] == "msc.serve.v1" for r in lines)
-assert all(by_id[i]["status"] == "ok" for i in range(1, 9))
+assert all(by_id[i]["status"] == "ok" for i in range(1, 10))
 assert by_id[3]["apsp_cache"] == "miss" and by_id[4]["apsp_cache"] == "hit"
 assert by_id[3]["placement"] == by_id[4]["placement"]
 assert by_id[3]["gain_evals"] > 0
@@ -207,6 +222,22 @@ assert "obs_counters" in by_id[5]
 assert by_id[6]["ready"] is True and by_id[6]["state"] == "ready"
 assert by_id[7]["format"] == "prometheus-text-0.0.4"
 assert "msc_serve_request_seconds_bucket" in by_id[7]["prometheus"]
+# Per-request attribution: every solve carries a usage block whose
+# execution phases (everything but queue_wait) sum to wall_seconds
+# within 5%, and whose gain_evals echoes the top-level count.
+for i in (3, 4, 8):
+    usage = by_id[i]["usage"]
+    assert usage["gain_evals"] == by_id[i]["gain_evals"]
+    assert usage["cpu_seconds"] >= 0
+    phases = usage["phases"]
+    assert set(phases) == {"queue_wait", "apsp", "round_scan", "other"}
+    exec_seconds = sum(v for k, v in phases.items() if k != "queue_wait")
+    wall = by_id[i]["wall_seconds"]
+    assert abs(exec_seconds - wall) <= 0.05 * wall + 1e-6, \
+        f"id {i}: phases {exec_seconds} vs wall {wall}"
+assert by_id[3]["usage"]["phases"]["apsp"] > 0      # cold APSP build
+assert by_id[8]["usage"]["trace_file"].endswith("slowreq_8.trace.json")
+assert "trace_file" not in by_id[3]["usage"]        # no profile, no dump
 print(by_id[3]["placement"])
 PYEOF
 fi

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <limits>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -71,14 +73,22 @@ TEST_F(PromExportTest, StatsBecomeSummariesWithGauges) {
   EXPECT_NE(text.find("msc_span_apsp_max 3"), std::string::npos);
 }
 
-TEST_F(PromExportTest, NonFiniteStatsUsePromLiterals) {
-  // Never-recorded stats expose NaN min/max; Prometheus text allows that.
+TEST_F(PromExportTest, EmptyStatsOmitMinMaxInsteadOfNaN) {
+  // A never-recorded stat has no min/max; the exposition omits those gauges
+  // entirely rather than print NaN — some collectors reject a whole scrape
+  // over a single NaN sample, and a freshly started server must never
+  // serve such a page. Recorded non-finite values still use the Prometheus
+  // literals (the text format, unlike JSON, has them).
   msc::obs::stat("span.empty");
   msc::obs::stat("span.inf").record(std::numeric_limits<double>::infinity());
   const std::string text = msc::obs::toProm(Registry::global());
-  EXPECT_NE(text.find("msc_span_empty_min NaN"), std::string::npos);
+  EXPECT_EQ(text.find("msc_span_empty_min"), std::string::npos);
+  EXPECT_EQ(text.find("msc_span_empty_max"), std::string::npos);
+  EXPECT_NE(text.find("msc_span_empty_count 0"), std::string::npos);
+  EXPECT_NE(text.find("msc_span_empty_sum 0"), std::string::npos);
   EXPECT_NE(text.find("msc_span_inf_max +Inf"), std::string::npos);
-  // But never a bare lowercase literal JSON would reject anyway.
+  EXPECT_EQ(text.find("NaN"), std::string::npos);
+  // And never a bare lowercase literal JSON would reject anyway.
   EXPECT_EQ(text.find(" nan"), std::string::npos);
   EXPECT_EQ(text.find(" inf"), std::string::npos);
 }
@@ -154,13 +164,48 @@ TEST_F(PromExportTest, HostileNamesProduceWellFormedLines) {
   for (const std::string& line : sampleLines(text)) {
     const auto space = line.find(' ');
     ASSERT_NE(space, std::string::npos) << line;
-    const std::string name = line.substr(0, space);
+    // The bare metric name ends at the label block when one is present.
+    const std::string name = line.substr(0, std::min(line.find('{'), space));
     for (const char c : name) {
       const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                       (c >= '0' && c <= '9') || c == '_' || c == ':';
       EXPECT_TRUE(ok) << "bad char '" << c << "' in series name " << line;
     }
   }
+}
+
+TEST_F(PromExportTest, TraceLaneDropCountersAreExported) {
+  namespace trace = msc::obs::trace;
+  const bool wasTracing = trace::enabled();
+  const std::size_t savedCapacity = trace::bufferCapacity();
+  trace::setEnabled(true);
+  trace::setBufferCapacity(1);
+  trace::clearAll();  // applies the tiny capacity to existing lanes
+  trace::setCurrentThreadName("prom.test");
+  trace::instant("prom.seed");
+  // Zero-drop lanes are still exported: a rate() query wants a flat 0, not
+  // an absent series that appears only after the first loss.
+  EXPECT_NE(msc::obs::toProm(Registry::global())
+                .find("msc_trace_dropped_events_total{lane=\""),
+            std::string::npos);
+
+  trace::instant("prom.wrap1");
+  trace::instant("prom.wrap2");  // ring holds 1 event: two overwritten
+  const std::string text = msc::obs::toProm(Registry::global());
+  trace::setBufferCapacity(savedCapacity);
+  trace::clearAll();
+  trace::setEnabled(wasTracing);
+
+  EXPECT_NE(text.find("# TYPE msc_trace_dropped_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("thread=\"prom.test\""), std::string::npos);
+  std::uint64_t maxDropped = 0;
+  for (const std::string& line : sampleLines(text)) {
+    if (line.rfind("msc_trace_dropped_events_total{", 0) != 0) continue;
+    maxDropped = std::max<std::uint64_t>(
+        maxDropped, std::stoull(line.substr(line.find("} ") + 2)));
+  }
+  EXPECT_GE(maxDropped, 2u);
 }
 
 TEST_F(PromExportTest, WritePromFileRoundTrips) {

@@ -11,13 +11,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 #include "core/candidates.h"
 #include "core/greedy.h"
@@ -274,6 +278,156 @@ TEST_P(ServeEngineBitIdentity, GreedyAndSandwichMatchDirectPath) {
 INSTANTIATE_TEST_SUITE_P(Threads, ServeEngineBitIdentity,
                          ::testing::Values(1, 4));
 
+// --------------------------- request-scoped observability (§14) -----------
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class ServeEngineObservability : public ::testing::TestWithParam<int> {};
+
+// The determinism contract: profiling + tracing must not change a single
+// solver decision. Same solve, one plain engine, one with MSC_TRACE-style
+// tracing on and "profile": true — responses byte-identical up to timing.
+TEST_P(ServeEngineObservability, ProfiledTracedSolveBitIdenticalToPlain) {
+  const int threads = GetParam();
+  const auto g = msc::test::randomGraph(36, 0.12, 9);
+  const std::string pairsText = "0 35\n3 30\n5 22\n8 17\n";
+  const std::string solve =
+      "{\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+      "\"algo\":\"greedy\",\"k\":3,\"threads\":" +
+      std::to_string(threads) + ",\"seed\":1";
+
+  Engine plainEngine;
+  loadFixture(plainEngine, g, pairsText);
+  auto plain = json::parse(plainEngine.handleLine(solve + "}")).asObject();
+  ASSERT_EQ(plain.at("status").asString(), "ok");
+
+  const bool wasTracing = msc::obs::trace::enabled();
+  msc::obs::trace::setEnabled(true);
+  msc::obs::trace::clearAll();
+  const std::string savedDir = msc::obs::slowRequestDir();
+  const std::string dumpDir = "serve_obs_profile_" + std::to_string(::getpid());
+  msc::obs::setSlowRequestDir(dumpDir);
+  Engine tracedEngine;
+  loadFixture(tracedEngine, g, pairsText);
+  auto traced =
+      json::parse(tracedEngine.handleLine(solve + ",\"profile\":true}"))
+          .asObject();
+  msc::obs::trace::setEnabled(wasTracing);
+  msc::obs::setSlowRequestDir(savedDir);
+  ASSERT_EQ(traced.at("status").asString(), "ok");
+
+  // profile:true must have produced a dump; clean it up before asserting.
+  const auto* usage = traced.at("usage").find("trace_file");
+  ASSERT_NE(usage, nullptr);
+  std::remove(usage->asString().c_str());
+  ::rmdir(dumpDir.c_str());
+
+  // Everything except timing/attribution must match byte for byte —
+  // placement, value, gain_evals, apsp_cache (both engines are cold).
+  for (auto* obj : {&plain, &traced}) {
+    obj->erase("wall_seconds");
+    obj->erase("usage");
+  }
+  EXPECT_EQ(json::dump(json::Value(plain)), json::dump(json::Value(traced)));
+}
+
+// Per-request attribution invariant: the four usage phases sum to
+// queue_wait + wall_seconds (finalize() pins "other" to the remainder; on
+// the direct handleLine path queue_wait is 0, and greedy's apsp/round_scan
+// are measured on the executing thread so they never exceed wall time).
+TEST_P(ServeEngineObservability, UsagePhasesSumToWallSeconds) {
+  const int threads = GetParam();
+  Engine engine;
+  loadFixture(engine, msc::test::randomGraph(40, 0.1, 7),
+              "0 39\n3 31\n5 22\n8 17\n");
+  const auto resp = json::parse(engine.handleLine(
+      "{\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+      "\"algo\":\"greedy\",\"k\":3,\"threads\":" +
+      std::to_string(threads) + ",\"seed\":1}"));
+  ASSERT_EQ(resp.find("status")->asString(), "ok");
+
+  const auto* usage = resp.find("usage");
+  ASSERT_NE(usage, nullptr);
+  EXPECT_GE(usage->find("cpu_seconds")->asNumber(), 0.0);
+  EXPECT_EQ(usage->find("gain_evals")->asNumber(),
+            resp.find("gain_evals")->asNumber());
+  EXPECT_EQ(usage->find("apsp_cache")->asString(), "miss");  // cold engine
+  EXPECT_EQ(usage->find("trace_file"), nullptr);  // no profile, no dump
+
+  const auto* phases = usage->find("phases");
+  ASSERT_NE(phases, nullptr);
+  double sum = 0.0;
+  for (const char* name : {"queue_wait", "apsp", "round_scan", "other"}) {
+    const auto* phase = phases->find(name);
+    ASSERT_NE(phase, nullptr) << name;
+    EXPECT_GE(phase->asNumber(), 0.0) << name;
+    sum += phase->asNumber();
+  }
+  EXPECT_DOUBLE_EQ(phases->find("queue_wait")->asNumber(), 0.0);
+  EXPECT_GT(phases->find("apsp")->asNumber(), 0.0);  // cold APSP build
+  EXPECT_NEAR(sum, resp.find("wall_seconds")->asNumber(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServeEngineObservability,
+                         ::testing::Values(1, 4));
+
+TEST(ServeEngineObservability2, SlowRequestBreachDumpsFlightRecord) {
+  const double savedMs = msc::obs::slowRequestThresholdMs();
+  const std::string savedDir = msc::obs::slowRequestDir();
+  const std::string dumpDir = "serve_obs_slow_" + std::to_string(::getpid());
+  const std::uint64_t slowBefore =
+      msc::obs::counter("serve.slow_requests").value();
+
+  Engine engine;
+  loadFixture(engine, msc::test::randomGraph(30, 0.12, 5), "0 29\n4 21\n");
+  // Arm the recorder only for the solve, so the load requests above don't
+  // breach and litter the scratch dir with their own dumps.
+  msc::obs::setSlowRequestThresholdMs(1e-6);  // everything breaches
+  msc::obs::setSlowRequestDir(dumpDir);
+  const auto resp = json::parse(engine.handleLine(
+      "{\"id\":\"slow-1\",\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\","
+      "\"p_t\":0.14,\"algo\":\"greedy\",\"k\":2,\"threads\":1,\"seed\":1}"));
+  msc::obs::setSlowRequestThresholdMs(savedMs);
+  msc::obs::setSlowRequestDir(savedDir);
+
+  ASSERT_EQ(resp.find("status")->asString(), "ok");
+  EXPECT_GT(msc::obs::counter("serve.slow_requests").value(), slowBefore);
+
+  const auto* traceFile = resp.find("usage")->find("trace_file");
+  ASSERT_NE(traceFile, nullptr);
+  EXPECT_EQ(traceFile->asString(), dumpDir + "/slowreq_slow-1.trace.json");
+  const std::string body = readWholeFile(traceFile->asString());
+  std::remove(traceFile->asString().c_str());
+  ::rmdir(dumpDir.c_str());
+  ASSERT_FALSE(body.empty()) << "flight record not written";
+
+  // Perfetto-loadable: valid JSON, traceEvents array, the synthesized
+  // per-phase lane present even with tracing disabled.
+  const auto doc = json::parse(body);
+  ASSERT_TRUE(doc.isObject());
+  EXPECT_EQ(doc.find("schema")->asString(), "msc.trace.v1");
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  EXPECT_TRUE(doc.find("traceEvents")->isArray());
+  EXPECT_NE(body.find("request.phases"), std::string::npos);
+  EXPECT_NE(body.find("phase.apsp"), std::string::npos);
+}
+
+TEST(ServeEngineObservability2, ProfileParamMustBeBoolean) {
+  Engine engine;
+  loadFixture(engine, msc::test::lineGraph(6), "0 5\n");
+  const auto resp = json::parse(engine.handleLine(
+      "{\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+      "\"algo\":\"greedy\",\"k\":1,\"profile\":\"yes\"}"));
+  EXPECT_EQ(resp.find("status")->asString(), "error");
+  EXPECT_NE(resp.find("error")->asString().find("profile"),
+            std::string::npos);
+}
+
 TEST(ServeEngine, EvalMatchesSigmaValueAndValidatesEndpoints) {
   auto g = msc::test::lineGraph(10);
   Engine engine;
@@ -426,10 +580,12 @@ TEST(ServeServer, ConcurrentMixedRequestsBitIdenticalToSerialReplay) {
     auto want = json::parse(serial.handleLine(requests[i])).asObject();
     auto have = json::parse(got[i]).asObject();
     // Identical up to timing and cache temperature (a concurrent first
-    // touch may see a different hit/miss than the serial replay).
+    // touch may see a different hit/miss than the serial replay); the
+    // usage block is all timing + cache outcome, so it goes wholesale.
     for (auto* obj : {&want, &have}) {
       obj->erase("wall_seconds");
       obj->erase("apsp_cache");
+      obj->erase("usage");
     }
     EXPECT_EQ(json::dump(json::Value(want)), json::dump(json::Value(have)))
         << requests[i];
