@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <memory>
 
 #include "core/bounds.h"
 #include "core/candidates.h"
@@ -13,6 +14,7 @@
 #include "core/sigma.h"
 #include "eval/experiment.h"
 #include "graph/apsp.h"
+#include "graph/distance_oracle.h"
 #include "graph/shortcut_distance.h"
 #include "harness.h"
 #include "obs/metrics.h"
@@ -61,7 +63,7 @@ BENCHMARK(BM_Apsp)->Arg(50)->Arg(100)->Arg(150);
 
 void BM_ApplyZeroEdge(benchmark::State& state) {
   const auto spatial = makeRg(static_cast<int>(state.range(0)), 10);
-  const auto& base = spatial.instance.baseDistances();
+  const auto& base = spatial.instance.distanceOracle().materialize();
   for (auto _ : state) {
     auto d = base;
     msc::graph::applyZeroEdge(d, 0, spatial.instance.graph().nodeCount() - 1);
@@ -70,15 +72,48 @@ void BM_ApplyZeroEdge(benchmark::State& state) {
 }
 BENCHMARK(BM_ApplyZeroEdge)->Arg(50)->Arg(100)->Arg(150);
 
-void BM_SigmaByMatrix(benchmark::State& state) {
+// Point-query cost of the two oracle backends on the same graph: the
+// dense matrix lookup is the floor, the pair-centric ALT/cached-row query
+// is what replaces it past the auto threshold. Queries cycle through a
+// fixed endpoint sample so the pair-centric row cache behaves as it does
+// mid-solve (hot rows for repeated sources).
+void BM_MatrixLookup(benchmark::State& state) {
+  const auto spatial = makeRg(static_cast<int>(state.range(0)), 10);
+  const auto oracle = msc::graph::DenseMatrixOracle::build(
+      spatial.instance.graph(), /*threads=*/1);
+  const int n = spatial.instance.graph().nodeCount();
+  int x = 0;
+  for (auto _ : state) {
+    x = (x + 17) % n;
+    benchmark::DoNotOptimize(oracle->distance(x, (x * 31 + 7) % n));
+  }
+}
+BENCHMARK(BM_MatrixLookup)->Arg(100)->Arg(150);
+
+void BM_OracleQuery(benchmark::State& state) {
+  const auto spatial = makeRg(static_cast<int>(state.range(0)), 10);
+  const auto graph =
+      std::make_shared<const msc::graph::Graph>(spatial.instance.graph());
+  const msc::graph::PairCentricOracle oracle(
+      graph, msc::graph::PairCentricOracle::Config{8, 1});
+  const int n = graph->nodeCount();
+  int x = 0;
+  for (auto _ : state) {
+    x = (x + 17) % n;
+    benchmark::DoNotOptimize(oracle.distance(x, (x * 31 + 7) % n));
+  }
+}
+BENCHMARK(BM_OracleQuery)->Arg(100)->Arg(150);
+
+void BM_SigmaByRows(benchmark::State& state) {
   const auto spatial = makeRg(100, static_cast<int>(state.range(0)));
   SigmaEvaluator eval(spatial.instance);
   const auto f = somePlacement(100, static_cast<int>(state.range(1)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(eval.valueByMatrix(f));
+    benchmark::DoNotOptimize(eval.valueByRows(f));
   }
 }
-BENCHMARK(BM_SigmaByMatrix)
+BENCHMARK(BM_SigmaByRows)
     ->Args({17, 4})
     ->Args({80, 4})
     ->Args({80, 10});
@@ -228,6 +263,32 @@ void runRegressionHarness() {
     harness.run("apsp_n150", [&] {
       benchmark::DoNotOptimize(
           msc::graph::allPairsDistances(spatial.instance.graph()));
+    });
+  }
+  {
+    // Point-query cost of both oracle backends, gated by bench_diff.py
+    // like every other harness case (CI perf-smoke self-diff).
+    const auto spatial = makeRg(150, 10);
+    const auto dense = msc::graph::DenseMatrixOracle::build(
+        spatial.instance.graph(), /*threads=*/1);
+    const auto graph =
+        std::make_shared<const msc::graph::Graph>(spatial.instance.graph());
+    const msc::graph::PairCentricOracle pc(
+        graph, msc::graph::PairCentricOracle::Config{8, 1});
+    const int n = graph->nodeCount();
+    harness.run("matrix_lookup", [&] {
+      double sum = 0.0;
+      for (int x = 0; x < n; x += 7) {
+        sum += dense->distance(x, (x * 31 + 7) % n);
+      }
+      benchmark::DoNotOptimize(sum);
+    });
+    harness.run("oracle_query", [&] {
+      double sum = 0.0;
+      for (int x = 0; x < n; x += 7) {
+        sum += pc.distance(x, (x * 31 + 7) % n);
+      }
+      benchmark::DoNotOptimize(sum);
     });
   }
   {

@@ -390,6 +390,14 @@ int cmdVersion() {
                "MSC_TRACE_OUT)\n"
             << "  msc.bench.v1    bench harness out/BENCH_<name>.json\n"
             << "  msc.serve.v1    serve subcommand JSONL request/response\n"
+            << "    field additions: load_graph accepts \"distance_mode\" "
+               "(auto|dense|pair_centric)\n"
+            << "    and echoes it; solve/eval report \"distance_mode\"; solve "
+               "reports \"candidates\";\n"
+            << "    stats exposes cache.oracles{dense,pair_centric,"
+               "bytes_dense,bytes_pair_centric};\n"
+            << "    metrics/GET /metrics export msc_serve_oracle_bytes{mode}"
+               "\n"
             << "  prometheus-text-0.0.4  metrics exposition (--metrics-prom, "
                "serve `metrics` cmd, GET /metrics)\n";
   return 0;

@@ -30,8 +30,8 @@ struct AeaConfig {
   int populationSize = 10;
   /// Probability of a random (exploration) swap; the paper uses 0.05.
   double delta = 0.05;
-  /// Swap RNG seed. Only honored through the deprecated int-k entry point;
-  /// the SolveOptions overload uses options.seed (authoritative).
+  /// Unused by the solver: options.seed drives the swaps. Kept so call
+  /// sites can stage a seed alongside the other AEA knobs.
   std::uint64_t seed = 1;
 };
 
@@ -59,13 +59,5 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
                                         const CandidateSet& candidates,
                                         const SolveOptions& options,
                                         const AeaConfig& config = {});
-
-[[deprecated("use the SolveOptions overload")]]
-inline AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
-                                               const CandidateSet& candidates,
-                                               int k, const AeaConfig& config) {
-  return adaptiveEvolutionaryAlgorithm(
-      eval, candidates, SolveOptions{.k = k, .seed = config.seed}, config);
-}
 
 }  // namespace msc::core

@@ -1,6 +1,8 @@
 #include "core/bounds.h"
 
 #include <algorithm>
+#include <span>
+#include <utility>
 
 #include "obs/metrics.h"
 
@@ -8,18 +10,32 @@ namespace msc::core {
 
 namespace {
 
-using msc::graph::DistanceMatrix;
-
 // Pair satisfied when its path may use shortcut (a, b) at most once.
-bool satisfiedWithOneShortcut(const DistanceMatrix& d, const SocialPair& p,
-                              const Shortcut& f, double dt) {
-  const auto u = static_cast<std::size_t>(p.u);
+// `ru` / `rw` are the base distance rows of the pair's endpoints; the row
+// of w stands in for the matrix columns of w (the base metric is
+// symmetric).
+bool satisfiedWithOneShortcut(const double* ru, const double* rw,
+                              const SocialPair& p, const Shortcut& f,
+                              double dt) {
   const auto w = static_cast<std::size_t>(p.w);
   const auto a = static_cast<std::size_t>(f.a);
   const auto b = static_cast<std::size_t>(f.b);
-  const double best = std::min(
-      {d(u, w), d(u, a) + d(b, w), d(u, b) + d(a, w)});
+  const double best = std::min({ru[w], ru[a] + rw[b], ru[b] + rw[a]});
   return best <= dt;
+}
+
+// Base distance rows of every pair endpoint (cached in the oracle, so the
+// spans stay valid for the evaluator's lifetime).
+std::vector<std::pair<const double*, const double*>> pairEndpointRows(
+    const Instance& instance) {
+  const auto& oracle = instance.distanceOracle();
+  std::vector<std::pair<const double*, const double*>> rows;
+  rows.reserve(instance.pairs().size());
+  for (const SocialPair& p : instance.pairs()) {
+    rows.push_back(
+        {oracle.distancesFrom(p.u).data(), oracle.distancesFrom(p.w).data()});
+  }
+  return rows;
 }
 
 }  // namespace
@@ -33,7 +49,7 @@ MuEvaluator::MuEvaluator(const Instance& instance,
       baseSatisfied_(instance.pairs().size()),
       covered_(instance.pairs().size()) {
   const auto& pairs = instance.pairs();
-  const auto& d = instance.baseDistances();
+  const auto rows = pairEndpointRows(instance);
   const double dt = instance.distanceThreshold();
 
   for (std::size_t i = 0; i < pairs.size(); ++i) {
@@ -43,7 +59,8 @@ MuEvaluator::MuEvaluator(const Instance& instance,
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     util::Bitset bits(pairs.size());
     for (std::size_t i = 0; i < pairs.size(); ++i) {
-      if (satisfiedWithOneShortcut(d, pairs[i], candidates[c], dt)) {
+      if (satisfiedWithOneShortcut(rows[i].first, rows[i].second, pairs[i],
+                                   candidates[c], dt)) {
         bits.set(i);
       }
     }
@@ -58,11 +75,14 @@ const util::Bitset& MuEvaluator::bitsetFor(const Shortcut& f,
   if (idx >= 0) return perCandidate_[static_cast<std::size_t>(idx)];
   // Not a precomputed candidate: compute from scratch.
   const auto& pairs = instance_->pairs();
-  const auto& d = instance_->baseDistances();
+  const auto rows = pairEndpointRows(*instance_);
   const double dt = instance_->distanceThreshold();
   scratch = util::Bitset(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (satisfiedWithOneShortcut(d, pairs[i], f, dt)) scratch.set(i);
+    if (satisfiedWithOneShortcut(rows[i].first, rows[i].second, pairs[i], f,
+                                 dt)) {
+      scratch.set(i);
+    }
   }
   return scratch;
 }
@@ -107,7 +127,6 @@ NuEvaluator::NuEvaluator(const Instance& instance)
     : instance_(&instance), covered_(instance.pairNodes().size()) {
   const auto& pairs = instance.pairs();
   const auto& pairNodes = instance.pairNodes();
-  const auto& d = instance.baseDistances();
   const double dt = instance.distanceThreshold();
   const int n = instance.graph().nodeCount();
 
@@ -132,17 +151,20 @@ NuEvaluator::NuEvaluator(const Instance& instance)
         0.5;
   }
 
-  // coverage_[v]: pair-nodes within d_t of graph node v.
-  coverage_.reserve(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v) {
-    util::Bitset bits(pairNodes.size());
-    for (std::size_t i = 0; i < pairNodes.size(); ++i) {
-      if (d(static_cast<std::size_t>(v),
-            static_cast<std::size_t>(pairNodes[i])) <= dt) {
-        bits.set(i);
+  // coverage_[v]: pair-nodes within d_t of graph node v. Built by sweeping
+  // each pair-node's distance row (prefetched at instance construction)
+  // instead of reading matrix columns, so only |pairNodes| rows are ever
+  // touched — no O(n^2) materialization on lazy backends.
+  coverage_.assign(static_cast<std::size_t>(n),
+                   util::Bitset(pairNodes.size()));
+  const auto& oracle = instance.distanceOracle();
+  for (std::size_t i = 0; i < pairNodes.size(); ++i) {
+    const std::span<const double> row = oracle.distancesFrom(pairNodes[i]);
+    for (int v = 0; v < n; ++v) {
+      if (row[static_cast<std::size_t>(v)] <= dt) {
+        coverage_[static_cast<std::size_t>(v)].set(i);
       }
     }
-    coverage_.push_back(std::move(bits));
   }
   reset();
 }

@@ -65,11 +65,4 @@ BudgetedResult budgetedGreedy(IncrementalEvaluator& eval,
                               const CostFunction& cost, double budget,
                               const SolveOptions& options);
 
-[[deprecated("use the SolveOptions overload")]]
-inline BudgetedResult budgetedGreedy(IncrementalEvaluator& eval,
-                                     const CandidateSet& candidates,
-                                     const CostFunction& cost, double budget) {
-  return budgetedGreedy(eval, candidates, cost, budget, SolveOptions{});
-}
-
 }  // namespace msc::core

@@ -1,5 +1,6 @@
 #include "core/common_node.h"
 
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -43,23 +44,25 @@ CommonNodeResult solveCommonNodeCoverage(const Instance& instance,
                                          NodeId commonNode, int k) {
   checkCommonNode(instance, commonNode, k);
   const auto& pairs = instance.pairs();
-  const auto& d = instance.baseDistances();
+  const auto& oracle = instance.distanceOracle();
   const double dt = instance.distanceThreshold();
   const int n = instance.graph().nodeCount();
 
   // C_v: pairs {u, w} with dist(v, w) <= d_t, where w is the non-common
-  // endpoint. Base-satisfied pairs are covered from the start.
-  std::vector<util::Bitset> coverage;
-  coverage.reserve(static_cast<std::size_t>(n));
-  for (NodeId v = 0; v < n; ++v) {
-    util::Bitset bits(pairs.size());
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-      const NodeId w = (pairs[i].u == commonNode) ? pairs[i].w : pairs[i].u;
-      if (d(static_cast<std::size_t>(v), static_cast<std::size_t>(w)) <= dt) {
-        bits.set(i);
+  // endpoint. Base-satisfied pairs are covered from the start. Built by
+  // sweeping the non-common endpoints' distance rows (all pair nodes, so
+  // already cached in the oracle) — the lazy backends never see a column
+  // read.
+  std::vector<util::Bitset> coverage(static_cast<std::size_t>(n),
+                                     util::Bitset(pairs.size()));
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const NodeId w = (pairs[i].u == commonNode) ? pairs[i].w : pairs[i].u;
+    const std::span<const double> row = oracle.distancesFrom(w);
+    for (NodeId v = 0; v < n; ++v) {
+      if (row[static_cast<std::size_t>(v)] <= dt) {
+        coverage[static_cast<std::size_t>(v)].set(i);
       }
     }
-    coverage.push_back(std::move(bits));
   }
   util::Bitset covered(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {

@@ -76,11 +76,6 @@ class DynamicProblem {
   SandwichResult sandwich(const CandidateSet& candidates,
                           const SolveOptions& options);
 
-  [[deprecated("use the SolveOptions overload")]]
-  SandwichResult sandwich(const CandidateSet& candidates, int k) {
-    return sandwich(candidates, SolveOptions{.k = k});
-  }
-
  private:
   std::vector<Instance> instances_;
   std::vector<std::unique_ptr<SigmaEvaluator>> sigmaParts_;

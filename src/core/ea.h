@@ -34,8 +34,8 @@ struct EaConfig {
   std::optional<double> flipProbability;
   /// Discard offspring with |F| > sizeCapFactor * k; 0 disables the cap.
   int sizeCapFactor = 2;
-  /// Mutation RNG seed. Only honored through the deprecated int-k entry
-  /// point; the SolveOptions overload uses options.seed (authoritative).
+  /// Unused by the solver: options.seed drives mutation. Kept so call
+  /// sites can stage a seed alongside the other EA knobs.
   std::uint64_t seed = 1;
 };
 
@@ -64,14 +64,5 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
                                const CandidateSet& candidates,
                                const SolveOptions& options,
                                const EaConfig& config = {});
-
-[[deprecated("use the SolveOptions overload")]]
-inline EaResult evolutionaryAlgorithm(const SetFunction& objective,
-                                      const CandidateSet& candidates, int k,
-                                      const EaConfig& config) {
-  return evolutionaryAlgorithm(objective, candidates,
-                               SolveOptions{.k = k, .seed = config.seed},
-                               config);
-}
 
 }  // namespace msc::core

@@ -58,16 +58,4 @@ GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
                                 const CandidateSet& candidates,
                                 const SolveOptions& options);
 
-[[deprecated("use the SolveOptions overload")]]
-inline GreedyResult greedyMaximize(IncrementalEvaluator& eval,
-                                   const CandidateSet& candidates, int k) {
-  return greedyMaximize(eval, candidates, SolveOptions{.k = k});
-}
-
-[[deprecated("use the SolveOptions overload")]]
-inline GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
-                                       const CandidateSet& candidates, int k) {
-  return lazyGreedyMaximize(eval, candidates, SolveOptions{.k = k});
-}
-
 }  // namespace msc::core

@@ -39,44 +39,72 @@ std::vector<NodeId> dedupedPairNodes(const std::vector<SocialPair>& pairs) {
 
 }  // namespace
 
-Instance::Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
-                   double distanceThreshold, int threads)
-    : pairs_(std::move(pairs)), distanceThreshold_(distanceThreshold) {
-  validatePairsAndThreshold(g, pairs_, distanceThreshold);
+void Instance::validateAndPrefetch(int threads) {
+  validatePairsAndThreshold(*graph_, pairs_, distanceThreshold_);
   pairNodes_ = dedupedPairNodes(pairs_);
+  // Every evaluator starts from the pair-node rows; one parallel burst
+  // here (a no-op on the dense backend) keeps their constructors off the
+  // Dijkstra path and makes later reads deterministic cache hits.
+  oracle_->prefetchRows(pairNodes_, threads);
+}
 
+Instance::Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
+                   double distanceThreshold, const InstanceOptions& options)
+    : pairs_(std::move(pairs)), distanceThreshold_(distanceThreshold) {
   auto owned = std::make_shared<msc::graph::Graph>(std::move(g));
-  baseDistances_ = std::make_shared<const msc::graph::DistanceMatrix>(
-      msc::graph::allPairsDistances(*owned, threads));
-  graph_ = std::move(owned);
+  graph_ = owned;
+  // Fail on bad pairs/threshold before paying for the distance build.
+  validatePairsAndThreshold(*graph_, pairs_, distanceThreshold_);
+  oracle_ = msc::graph::makeDistanceOracle(std::move(owned),
+                                           options.distanceMode,
+                                           options.landmarkCount,
+                                           options.threads);
+  validateAndPrefetch(options.threads);
+}
+
+Instance::Instance(std::shared_ptr<const msc::graph::Graph> graph,
+                   std::shared_ptr<const msc::graph::DistanceOracle> oracle,
+                   std::vector<SocialPair> pairs, double distanceThreshold,
+                   int threads)
+    : graph_(std::move(graph)),
+      oracle_(std::move(oracle)),
+      pairs_(std::move(pairs)),
+      distanceThreshold_(distanceThreshold) {
+  if (!graph_ || !oracle_) {
+    throw std::invalid_argument("Instance: null graph or distance oracle");
+  }
+  if (oracle_->nodeCount() != graph_->nodeCount()) {
+    throw std::invalid_argument(
+        "Instance: distance oracle shape does not match the graph");
+  }
+  validateAndPrefetch(threads);
 }
 
 Instance::Instance(std::shared_ptr<const msc::graph::Graph> graph,
                    std::shared_ptr<const msc::graph::DistanceMatrix> distances,
                    std::vector<SocialPair> pairs, double distanceThreshold)
-    : graph_(std::move(graph)),
-      baseDistances_(std::move(distances)),
-      pairs_(std::move(pairs)),
-      distanceThreshold_(distanceThreshold) {
-  if (!graph_ || !baseDistances_) {
-    throw std::invalid_argument("Instance: null graph or distance matrix");
-  }
-  const auto n = static_cast<std::size_t>(graph_->nodeCount());
-  if (baseDistances_->rows() != n || baseDistances_->cols() != n) {
-    throw std::invalid_argument(
-        "Instance: distance matrix shape does not match the graph");
-  }
-  validatePairsAndThreshold(*graph_, pairs_, distanceThreshold);
-  pairNodes_ = dedupedPairNodes(pairs_);
+    : Instance(graph,
+               distances
+                   ? std::make_shared<const msc::graph::DenseMatrixOracle>(
+                         std::move(distances))
+                   : nullptr,
+               std::move(pairs), distanceThreshold) {}
+
+Instance Instance::fromFailureThreshold(msc::graph::Graph g,
+                                        std::vector<SocialPair> pairs,
+                                        double failureThreshold,
+                                        const InstanceOptions& options) {
+  return Instance(std::move(g), std::move(pairs),
+                  msc::wireless::failureThresholdToDistance(failureThreshold),
+                  options);
 }
 
 Instance Instance::fromFailureThreshold(msc::graph::Graph g,
                                         std::vector<SocialPair> pairs,
                                         double failureThreshold,
                                         int threads) {
-  return Instance(std::move(g), std::move(pairs),
-                  msc::wireless::failureThresholdToDistance(failureThreshold),
-                  threads);
+  return fromFailureThreshold(std::move(g), std::move(pairs), failureThreshold,
+                              InstanceOptions{.threads = threads});
 }
 
 namespace {

@@ -1,9 +1,14 @@
 // MSC problem instance (paper §III-C).
 //
-// An instance bundles the communication graph, its precomputed all-pairs
-// distances, the important social pairs S, and the distance requirement
+// An instance bundles the communication graph, a distance oracle over it,
+// the important social pairs S, and the distance requirement
 // d_t = -ln(1 - p_t). Every algorithm in this library consumes instances;
 // they are immutable after construction so evaluators can safely share them.
+//
+// The distance layer is pluggable (graph/distance_oracle.h): small
+// instances keep the historical dense APSP matrix, large ones store only
+// the social-pair rows. Construction prefetches the pair-node rows so
+// every evaluator starts from cached data.
 #pragma once
 
 #include <cstdint>
@@ -12,48 +17,101 @@
 
 #include "core/types.h"
 #include "graph/apsp.h"
+#include "graph/distance_oracle.h"
 #include "graph/graph.h"
 #include "util/rng.h"
 
 namespace msc::core {
 
+/// Named construction knobs for Instance — the builder-style alternative
+/// to the positional constructors, so new options stop growing their
+/// signatures. Construct with designated initializers:
+///     Instance(g, pairs, dt, {.threads = 8, .distanceMode = Dense});
+struct InstanceOptions {
+  /// Worker threads for the distance build (APSP or row prefetch);
+  /// 0 = all hardware threads. Values are identical for any count.
+  int threads = 1;
+
+  /// Distance backend: Auto picks dense up to kDenseAutoNodeLimit nodes
+  /// and pair-centric above (see graph/distance_oracle.h for the
+  /// numerical contract between the two).
+  msc::graph::DistanceMode distanceMode = msc::graph::DistanceMode::Auto;
+
+  /// ALT landmark count for the pair-centric backend (ignored by dense).
+  int landmarkCount = 8;
+};
+
 class Instance {
  public:
-  /// Takes ownership of the graph, computes base distances eagerly
-  /// (`threads` workers, 0 = all hardware threads; the result is identical
-  /// for any thread count). Validates pair endpoints and that
-  /// distanceThreshold >= 0.
+  /// Takes ownership of the graph and builds the distance backend per
+  /// `options` (pair-node rows are prefetched eagerly). Validates pair
+  /// endpoints and that distanceThreshold >= 0.
   Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
-           double distanceThreshold, int threads = 1);
+           double distanceThreshold, const InstanceOptions& options);
+
+  /// Positional compatibility form: Auto backend, `threads` workers.
+  Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
+           double distanceThreshold, int threads = 1)
+      : Instance(std::move(g), std::move(pairs), distanceThreshold,
+                 InstanceOptions{.threads = threads}) {}
 
   /// Convenience: threshold given as a path-failure probability p_t.
   static Instance fromFailureThreshold(msc::graph::Graph g,
                                        std::vector<SocialPair> pairs,
                                        double failureThreshold,
+                                       const InstanceOptions& options);
+  static Instance fromFailureThreshold(msc::graph::Graph g,
+                                       std::vector<SocialPair> pairs,
+                                       double failureThreshold,
                                        int threads = 1);
 
-  /// Shares an existing graph and its precomputed APSP matrix instead of
-  /// recomputing — the serving cache (src/serve) assembles instances this
-  /// way so repeated solves on the same topology skip APSP. `distances`
-  /// must be allPairsDistances(*graph) (the square shape is validated, the
-  /// values are trusted); pair/threshold validation matches the computing
-  /// constructor, so the result is indistinguishable from it.
+  /// Shares an existing graph and distance oracle instead of recomputing —
+  /// the serving cache (src/serve) assembles instances this way so
+  /// repeated solves on the same topology skip the distance build. The
+  /// oracle must describe `graph` (the node count is validated, the values
+  /// are trusted); pair/threshold validation matches the computing
+  /// constructor, so the result is indistinguishable from it. `threads`
+  /// parallelizes the pair-node row prefetch on lazy backends.
+  Instance(std::shared_ptr<const msc::graph::Graph> graph,
+           std::shared_ptr<const msc::graph::DistanceOracle> oracle,
+           std::vector<SocialPair> pairs, double distanceThreshold,
+           int threads = 1);
+
+  /// Compatibility form of the sharing constructor: wraps the matrix in a
+  /// dense oracle. `distances` must be allPairsDistances(*graph).
   Instance(std::shared_ptr<const msc::graph::Graph> graph,
            std::shared_ptr<const msc::graph::DistanceMatrix> distances,
            std::vector<SocialPair> pairs, double distanceThreshold);
 
   const msc::graph::Graph& graph() const noexcept { return *graph_; }
-  const msc::graph::DistanceMatrix& baseDistances() const noexcept {
-    return *baseDistances_;
+
+  /// The distance backend. Evaluators read base distances through this
+  /// (pair-node rows are prefetched at construction).
+  const msc::graph::DistanceOracle& distanceOracle() const noexcept {
+    return *oracle_;
   }
+  std::shared_ptr<const msc::graph::DistanceOracle> distanceOracleShared()
+      const noexcept {
+    return oracle_;
+  }
+
+  /// Full n x n base distance matrix. On the pair-centric backend this
+  /// materializes (and caches) all n^2 entries — the exact cost the oracle
+  /// API exists to avoid, hence the deprecation. Migrate to
+  /// distanceOracle().distancesFrom(v) / .distance(x, y).
+  [[deprecated(
+      "materializes O(n^2) distances; use distanceOracle() instead")]]
+  const msc::graph::DistanceMatrix& baseDistances() const {
+    return oracle_->materialize();
+  }
+
   const std::vector<SocialPair>& pairs() const noexcept { return pairs_; }
   int pairCount() const noexcept { return static_cast<int>(pairs_.size()); }
   double distanceThreshold() const noexcept { return distanceThreshold_; }
 
   /// Pair-distance in the base graph (no shortcuts).
   double baseDistance(const SocialPair& p) const {
-    return (*baseDistances_)(static_cast<std::size_t>(p.u),
-                             static_cast<std::size_t>(p.w));
+    return oracle_->distance(p.u, p.w);
   }
 
   /// Whether a pair already meets the requirement with no shortcuts.
@@ -65,10 +123,12 @@ class Instance {
   const std::vector<NodeId>& pairNodes() const noexcept { return pairNodes_; }
 
  private:
+  void validateAndPrefetch(int threads);
+
   // shared_ptr so Instance stays cheaply copyable (evaluators keep
   // references into it; the experiment runners copy instances around).
   std::shared_ptr<const msc::graph::Graph> graph_;
-  std::shared_ptr<const msc::graph::DistanceMatrix> baseDistances_;
+  std::shared_ptr<const msc::graph::DistanceOracle> oracle_;
   std::vector<SocialPair> pairs_;
   std::vector<NodeId> pairNodes_;
   double distanceThreshold_ = 0.0;

@@ -5,8 +5,8 @@
 // threaded through every one of them by hand. SolveOptions is the single
 // extension point: construct with designated initializers at call sites,
 //     greedyMaximize(eval, candidates, {.k = 5, .threads = 8});
-// and leave everything else defaulted. The legacy int-k signatures remain
-// as [[deprecated]] forwarding wrappers.
+// and leave everything else defaulted. The legacy int-k signatures went
+// through a [[deprecated]] forwarding-wrapper cycle and are gone.
 #pragma once
 
 #include <cstdint>
@@ -24,10 +24,9 @@ struct SolveOptions {
   /// §10 for the determinism contract.
   int threads = 1;
 
-  /// Seed for the randomized solvers (EA, AEA, random baseline). The
-  /// SolveOptions overloads use this seed and ignore any seed member left
-  /// on the per-algorithm config structs (those remain only so the
-  /// deprecated wrappers can forward them).
+  /// Seed for the randomized solvers (EA, AEA, random baseline). This is
+  /// authoritative: any seed member on the per-algorithm config structs is
+  /// ignored by the solvers.
   std::uint64_t seed = 1;
 };
 

@@ -103,13 +103,4 @@ SaturateResult robustSaturate(std::vector<IncrementalEvaluator*> children,
                               const CandidateSet& candidates,
                               const SolveOptions& options, double maxTarget);
 
-[[deprecated("use the SolveOptions overload")]]
-inline SaturateResult robustSaturate(
-    std::vector<IncrementalEvaluator*> children,
-    std::vector<const SetFunction*> childFunctions,
-    const CandidateSet& candidates, int k, double maxTarget) {
-  return robustSaturate(std::move(children), std::move(childFunctions),
-                        candidates, SolveOptions{.k = k}, maxTarget);
-}
-
 }  // namespace msc::core

@@ -73,20 +73,4 @@ SandwichResult sandwichApproximation(const Instance& instance,
                                      const CandidateSet& candidates,
                                      const SolveOptions& options);
 
-[[deprecated("use the SolveOptions overload")]]
-inline SandwichResult sandwichApproximation(
-    IncrementalEvaluator& sigmaEval, IncrementalEvaluator& muEval,
-    IncrementalEvaluator& nuEval, const SetFunction& sigmaFn,
-    const SetFunction& nuFn, const CandidateSet& candidates, int k) {
-  return sandwichApproximation(sigmaEval, muEval, nuEval, sigmaFn, nuFn,
-                               candidates, SolveOptions{.k = k});
-}
-
-[[deprecated("use the SolveOptions overload")]]
-inline SandwichResult sandwichApproximation(const Instance& instance,
-                                            const CandidateSet& candidates,
-                                            int k) {
-  return sandwichApproximation(instance, candidates, SolveOptions{.k = k});
-}
-
 }  // namespace msc::core

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "graph/dijkstra.h"
-#include "graph/shortcut_distance.h"
 #include "obs/metrics.h"
 
 namespace msc::core {
@@ -23,13 +22,13 @@ void publishPairScan(std::size_t pairs, int alreadySatisfied) {
 SigmaEvaluator::SigmaEvaluator(const Instance& instance)
     : instance_(&instance),
       overlay_(std::make_unique<msc::graph::OverlayEvaluator>(
-          instance.baseDistances(), instance.pairNodes())),
-      current_(instance.baseDistances()) {
+          instance.distanceOracle(), instance.pairNodes())),
+      rows_(instance.distanceOracle(), instance.pairNodes()) {
   refreshSatisfied();
 }
 
 void SigmaEvaluator::reset() {
-  current_ = instance_->baseDistances();
+  rows_.reset();
   refreshSatisfied();
 }
 
@@ -39,8 +38,8 @@ void SigmaEvaluator::refreshSatisfied() {
   satisfied_ = 0;
   const double dt = instance_->distanceThreshold();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (current_(static_cast<std::size_t>(pairs[i].u),
-                 static_cast<std::size_t>(pairs[i].w)) <= dt) {
+    const double* ru = rows_.rowIfPresent(pairs[i].u);
+    if (ru[static_cast<std::size_t>(pairs[i].w)] <= dt) {
       pairSatisfied_[i] = 1;
       ++satisfied_;
     }
@@ -60,10 +59,12 @@ double SigmaEvaluator::gainIfAdd(const Shortcut& f) const {
   int gain = 0;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (pairSatisfied_[i]) continue;  // distances only shrink
-    const auto u = static_cast<std::size_t>(pairs[i].u);
-    const auto w = static_cast<std::size_t>(pairs[i].w);
-    const double viaAB = current_(u, a) + current_(b, w);
-    const double viaBA = current_(u, b) + current_(a, w);
+    // Both endpoint rows exist: pair nodes seed the row store. The row of w
+    // stands in for the columns of w (the evolved metric is symmetric).
+    const double* ru = rows_.rowIfPresent(pairs[i].u);
+    const double* rw = rows_.rowIfPresent(pairs[i].w);
+    const double viaAB = ru[a] + rw[b];
+    const double viaBA = ru[b] + rw[a];
     if (std::min(viaAB, viaBA) <= dt) ++gain;
   }
   return static_cast<double>(gain);
@@ -75,13 +76,13 @@ void SigmaEvaluator::add(const Shortcut& f) {
     cAdd.add(1);
     publishPairScan(instance_->pairs().size(), satisfied_);
   }
-  msc::graph::applyZeroEdge(current_, f.a, f.b);
+  rows_.applyZeroEdge(f.a, f.b);
   const auto& pairs = instance_->pairs();
   const double dt = instance_->distanceThreshold();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (pairSatisfied_[i]) continue;
-    if (current_(static_cast<std::size_t>(pairs[i].u),
-                 static_cast<std::size_t>(pairs[i].w)) <= dt) {
+    const double* ru = rows_.rowIfPresent(pairs[i].u);
+    if (ru[static_cast<std::size_t>(pairs[i].w)] <= dt) {
       pairSatisfied_[i] = 1;
       ++satisfied_;
     }
@@ -90,16 +91,15 @@ void SigmaEvaluator::add(const Shortcut& f) {
 
 double SigmaEvaluator::pairDistance(int pairIndex) const {
   const auto& p = instance_->pairs().at(static_cast<std::size_t>(pairIndex));
-  return current_(static_cast<std::size_t>(p.u), static_cast<std::size_t>(p.w));
+  return rows_.rowIfPresent(p.u)[static_cast<std::size_t>(p.w)];
 }
 
 int SigmaEvaluator::countSatisfied(
-    const msc::graph::DistanceMatrix& dist) const {
+    const msc::graph::ShortcutRowStore& rows) const {
   const double dt = instance_->distanceThreshold();
   int count = 0;
   for (const SocialPair& p : instance_->pairs()) {
-    if (dist(static_cast<std::size_t>(p.u), static_cast<std::size_t>(p.w)) <=
-        dt) {
+    if (rows.rowIfPresent(p.u)[static_cast<std::size_t>(p.w)] <= dt) {
       ++count;
     }
   }
@@ -111,25 +111,27 @@ double SigmaEvaluator::value(const ShortcutList& placement) const {
     static auto& cCalls = msc::obs::counter("sigma.calls");
     cCalls.add(1);
   }
-  // Cost heuristic: matrix relaxations touch |F| * n^2 entries, the overlay
-  // touches |F| * (2m + 2|F|)^2. Pick the cheaper exact strategy.
+  // Cost heuristic: row relaxations touch |F| * |rows| * n entries, the
+  // overlay touches |F| * (2m + 2|F|)^2 ≈ |F| * |rows|^2. Pick the cheaper
+  // exact strategy: overlay when the overlay is smaller than a row.
   const auto n = static_cast<double>(instance_->graph().nodeCount());
   const auto overlayNodes =
       static_cast<double>(instance_->pairNodes().size() + 2 * placement.size());
-  if (overlayNodes * overlayNodes < n * n) {
+  if (overlayNodes < n) {
     return valueByOverlay(placement);
   }
-  return valueByMatrix(placement);
+  return valueByRows(placement);
 }
 
-double SigmaEvaluator::valueByMatrix(const ShortcutList& placement) const {
+double SigmaEvaluator::valueByRows(const ShortcutList& placement) const {
   if (msc::obs::enabled()) {
-    static auto& cMatrix = msc::obs::counter("sigma.value.matrix");
-    cMatrix.add(1);
+    static auto& cRows = msc::obs::counter("sigma.value.rows");
+    cRows.add(1);
   }
-  const auto dist = msc::graph::distancesWithShortcuts(
-      instance_->baseDistances(), asNodePairs(placement));
-  return static_cast<double>(countSatisfied(dist));
+  msc::graph::ShortcutRowStore rows(instance_->distanceOracle(),
+                                    instance_->pairNodes());
+  for (const Shortcut& f : placement) rows.applyZeroEdge(f.a, f.b);
+  return static_cast<double>(countSatisfied(rows));
 }
 
 double SigmaEvaluator::valueByOverlay(const ShortcutList& placement) const {

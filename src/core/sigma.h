@@ -4,9 +4,11 @@
 //
 // Three exact evaluation strategies are implemented, all returning the same
 // value (the test suite cross-checks them):
-//   * matrix: apply |F| exact O(n^2) zero-edge relaxations to the base
-//     all-pairs matrix — the incremental workhorse; marginal gains for a
-//     candidate then cost O(m).
+//   * rows: apply |F| exact zero-edge relaxations to the pair-endpoint
+//     distance rows (graph/shortcut_distance.h) — the incremental
+//     workhorse; O(|rows| * n) per shortcut instead of the historical
+//     O(n^2) full-matrix update, and marginal gains for a candidate still
+//     cost O(m).
 //   * overlay: shortest paths on the small terminal overlay (O(m + |F|)
 //     nodes) — wins when n is large relative to the pair set.
 //   * rebuild: add F to a copy of the graph and run Dijkstra — the slow
@@ -19,6 +21,7 @@
 #include "core/instance.h"
 #include "core/set_function.h"
 #include "graph/overlay.h"
+#include "graph/shortcut_distance.h"
 
 namespace msc::core {
 
@@ -49,17 +52,18 @@ class SigmaEvaluator final : public SetFunction, public IncrementalEvaluator {
   const Instance& instance() const noexcept { return *instance_; }
 
   // --- individual strategies (exposed for tests and microbenchmarks) ---
-  double valueByMatrix(const ShortcutList& placement) const;
+  double valueByRows(const ShortcutList& placement) const;
   double valueByOverlay(const ShortcutList& placement) const;
   double valueByRebuild(const ShortcutList& placement) const;
 
  private:
-  int countSatisfied(const msc::graph::DistanceMatrix& dist) const;
+  int countSatisfied(const msc::graph::ShortcutRowStore& rows) const;
   void refreshSatisfied();
 
   const Instance* instance_;
   std::unique_ptr<msc::graph::OverlayEvaluator> overlay_;
-  msc::graph::DistanceMatrix current_;  // distances under current placement
+  // Pair-endpoint distance rows under the current placement.
+  msc::graph::ShortcutRowStore rows_;
   std::vector<std::uint8_t> pairSatisfied_;
   int satisfied_ = 0;
 };

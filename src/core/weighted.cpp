@@ -2,21 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
-
-#include "graph/shortcut_distance.h"
+#include <utility>
 
 namespace msc::core {
 
 namespace {
 
-bool oneShortcutSatisfies(const msc::graph::DistanceMatrix& d,
+// `ru` / `rw` are the endpoint distance rows of p (base or evolved); the
+// row of w stands in for the matrix columns of w (the metric is symmetric).
+bool oneShortcutSatisfies(const double* ru, const double* rw,
                           const SocialPair& p, const Shortcut& f, double dt) {
-  const auto u = static_cast<std::size_t>(p.u);
   const auto w = static_cast<std::size_t>(p.w);
   const auto a = static_cast<std::size_t>(f.a);
   const auto b = static_cast<std::size_t>(f.b);
-  return std::min({d(u, w), d(u, a) + d(b, w), d(u, b) + d(a, w)}) <= dt;
+  return std::min({ru[w], ru[a] + rw[b], ru[b] + rw[a]}) <= dt;
+}
+
+// Base distance rows of every pair endpoint, straight from the oracle.
+std::vector<std::pair<const double*, const double*>> pairEndpointRows(
+    const Instance& instance) {
+  const auto& oracle = instance.distanceOracle();
+  std::vector<std::pair<const double*, const double*>> rows;
+  rows.reserve(instance.pairs().size());
+  for (const SocialPair& p : instance.pairs()) {
+    rows.push_back(
+        {oracle.distancesFrom(p.u).data(), oracle.distancesFrom(p.w).data()});
+  }
+  return rows;
 }
 
 }  // namespace
@@ -41,19 +55,19 @@ WeightedSigmaEvaluator::WeightedSigmaEvaluator(const Instance& instance,
                                                std::vector<double> pairWeights)
     : instance_(&instance),
       weights_(checkPairWeights(instance, std::move(pairWeights))),
-      dist_(instance.baseDistances()) {
+      rows_(instance.distanceOracle(), instance.pairNodes()) {
   reset();
 }
 
 void WeightedSigmaEvaluator::reset() {
-  dist_ = instance_->baseDistances();
+  rows_.reset();
   const auto& pairs = instance_->pairs();
   satisfied_.assign(pairs.size(), 0);
   current_ = 0.0;
   const double dt = instance_->distanceThreshold();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (dist_(static_cast<std::size_t>(pairs[i].u),
-              static_cast<std::size_t>(pairs[i].w)) <= dt) {
+    const double* ru = rows_.rowIfPresent(pairs[i].u);
+    if (ru[static_cast<std::size_t>(pairs[i].w)] <= dt) {
       satisfied_[i] = 1;
       current_ += weights_[i];
     }
@@ -66,19 +80,23 @@ double WeightedSigmaEvaluator::gainIfAdd(const Shortcut& f) const {
   double gain = 0.0;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (satisfied_[i]) continue;
-    if (oneShortcutSatisfies(dist_, pairs[i], f, dt)) gain += weights_[i];
+    if (oneShortcutSatisfies(rows_.rowIfPresent(pairs[i].u),
+                             rows_.rowIfPresent(pairs[i].w), pairs[i], f,
+                             dt)) {
+      gain += weights_[i];
+    }
   }
   return gain;
 }
 
 void WeightedSigmaEvaluator::add(const Shortcut& f) {
-  msc::graph::applyZeroEdge(dist_, f.a, f.b);
+  rows_.applyZeroEdge(f.a, f.b);
   const auto& pairs = instance_->pairs();
   const double dt = instance_->distanceThreshold();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (satisfied_[i]) continue;
-    if (dist_(static_cast<std::size_t>(pairs[i].u),
-              static_cast<std::size_t>(pairs[i].w)) <= dt) {
+    const double* ru = rows_.rowIfPresent(pairs[i].u);
+    if (ru[static_cast<std::size_t>(pairs[i].w)] <= dt) {
       satisfied_[i] = 1;
       current_ += weights_[i];
     }
@@ -86,14 +104,15 @@ void WeightedSigmaEvaluator::add(const Shortcut& f) {
 }
 
 double WeightedSigmaEvaluator::value(const ShortcutList& placement) const {
-  const auto d = msc::graph::distancesWithShortcuts(instance_->baseDistances(),
-                                                    asNodePairs(placement));
+  msc::graph::ShortcutRowStore rows(instance_->distanceOracle(),
+                                    instance_->pairNodes());
+  for (const Shortcut& f : placement) rows.applyZeroEdge(f.a, f.b);
   const auto& pairs = instance_->pairs();
   const double dt = instance_->distanceThreshold();
   double total = 0.0;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (d(static_cast<std::size_t>(pairs[i].u),
-          static_cast<std::size_t>(pairs[i].w)) <= dt) {
+    if (rows.rowIfPresent(pairs[i].u)[static_cast<std::size_t>(pairs[i].w)] <=
+        dt) {
       total += weights_[i];
     }
   }
@@ -111,7 +130,7 @@ WeightedMuEvaluator::WeightedMuEvaluator(const Instance& instance,
       baseSatisfied_(instance.pairs().size()),
       covered_(instance.pairs().size()) {
   const auto& pairs = instance.pairs();
-  const auto& d = instance.baseDistances();
+  const auto rows = pairEndpointRows(instance);
   const double dt = instance.distanceThreshold();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (instance.baseSatisfied(pairs[i])) baseSatisfied_.set(i);
@@ -120,7 +139,10 @@ WeightedMuEvaluator::WeightedMuEvaluator(const Instance& instance,
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     util::Bitset bits(pairs.size());
     for (std::size_t i = 0; i < pairs.size(); ++i) {
-      if (oneShortcutSatisfies(d, pairs[i], candidates[c], dt)) bits.set(i);
+      if (oneShortcutSatisfies(rows[i].first, rows[i].second, pairs[i],
+                               candidates[c], dt)) {
+        bits.set(i);
+      }
     }
     perCandidate_.push_back(std::move(bits));
   }
@@ -146,11 +168,13 @@ const util::Bitset& WeightedMuEvaluator::bitsetFor(
   const long idx = candidates_->indexOf(f);
   if (idx >= 0) return perCandidate_[static_cast<std::size_t>(idx)];
   const auto& pairs = instance_->pairs();
-  const auto& d = instance_->baseDistances();
+  const auto rows = pairEndpointRows(*instance_);
   const double dt = instance_->distanceThreshold();
   scratch = util::Bitset(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (oneShortcutSatisfies(d, pairs[i], f, dt)) scratch.set(i);
+    if (oneShortcutSatisfies(rows[i].first, rows[i].second, pairs[i], f, dt)) {
+      scratch.set(i);
+    }
   }
   return scratch;
 }
@@ -188,7 +212,6 @@ WeightedNuEvaluator::WeightedNuEvaluator(const Instance& instance,
   const auto weights = checkPairWeights(instance, std::move(pairWeights));
   const auto& pairs = instance.pairs();
   const auto& pairNodes = instance.pairNodes();
-  const auto& d = instance.baseDistances();
   const double dt = instance.distanceThreshold();
   const int n = instance.graph().nodeCount();
 
@@ -207,16 +230,18 @@ WeightedNuEvaluator::WeightedNuEvaluator(const Instance& instance,
     nodeWeights_[static_cast<std::size_t>(
         slot[static_cast<std::size_t>(pairs[i].w)])] += 0.5 * weights[i];
   }
-  coverage_.reserve(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v) {
-    util::Bitset bits(pairNodes.size());
-    for (std::size_t i = 0; i < pairNodes.size(); ++i) {
-      if (d(static_cast<std::size_t>(v),
-            static_cast<std::size_t>(pairNodes[i])) <= dt) {
-        bits.set(i);
+  // Swept per pair-node row (see NuEvaluator) — no matrix columns, so lazy
+  // backends never materialize n^2 entries.
+  coverage_.assign(static_cast<std::size_t>(n),
+                   util::Bitset(pairNodes.size()));
+  const auto& oracle = instance.distanceOracle();
+  for (std::size_t i = 0; i < pairNodes.size(); ++i) {
+    const std::span<const double> row = oracle.distancesFrom(pairNodes[i]);
+    for (int v = 0; v < n; ++v) {
+      if (row[static_cast<std::size_t>(v)] <= dt) {
+        coverage_[static_cast<std::size_t>(v)].set(i);
       }
     }
-    coverage_.push_back(std::move(bits));
   }
   reset();
 }

@@ -20,6 +20,7 @@
 #include "core/instance.h"
 #include "core/sandwich.h"
 #include "core/set_function.h"
+#include "graph/shortcut_distance.h"
 #include "util/bitset.h"
 
 namespace msc::core {
@@ -49,7 +50,8 @@ class WeightedSigmaEvaluator final : public SetFunction,
  private:
   const Instance* instance_;
   std::vector<double> weights_;
-  msc::graph::DistanceMatrix dist_;
+  // Pair-endpoint distance rows under the current placement.
+  msc::graph::ShortcutRowStore rows_;
   std::vector<std::uint8_t> satisfied_;
   double current_ = 0.0;
 };
@@ -114,13 +116,5 @@ SandwichResult weightedSandwich(const Instance& instance,
                                 const std::vector<double>& pairWeights,
                                 const CandidateSet& candidates,
                                 const SolveOptions& options);
-
-[[deprecated("use the SolveOptions overload")]]
-inline SandwichResult weightedSandwich(const Instance& instance,
-                                       const std::vector<double>& pairWeights,
-                                       const CandidateSet& candidates, int k) {
-  return weightedSandwich(instance, pairWeights, candidates,
-                          SolveOptions{.k = k});
-}
 
 }  // namespace msc::core

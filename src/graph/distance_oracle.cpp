@@ -1,0 +1,340 @@
+#include "graph/distance_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/dijkstra.h"
+#include "obs/metrics.h"
+#include "util/parallel.h"
+
+namespace msc::graph {
+
+namespace {
+
+constexpr std::size_t kObjectOverhead = 64;
+
+std::size_t rowBytes(std::size_t n) {
+  return n * sizeof(double) + kObjectOverhead;
+}
+
+}  // namespace
+
+const char* distanceModeName(DistanceMode mode) noexcept {
+  switch (mode) {
+    case DistanceMode::Auto:
+      return "auto";
+    case DistanceMode::Dense:
+      return "dense";
+    case DistanceMode::PairCentric:
+      return "pair_centric";
+  }
+  return "auto";
+}
+
+std::optional<DistanceMode> parseDistanceMode(std::string_view name) noexcept {
+  if (name == "auto") return DistanceMode::Auto;
+  if (name == "dense") return DistanceMode::Dense;
+  if (name == "pair_centric") return DistanceMode::PairCentric;
+  return std::nullopt;
+}
+
+// ------------------------------------------------------ DistanceOracle ----
+
+void DistanceOracle::checkNode(NodeId v) const {
+  if (v < 0 || v >= nodeCount()) {
+    throw std::out_of_range("DistanceOracle: node index out of range");
+  }
+}
+
+void DistanceOracle::prefetchRows(std::span<const NodeId> sources,
+                                  int /*threads*/) const {
+  for (const NodeId v : sources) checkNode(v);
+}
+
+util::Matrix<double> DistanceOracle::distancesToTerminals(
+    std::span<const NodeId> terminals, int threads) const {
+  prefetchRows(terminals, threads);
+  const auto n = static_cast<std::size_t>(nodeCount());
+  util::Matrix<double> out(terminals.size(), n);
+  for (std::size_t i = 0; i < terminals.size(); ++i) {
+    const auto row = distancesFrom(terminals[i]);
+    std::copy(row.begin(), row.end(), out.row(i));
+  }
+  return out;
+}
+
+// --------------------------------------------------- DenseMatrixOracle ----
+
+DenseMatrixOracle::DenseMatrixOracle(
+    std::shared_ptr<const DistanceMatrix> matrix)
+    : owned_(std::move(matrix)), matrix_(owned_.get()) {
+  if (!matrix_) {
+    throw std::invalid_argument("DenseMatrixOracle: null matrix");
+  }
+  if (matrix_->rows() != matrix_->cols()) {
+    throw std::invalid_argument("DenseMatrixOracle: matrix must be square");
+  }
+}
+
+DenseMatrixOracle::DenseMatrixOracle(const DistanceMatrix& matrix)
+    : matrix_(&matrix) {
+  if (matrix_->rows() != matrix_->cols()) {
+    throw std::invalid_argument("DenseMatrixOracle: matrix must be square");
+  }
+}
+
+std::shared_ptr<DenseMatrixOracle> DenseMatrixOracle::build(const Graph& g,
+                                                            int threads) {
+  return std::make_shared<DenseMatrixOracle>(
+      std::make_shared<const DistanceMatrix>(allPairsDistances(g, threads)));
+}
+
+double DenseMatrixOracle::distance(NodeId x, NodeId y) const {
+  checkNode(x);
+  checkNode(y);
+  return (*matrix_)(static_cast<std::size_t>(x), static_cast<std::size_t>(y));
+}
+
+std::span<const double> DenseMatrixOracle::distancesFrom(NodeId v) const {
+  checkNode(v);
+  return {matrix_->row(static_cast<std::size_t>(v)), matrix_->cols()};
+}
+
+void DenseMatrixOracle::prefetchRows(std::span<const NodeId> sources,
+                                     int /*threads*/) const {
+  for (const NodeId v : sources) checkNode(v);  // all rows already resident
+}
+
+std::size_t DenseMatrixOracle::residentBytes() const noexcept {
+  // A borrowed matrix is charged to whoever owns it (the serve cache
+  // already bills its memoized matrices), so only owning oracles report.
+  if (!owned_) return 0;
+  return matrix_->rows() * matrix_->cols() * sizeof(double) + kObjectOverhead;
+}
+
+// --------------------------------------------------- PairCentricOracle ----
+
+PairCentricOracle::PairCentricOracle(std::shared_ptr<const Graph> graph)
+    : PairCentricOracle(std::move(graph), Config{}) {}
+
+PairCentricOracle::PairCentricOracle(std::shared_ptr<const Graph> graph,
+                                     Config config)
+    : graph_(std::move(graph)), threads_(config.threads) {
+  if (!graph_) {
+    throw std::invalid_argument("PairCentricOracle: null graph");
+  }
+  if (config.landmarks < 0) {
+    throw std::invalid_argument("PairCentricOracle: negative landmark count");
+  }
+  selectLandmarks(std::min(config.landmarks, graph_->nodeCount()));
+}
+
+void PairCentricOracle::selectLandmarks(int count) {
+  const int n = graph_->nodeCount();
+  if (count <= 0 || n == 0) return;
+  // Deterministic farthest-point sweep: start at node 0, then repeatedly
+  // take the node farthest from the chosen set (unreachable counts as
+  // farther than any finite distance, so every component gets a landmark
+  // before any component gets a second one); ties break to the lowest id.
+  std::vector<double> distToSet(static_cast<std::size_t>(n), kInfDist);
+  NodeId next = 0;
+  for (int pick = 0; pick < count; ++pick) {
+    auto row = dijkstra(*graph_, next).dist;
+    for (std::size_t v = 0; v < row.size(); ++v) {
+      distToSet[v] = std::min(distToSet[v], row[v]);
+    }
+    landmarkIds_.push_back(next);
+    const auto [it, inserted] = rows_.emplace(next, std::move(row));
+    landmarkRows_.push_back(&it->second);
+    if (inserted) {
+      bytes_.fetch_add(rowBytes(static_cast<std::size_t>(n)),
+                       std::memory_order_relaxed);
+    }
+    if (pick + 1 == count) break;
+    next = -1;
+    double best = -1.0;
+    for (NodeId v = 0; v < n; ++v) {
+      const double d = distToSet[static_cast<std::size_t>(v)];
+      if (d > best) {
+        best = d;
+        next = v;
+      }
+    }
+    if (next < 0 || best == 0.0) break;  // n distinct nodes exhausted
+  }
+}
+
+double PairCentricOracle::distance(NodeId x, NodeId y) const {
+  checkNode(x);
+  checkNode(y);
+  if (x == y) return 0.0;
+  const NodeId s = std::min(x, y);
+  const NodeId t = std::max(x, y);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = rows_.find(s); it != rows_.end()) {
+      return it->second[static_cast<std::size_t>(t)];
+    }
+    if (const auto it = rows_.find(t); it != rows_.end()) {
+      return it->second[static_cast<std::size_t>(s)];
+    }
+  }
+  if (msc::obs::enabled()) {
+    static auto& cAlt = msc::obs::counter("oracle.alt_queries");
+    cAlt.add(1);
+  }
+  return altPointQuery(s, t);
+}
+
+std::span<const double> PairCentricOracle::distancesFrom(NodeId v) const {
+  checkNode(v);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = rows_.find(v); it != rows_.end()) {
+      return it->second;
+    }
+  }
+  if (msc::obs::enabled()) {
+    static auto& cRows = msc::obs::counter("oracle.row_builds");
+    cRows.add(1);
+  }
+  auto dist = dijkstra(*graph_, v).dist;
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = rows_.emplace(v, std::move(dist));
+  if (inserted) {
+    bytes_.fetch_add(rowBytes(it->second.size()), std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+void PairCentricOracle::prefetchRows(std::span<const NodeId> sources,
+                                     int threads) const {
+  std::vector<NodeId> need;
+  need.reserve(sources.size());
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const NodeId v : sources) {
+      checkNode(v);
+      if (!rows_.contains(v)) need.push_back(v);
+    }
+  }
+  std::sort(need.begin(), need.end());
+  need.erase(std::unique(need.begin(), need.end()), need.end());
+  if (need.empty()) return;
+  if (msc::obs::enabled()) {
+    static auto& cRows = msc::obs::counter("oracle.row_builds");
+    cRows.add(need.size());
+  }
+  std::vector<std::vector<double>> computed(need.size());
+  msc::util::parallelForThreads(
+      threads, 0, need.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          computed[i] = dijkstra(*graph_, need[i]).dist;
+        }
+      });
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < need.size(); ++i) {
+    const auto [it, inserted] = rows_.emplace(need[i], std::move(computed[i]));
+    if (inserted) {
+      bytes_.fetch_add(rowBytes(it->second.size()), std::memory_order_relaxed);
+    }
+  }
+}
+
+double PairCentricOracle::altPointQuery(NodeId s, NodeId t) const {
+  const Graph& g = *graph_;
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  // ALT lower bound on d(v, t): the landmark triangle inequality gives
+  // |d(l, v) - d(l, t)| <= d(v, t). When exactly one of the two is
+  // infinite, v and t sit in different components, so d(v, t) itself is
+  // infinite and the node can be pruned outright.
+  const auto lowerBound = [&](NodeId v) -> double {
+    double best = 0.0;
+    for (const auto* row : landmarkRows_) {
+      const double dv = (*row)[static_cast<std::size_t>(v)];
+      const double dt = (*row)[static_cast<std::size_t>(t)];
+      if (dv == kInfDist || dt == kInfDist) {
+        if (dv != dt) return kInfDist;
+        continue;  // landmark sees neither endpoint: no information
+      }
+      best = std::max(best, std::abs(dv - dt));
+    }
+    return best;
+  };
+  if (lowerBound(s) == kInfDist) return kInfDist;
+
+  // A* with a consistent potential settles nodes in (g + h) order but
+  // computes the same final g values as plain Dijkstra (every improving
+  // predecessor still settles first), so the result is bit-identical to
+  // the corresponding distancesFrom(s) entry.
+  std::vector<double> dist(n, kInfDist);
+  std::vector<std::uint8_t> settled(n, 0);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(s)] = 0.0;
+  heap.push({lowerBound(s), s});
+  while (!heap.empty()) {
+    const auto [f, u] = heap.top();
+    heap.pop();
+    if (settled[static_cast<std::size_t>(u)]) continue;
+    settled[static_cast<std::size_t>(u)] = 1;
+    if (u == t) return dist[static_cast<std::size_t>(u)];
+    const double du = dist[static_cast<std::size_t>(u)];
+    for (const Arc& arc : g.neighbors(u)) {
+      const double nd = du + arc.length;
+      if (nd < dist[static_cast<std::size_t>(arc.to)]) {
+        dist[static_cast<std::size_t>(arc.to)] = nd;
+        const double h = lowerBound(arc.to);
+        if (h == kInfDist) continue;  // cannot reach t; prune
+        heap.push({nd + h, arc.to});
+      }
+    }
+  }
+  return kInfDist;
+}
+
+const DistanceMatrix& PairCentricOracle::materialize() const {
+  const std::lock_guard<std::mutex> lock(fullMu_);
+  if (!full_) {
+    if (msc::obs::enabled()) {
+      static auto& cMat = msc::obs::counter("oracle.materializations");
+      cMat.add(1);
+    }
+    auto built = std::make_unique<const DistanceMatrix>(
+        allPairsDistances(*graph_, threads_));
+    bytes_.fetch_add(
+        built->rows() * built->cols() * sizeof(double) + kObjectOverhead,
+        std::memory_order_relaxed);
+    full_ = std::move(built);
+  }
+  return *full_;
+}
+
+std::size_t PairCentricOracle::cachedRowCount() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+// -------------------------------------------------------------- factory ----
+
+std::shared_ptr<const DistanceOracle> makeDistanceOracle(
+    std::shared_ptr<const Graph> graph, DistanceMode mode, int landmarks,
+    int threads) {
+  if (!graph) {
+    throw std::invalid_argument("makeDistanceOracle: null graph");
+  }
+  const bool dense =
+      mode == DistanceMode::Dense ||
+      (mode == DistanceMode::Auto && graph->nodeCount() <= kDenseAutoNodeLimit);
+  if (dense) {
+    return DenseMatrixOracle::build(*graph, threads);
+  }
+  return std::make_shared<const PairCentricOracle>(
+      std::move(graph),
+      PairCentricOracle::Config{.landmarks = landmarks, .threads = threads});
+}
+
+}  // namespace msc::graph

@@ -1,0 +1,209 @@
+// Pair-centric distance API: the abstraction that breaks the O(n^2) wall.
+//
+// Every MSC evaluator consumes base-graph shortest-path distances, but none
+// of them needs all n^2 of them: sigma/mu/nu only ever read distances from
+// the m social-pair endpoints (and the endpoints of placed shortcuts) to
+// the rest of the graph. DistanceOracle is the seam that makes the storage
+// decision pluggable:
+//
+//   * DenseMatrixOracle — wraps today's APSP matrix. Bit-identical to the
+//     historical dense path; right for small n where O(n^2) doubles fit.
+//   * PairCentricOracle — stores only the rows actually requested
+//     (|terminals| x n doubles), computing each with one Dijkstra on
+//     demand, plus ALT landmark rows for point-to-point queries that do
+//     not deserve a full row.
+//
+// Numerical contract: a dense matrix is symmetrized across the two sweep
+// directions (see allPairsDistances), while a pair-centric row is the raw
+// one-directional Dijkstra result. The two can differ in the last ulp on
+// paths of >= 3 edges (floating-point addition is not associative). All
+// threshold-counting objectives (sigma/mu/nu and the weighted variants)
+// are integer-or-weight sums over comparisons d <= d_t, so the backends
+// agree exactly unless a distance lands within one ulp of the threshold —
+// the property suite in tests/test_distance_oracle.cpp sweeps every
+// generator to confirm the values coincide in practice.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/apsp.h"
+#include "graph/graph.h"
+
+namespace msc::graph {
+
+/// Backend selection knob (Instance, serve load_graph, msc_cli).
+enum class DistanceMode {
+  Auto,         ///< dense when n <= kDenseAutoNodeLimit, pair-centric above
+  Dense,        ///< always materialize the n x n matrix
+  PairCentric,  ///< never materialize; per-terminal rows only
+};
+
+/// Auto picks the dense backend up to this node count: 2048^2 doubles are
+/// 32 MiB — comfortably resident — while the next power of two quadruples
+/// that and the n-source APSP build starts to dominate solve time.
+inline constexpr int kDenseAutoNodeLimit = 2048;
+
+/// Stable wire/display name: "auto", "dense", "pair_centric".
+const char* distanceModeName(DistanceMode mode) noexcept;
+
+/// Inverse of distanceModeName; nullopt on unknown names.
+std::optional<DistanceMode> parseDistanceMode(std::string_view name) noexcept;
+
+/// Read-only base-graph shortest-path distances. Implementations are
+/// internally synchronized: all const methods are safe to call
+/// concurrently (lazy backends cache rows under a mutex).
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  virtual int nodeCount() const noexcept = 0;
+
+  /// d(x, y) in the base graph; kInfDist when disconnected. Backends may
+  /// serve either search direction of the query, so on multi-edge paths
+  /// the last ulp can depend on which rows happen to be cached — callers
+  /// needing reproducible bits should go through distancesFrom.
+  virtual double distance(NodeId x, NodeId y) const = 0;
+
+  /// Full distance row of v (nodeCount() entries, indexed by target).
+  /// Lazy backends compute and cache the row on first call; the returned
+  /// span stays valid for the oracle's lifetime.
+  virtual std::span<const double> distancesFrom(NodeId v) const = 0;
+
+  /// Computes (and caches) the rows of `sources` that are not cached yet,
+  /// `threads` at a time (0 = all cores). Must not be called from inside a
+  /// parallelFor chunk. No-op for backends that hold all rows anyway.
+  virtual void prefetchRows(std::span<const NodeId> sources,
+                            int threads) const;
+
+  /// Owned |terminals| x n block of rows in the given terminal order
+  /// (duplicates allowed, each copied). Seeds ShortcutRowStore.
+  util::Matrix<double> distancesToTerminals(std::span<const NodeId> terminals,
+                                            int threads = 1) const;
+
+  /// Full n x n matrix. The dense backend returns its own storage; the
+  /// pair-centric backend computes and caches one on first call — an
+  /// O(n^2) escape hatch for deprecated callers, never on the solve path.
+  virtual const DistanceMatrix& materialize() const = 0;
+
+  /// Estimated bytes this oracle keeps resident (rows, landmark rows, a
+  /// materialized matrix). Grows as lazy rows are cached.
+  virtual std::size_t residentBytes() const noexcept = 0;
+
+  /// Backend name as exported by serve stats/metrics:
+  /// "dense" | "pair_centric".
+  virtual const char* mode() const noexcept = 0;
+
+ protected:
+  void checkNode(NodeId v) const;
+};
+
+/// Dense backend: adapts a full APSP matrix to the oracle interface.
+/// Queries are O(1) lookups into the (symmetric) matrix, so results are
+/// bit-identical to historical DistanceMatrix consumers.
+class DenseMatrixOracle final : public DistanceOracle {
+ public:
+  /// Owning: shares the matrix (the serve cache hands its memoized matrix
+  /// to many instances this way).
+  explicit DenseMatrixOracle(std::shared_ptr<const DistanceMatrix> matrix);
+
+  /// Non-owning view; the matrix must outlive the oracle. Temporaries are
+  /// rejected — pass a shared_ptr to transfer ownership.
+  explicit DenseMatrixOracle(const DistanceMatrix& matrix);
+  explicit DenseMatrixOracle(DistanceMatrix&& matrix) = delete;
+
+  /// Runs APSP on `g` (`threads` workers) and wraps the result.
+  static std::shared_ptr<DenseMatrixOracle> build(const Graph& g, int threads);
+
+  int nodeCount() const noexcept override {
+    return static_cast<int>(matrix_->rows());
+  }
+  double distance(NodeId x, NodeId y) const override;
+  std::span<const double> distancesFrom(NodeId v) const override;
+  void prefetchRows(std::span<const NodeId> sources,
+                    int threads) const override;
+  const DistanceMatrix& materialize() const override { return *matrix_; }
+  std::size_t residentBytes() const noexcept override;
+  const char* mode() const noexcept override { return "dense"; }
+
+ private:
+  std::shared_ptr<const DistanceMatrix> owned_;  // null when borrowing
+  const DistanceMatrix* matrix_;
+};
+
+/// Pair-centric backend: one cached Dijkstra row per requested source,
+/// plus ALT (A*, landmarks, triangle-inequality) point-to-point queries
+/// for sources that never earn a full row. Resident memory is
+/// O((|cached rows| + landmarks) * n) instead of O(n^2).
+class PairCentricOracle final : public DistanceOracle {
+ public:
+  struct Config {
+    /// Landmark count for ALT lower bounds. Clamped to [0, n]; 0 degrades
+    /// point queries to plain bidirectional-free Dijkstra with early exit.
+    int landmarks = 8;
+    /// Worker threads for prefetchRows bursts and materialize().
+    int threads = 1;
+  };
+
+  /// Keeps the graph alive; landmark rows are computed eagerly (that many
+  /// Dijkstra runs) so later point queries never race the selection.
+  PairCentricOracle(std::shared_ptr<const Graph> graph, Config config);
+  explicit PairCentricOracle(std::shared_ptr<const Graph> graph);
+
+  int nodeCount() const noexcept override {
+    return graph_->nodeCount();
+  }
+  double distance(NodeId x, NodeId y) const override;
+  std::span<const double> distancesFrom(NodeId v) const override;
+  void prefetchRows(std::span<const NodeId> sources,
+                    int threads) const override;
+  const DistanceMatrix& materialize() const override;
+  std::size_t residentBytes() const noexcept override {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  const char* mode() const noexcept override { return "pair_centric"; }
+
+  /// Landmark nodes actually chosen (deterministic farthest-point sweep
+  /// from node 0; may be shorter than Config::landmarks on tiny graphs).
+  std::span<const NodeId> landmarks() const noexcept { return landmarkIds_; }
+
+  /// Number of full rows currently cached (landmarks included).
+  std::size_t cachedRowCount() const;
+
+ private:
+  /// A* from s to t with the max-landmark lower bound as potential; exact,
+  /// bit-identical to the corresponding full-row entry. No caching.
+  double altPointQuery(NodeId s, NodeId t) const;
+  void selectLandmarks(int count);
+
+  std::shared_ptr<const Graph> graph_;
+  int threads_;
+  std::vector<NodeId> landmarkIds_;
+  // Landmark rows live in rows_ like any cached row; these pointers give
+  // the point-query hot loop lock-free access (map nodes are stable and
+  // the rows are immutable after construction).
+  std::vector<const std::vector<double>*> landmarkRows_;
+
+  mutable std::mutex mu_;
+  mutable std::map<NodeId, std::vector<double>> rows_;
+
+  mutable std::mutex fullMu_;
+  mutable std::unique_ptr<const DistanceMatrix> full_;
+
+  mutable std::atomic<std::size_t> bytes_{0};
+};
+
+/// Backend factory honoring Auto selection. `landmarks`/`threads` feed the
+/// pair-centric config; the dense path runs APSP with `threads` workers.
+std::shared_ptr<const DistanceOracle> makeDistanceOracle(
+    std::shared_ptr<const Graph> graph, DistanceMode mode, int landmarks,
+    int threads);
+
+}  // namespace msc::graph

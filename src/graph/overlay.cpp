@@ -7,13 +7,25 @@
 
 namespace msc::graph {
 
+OverlayEvaluator::OverlayEvaluator(const DistanceOracle& oracle,
+                                   std::vector<NodeId> terminals)
+    : oracle_(&oracle), terminals_(std::move(terminals)) {
+  indexTerminals();
+}
+
 OverlayEvaluator::OverlayEvaluator(const DistanceMatrix& base,
                                    std::vector<NodeId> terminals)
-    : base_(&base), terminals_(std::move(terminals)) {
+    : matrixAdapter_(std::make_unique<DenseMatrixOracle>(base)),
+      oracle_(matrixAdapter_.get()),
+      terminals_(std::move(terminals)) {
+  indexTerminals();
+}
+
+void OverlayEvaluator::indexTerminals() {
   std::sort(terminals_.begin(), terminals_.end());
   terminals_.erase(std::unique(terminals_.begin(), terminals_.end()),
                    terminals_.end());
-  const std::size_t n = base.rows();
+  const auto n = static_cast<std::size_t>(oracle_->nodeCount());
   terminalIndex_.assign(n, -1);
   for (std::size_t i = 0; i < terminals_.size(); ++i) {
     const NodeId t = terminals_[i];
@@ -27,7 +39,7 @@ OverlayEvaluator::OverlayEvaluator(const DistanceMatrix& base,
 std::vector<double> OverlayEvaluator::pairDistances(
     const std::vector<std::pair<NodeId, NodeId>>& queryPairs,
     const std::vector<std::pair<NodeId, NodeId>>& shortcuts) const {
-  const std::size_t n = base_->rows();
+  const auto n = static_cast<std::size_t>(oracle_->nodeCount());
 
   // Overlay node list: terminals first, then shortcut endpoints that are not
   // terminals (deduplicated via a scratch index map).
@@ -45,13 +57,24 @@ std::vector<double> OverlayEvaluator::pairDistances(
     }
   }
 
-  // Small metric over overlay nodes, then exact 0-edge relaxations.
+  // Small metric over overlay nodes, then exact 0-edge relaxations. Each
+  // entry is read from the row of the lower-numbered node and mirrored, so
+  // the metric is symmetric regardless of backend (the dense matrix is
+  // symmetric anyway; pair-centric rows are one-directional).
   const std::size_t v = overlayNodes.size();
+  std::vector<std::span<const double>> nodeRows(v);
+  for (std::size_t i = 0; i < v; ++i) {
+    nodeRows[i] = oracle_->distancesFrom(overlayNodes[i]);
+  }
   DistanceMatrix w(v, v, kInfDist);
   for (std::size_t i = 0; i < v; ++i) {
-    const auto ni = static_cast<std::size_t>(overlayNodes[i]);
-    for (std::size_t j = 0; j < v; ++j) {
-      w(i, j) = (*base_)(ni, static_cast<std::size_t>(overlayNodes[j]));
+    w(i, i) = 0.0;
+    for (std::size_t j = i + 1; j < v; ++j) {
+      const double d = overlayNodes[i] <= overlayNodes[j]
+                           ? nodeRows[i][static_cast<std::size_t>(overlayNodes[j])]
+                           : nodeRows[j][static_cast<std::size_t>(overlayNodes[i])];
+      w(i, j) = d;
+      w(j, i) = d;
     }
   }
   for (const auto& [a, b] : shortcuts) {

@@ -10,23 +10,30 @@
 // shortcut edges. The overlay has O(m + k) nodes regardless of n.
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "graph/apsp.h"
+#include "graph/distance_oracle.h"
 #include "graph/graph.h"
 
 namespace msc::graph {
 
-/// Precomputes terminal indexing against a base distance matrix; then
-/// answers pair-distance queries under arbitrary shortcut sets.
+/// Precomputes terminal indexing against a distance oracle; then answers
+/// pair-distance queries under arbitrary shortcut sets.
 ///
-/// The base matrix must outlive the evaluator.
+/// The oracle (or matrix) must outlive the evaluator.
 class OverlayEvaluator {
  public:
   /// `terminals` are the nodes whose pairwise distances will be queried
   /// (duplicates are deduplicated). Shortcut endpoints passed to
-  /// pairDistances() need not be listed.
+  /// pairDistances() need not be listed; their distance rows are pulled
+  /// from the oracle on demand (and cached there on lazy backends).
+  OverlayEvaluator(const DistanceOracle& oracle, std::vector<NodeId> terminals);
+
+  /// Compatibility constructor: wraps the matrix in a non-owning dense
+  /// oracle. The matrix must outlive the evaluator.
   OverlayEvaluator(const DistanceMatrix& base, std::vector<NodeId> terminals);
 
   /// Exact distances in G ∪ shortcuts for each query pair. Query endpoints
@@ -43,7 +50,10 @@ class OverlayEvaluator {
       double threshold) const;
 
  private:
-  const DistanceMatrix* base_;
+  void indexTerminals();
+
+  std::unique_ptr<DenseMatrixOracle> matrixAdapter_;  // compat ctor only
+  const DistanceOracle* oracle_;
   std::vector<NodeId> terminals_;        // deduplicated, sorted
   std::vector<int> terminalIndex_;       // node -> overlay slot or -1
 };

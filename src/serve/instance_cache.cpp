@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
+#include <string_view>
 
 #include "obs/context.h"
 
@@ -20,10 +21,6 @@ std::size_t graphBytes(const msc::graph::Graph& g) {
   const std::size_t e = g.edgeCount();
   return e * sizeof(msc::graph::Edge) + 2 * e * sizeof(msc::graph::Arc) +
          n * sizeof(std::vector<msc::graph::Arc>) + 64;
-}
-
-std::size_t matrixBytes(const msc::graph::DistanceMatrix& m) {
-  return m.rows() * m.cols() * sizeof(double) + 64;
 }
 
 std::size_t candidatesBytes(const core::CandidateSet& c) {
@@ -103,7 +100,8 @@ InstanceCache::PairsEntry* InstanceCache::findPairsEntry(
   return &it->second;
 }
 
-std::string InstanceCache::putGraph(msc::graph::Graph g) {
+std::string InstanceCache::putGraph(msc::graph::Graph g,
+                                    msc::graph::DistanceMode mode) {
   // Canonical bytes: node count then every edge (endpoints + length bits)
   // in insertion order — exactly what writeEdgeList round-trips.
   Fnv1a h;
@@ -116,9 +114,23 @@ std::string InstanceCache::putGraph(msc::graph::Graph g) {
   const std::string key = hexKey('g', h.value());
 
   const std::lock_guard<std::mutex> lock(mu_);
-  if (findGraphEntry(key, /*countStats=*/false)) return key;  // re-touch
+  if (GraphEntry* existing = findGraphEntry(key, /*countStats=*/false)) {
+    // Re-touch. A different requested backend drops the memoized oracle so
+    // the next solve rebuilds under the new mode.
+    if (existing->mode != mode) {
+      existing->mode = mode;
+      if (existing->oracle) {
+        existing->oracle.reset();
+        bytesUsed_ -= existing->oracleBytes;
+        existing->bytes -= existing->oracleBytes;
+        existing->oracleBytes = 0;
+      }
+    }
+    return key;
+  }
   GraphEntry entry;
   entry.graph = std::make_shared<const msc::graph::Graph>(std::move(g));
+  entry.mode = mode;
   entry.bytes = graphBytes(*entry.graph);
   lru_.push_front(key);
   entry.lruPos = lru_.begin();
@@ -164,19 +176,31 @@ std::shared_ptr<const std::vector<core::SocialPair>> InstanceCache::findPairs(
   return entry ? entry->pairs : nullptr;
 }
 
-bool InstanceCache::ensureDistances(GraphEntry& entry, int threads) {
-  if (entry.distances) {
+void InstanceCache::refreshOracleBytes(GraphEntry& entry) {
+  const std::size_t now = entry.oracle ? entry.oracle->residentBytes() : 0;
+  bytesUsed_ += now;
+  bytesUsed_ -= entry.oracleBytes;
+  entry.bytes += now;
+  entry.bytes -= entry.oracleBytes;
+  entry.oracleBytes = now;
+}
+
+bool InstanceCache::ensureOracle(GraphEntry& entry, int threads) {
+  if (entry.oracle) {
     ++counters_.apspHits;
+    // Lazy backends grew since the last touch (rows cached by solves);
+    // pick the delta up so the budget still bounds them.
+    refreshOracleBytes(entry);
     return true;
   }
   ++counters_.apspComputes;
-  // Request-phase attribution: the APSP rebuild is the dominant cold-cache
-  // cost, so it gets its own phase in the serve usage block (§14).
+  // Request-phase attribution: the distance build is the dominant
+  // cold-cache cost, so it gets its own phase in the serve usage block
+  // (§14). Covers both the dense APSP and the pair-centric landmark runs.
   const obs::ScopedPhaseTimer phase(obs::Phase::Apsp);
-  entry.distances = std::make_shared<const msc::graph::DistanceMatrix>(
-      msc::graph::allPairsDistances(*entry.graph, threads));
-  bytesUsed_ += matrixBytes(*entry.distances);
-  entry.bytes += matrixBytes(*entry.distances);
+  entry.oracle = msc::graph::makeDistanceOracle(
+      entry.graph, entry.mode, /*landmarks=*/8, threads);
+  refreshOracleBytes(entry);
   return false;
 }
 
@@ -193,7 +217,7 @@ core::Instance InstanceCache::instance(const std::string& graphKey,
                                        double distanceThreshold, int threads,
                                        bool* apspWasCached) {
   std::shared_ptr<const msc::graph::Graph> graph;
-  std::shared_ptr<const msc::graph::DistanceMatrix> distances;
+  std::shared_ptr<const msc::graph::DistanceOracle> oracle;
   std::shared_ptr<const std::vector<core::SocialPair>> pairs;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -209,15 +233,17 @@ core::Instance InstanceCache::instance(const std::string& graphKey,
                                "\" (never loaded, or evicted — re-send "
                                "load_pairs)");
     }
-    const bool hit = ensureDistances(*gEntry, threads);
+    const bool hit = ensureOracle(*gEntry, threads);
     if (apspWasCached) *apspWasCached = hit;
     graph = gEntry->graph;
-    distances = gEntry->distances;
+    oracle = gEntry->oracle;
     pairs = pEntry->pairs;
     evictOverBudget(graphKey);
   }
-  return core::Instance(std::move(graph), std::move(distances), *pairs,
-                        distanceThreshold);
+  // The pair-node row prefetch (lazy backends) runs outside the cache
+  // lock; its byte growth is picked up on the entry's next touch.
+  return core::Instance(std::move(graph), std::move(oracle), *pairs,
+                        distanceThreshold, threads);
 }
 
 std::shared_ptr<const core::CandidateSet> InstanceCache::candidates(
@@ -241,6 +267,19 @@ InstanceCache::Stats InstanceCache::stats() const {
   s.bytesUsed = bytesUsed_;
   s.byteBudget = byteBudget_;
   s.entries = graphs_.size() + pairsSets_.size();
+  for (const auto& [key, entry] : graphs_) {
+    if (!entry.oracle) continue;
+    // Live residentBytes(), not the charged estimate: a scrape between
+    // touches still sees rows cached since.
+    const std::size_t bytes = entry.oracle->residentBytes();
+    if (std::string_view(entry.oracle->mode()) == "pair_centric") {
+      ++s.oraclesPairCentric;
+      s.oracleBytesPairCentric += bytes;
+    } else {
+      ++s.oraclesDense;
+      s.oracleBytesDense += bytes;
+    }
+  }
   return s;
 }
 

@@ -9,7 +9,8 @@
 // compute client-side or share between clients.
 //
 // Memory is bounded: every entry is charged an estimated byte size (graph
-// adjacency + edge list, the n^2 distance matrix once memoized, the
+// adjacency + edge list, the distance oracle once memoized — the full n^2
+// matrix on the dense backend, just the cached rows on pair_centric — the
 // candidate list, the pair list) against a budget (MSC_SERVE_CACHE_MB via
 // the server config), and least-recently-used entries are evicted when the
 // total exceeds it. Eviction invalidates the key — a later request using it
@@ -17,9 +18,9 @@
 // invalidates in-flight requests: entries are handed out as shared_ptr, so
 // an evicted graph lives until its last request completes.
 //
-// All methods are thread-safe behind one mutex; the APSP memoization runs
-// under it, so concurrent first-touch solves of the same graph compute the
-// matrix exactly once (later requests are APSP hits).
+// All methods are thread-safe behind one mutex; the oracle memoization runs
+// under it, so concurrent first-touch solves of the same graph build the
+// distance backend exactly once (later requests are APSP hits).
 #pragma once
 
 #include <cstddef>
@@ -34,6 +35,7 @@
 #include "core/candidates.h"
 #include "core/instance.h"
 #include "graph/apsp.h"
+#include "graph/distance_oracle.h"
 #include "graph/graph.h"
 
 namespace msc::serve {
@@ -49,19 +51,31 @@ class InstanceCache {
     std::uint64_t graphMisses = 0;
     std::uint64_t pairsHits = 0;
     std::uint64_t pairsMisses = 0;
-    std::uint64_t apspHits = 0;      ///< solves that reused a memoized matrix
-    std::uint64_t apspComputes = 0;  ///< solves that had to run APSP
+    std::uint64_t apspHits = 0;      ///< solves that reused a memoized oracle
+    std::uint64_t apspComputes = 0;  ///< solves that had to build one
     std::uint64_t evictions = 0;
     std::size_t bytesUsed = 0;
     std::size_t byteBudget = 0;
     std::size_t entries = 0;
+    // Built distance oracles by backend: entry counts and resident bytes
+    // (live values — pair-centric oracles grow as rows are cached).
+    std::size_t oraclesDense = 0;
+    std::size_t oraclesPairCentric = 0;
+    std::size_t oracleBytesDense = 0;
+    std::size_t oracleBytesPairCentric = 0;
   };
 
   /// `byteBudget` 0 means "effectively unbounded" (no eviction).
   explicit InstanceCache(std::size_t byteBudget);
 
   /// Stores (or re-touches) a graph, returns its content key "g<hex>".
-  std::string putGraph(msc::graph::Graph g);
+  /// `mode` picks the distance backend built lazily on first solve
+  /// (load_graph's "distance_mode" knob); re-loading the same content with
+  /// a different mode drops the memoized oracle so the next solve rebuilds
+  /// it with the new backend.
+  std::string putGraph(
+      msc::graph::Graph g,
+      msc::graph::DistanceMode mode = msc::graph::DistanceMode::Auto);
 
   /// Stores (or re-touches) a pair set, returns its content key "p<hex>".
   std::string putPairs(std::vector<core::SocialPair> pairs);
@@ -72,11 +86,12 @@ class InstanceCache {
       const std::string& key);
 
   /// Assembles an Instance for (graphKey, pairsKey, distanceThreshold),
-  /// reusing the graph's memoized distance matrix when present (APSP hit)
-  /// and computing + memoizing it with `threads` workers otherwise. The
-  /// result is bit-identical either way (the APSP determinism contract).
-  /// Throws std::runtime_error on an unknown/evicted key; whatever
-  /// Instance's validation throws (bad pair endpoints, ...) propagates.
+  /// reusing the graph's memoized distance oracle when present (APSP hit)
+  /// and building + memoizing one with `threads` workers otherwise (the
+  /// backend follows the mode given at putGraph). The result is
+  /// bit-identical either way (the APSP determinism contract). Throws
+  /// std::runtime_error on an unknown/evicted key; whatever Instance's
+  /// validation throws (bad pair endpoints, ...) propagates.
   core::Instance instance(const std::string& graphKey,
                           const std::string& pairsKey,
                           double distanceThreshold, int threads,
@@ -94,8 +109,10 @@ class InstanceCache {
  private:
   struct GraphEntry {
     std::shared_ptr<const msc::graph::Graph> graph;
-    std::shared_ptr<const msc::graph::DistanceMatrix> distances;  // lazy
-    std::shared_ptr<const core::CandidateSet> candidates;         // lazy
+    std::shared_ptr<const msc::graph::DistanceOracle> oracle;  // lazy
+    std::shared_ptr<const core::CandidateSet> candidates;      // lazy
+    msc::graph::DistanceMode mode = msc::graph::DistanceMode::Auto;
+    std::size_t oracleBytes = 0;  ///< last residentBytes() charged
     std::size_t bytes = 0;
     std::list<std::string>::iterator lruPos;
   };
@@ -109,9 +126,12 @@ class InstanceCache {
   void touch(std::list<std::string>::iterator pos);
   GraphEntry* findGraphEntry(const std::string& key, bool countStats);
   PairsEntry* findPairsEntry(const std::string& key, bool countStats);
-  /// Memoizes distances for an entry (APSP under the lock). Returns true
-  /// when the matrix was already present.
-  bool ensureDistances(GraphEntry& entry, int threads);
+  /// Memoizes the distance oracle for an entry (the dense build runs APSP
+  /// under the lock). Returns true when the oracle was already present.
+  bool ensureOracle(GraphEntry& entry, int threads);
+  /// Re-reads oracle->residentBytes() and folds the delta into the byte
+  /// accounting (lazy backends grow as rows are cached).
+  void refreshOracleBytes(GraphEntry& entry);
   void ensureCandidates(GraphEntry& entry);
   /// Evicts LRU entries until bytesUsed_ <= budget, never evicting `keep`.
   void evictOverBudget(const std::string& keep);

@@ -13,6 +13,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -328,11 +329,21 @@ json::Object Engine::cmdLoadGraph(const Request& request) {
   } catch (const std::exception& e) {
     throw ProtocolError(std::string("bad edge list: ") + e.what());
   }
+  // msc.serve.v1 addition: "distance_mode" picks the distance backend for
+  // every later solve on this graph (auto | dense | pair_centric).
+  const std::string modeStr =
+      getStringParam(request, "distance_mode", "auto");
+  const auto mode = msc::graph::parseDistanceMode(modeStr);
+  if (!mode) {
+    throw ProtocolError("unknown distance_mode \"" + modeStr +
+                        "\" (auto|dense|pair_centric)");
+  }
   json::Object fields;
   fields["nodes"] = g.nodeCount();
   fields["edges"] = g.edgeCount();
-  const std::string key = cache_.putGraph(std::move(g));
+  const std::string key = cache_.putGraph(std::move(g), *mode);
   fields["graph"] = key;
+  fields["distance_mode"] = msc::graph::distanceModeName(*mode);
   const std::string alias = getStringParam(request, "as", "");
   if (!alias.empty()) {
     registerAlias(alias, key);
@@ -373,8 +384,28 @@ json::Object Engine::cmdSolve(const Request& request,
   bool apspHit = false;
   const core::Instance inst =
       cache_.instance(graphKey, pairsKey, threshold, threads, &apspHit);
-  const auto cands = cache_.candidates(graphKey);
   bumpCounter(apspHit ? "serve.cache.apsp_hits" : "serve.cache.apsp_misses");
+
+  // Candidate universe: all n(n-1)/2 node pairs on the dense backend
+  // (memoized per graph), but only pair-node pairs under pair_centric —
+  // materializing the full universe would reintroduce the O(n^2) cost the
+  // backend exists to avoid. The restriction is visible in "candidates".
+  const bool pairCentric =
+      std::string_view(inst.distanceOracle().mode()) == "pair_centric";
+  std::shared_ptr<const core::CandidateSet> cands;
+  if (pairCentric) {
+    const auto& nodes = inst.pairNodes();
+    core::ShortcutList list;
+    list.reserve(nodes.size() * (nodes.size() - 1) / 2);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        list.push_back(core::Shortcut::make(nodes[i], nodes[j]));
+      }
+    }
+    cands = std::make_shared<const core::CandidateSet>(std::move(list));
+  } else {
+    cands = cache_.candidates(graphKey);
+  }
 
   const core::SolveOptions options{.k = k, .threads = threads, .seed = seed};
 
@@ -437,6 +468,10 @@ json::Object Engine::cmdSolve(const Request& request,
   fields["value"] = value;
   fields["pairs_total"] = inst.pairCount();
   fields["apsp_cache"] = apspHit ? "hit" : "miss";
+  // msc.serve.v1 additions: which distance backend served the solve and
+  // how many candidate shortcuts the search ranged over.
+  fields["distance_mode"] = inst.distanceOracle().mode();
+  fields["candidates"] = cands->size();
   return fields;
 }
 
@@ -461,6 +496,7 @@ json::Object Engine::cmdEval(const Request& request) {
   fields["pairs_total"] = inst.pairCount();
   fields["placement"] = placementSpec(placement);
   fields["apsp_cache"] = apspHit ? "hit" : "miss";
+  fields["distance_mode"] = inst.distanceOracle().mode();
   return fields;
 }
 
@@ -477,6 +513,13 @@ json::Object Engine::cmdStats(const Request&) {
   cacheObj["apsp_hits"] = cs.apspHits;
   cacheObj["apsp_computes"] = cs.apspComputes;
   cacheObj["evictions"] = cs.evictions;
+  // Distance-oracle residency by backend (msc.serve.v1 additions).
+  json::Object oracleObj;
+  oracleObj["dense"] = cs.oraclesDense;
+  oracleObj["pair_centric"] = cs.oraclesPairCentric;
+  oracleObj["bytes_dense"] = cs.oracleBytesDense;
+  oracleObj["bytes_pair_centric"] = cs.oracleBytesPairCentric;
+  cacheObj["oracles"] = std::move(oracleObj);
 
   json::Object fields;
   fields["schema_versions"] = json::Array{json::Value(kSchemaVersion)};
@@ -514,8 +557,26 @@ json::Object Engine::cmdStats(const Request&) {
 json::Object Engine::cmdMetrics(const Request&) {
   json::Object fields;
   fields["format"] = "prometheus-text-0.0.4";
-  fields["prometheus"] = obs::toProm(obs::Registry::global());
+  fields["prometheus"] = metricsText();
   return fields;
+}
+
+std::string Engine::metricsText() const {
+  std::string text = obs::toProm(obs::Registry::global());
+  // Labeled serve gauges, appended after the registry dump (the registry
+  // itself has no label support — same pattern as the trace-drop series).
+  // Both backends always appear, zeros included, so dashboards can plot
+  // them without existence checks.
+  const InstanceCache::Stats cs = cache_.stats();
+  text +=
+      "# HELP msc_serve_oracle_bytes resident bytes of cached distance "
+      "oracles, by backend\n"
+      "# TYPE msc_serve_oracle_bytes gauge\n";
+  text += "msc_serve_oracle_bytes{mode=\"dense\"} " +
+          std::to_string(cs.oracleBytesDense) + "\n";
+  text += "msc_serve_oracle_bytes{mode=\"pair_centric\"} " +
+          std::to_string(cs.oracleBytesPairCentric) + "\n";
+  return text;
 }
 
 bool Engine::ready() const {
@@ -897,7 +958,7 @@ void Server::serveOneMetricsHttpConn(int conn) {
   if (requestLine.rfind("GET /metrics", 0) == 0) {
     status = "200 OK";
     contentType = "text/plain; version=0.0.4; charset=utf-8";
-    body = obs::toProm(obs::Registry::global());
+    body = engine_.metricsText();
   } else if (requestLine.rfind("GET /healthz", 0) == 0 ||
              requestLine.rfind("GET /health", 0) == 0) {
     if (engine_.ready()) {

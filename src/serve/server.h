@@ -109,6 +109,11 @@ class Engine {
   /// (draining) or the ready hook vetoes.
   bool ready() const;
 
+  /// Prometheus text exposition: the global metrics registry plus serve-
+  /// level gauges computed here (msc_serve_oracle_bytes by backend). Used
+  /// by the `metrics` command and the GET /metrics endpoint.
+  std::string metricsText() const;
+
  private:
   json::Object dispatch(const Request& request, std::uint64_t& gainEvals);
   json::Object cmdLoadGraph(const Request& request);

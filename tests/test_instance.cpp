@@ -49,7 +49,7 @@ TEST(Instance, CopyShares) {
   Instance a(std::move(g), {{0, 3}}, 1.0);
   const Instance b = a;  // cheap copy
   EXPECT_EQ(&a.graph(), &b.graph());
-  EXPECT_EQ(&a.baseDistances(), &b.baseDistances());
+  EXPECT_EQ(&a.distanceOracle(), &b.distanceOracle());
 }
 
 // ------------------------------------------------------------- Sampling ----

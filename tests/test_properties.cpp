@@ -105,7 +105,7 @@ TEST(Substrates, SigmaStrategiesAgreeOnWattsStrogatz) {
   SigmaEvaluator sigma(inst);
   for (int trial = 0; trial < 5; ++trial) {
     const auto f = msc::test::randomPlacement(40, 3, rng);
-    EXPECT_DOUBLE_EQ(sigma.valueByMatrix(f), sigma.valueByRebuild(f));
+    EXPECT_DOUBLE_EQ(sigma.valueByRows(f), sigma.valueByRebuild(f));
     EXPECT_DOUBLE_EQ(sigma.valueByOverlay(f), sigma.valueByRebuild(f));
   }
 }
@@ -123,7 +123,7 @@ TEST(Substrates, SigmaStrategiesAgreeOnBarabasiAlbert) {
   SigmaEvaluator sigma(inst);
   for (int trial = 0; trial < 5; ++trial) {
     const auto f = msc::test::randomPlacement(40, 3, rng);
-    EXPECT_DOUBLE_EQ(sigma.valueByMatrix(f), sigma.valueByRebuild(f));
+    EXPECT_DOUBLE_EQ(sigma.valueByRows(f), sigma.valueByRebuild(f));
   }
 }
 

@@ -148,8 +148,8 @@ TEST(ServeCache, ApspMemoizedAcrossInstances) {
   EXPECT_FALSE(hit);
   const auto b = cache.instance(g, p, 10.0, 4, &hit);
   EXPECT_TRUE(hit);
-  // Shared matrix, and equal to a fresh direct compute.
-  EXPECT_EQ(&a.baseDistances(), &b.baseDistances());
+  // Shared oracle, and equal to a fresh direct compute.
+  EXPECT_EQ(&a.distanceOracle(), &b.distanceOracle());
   EXPECT_DOUBLE_EQ(a.baseDistance({0, 7}), 7.0);
   const auto stats = cache.stats();
   EXPECT_EQ(stats.apspComputes, 1u);
@@ -679,6 +679,50 @@ TEST(ServeTelemetry, MetricsCommandReturnsPrometheusText) {
             std::string::npos);
   EXPECT_NE(prom.find("msc_serve_request_seconds_bucket{le=\"+Inf\"}"),
             std::string::npos);
+}
+
+TEST(ServeEngine, DistanceModeKnobSelectsBackendAndSurfacesInStatsMetrics) {
+  Engine engine;
+  const auto g = msc::test::randomGraph(40, 0.1, 7);
+  const auto r1 = json::parse(engine.handleLine(
+      "{\"cmd\":\"load_graph\",\"as\":\"g\",\"distance_mode\":"
+      "\"pair_centric\",\"text\":\"" +
+      jsonEscape(graphText(g)) + "\"}"));
+  ASSERT_EQ(r1.find("status")->asString(), "ok");
+  EXPECT_EQ(r1.find("distance_mode")->asString(), "pair_centric");
+  const auto r2 = json::parse(engine.handleLine(
+      "{\"cmd\":\"load_pairs\",\"as\":\"p\",\"text\":\"0 39\\n3 31\\n\"}"));
+  ASSERT_EQ(r2.find("status")->asString(), "ok");
+
+  const auto solve = json::parse(engine.handleLine(
+      "{\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+      "\"algo\":\"greedy\",\"k\":2,\"seed\":1}"));
+  ASSERT_EQ(solve.find("status")->asString(), "ok");
+  EXPECT_EQ(solve.find("distance_mode")->asString(), "pair_centric");
+  // Pair-centric solves range over pair-node pairs, not all n*(n-1)/2.
+  EXPECT_LE(solve.find("candidates")->asNumber(), 4.0 * 3.0 / 2.0);
+
+  const auto stats = json::parse(engine.handleLine("{\"cmd\":\"stats\"}"));
+  const auto* oracles = stats.find("cache")->find("oracles");
+  ASSERT_NE(oracles, nullptr);
+  EXPECT_EQ(oracles->find("pair_centric")->asNumber(), 1.0);
+  EXPECT_EQ(oracles->find("dense")->asNumber(), 0.0);
+  EXPECT_GT(oracles->find("bytes_pair_centric")->asNumber(), 0.0);
+
+  const auto metrics = json::parse(engine.handleLine("{\"cmd\":\"metrics\"}"));
+  const std::string prom = metrics.find("prometheus")->asString();
+  EXPECT_NE(prom.find("# TYPE msc_serve_oracle_bytes gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("msc_serve_oracle_bytes{mode=\"dense\"} 0"),
+            std::string::npos);
+  EXPECT_NE(prom.find("msc_serve_oracle_bytes{mode=\"pair_centric\"}"),
+            std::string::npos);
+
+  // Unknown modes are a structured protocol error, not a fallback.
+  const auto bad = json::parse(engine.handleLine(
+      "{\"cmd\":\"load_graph\",\"distance_mode\":\"fast\",\"text\":\"" +
+      jsonEscape(graphText(g)) + "\"}"));
+  EXPECT_EQ(bad.find("status")->asString(), "error");
 }
 
 TEST(ServeTelemetry, StatsIncludesObsSnapshotAndCacheBytes) {

@@ -103,12 +103,12 @@ TEST_P(SigmaStrategies, AllThreeStrategiesAgree) {
   for (int trial = 0; trial < 8; ++trial) {
     const auto placement =
         msc::test::randomPlacement(30, static_cast<int>(rng.below(6)) , rng);
-    const double byMatrix = eval.valueByMatrix(placement);
+    const double byRows = eval.valueByRows(placement);
     const double byOverlay = eval.valueByOverlay(placement);
     const double byRebuild = eval.valueByRebuild(placement);
-    EXPECT_DOUBLE_EQ(byMatrix, byOverlay) << "seed=" << seed;
-    EXPECT_DOUBLE_EQ(byMatrix, byRebuild) << "seed=" << seed;
-    EXPECT_DOUBLE_EQ(eval.value(placement), byMatrix);
+    EXPECT_DOUBLE_EQ(byRows, byOverlay) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(byRows, byRebuild) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(eval.value(placement), byRows);
   }
 }
 
@@ -172,18 +172,18 @@ TEST(SigmaMetrics, StrategiesReportConsistentCallCounts) {
   const ShortcutList f = {Shortcut::make(0, 5)};
 
   constexpr std::uint64_t kCalls = 3;
-  double byMatrix = 0.0, byOverlay = 0.0, byRebuild = 0.0;
+  double byRows = 0.0, byOverlay = 0.0, byRebuild = 0.0;
   for (std::uint64_t i = 0; i < kCalls; ++i) {
-    byMatrix = eval.valueByMatrix(f);
+    byRows = eval.valueByRows(f);
     byOverlay = eval.valueByOverlay(f);
     byRebuild = eval.valueByRebuild(f);
   }
 
   // All three exact strategies agree on the value...
-  EXPECT_DOUBLE_EQ(byMatrix, byOverlay);
-  EXPECT_DOUBLE_EQ(byMatrix, byRebuild);
+  EXPECT_DOUBLE_EQ(byRows, byOverlay);
+  EXPECT_DOUBLE_EQ(byRows, byRebuild);
   // ...and each reports exactly the calls it served.
-  EXPECT_EQ(msc::obs::counter("sigma.value.matrix").value(), kCalls);
+  EXPECT_EQ(msc::obs::counter("sigma.value.rows").value(), kCalls);
   EXPECT_EQ(msc::obs::counter("sigma.value.overlay").value(), kCalls);
   EXPECT_EQ(msc::obs::counter("sigma.value.rebuild").value(), kCalls);
   // The rebuild strategy runs one Dijkstra per pair per call.
@@ -199,7 +199,7 @@ TEST(SigmaMetrics, ValueDispatchCountsOnceAndPicksOneStrategy) {
   eval.value({Shortcut::make(0, 5)});
   EXPECT_EQ(msc::obs::counter("sigma.calls").value(), 1u);
   const std::uint64_t strategies =
-      msc::obs::counter("sigma.value.matrix").value() +
+      msc::obs::counter("sigma.value.rows").value() +
       msc::obs::counter("sigma.value.overlay").value() +
       msc::obs::counter("sigma.value.rebuild").value();
   EXPECT_EQ(strategies, 1u);
