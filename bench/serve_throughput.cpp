@@ -56,7 +56,10 @@ void expectOk(const std::string& response) {
 }
 
 /// Pulls usage.phases durations out of stored response lines (parsed after
-/// the timed runs — JSON parsing must not pollute the measurement).
+/// the timed runs — JSON parsing must not pollute the measurement). The
+/// oracle row-build attribution (usage.oracle.row_build_seconds) rides
+/// along as pseudo-phase "oracle_row_build" so bench_diff.py's per-phase
+/// gate covers the lazy-backend Dijkstra cost too.
 std::map<std::string, std::vector<double>> collectPhases(
     const std::vector<std::string>& responses) {
   std::map<std::string, std::vector<double>> phases;
@@ -68,6 +71,14 @@ std::map<std::string, std::vector<double>> collectPhases(
     if (phaseObj == nullptr || !phaseObj->isObject()) continue;
     for (const auto& [name, value] : phaseObj->asObject()) {
       if (value.isNumber()) phases[name].push_back(value.asNumber());
+    }
+    const msc::serve::json::Value* oracle = usage->find("oracle");
+    if (oracle == nullptr) continue;
+    const msc::serve::json::Value* rowBuild =
+        oracle->find("row_build_seconds");
+    if (rowBuild != nullptr && rowBuild->isNumber() &&
+        rowBuild->asNumber() > 0.0) {
+      phases["oracle_row_build"].push_back(rowBuild->asNumber());
     }
   }
   return phases;
@@ -137,6 +148,27 @@ int main() {
   for (const auto& [phase, samples] : collectPhases(solveResponses)) {
     h.addPhaseSamples(phase, samples);
   }
+  solveResponses.clear();
+
+  // Cold pair-centric case: every solve pays the landmark + pair-node row
+  // Dijkstras, so usage.oracle.row_build_seconds is nonzero — this feeds
+  // the "oracle_row_build" phase series the regression gate watches.
+  const std::string loadGraphPcReq =
+      "{\"cmd\":\"load_graph\",\"as\":\"g\",\"distance_mode\":"
+      "\"pair_centric\",\"text\":\"" +
+      escape(graphText(spatial.instance)) + "\"}";
+  const auto& pairCentric = h.run("solve_pair_centric_cold", [&] {
+    for (int i = 0; i < requestsPerRun; ++i) {
+      engine.cache().clear();
+      expectOk(engine.handleLine(loadGraphPcReq));
+      expectOk(engine.handleLine(loadPairsReq));
+      solveResponses.push_back(engine.handleLine(solveReq));
+      expectOk(solveResponses.back());
+    }
+  });
+  for (const auto& [phase, samples] : collectPhases(solveResponses)) {
+    h.addPhaseSamples(phase, samples);
+  }
 
   const auto reqPerSec = [requestsPerRun](double seconds) {
     return seconds > 0.0 ? requestsPerRun / seconds : 0.0;
@@ -146,7 +178,9 @@ int main() {
             << "  cold cache: median " << cold.median << " s  ("
             << reqPerSec(cold.median) << " req/s)\n"
             << "  warm cache: median " << warm.median << " s  ("
-            << reqPerSec(warm.median) << " req/s)\n";
+            << reqPerSec(warm.median) << " req/s)\n"
+            << "  pair-centric cold: median " << pairCentric.median << " s  ("
+            << reqPerSec(pairCentric.median) << " req/s)\n";
 
   const auto stats = engine.cache().stats();
   std::cout << "  cache: apsp_computes=" << stats.apspComputes

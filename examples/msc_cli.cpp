@@ -67,10 +67,14 @@ int usage() {
       "  eval  --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
       "  route --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
       "  serve [--listen SOCKET_PATH] [--queue N] [--cache-mb MB]\n"
-      "        [--metrics-listen PORT] [--slowreq-ms MS] [--slowreq-dir D]\n"
+      "        [--oracle-rows-mb MB] [--metrics-listen PORT]\n"
+      "        [--slowreq-ms MS] [--slowreq-dir D]\n"
       "        long-running msc.serve.v1 JSONL solve service on stdin/stdout\n"
       "        (or a Unix socket with --listen); --metrics-listen starts a\n"
       "        plain-HTTP GET /metrics + /healthz endpoint on 127.0.0.1;\n"
+      "        --oracle-rows-mb caps each pair-centric oracle's row cache\n"
+      "        (LRU eviction, results bit-identical; also honoured as\n"
+      "        MSC_ORACLE_ROWS_MB by every subcommand);\n"
       "        --slowreq-ms dumps a Perfetto trace of any request slower\n"
       "        than MS to --slowreq-dir (default out/); SIGINT/SIGTERM\n"
       "        drain and exit; see docs/ALGORITHMS.md sec. 12-14\n"
@@ -335,8 +339,8 @@ extern "C" void serveSignalHandler(int) {
 }
 
 int cmdServe(const Args& args) {
-  checkFlags(args, {"listen", "queue", "cache-mb", "metrics-listen",
-                    "slowreq-ms", "slowreq-dir"});
+  checkFlags(args, {"listen", "queue", "cache-mb", "oracle-rows-mb",
+                    "metrics-listen", "slowreq-ms", "slowreq-dir"});
   msc::serve::ServerConfig config;
   config.engine.defaultThreads = threadsArg(args);
   // Flight-recorder knobs; flags win over MSC_SLOWREQ_MS / MSC_SLOWREQ_DIR.
@@ -352,6 +356,12 @@ int cmdServe(const Args& args) {
     const long long mb = args.getInt("cache-mb", 256);
     if (mb < 0) throw std::runtime_error("--cache-mb must be >= 0");
     config.engine.cacheBytes = static_cast<std::size_t>(mb) << 20;
+  }
+  // Flag wins over the MSC_ORACLE_ROWS_MB default baked into EngineConfig.
+  if (args.has("oracle-rows-mb")) {
+    const long long mb = args.getInt("oracle-rows-mb", 0);
+    if (mb < 0) throw std::runtime_error("--oracle-rows-mb must be >= 0");
+    config.engine.oracleRowBytes = static_cast<std::size_t>(mb) << 20;
   }
   const long long queue = args.getInt("queue", 64);
   if (queue < 1) throw std::runtime_error("--queue must be >= 1");
@@ -395,9 +405,27 @@ int cmdVersion() {
             << "    and echoes it; solve/eval report \"distance_mode\"; solve "
                "reports \"candidates\";\n"
             << "    stats exposes cache.oracles{dense,pair_centric,"
-               "bytes_dense,bytes_pair_centric};\n"
-            << "    metrics/GET /metrics export msc_serve_oracle_bytes{mode}"
-               "\n"
+               "bytes_dense,bytes_pair_centric,\n"
+            << "    mode_switches,dense_telemetry,pair_centric_telemetry};\n"
+            << "    solve/eval responses carry usage.oracle{point_queries,"
+               "row_queries,\n"
+            << "    terminal_batches,row_builds,row_hits,rows_evicted,"
+               "alt_queries,rows_evolved,\n"
+            << "    rows_replayed,row_build_seconds,alt_settled_ratio{count,"
+               "p50,p90,max}};\n"
+            << "    metrics/GET /metrics export msc_serve_oracle_bytes{mode}, "
+               "msc_serve_oracle_rows{mode},\n"
+            << "    msc_serve_oracle_queries_total{mode,kind}, "
+               "msc_serve_oracle_row_builds_total{mode},\n"
+            << "    msc_serve_oracle_row_hits_total{mode}, "
+               "msc_serve_oracle_row_evictions_total{mode},\n"
+            << "    msc_serve_oracle_mode_switches_total\n"
+            << "    knobs: MSC_ORACLE_ROWS_MB / serve --oracle-rows-mb "
+               "(bounded oracle row cache,\n"
+            << "    bit-identical results); distance_mode \"auto\" "
+               "re-validates the backend from the\n"
+            << "    measured query mix and logs serve.oracle_mode_decision "
+               "events\n"
             << "  prometheus-text-0.0.4  metrics exposition (--metrics-prom, "
                "serve `metrics` cmd, GET /metrics)\n";
   return 0;

@@ -42,6 +42,10 @@ std::vector<NodeId> dedupedPairNodes(const std::vector<SocialPair>& pairs) {
 void Instance::validateAndPrefetch(int threads) {
   validatePairsAndThreshold(*graph_, pairs_, distanceThreshold_);
   pairNodes_ = dedupedPairNodes(pairs_);
+  // Pin every row span the oracle hands out for as long as this instance
+  // (or any copy) is alive — under a row budget, evicted rows are parked
+  // instead of freed, so evaluator-held spans never dangle.
+  rowLease_ = oracle_->acquireRowLease();
   // Every evaluator starts from the pair-node rows; one parallel burst
   // here (a no-op on the dense backend) keeps their constructors off the
   // Dijkstra path and makes later reads deterministic cache hits.
@@ -58,7 +62,8 @@ Instance::Instance(msc::graph::Graph g, std::vector<SocialPair> pairs,
   oracle_ = msc::graph::makeDistanceOracle(std::move(owned),
                                            options.distanceMode,
                                            options.landmarkCount,
-                                           options.threads);
+                                           options.threads,
+                                           options.oracleRowBudgetBytes);
   validateAndPrefetch(options.threads);
 }
 

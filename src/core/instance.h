@@ -39,6 +39,11 @@ struct InstanceOptions {
 
   /// ALT landmark count for the pair-centric backend (ignored by dense).
   int landmarkCount = 8;
+
+  /// Row-cache byte budget for the pair-centric backend (0 = unbounded).
+  /// Defaults to the MSC_ORACLE_ROWS_MB environment knob. Evicted rows
+  /// re-materialize bit-identically, so results never depend on it.
+  std::size_t oracleRowBudgetBytes = msc::graph::defaultOracleRowBudgetBytes();
 };
 
 class Instance {
@@ -132,6 +137,11 @@ class Instance {
   std::vector<SocialPair> pairs_;
   std::vector<NodeId> pairNodes_;
   double distanceThreshold_ = 0.0;
+  // Row lease (see DistanceOracle::acquireRowLease): while any copy of
+  // this instance is alive, rows the oracle hands to its evaluators stay
+  // valid even if evicted under a row budget. Declared after oracle_ so it
+  // is released before the oracle reference goes away.
+  std::shared_ptr<void> rowLease_;
 };
 
 /// Samples `m` important social pairs uniformly from the node pairs whose

@@ -19,6 +19,8 @@
 //     evaluators built on either representation agree exactly.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -93,6 +95,28 @@ class ShortcutRowStore {
   /// added later and all applied shortcuts are dropped.
   void reset();
 
+  // ---- row-lifecycle telemetry (docs/ALGORITHMS.md §16) ------------------
+  // Monotonic since construction; relaxed atomics so concurrent readers
+  // (stats scrapes) never race the evaluator thread mutating the store.
+
+  /// Rows seeded from the oracle (initial terminal sets; reset() re-counts).
+  std::uint64_t rowsMaterialized() const noexcept {
+    return rowsMaterialized_.load(std::memory_order_relaxed);
+  }
+  /// Row relaxations performed by applyZeroEdge (rows x shortcuts).
+  std::uint64_t rowsEvolved() const noexcept {
+    return rowsEvolved_.load(std::memory_order_relaxed);
+  }
+  /// Late-terminal rows rebuilt by replaying applied shortcuts.
+  std::uint64_t rowsReplayed() const noexcept {
+    return rowsReplayed_.load(std::memory_order_relaxed);
+  }
+  /// Resident bytes of the stored rows + merged snapshots.
+  std::size_t residentBytes() const noexcept {
+    return (rows_.size() + applied_.size()) *
+           (static_cast<std::size_t>(n_) * sizeof(double) + 64);
+  }
+
  private:
   std::size_t ensureRowSlot(NodeId v);
 
@@ -110,6 +134,10 @@ class ShortcutRowStore {
   std::vector<NodeId> owners_;         // row index -> node
   std::vector<std::vector<double>> rows_;
   std::vector<AppliedShortcut> applied_;
+
+  std::atomic<std::uint64_t> rowsMaterialized_{0};
+  std::atomic<std::uint64_t> rowsEvolved_{0};
+  std::atomic<std::uint64_t> rowsReplayed_{0};
 };
 
 }  // namespace msc::graph

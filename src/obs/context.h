@@ -67,6 +67,39 @@ const char* phaseName(Phase phase);
 /// mutation is relaxed-atomic and may come from any thread.
 class RequestContext {
  public:
+  /// Distance-oracle work attributed to this request (the serve layer
+  /// renders it as the response's `usage.oracle` block). The oracle layer
+  /// charges the bound context on every query; all fields are additive
+  /// relaxed atomics. The ALT settled-ratio keeps a tiny fixed linear
+  /// histogram over [0, 1] so per-request quantiles cost 16 words, not an
+  /// allocation per query.
+  struct OracleUsage {
+    static constexpr int kAltBuckets = 16;
+
+    std::atomic<std::uint64_t> pointQueries{0};
+    std::atomic<std::uint64_t> rowQueries{0};
+    std::atomic<std::uint64_t> terminalBatches{0};
+    std::atomic<std::uint64_t> rowBuilds{0};
+    std::atomic<std::uint64_t> rowHits{0};
+    std::atomic<std::uint64_t> rowsEvicted{0};
+    std::atomic<std::uint64_t> altQueries{0};
+    std::atomic<std::uint64_t> rowsEvolved{0};   // ShortcutRowStore updates
+    std::atomic<std::uint64_t> rowsReplayed{0};  // late-terminal replays
+    std::atomic<std::int64_t> rowBuildNs{0};
+    std::atomic<std::uint32_t> altSettled[kAltBuckets] = {};
+    std::atomic<std::uint64_t> altSettledCount{0};
+    std::atomic<std::uint64_t> altSettledMaxPpm{0};  // max ratio, parts/1e6
+
+    /// Records one A* settled-nodes/n sample (clamped to [0, 1]).
+    void recordAltSettledRatio(double ratio) noexcept;
+    /// Quantile of the recorded settled ratios from the bucket histogram
+    /// (upper bucket bounds, so a conservative estimate); 0 when empty.
+    double altSettledQuantile(double q) const noexcept;
+    double altSettledMax() const noexcept;
+    /// True when any oracle work was charged (gates the usage block).
+    bool any() const noexcept;
+  };
+
   /// `id` is the client-visible request id (already JSON-rendered, e.g.
   /// `7` or `"abc"`); used to name flight-record files. `profile` marks a
   /// request that asked for a trace dump regardless of latency.
@@ -109,6 +142,11 @@ class RequestContext {
   /// synthesized phase lane in flight-record dumps.
   std::int64_t startTraceNs() const noexcept { return startTraceNs_; }
 
+  /// Oracle attribution for this request (charged by graph/distance_oracle
+  /// and graph/shortcut_distance whenever a context is bound).
+  OracleUsage& oracle() noexcept { return oracle_; }
+  const OracleUsage& oracle() const noexcept { return oracle_; }
+
  private:
   std::string id_;
   bool profile_ = false;
@@ -119,6 +157,7 @@ class RequestContext {
   std::atomic<std::int64_t> cpuNs_{0};
   std::atomic<std::uint64_t> gainEvals_{0};
   std::atomic<int> apspNote_{0};
+  OracleUsage oracle_;
 };
 
 /// The context bound to the calling thread, or nullptr.

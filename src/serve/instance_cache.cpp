@@ -7,6 +7,8 @@
 #include <string_view>
 
 #include "obs/context.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace msc::serve {
 
@@ -69,8 +71,9 @@ std::string contentHashHex(const void* bytes, std::size_t size) {
   return std::string(buf.data());
 }
 
-InstanceCache::InstanceCache(std::size_t byteBudget)
-    : byteBudget_(byteBudget) {}
+InstanceCache::InstanceCache(std::size_t byteBudget,
+                             std::size_t oracleRowBudgetBytes)
+    : byteBudget_(byteBudget), oracleRowBudgetBytes_(oracleRowBudgetBytes) {}
 
 void InstanceCache::touch(std::list<std::string>::iterator pos) {
   lru_.splice(lru_.begin(), lru_, pos);
@@ -119,12 +122,7 @@ std::string InstanceCache::putGraph(msc::graph::Graph g,
     // the next solve rebuilds under the new mode.
     if (existing->mode != mode) {
       existing->mode = mode;
-      if (existing->oracle) {
-        existing->oracle.reset();
-        bytesUsed_ -= existing->oracleBytes;
-        existing->bytes -= existing->oracleBytes;
-        existing->oracleBytes = 0;
-      }
+      dropOracle(*existing);
     }
     return key;
   }
@@ -185,8 +183,63 @@ void InstanceCache::refreshOracleBytes(GraphEntry& entry) {
   entry.oracleBytes = now;
 }
 
-bool InstanceCache::ensureOracle(GraphEntry& entry, int threads) {
+void InstanceCache::dropOracle(GraphEntry& entry) {
+  if (!entry.oracle) return;
+  entry.oracle.reset();
+  bytesUsed_ -= entry.oracleBytes;
+  entry.bytes -= entry.oracleBytes;
+  entry.oracleBytes = 0;
+}
+
+namespace {
+
+void logModeDecision(const std::string& key, const char* decision,
+                     const char* from, const char* to, int nodes,
+                     const std::string& reason) {
+  if (!obs::log::enabled(obs::log::Level::Info)) return;
+  std::vector<obs::log::Field> fields{
+      {"graph", key},
+      {"decision", decision},
+      {"to", to},
+      {"nodes", static_cast<std::int64_t>(nodes)},
+      {"reason", reason},
+  };
+  if (from != nullptr) fields.emplace_back("from", from);
+  obs::log::write(obs::log::Level::Info, "serve.oracle_mode_decision",
+                  fields);
+}
+
+}  // namespace
+
+bool InstanceCache::ensureOracle(const std::string& key, GraphEntry& entry,
+                                 int threads) {
+  const int n = entry.graph->nodeCount();
   if (entry.oracle) {
+    if (entry.mode == msc::graph::DistanceMode::Auto) {
+      // Measured auto policy (docs/ALGORITHMS.md §16): the initial pick is
+      // a guess from n alone; every reuse re-checks it against the query
+      // mix the oracle actually observed and rebuilds when the evidence
+      // says the other backend is cheaper.
+      const msc::graph::AutoPolicyDecision d =
+          msc::graph::autoRevalidateBackend(n, entry.oracle->mode(),
+                                            entry.oracle->stats());
+      if (d.switchBackend) {
+        ++counters_.oracleModeSwitches;
+        if (obs::enabled()) {
+          obs::counter("serve.oracle_mode_switches").add(1);
+        }
+        logModeDecision(key, "switch", entry.oracle->mode(),
+                        msc::graph::distanceModeName(d.backend), n, d.reason);
+        dropOracle(entry);
+        ++counters_.apspComputes;
+        const obs::ScopedPhaseTimer phase(obs::Phase::Apsp);
+        entry.oracle = msc::graph::makeDistanceOracle(
+            entry.graph, d.backend, /*landmarks=*/8, threads,
+            oracleRowBudgetBytes_);
+        refreshOracleBytes(entry);
+        return false;
+      }
+    }
     ++counters_.apspHits;
     // Lazy backends grew since the last touch (rows cached by solves);
     // pick the delta up so the budget still bounds them.
@@ -194,12 +247,19 @@ bool InstanceCache::ensureOracle(GraphEntry& entry, int threads) {
     return true;
   }
   ++counters_.apspComputes;
+  msc::graph::DistanceMode buildMode = entry.mode;
+  if (entry.mode == msc::graph::DistanceMode::Auto) {
+    const msc::graph::AutoPolicyDecision d = msc::graph::autoInitialBackend(n);
+    buildMode = d.backend;
+    logModeDecision(key, "initial", /*from=*/nullptr,
+                    msc::graph::distanceModeName(d.backend), n, d.reason);
+  }
   // Request-phase attribution: the distance build is the dominant
   // cold-cache cost, so it gets its own phase in the serve usage block
   // (§14). Covers both the dense APSP and the pair-centric landmark runs.
   const obs::ScopedPhaseTimer phase(obs::Phase::Apsp);
   entry.oracle = msc::graph::makeDistanceOracle(
-      entry.graph, entry.mode, /*landmarks=*/8, threads);
+      entry.graph, buildMode, /*landmarks=*/8, threads, oracleRowBudgetBytes_);
   refreshOracleBytes(entry);
   return false;
 }
@@ -233,7 +293,7 @@ core::Instance InstanceCache::instance(const std::string& graphKey,
                                "\" (never loaded, or evicted — re-send "
                                "load_pairs)");
     }
-    const bool hit = ensureOracle(*gEntry, threads);
+    const bool hit = ensureOracle(graphKey, *gEntry, threads);
     if (apspWasCached) *apspWasCached = hit;
     graph = gEntry->graph;
     oracle = gEntry->oracle;
@@ -272,13 +332,26 @@ InstanceCache::Stats InstanceCache::stats() const {
     // Live residentBytes(), not the charged estimate: a scrape between
     // touches still sees rows cached since.
     const std::size_t bytes = entry.oracle->residentBytes();
-    if (std::string_view(entry.oracle->mode()) == "pair_centric") {
+    const bool pairCentric =
+        std::string_view(entry.oracle->mode()) == "pair_centric";
+    if (pairCentric) {
       ++s.oraclesPairCentric;
       s.oracleBytesPairCentric += bytes;
     } else {
       ++s.oraclesDense;
       s.oracleBytesDense += bytes;
     }
+    // Query-mix telemetry summed per backend (docs/ALGORITHMS.md §16).
+    const msc::graph::OracleStats os = entry.oracle->stats();
+    OracleAgg& agg = pairCentric ? s.oraclePairCentric : s.oracleDense;
+    agg.pointQueries += os.pointQueries;
+    agg.rowQueries += os.rowQueries;
+    agg.terminalBatches += os.terminalBatches;
+    agg.rowBuilds += os.rowBuilds;
+    agg.rowHits += os.rowHits;
+    agg.altQueries += os.altQueries;
+    agg.rowsEvicted += os.rowsEvicted;
+    agg.rowsResident += os.rowsResident;
   }
   return s;
 }

@@ -45,6 +45,19 @@ std::string contentHashHex(const void* bytes, std::size_t size);
 
 class InstanceCache {
  public:
+  /// Per-backend oracle telemetry summed over the cached oracles (live
+  /// OracleStats snapshots — values reset when an oracle is rebuilt).
+  struct OracleAgg {
+    std::uint64_t pointQueries = 0;
+    std::uint64_t rowQueries = 0;
+    std::uint64_t terminalBatches = 0;
+    std::uint64_t rowBuilds = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t altQueries = 0;
+    std::uint64_t rowsEvicted = 0;
+    std::size_t rowsResident = 0;
+  };
+
   /// Aggregate counters (monotonic since construction) plus current usage.
   struct Stats {
     std::uint64_t graphHits = 0;
@@ -54,6 +67,9 @@ class InstanceCache {
     std::uint64_t apspHits = 0;      ///< solves that reused a memoized oracle
     std::uint64_t apspComputes = 0;  ///< solves that had to build one
     std::uint64_t evictions = 0;
+    /// Auto-mode revalidations that rebuilt the oracle on the other backend
+    /// (each also counts as an apspCompute).
+    std::uint64_t oracleModeSwitches = 0;
     std::size_t bytesUsed = 0;
     std::size_t byteBudget = 0;
     std::size_t entries = 0;
@@ -63,10 +79,16 @@ class InstanceCache {
     std::size_t oraclesPairCentric = 0;
     std::size_t oracleBytesDense = 0;
     std::size_t oracleBytesPairCentric = 0;
+    OracleAgg oracleDense;
+    OracleAgg oraclePairCentric;
   };
 
   /// `byteBudget` 0 means "effectively unbounded" (no eviction).
-  explicit InstanceCache(std::size_t byteBudget);
+  /// `oracleRowBudgetBytes` caps each pair-centric oracle's row cache
+  /// (0 = unbounded; defaults to the MSC_ORACLE_ROWS_MB knob).
+  explicit InstanceCache(std::size_t byteBudget,
+                         std::size_t oracleRowBudgetBytes =
+                             msc::graph::defaultOracleRowBudgetBytes());
 
   /// Stores (or re-touches) a graph, returns its content key "g<hex>".
   /// `mode` picks the distance backend built lazily on first solve
@@ -128,7 +150,17 @@ class InstanceCache {
   PairsEntry* findPairsEntry(const std::string& key, bool countStats);
   /// Memoizes the distance oracle for an entry (the dense build runs APSP
   /// under the lock). Returns true when the oracle was already present.
-  bool ensureOracle(GraphEntry& entry, int threads);
+  /// Under DistanceMode::Auto the backend pick is measurement-driven: the
+  /// initial build uses the static node-count rule, every later hit
+  /// re-validates against the oracle's observed query mix
+  /// (graph/distance_oracle.h autoRevalidateBackend) and rebuilds on the
+  /// other backend when the measurements say so — logged as a structured
+  /// "serve.oracle_mode_decision" event naming the quantities. A switch
+  /// returns false (the caller reports an APSP miss: the build really ran).
+  bool ensureOracle(const std::string& key, GraphEntry& entry, int threads);
+  /// Drops the memoized oracle and unwinds its byte charge (mode change,
+  /// auto-policy switch).
+  void dropOracle(GraphEntry& entry);
   /// Re-reads oracle->residentBytes() and folds the delta into the byte
   /// accounting (lazy backends grow as rows are cached).
   void refreshOracleBytes(GraphEntry& entry);
@@ -139,6 +171,7 @@ class InstanceCache {
 
   mutable std::mutex mu_;
   std::size_t byteBudget_;
+  std::size_t oracleRowBudgetBytes_;
   std::size_t bytesUsed_ = 0;
   std::map<std::string, GraphEntry> graphs_;
   std::map<std::string, PairsEntry> pairsSets_;

@@ -145,7 +145,7 @@ std::size_t defaultCacheBytes() {
 
 Engine::Engine(EngineConfig config)
     : config_(config),
-      cache_(config.cacheBytes),
+      cache_(config.cacheBytes, config.oracleRowBytes),
       start_(std::chrono::steady_clock::now()) {}
 
 std::string Engine::handleLine(const std::string& line) {
@@ -232,6 +232,38 @@ std::string Engine::handle(const Request& request, double queueWaitSeconds) {
       phases[obs::phaseName(phase)] = rctx.phaseSeconds(phase);
     }
     usage["phases"] = std::move(phases);
+    // msc.serve.v1 addition: distance-oracle work charged to this request
+    // (docs/ALGORITHMS.md §16). Omitted entirely when the request touched
+    // no oracle (load_*, stats, health stay lean).
+    const obs::RequestContext::OracleUsage& ou = rctx.oracle();
+    if (ou.any()) {
+      const auto load = [](const auto& a) {
+        return static_cast<std::uint64_t>(
+            a.load(std::memory_order_relaxed));
+      };
+      json::Object oracleUsage;
+      oracleUsage["point_queries"] = load(ou.pointQueries);
+      oracleUsage["row_queries"] = load(ou.rowQueries);
+      oracleUsage["terminal_batches"] = load(ou.terminalBatches);
+      oracleUsage["row_builds"] = load(ou.rowBuilds);
+      oracleUsage["row_hits"] = load(ou.rowHits);
+      oracleUsage["rows_evicted"] = load(ou.rowsEvicted);
+      oracleUsage["alt_queries"] = load(ou.altQueries);
+      oracleUsage["rows_evolved"] = load(ou.rowsEvolved);
+      oracleUsage["rows_replayed"] = load(ou.rowsReplayed);
+      oracleUsage["row_build_seconds"] =
+          static_cast<double>(ou.rowBuildNs.load(std::memory_order_relaxed)) *
+          1e-9;
+      if (ou.altSettledCount.load(std::memory_order_relaxed) > 0) {
+        json::Object alt;
+        alt["count"] = load(ou.altSettledCount);
+        alt["p50"] = ou.altSettledQuantile(0.5);
+        alt["p90"] = ou.altSettledQuantile(0.9);
+        alt["max"] = ou.altSettledMax();
+        oracleUsage["alt_settled_ratio"] = std::move(alt);
+      }
+      usage["oracle"] = std::move(oracleUsage);
+    }
     if (!traceFile.empty()) usage["trace_file"] = traceFile;
     fields["usage"] = std::move(usage);
     response = okResponse(request.id, request.cmd, std::move(fields),
@@ -519,6 +551,23 @@ json::Object Engine::cmdStats(const Request&) {
   oracleObj["pair_centric"] = cs.oraclesPairCentric;
   oracleObj["bytes_dense"] = cs.oracleBytesDense;
   oracleObj["bytes_pair_centric"] = cs.oracleBytesPairCentric;
+  // Measured auto-mode policy + query-mix telemetry (msc.serve.v1
+  // additions, docs/ALGORITHMS.md §16).
+  oracleObj["mode_switches"] = cs.oracleModeSwitches;
+  const auto aggObj = [](const InstanceCache::OracleAgg& a) {
+    json::Object o;
+    o["point_queries"] = a.pointQueries;
+    o["row_queries"] = a.rowQueries;
+    o["terminal_batches"] = a.terminalBatches;
+    o["row_builds"] = a.rowBuilds;
+    o["row_hits"] = a.rowHits;
+    o["alt_queries"] = a.altQueries;
+    o["rows_evicted"] = a.rowsEvicted;
+    o["rows_resident"] = a.rowsResident;
+    return o;
+  };
+  oracleObj["dense_telemetry"] = aggObj(cs.oracleDense);
+  oracleObj["pair_centric_telemetry"] = aggObj(cs.oraclePairCentric);
   cacheObj["oracles"] = std::move(oracleObj);
 
   json::Object fields;
@@ -576,6 +625,57 @@ std::string Engine::metricsText() const {
           std::to_string(cs.oracleBytesDense) + "\n";
   text += "msc_serve_oracle_bytes{mode=\"pair_centric\"} " +
           std::to_string(cs.oracleBytesPairCentric) + "\n";
+  // Oracle query-mix / row-lifecycle series (docs/ALGORITHMS.md §16).
+  // Every {mode} (and {mode,kind}) combination is emitted from the first
+  // scrape, zeros included — the same registration contract as
+  // msc_trace_dropped_events_total, so dashboards and rate() queries never
+  // need existence checks.
+  const auto perMode = [&text](const InstanceCache::OracleAgg& agg,
+                               const char* mode) {
+    text += "msc_serve_oracle_queries_total{mode=\"" + std::string(mode) +
+            "\",kind=\"point\"} " + std::to_string(agg.pointQueries) + "\n";
+    text += "msc_serve_oracle_queries_total{mode=\"" + std::string(mode) +
+            "\",kind=\"row\"} " + std::to_string(agg.rowQueries) + "\n";
+    text += "msc_serve_oracle_queries_total{mode=\"" + std::string(mode) +
+            "\",kind=\"terminal_batch\"} " +
+            std::to_string(agg.terminalBatches) + "\n";
+  };
+  text +=
+      "# HELP msc_serve_oracle_queries_total distance-oracle queries by "
+      "backend and kind\n"
+      "# TYPE msc_serve_oracle_queries_total counter\n";
+  perMode(cs.oracleDense, "dense");
+  perMode(cs.oraclePairCentric, "pair_centric");
+  const auto gaugeOrCounter = [&text](const char* name, const char* help,
+                                      const char* type, std::size_t dense,
+                                      std::size_t pairCentric) {
+    text += "# HELP " + std::string(name) + " " + help + "\n# TYPE " + name +
+            " " + type + "\n";
+    text += std::string(name) + "{mode=\"dense\"} " + std::to_string(dense) +
+            "\n";
+    text += std::string(name) + "{mode=\"pair_centric\"} " +
+            std::to_string(pairCentric) + "\n";
+  };
+  gaugeOrCounter("msc_serve_oracle_rows",
+                 "full distance rows resident in cached oracles, by backend",
+                 "gauge", cs.oracleDense.rowsResident,
+                 cs.oraclePairCentric.rowsResident);
+  gaugeOrCounter("msc_serve_oracle_row_builds_total",
+                 "lazy Dijkstra row materializations, by backend", "counter",
+                 cs.oracleDense.rowBuilds, cs.oraclePairCentric.rowBuilds);
+  gaugeOrCounter("msc_serve_oracle_row_hits_total",
+                 "row queries served from cache, by backend", "counter",
+                 cs.oracleDense.rowHits, cs.oraclePairCentric.rowHits);
+  gaugeOrCounter("msc_serve_oracle_row_evictions_total",
+                 "rows evicted under MSC_ORACLE_ROWS_MB, by backend",
+                 "counter", cs.oracleDense.rowsEvicted,
+                 cs.oraclePairCentric.rowsEvicted);
+  text +=
+      "# HELP msc_serve_oracle_mode_switches_total auto-mode backend "
+      "rebuilds driven by measured query mix\n"
+      "# TYPE msc_serve_oracle_mode_switches_total counter\n"
+      "msc_serve_oracle_mode_switches_total " +
+      std::to_string(cs.oracleModeSwitches) + "\n";
   return text;
 }
 

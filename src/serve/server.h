@@ -69,6 +69,11 @@ struct EngineConfig {
   std::size_t cacheBytes = defaultCacheBytes();
   /// Worker threads for requests that omit "threads" (0 = all cores).
   int defaultThreads = 1;
+  /// Row-cache byte budget per pair-centric oracle (0 = unbounded);
+  /// defaults to the MSC_ORACLE_ROWS_MB knob (`serve --oracle-rows-mb`).
+  /// Evicted rows re-materialize bit-identically, so solve responses never
+  /// depend on it.
+  std::size_t oracleRowBytes = msc::graph::defaultOracleRowBudgetBytes();
 };
 
 class Engine {

@@ -167,6 +167,10 @@ for schema in msc.metrics.v1 msc.trace.v1 msc.bench.v1 msc.serve.v1; do
   echo "$VERSION" | grep -q "$schema" \
     || { echo "FAIL: version missing $schema"; exit 1; }
 done
+echo "$VERSION" | grep -q 'usage.oracle' \
+  || { echo "FAIL: version missing usage.oracle additions"; exit 1; }
+echo "$VERSION" | grep -q 'MSC_ORACLE_ROWS_MB' \
+  || { echo "FAIL: version missing MSC_ORACLE_ROWS_MB knob"; exit 1; }
 
 # Serve round-trip: a JSONL script through `msc_cli serve` — health probe,
 # load the instance, solve cold, solve warm (must be an APSP cache hit),
@@ -253,6 +257,57 @@ DIRECT_PLACEMENT=$("$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
 [ "$SERVE_PLACEMENT" = "$DIRECT_PLACEMENT" ] \
   || { echo "FAIL: serve '$SERVE_PLACEMENT' != direct '$DIRECT_PLACEMENT'"; \
        exit 1; }
+
+# Oracle telemetry (docs/ALGORITHMS.md §16): a pair-centric solve reports
+# its distance-oracle query mix in usage.oracle and exports the matching
+# Prometheus series; re-running under a tiny row budget
+# (MSC_ORACLE_ROWS_MB=1) must evict rows yet produce the identical
+# placement — eviction is memory-only, never visible in results.
+"$CLI" gen --type ba --nodes 4000 --attach 2 --seed 5 --out "$WORK/big.txt"
+: > "$WORK/bigp.txt"
+i=0
+while [ "$i" -lt 20 ]; do
+  echo "$i $((3999 - i))" >> "$WORK/bigp.txt"
+  i=$((i + 1))
+done
+cat > "$WORK/serve_oracle.jsonl" <<EOF
+{"id":1,"cmd":"load_graph","path":"$WORK/big.txt","as":"g","distance_mode":"pair_centric"}
+{"id":2,"cmd":"load_pairs","path":"$WORK/bigp.txt","as":"p"}
+{"id":3,"cmd":"solve","graph":"g","pairs":"p","p_t":0.14,"algo":"greedy","k":3,"threads":1,"seed":1}
+{"id":4,"cmd":"metrics"}
+{"id":5,"cmd":"shutdown"}
+EOF
+MSC_METRICS=1 "$CLI" serve < "$WORK/serve_oracle.jsonl" \
+  > "$WORK/oracle_out.jsonl" \
+  || { echo "FAIL: pair-centric serve exited non-zero"; exit 1; }
+grep -q '"oracle":{' "$WORK/oracle_out.jsonl" \
+  || { echo "FAIL: pair-centric solve reports no usage.oracle"; exit 1; }
+grep -q '"row_builds":[1-9]' "$WORK/oracle_out.jsonl" \
+  || { echo "FAIL: usage.oracle reports no row builds"; exit 1; }
+# The row-based solve path never fires an ALT point query, so only the
+# always-present counter is asserted here (the alt_settled_ratio block is
+# conditional on ALT traffic; test_oracle_telemetry covers its quantiles).
+grep -q '"alt_queries":' "$WORK/oracle_out.jsonl" \
+  || { echo "FAIL: usage.oracle lacks the ALT query counter"; exit 1; }
+grep -q 'msc_serve_oracle_rows{mode=..pair_centric..} [1-9]' \
+  "$WORK/oracle_out.jsonl" \
+  || { echo "FAIL: metrics lack a nonzero pair-centric oracle row gauge"; \
+       exit 1; }
+grep -q 'msc_serve_oracle_queries_total{mode=..dense..,kind=..point..} 0' \
+  "$WORK/oracle_out.jsonl" \
+  || { echo "FAIL: zero-valued dense oracle series not registered"; exit 1; }
+PC_PLACEMENT=$(sed -n 's/.*"placement":"\([^"]*\)".*/\1/p' \
+  "$WORK/oracle_out.jsonl" | head -1)
+[ -n "$PC_PLACEMENT" ] || { echo "FAIL: no pair-centric placement"; exit 1; }
+MSC_ORACLE_ROWS_MB=1 "$CLI" serve < "$WORK/serve_oracle.jsonl" \
+  > "$WORK/oracle_evict.jsonl" \
+  || { echo "FAIL: row-budgeted serve exited non-zero"; exit 1; }
+grep -q '"rows_evicted":[1-9]' "$WORK/oracle_evict.jsonl" \
+  || { echo "FAIL: tiny row budget evicted nothing"; exit 1; }
+EVICT_PLACEMENT=$(sed -n 's/.*"placement":"\([^"]*\)".*/\1/p' \
+  "$WORK/oracle_evict.jsonl" | head -1)
+[ "$EVICT_PLACEMENT" = "$PC_PLACEMENT" ] \
+  || { echo "FAIL: eviction changed the placement"; exit 1; }
 
 # Backpressure: with --queue 1 and the executor held by a sleep, a burst
 # must get at least one structured "overloaded" reply (and one per line).

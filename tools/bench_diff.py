@@ -15,10 +15,12 @@ failure, so adding or retiring a case never blocks CI. Stdlib only — runs
 anywhere python3 does.
 
 Cases may also carry a "phases" object (serve benches aggregate the
-per-request usage.phases attribution — apsp, round_scan, queue_wait, ...).
-Each phase's p99 present in both files is gated with the same ratio,
-independently of the end-to-end gate: an APSP regression hiding inside a
-flat end-to-end median (e.g. offset by a faster scan) still fails.
+per-request usage.phases attribution — apsp, round_scan, queue_wait, and
+the oracle row-build attribution surfaced as "oracle_row_build"). Each
+phase's median and p99 present in both files are gated with the same
+ratio, independently of the end-to-end gate: an APSP or lazy-row-build
+regression hiding inside a flat end-to-end median (e.g. offset by a
+faster scan) still fails.
 
 The default ratio is deliberately loose (2x): shared CI runners are noisy,
 and the gate exists to catch accidental algorithmic blowups (a dropped
@@ -149,25 +151,28 @@ def main():
             print(f"        {case} [p50]: {old_p50:.6f}s -> {new_p50:.6f}s "
                   f"({new_p50 / old_p50:.2f}x, not gated)")
 
-        # Per-phase tail gate: each phase present in both files is held to
-        # the same ratio, so e.g. an APSP blowup can't hide behind a flat
-        # end-to-end median. Phases in only one file just diff quietly
-        # (instrumentation coverage changes shouldn't block CI).
+        # Per-phase gate: each phase present in both files is held to the
+        # same ratio on both its median and p99, so e.g. an APSP or oracle
+        # row-build blowup can't hide behind a flat end-to-end median.
+        # Phases in only one file just diff quietly (instrumentation
+        # coverage changes shouldn't block CI).
         old_phases = old_cases[case].get("phases", {})
         new_phases = new_cases[case].get("phases", {})
         for phase in sorted(set(old_phases) & set(new_phases)):
-            old_p = old_phases[phase].get("p99")
-            new_p = new_phases[phase].get("p99")
-            if not isinstance(old_p, (int, float)) or \
-               not isinstance(new_p, (int, float)) or old_p <= 0:
-                continue
-            phase_ratio = new_p / old_p
-            phase_verdict = "FAIL" if phase_ratio > args.max_ratio else "ok"
-            print(f"{phase_verdict:7} {case} [phase {phase} p99]: "
-                  f"{old_p:.6f}s -> {new_p:.6f}s ({phase_ratio:.2f}x, "
-                  f"limit {args.max_ratio:.2f}x)")
-            if phase_ratio > args.max_ratio and case not in failures:
-                failures.append(case)
+            for field in ("median", "p99"):
+                old_p = old_phases[phase].get(field)
+                new_p = new_phases[phase].get(field)
+                if not isinstance(old_p, (int, float)) or \
+                   not isinstance(new_p, (int, float)) or old_p <= 0:
+                    continue
+                phase_ratio = new_p / old_p
+                phase_verdict = \
+                    "FAIL" if phase_ratio > args.max_ratio else "ok"
+                print(f"{phase_verdict:7} {case} [phase {phase} {field}]: "
+                      f"{old_p:.6f}s -> {new_p:.6f}s ({phase_ratio:.2f}x, "
+                      f"limit {args.max_ratio:.2f}x)")
+                if phase_ratio > args.max_ratio and case not in failures:
+                    failures.append(case)
 
     if failures:
         print(f"\nregression in {len(failures)} case(s): "
