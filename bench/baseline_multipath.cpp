@@ -133,9 +133,10 @@ void runRedundantCopies(const msc::eval::SpatialInstance& spatial, double pt,
   // trials is >= 1 - p_t.
   std::vector<std::array<int, kMaxCopies>> delivered(
       pairRoutes.size(), std::array<int, kMaxCopies>{});
-  msc::util::Rng rng(seed ^ 0x77aaULL);
+  const msc::mc::WorldSet worlds(g,
+                                 {.worlds = mcTrials, .seed = seed ^ 0x77aaULL});
   for (int trial = 0; trial < mcTrials; ++trial) {
-    const auto real = msc::sim::sampleRealization(g, rng);
+    const auto real = msc::sim::realizationOf(worlds, trial);
     for (std::size_t r = 0; r < pairRoutes.size(); ++r) {
       bool anyAlive = false;
       for (std::size_t j = 0; j < pairRoutes[r].size(); ++j) {

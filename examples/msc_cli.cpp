@@ -1,11 +1,12 @@
 // msc_cli — command-line front end to the MSC link-placement library.
 //
 // Subcommands:
-//   gen    generate a topology and write it as an edge list
-//   pairs  sample important social pairs for a saved topology
-//   solve  place shortcut edges with a chosen algorithm
-//   eval   score a given placement
-//   route  print the forwarding paths a placement induces
+//   gen      generate a topology and write it as an edge list
+//   pairs    sample important social pairs for a saved topology
+//   solve    place shortcut edges with a chosen algorithm
+//   solve-mc place shortcuts maximizing sampled multi-path reliability
+//   eval     score a given placement
+//   route    print the forwarding paths a placement induces
 //
 // Examples:
 //   msc_cli gen --type rg --nodes 100 --radius 0.15 --seed 1 --out g.txt
@@ -38,6 +39,7 @@
 #include "core/routing.h"
 #include "core/sandwich.h"
 #include "core/sigma.h"
+#include "mc/solver.h"
 #include "gen/barabasi_albert.h"
 #include "gen/erdos_renyi.h"
 #include "gen/gowalla.h"
@@ -58,12 +60,19 @@ using msc::util::Args;
 
 int usage() {
   std::cerr <<
-      "usage: msc_cli <gen|pairs|solve|eval|route|serve|version> [flags]\n"
+      "usage: msc_cli <gen|pairs|solve|solve-mc|eval|route|serve|version> "
+      "[flags]\n"
       "  gen   --type rg|er|ba|ws|gowalla --out FILE [--nodes N] [--seed S]\n"
       "        [--radius R] [--prob P] [--attach M] [--neighbors K]\n"
       "  pairs --graph FILE --pt P --m M [--seed S] [--out FILE]\n"
       "  solve --graph FILE --pairs FILE --pt P --k K\n"
       "        [--algo aa|greedy|ea|aea|random] [--iters R] [--seed S]\n"
+      "  solve-mc --graph FILE --pairs FILE --pt P --k K\n"
+      "        [--algo greedy|sandwich] [--worlds W] [--seed S]\n"
+      "        maximize the sampled multi-path reliability sigma-hat over W\n"
+      "        possible worlds (each link up with prob e^-length) instead of\n"
+      "        the paper's shortest-path surrogate; deterministic at fixed\n"
+      "        --seed for any --threads; see docs/ALGORITHMS.md sec. 17\n"
       "  eval  --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
       "  route --graph FILE --pairs FILE --pt P --placement a-b,c-d,...\n"
       "  serve [--listen SOCKET_PATH] [--queue N] [--cache-mb MB]\n"
@@ -303,6 +312,54 @@ int cmdSolve(const Args& args) {
   return 0;
 }
 
+// solve-mc: maximize the sampled multi-path reliability sigma-hat
+// (objective "mc_reliability" in serve) instead of the shortest-path
+// surrogate. Same candidate universe and output shape as `solve` so the
+// two placements can be diffed directly.
+int cmdSolveMc(const Args& args) {
+  checkFlags(args, {"graph", "pairs", "pt", "k", "algo", "worlds", "seed"});
+  const auto inst = makeInstance(args);
+  const int k = static_cast<int>(args.getInt("k", 5));
+  const std::string algo = args.getString("algo", "greedy");
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const long long worlds = args.getInt("worlds", 1024);
+  if (worlds < 1 || worlds > (1 << 20)) {
+    throw std::runtime_error("--worlds must be in [1, 1048576]");
+  }
+  const msc::core::SolveOptions options{
+      .k = k, .threads = threadsArg(args), .seed = seed};
+  const msc::mc::McOptions mcOptions{.worlds = static_cast<int>(worlds)};
+  const auto cands =
+      msc::core::CandidateSet::allPairs(inst.graph().nodeCount());
+
+  msc::mc::McSolveResult res;
+  if (algo == "greedy") {
+    res = msc::mc::greedy(inst, cands, options, mcOptions);
+  } else if (algo == "sandwich") {
+    res = msc::mc::sandwich(inst, cands, options, mcOptions);
+  } else {
+    std::cerr << "unknown --algo " << algo << " (solve-mc supports "
+                 "greedy|sandwich)\n";
+    return usage();
+  }
+
+  std::cout << "algorithm: " << algo << " (objective mc_reliability), k = "
+            << k << ", worlds = " << res.worlds << '\n';
+  if (algo != "greedy") std::cout << "winner: " << res.winner << '\n';
+  std::cout << "maintained (sigma-hat): " << res.sigmaHat << " / "
+            << res.pairs << '\n';
+  std::cout << "uncertain pairs (|R - (1-p_t)| <= half-width): "
+            << res.uncertainPairs << '\n';
+  std::ostringstream spec;
+  for (std::size_t i = 0; i < res.placement.size(); ++i) {
+    if (i) spec << ',';
+    spec << res.placement[i].a << '-' << res.placement[i].b;
+  }
+  std::cout << "placement: " << (res.placement.empty() ? "(empty)" : spec.str())
+            << '\n';
+  return 0;
+}
+
 int cmdEval(const Args& args) {
   checkFlags(args, {"graph", "pairs", "pt", "placement"});
   const auto inst = makeInstance(args);
@@ -413,6 +470,15 @@ int cmdVersion() {
                "alt_queries,rows_evolved,\n"
             << "    rows_replayed,row_build_seconds,alt_settled_ratio{count,"
                "p50,p90,max}};\n"
+            << "    solve accepts \"objective\" (sigma|mc_reliability) and "
+               "\"worlds\" and echoes\n"
+            << "    \"objective\"; mc_reliability responses (algo "
+               "greedy|sandwich) carry\n"
+            << "    worlds/uncertain_pairs (and winner for sandwich), with "
+               "value = sigma-hat,\n"
+            << "    the sampled multi-path maintained count (CLI: solve-mc; "
+               "obs: mc.worlds\n"
+            << "    counter, mc.frontier_seconds histogram);\n"
             << "    metrics/GET /metrics export msc_serve_oracle_bytes{mode}, "
                "msc_serve_oracle_rows{mode},\n"
             << "    msc_serve_oracle_queries_total{mode,kind}, "
@@ -435,6 +501,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "gen") return cmdGen(args);
   if (cmd == "pairs") return cmdPairs(args);
   if (cmd == "solve") return cmdSolve(args);
+  if (cmd == "solve-mc") return cmdSolveMc(args);
   if (cmd == "eval") return cmdEval(args);
   if (cmd == "route") return cmdRoute(args);
   if (cmd == "serve") return cmdServe(args);

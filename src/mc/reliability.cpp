@@ -1,0 +1,370 @@
+#include "mc/reliability.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "wireless/link_model.h"
+
+namespace msc::mc {
+namespace {
+
+using msc::graph::NodeId;
+using msc::util::Bitset;
+
+/// reach[y] |= reach[x] & plane; returns whether any world was added.
+/// A null plane is the always-up shortcut plane.
+bool relaxInto(const Bitset& rx, const Bitset* plane, Bitset& ry) {
+  bool changed = false;
+  const std::size_t nw = rx.wordCount();
+  for (std::size_t w = 0; w < nw; ++w) {
+    const std::uint64_t gate = plane ? plane->word(w) : ~0ULL;
+    const std::uint64_t add = rx.word(w) & gate & ~ry.word(w);
+    if (add != 0) {
+      ry.setWord(w, ry.word(w) | add);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ReliabilityEvaluator::ReliabilityEvaluator(const core::Instance& instance,
+                                           const WorldSet& worlds,
+                                           Objective objective)
+    : instance_(&instance), worlds_(&worlds), objective_(objective) {
+  const auto& g = instance.graph();
+  if (&worlds.graph() != &g &&
+      (worlds.graph().nodeCount() != g.nodeCount() ||
+       worlds.graph().edgeCount() != g.edgeCount())) {
+    throw std::invalid_argument(
+        "ReliabilityEvaluator: WorldSet was sampled over a different graph");
+  }
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  adjacency_.resize(n);
+  const auto edges = g.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const Bitset* plane = &worlds.edgePlane(e);
+    adjacency_[static_cast<std::size_t>(edges[e].u)].push_back(
+        {edges[e].v, plane});
+    adjacency_[static_cast<std::size_t>(edges[e].v)].push_back(
+        {edges[e].u, plane});
+  }
+
+  // Reachability in an undirected world is symmetric, so one BFS source per
+  // distinct min-endpoint covers every pair that shares it.
+  const auto& pairs = instance.pairs();
+  pairSource_.resize(pairs.size());
+  pairTarget_.resize(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const NodeId s = std::min(pairs[i].u, pairs[i].w);
+    const NodeId t = std::max(pairs[i].u, pairs[i].w);
+    std::size_t si = 0;
+    for (; si < sources_.size(); ++si) {
+      if (sources_[si].source == s) break;
+    }
+    if (si == sources_.size()) {
+      sources_.push_back({s, {}});
+    }
+    pairSource_[i] = si;
+    pairTarget_[i] = t;
+  }
+  const auto w = static_cast<std::size_t>(worlds.worlds());
+  for (auto& sr : sources_) {
+    sr.planes.assign(n, Bitset(w));
+  }
+  reachCount_.assign(pairs.size(), 0);
+
+  // Maintained iff R̂ >= 1 - p_t, as an integer world-count threshold.
+  // The epsilon keeps an exactly-at-threshold count qualifying despite
+  // the rounding in W * (1 - p_t).
+  const double pt =
+      msc::wireless::lengthToFailure(instance.distanceThreshold());
+  const double need = static_cast<double>(worlds.worlds()) * (1.0 - pt);
+  minCount_ = static_cast<std::size_t>(
+      std::max(0.0, std::ceil(need - 1e-9)));
+
+  reset();
+}
+
+void ReliabilityEvaluator::reset() {
+  // Drop committed shortcuts from the adjacency (they were appended after
+  // the base arcs, one arc per endpoint per shortcut).
+  for (const core::Shortcut& f : placement_) {
+    adjacency_[static_cast<std::size_t>(f.a)].pop_back();
+    adjacency_[static_cast<std::size_t>(f.b)].pop_back();
+  }
+  placement_.clear();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& sr : sources_) {
+    for (auto& plane : sr.planes) plane.clear();
+    sr.planes[static_cast<std::size_t>(sr.source)].setAll();
+    propagate(sr, {sr.source});
+  }
+  recordFrontierSeconds(secondsSince(start));
+  refreshCounts();
+}
+
+void ReliabilityEvaluator::propagate(SourceReach& sr,
+                                     const std::vector<NodeId>& seeds) {
+  std::vector<std::uint8_t> queued(adjacency_.size(), 0);
+  std::vector<NodeId> frontier;
+  for (const NodeId s : seeds) {
+    if (!queued[static_cast<std::size_t>(s)]) {
+      queued[static_cast<std::size_t>(s)] = 1;
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId x = frontier.back();
+    frontier.pop_back();
+    queued[static_cast<std::size_t>(x)] = 0;
+    const Bitset& rx = sr.planes[static_cast<std::size_t>(x)];
+    for (const OutArc& arc : adjacency_[static_cast<std::size_t>(x)]) {
+      Bitset& ry = sr.planes[static_cast<std::size_t>(arc.to)];
+      if (relaxInto(rx, arc.plane, ry) &&
+          !queued[static_cast<std::size_t>(arc.to)]) {
+        queued[static_cast<std::size_t>(arc.to)] = 1;
+        frontier.push_back(arc.to);
+      }
+    }
+  }
+}
+
+void ReliabilityEvaluator::recordFrontierSeconds(double seconds) {
+  // Committed-propagation latency; recorded even with metrics disabled so
+  // tail latency is always visible (PR 8 histogram convention). gainIfAdd
+  // deliberately does not record: it is the parallel-scan hot loop.
+  static auto& frontierHist = msc::obs::histogram("mc.frontier_seconds");
+  frontierHist.record(seconds);
+}
+
+void ReliabilityEvaluator::rebuildFrom(const std::vector<NodeId>& seeds) {
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& sr : sources_) propagate(sr, seeds);
+  recordFrontierSeconds(secondsSince(start));
+}
+
+void ReliabilityEvaluator::add(const core::Shortcut& f) {
+  instance_->graph().checkNode(f.a);
+  instance_->graph().checkNode(f.b);
+  placement_.push_back(f);
+  adjacency_[static_cast<std::size_t>(f.a)].push_back({f.b, nullptr});
+  adjacency_[static_cast<std::size_t>(f.b)].push_back({f.a, nullptr});
+  // Reachability only grows when an edge is added, so propagating from the
+  // new endpoints alone reaches the monotone fixpoint.
+  rebuildFrom({f.a, f.b});
+  refreshCounts();
+}
+
+void ReliabilityEvaluator::refreshCounts() {
+  totalReached_ = 0;
+  maintained_ = 0;
+  for (std::size_t i = 0; i < reachCount_.size(); ++i) {
+    const auto& sr = sources_[pairSource_[i]];
+    const std::size_t c =
+        sr.planes[static_cast<std::size_t>(pairTarget_[i])].count();
+    reachCount_[i] = c;
+    totalReached_ += c;
+    if (c >= minCount_) ++maintained_;
+  }
+}
+
+double ReliabilityEvaluator::currentValue() const {
+  if (objective_ == Objective::MaintainedCount) {
+    return static_cast<double>(maintained_);
+  }
+  return static_cast<double>(totalReached_) /
+         static_cast<double>(worlds_->worlds());
+}
+
+double ReliabilityEvaluator::gainIfAdd(const core::Shortcut& f) const {
+  instance_->graph().checkNode(f.a);
+  instance_->graph().checkNode(f.b);
+
+  std::size_t newTotal = totalReached_;
+  int newMaintained = maintained_;
+
+  // Per-source copy-on-write overlay: only planes the trial shortcut
+  // actually changes are copied, everything else reads shared state, so
+  // concurrent gain scans over different candidates never interfere.
+  std::unordered_map<NodeId, Bitset> mod;
+  std::vector<NodeId> frontier;
+  std::vector<std::uint8_t> queued(adjacency_.size(), 0);
+  for (std::size_t si = 0; si < sources_.size(); ++si) {
+    const auto& sr = sources_[si];
+    mod.clear();
+    const auto cur = [&](NodeId x) -> const Bitset& {
+      const auto it = mod.find(x);
+      return it != mod.end() ? it->second
+                             : sr.planes[static_cast<std::size_t>(x)];
+    };
+    const auto relaxTrial = [&](NodeId from, NodeId to) {
+      const Bitset& rx = cur(from);
+      const Bitset& ryShared = cur(to);
+      // Copy on first change only.
+      Bitset scratch = ryShared;
+      if (relaxInto(rx, nullptr, scratch)) {
+        mod[to] = std::move(scratch);
+        if (!queued[static_cast<std::size_t>(to)]) {
+          queued[static_cast<std::size_t>(to)] = 1;
+          frontier.push_back(to);
+        }
+      }
+    };
+    frontier.clear();
+    std::fill(queued.begin(), queued.end(), 0);
+    relaxTrial(f.a, f.b);
+    relaxTrial(f.b, f.a);
+    while (!frontier.empty()) {
+      const NodeId x = frontier.back();
+      frontier.pop_back();
+      queued[static_cast<std::size_t>(x)] = 0;
+      for (const OutArc& arc : adjacency_[static_cast<std::size_t>(x)]) {
+        const Bitset& rx = cur(x);
+        const Bitset& ry = cur(arc.to);
+        Bitset scratch = ry;
+        if (relaxInto(rx, arc.plane, scratch)) {
+          mod[arc.to] = std::move(scratch);
+          if (!queued[static_cast<std::size_t>(arc.to)]) {
+            queued[static_cast<std::size_t>(arc.to)] = 1;
+            frontier.push_back(arc.to);
+          }
+        }
+      }
+      // The trial shortcut participates in further propagation too: worlds
+      // that newly reach one endpoint cross to the other.
+      if (x == f.a) relaxTrial(f.a, f.b);
+      if (x == f.b) relaxTrial(f.b, f.a);
+    }
+
+    for (std::size_t i = 0; i < reachCount_.size(); ++i) {
+      if (pairSource_[i] != si) continue;
+      const auto it = mod.find(pairTarget_[i]);
+      if (it == mod.end()) continue;
+      const std::size_t c = it->second.count();
+      newTotal += c - reachCount_[i];
+      if (c >= minCount_ && reachCount_[i] < minCount_) ++newMaintained;
+    }
+  }
+
+  if (objective_ == Objective::MaintainedCount) {
+    return static_cast<double>(newMaintained - maintained_);
+  }
+  return static_cast<double>(newTotal - totalReached_) /
+         static_cast<double>(worlds_->worlds());
+}
+
+double ReliabilityEvaluator::value(
+    const core::ShortcutList& placement) const {
+  ReliabilityEvaluator scratch(*instance_, *worlds_, objective_);
+  return scratch.evaluate(placement);
+}
+
+std::vector<PairReliability> ReliabilityEvaluator::pairEstimates(
+    double z) const {
+  const double w = static_cast<double>(worlds_->worlds());
+  const double threshold =
+      1.0 - msc::wireless::lengthToFailure(instance_->distanceThreshold());
+  std::vector<PairReliability> out;
+  out.reserve(reachCount_.size());
+  for (std::size_t i = 0; i < reachCount_.size(); ++i) {
+    PairReliability pr;
+    pr.pair = instance_->pairs()[i];
+    pr.reliability = static_cast<double>(reachCount_[i]) / w;
+    pr.halfWidth = z * std::sqrt(pr.reliability * (1.0 - pr.reliability) / w);
+    pr.maintained = reachCount_[i] >= minCount_;
+    pr.uncertain = std::abs(pr.reliability - threshold) <= pr.halfWidth;
+    out.push_back(pr);
+  }
+  return out;
+}
+
+int ReliabilityEvaluator::uncertainCount(double z) const {
+  int c = 0;
+  for (const PairReliability& pr : pairEstimates(z)) {
+    if (pr.uncertain) ++c;
+  }
+  return c;
+}
+
+namespace {
+
+/// Union-find over node ids; plain arrays, path halving.
+struct DisjointSet {
+  std::vector<int> parent;
+  explicit DisjointSet(int n) : parent(static_cast<std::size_t>(n)) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    parent[static_cast<std::size_t>(find(a))] = find(b);
+  }
+};
+
+}  // namespace
+
+std::vector<double> exactPairReliabilities(
+    const core::Instance& instance, const core::ShortcutList& placement) {
+  const auto& g = instance.graph();
+  const std::size_t m = g.edgeCount();
+  if (m > 20) {
+    throw std::invalid_argument(
+        "exactPairReliabilities: 2^m enumeration needs edgeCount <= 20");
+  }
+  const auto edges = g.edges();
+  std::vector<double> pUp(m);
+  for (std::size_t e = 0; e < m; ++e) pUp[e] = std::exp(-edges[e].length);
+
+  const auto& pairs = instance.pairs();
+  std::vector<double> rel(pairs.size(), 0.0);
+  const std::uint64_t worlds = 1ULL << m;
+  for (std::uint64_t mask = 0; mask < worlds; ++mask) {
+    double prob = 1.0;
+    for (std::size_t e = 0; e < m; ++e) {
+      prob *= ((mask >> e) & 1ULL) ? pUp[e] : (1.0 - pUp[e]);
+    }
+    if (prob == 0.0) continue;
+    DisjointSet dsu(g.nodeCount());
+    for (std::size_t e = 0; e < m; ++e) {
+      if ((mask >> e) & 1ULL) dsu.unite(edges[e].u, edges[e].v);
+    }
+    for (const core::Shortcut& f : placement) dsu.unite(f.a, f.b);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (dsu.find(pairs[i].u) == dsu.find(pairs[i].w)) rel[i] += prob;
+    }
+  }
+  return rel;
+}
+
+int exactSigma(const core::Instance& instance,
+               const core::ShortcutList& placement) {
+  const double threshold =
+      1.0 - msc::wireless::lengthToFailure(instance.distanceThreshold());
+  int sigma = 0;
+  for (const double r : exactPairReliabilities(instance, placement)) {
+    if (r >= threshold - 1e-12) ++sigma;
+  }
+  return sigma;
+}
+
+}  // namespace msc::mc

@@ -1,0 +1,76 @@
+// Possible-worlds sampler for the Monte-Carlo reliability engine.
+//
+// The paper's maintained-pair criterion is a single-best-path surrogate;
+// the true objective treats the network as an uncertain graph where every
+// link is up independently with probability e^-length (the inverse of the
+// length transform in wireless/link_model.h). A "possible world" is one
+// joint realization of all links. This module samples W such worlds ONCE
+// and packs them as per-edge bit-planes — bit j of edge e's plane is
+// "edge e is up in world j", 64 worlds per machine word — so that every
+// candidate placement is evaluated against the exact same worlds (common
+// random numbers): gain comparisons between candidates then share all
+// sampling noise and the greedy argmax is far lower-variance than
+// resampling per candidate would be.
+//
+// Determinism contract: the sampled planes are a pure function of
+// (graph edge list, worlds, seed). Each edge draws from its own Rng stream
+// (seed mixed with the edge index), so the planes are independent of
+// evaluation order and thread count — the PR-2 bit-identity contract
+// extends through every solver built on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bitset.h"
+
+namespace msc::mc {
+
+/// Sampling knobs. `worlds` is W, the number of sampled realizations; the
+/// estimator half-width shrinks as 1/sqrt(W).
+struct WorldConfig {
+  int worlds = 1024;
+  std::uint64_t seed = 1;
+};
+
+/// W sampled worlds over a graph's edge set, stored as one Bitset plane per
+/// edge (plane.size() == W). Immutable after construction; evaluators and
+/// the delivery simulator share one WorldSet by const reference.
+class WorldSet {
+ public:
+  /// Samples the planes. Edge e is up in world j with probability
+  /// e^-length(e); a zero-length edge is up in every world. Throws
+  /// std::invalid_argument when config.worlds <= 0.
+  WorldSet(const msc::graph::Graph& graph, const WorldConfig& config);
+
+  /// Number of sampled worlds W.
+  int worlds() const noexcept { return worlds_; }
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// The graph the worlds were sampled over (must outlive the WorldSet).
+  const msc::graph::Graph& graph() const noexcept { return *graph_; }
+
+  /// Presence plane of edge `e` (index into graph().edges()).
+  const msc::util::Bitset& edgePlane(std::size_t e) const {
+    return planes_.at(e);
+  }
+
+  /// Whether edge `e` is up in world `world`.
+  bool edgeUpIn(int world, std::size_t e) const {
+    return planes_.at(e).test(static_cast<std::size_t>(world));
+  }
+
+  /// Up-flags of every edge in world `world`, in edge-list order — the
+  /// realization view the delivery simulator consumes.
+  std::vector<std::uint8_t> upFlags(int world) const;
+
+ private:
+  const msc::graph::Graph* graph_;
+  int worlds_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<msc::util::Bitset> planes_;  // one per edge, size W
+};
+
+}  // namespace msc::mc

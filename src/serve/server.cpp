@@ -25,6 +25,7 @@
 #include "core/greedy.h"
 #include "core/sandwich.h"
 #include "core/sigma.h"
+#include "mc/solver.h"
 #include "graph/graph_io.h"
 #include "obs/context.h"
 #include "obs/log.h"
@@ -444,7 +445,33 @@ json::Object Engine::cmdSolve(const Request& request,
   json::Object fields;
   core::ShortcutList placement;
   double value = 0.0;
-  if (algo == "greedy") {
+  // Objective knob (msc.serve.v1 addition): "sigma" is the paper's
+  // shortest-path surrogate; "mc_reliability" maximizes the sampled
+  // multi-path σ̂ over a possible-worlds WorldSet (src/mc). The MC path
+  // reuses the surrogate's candidate universe and solve options; "worlds"
+  // picks the sample count W.
+  const std::string objective = getStringParam(request, "objective", "sigma");
+  if (objective == "mc_reliability") {
+    if (algo != "greedy" && algo != "sandwich" && algo != "aa") {
+      throw ProtocolError(
+          "objective \"mc_reliability\" supports algo greedy|sandwich");
+    }
+    const int worlds = static_cast<int>(
+        getIntParam(request, "worlds", 1024, 1, 1 << 20));
+    const mc::McOptions mcOptions{.worlds = worlds};
+    const mc::McSolveResult res =
+        algo == "greedy" ? mc::greedy(inst, *cands, options, mcOptions)
+                         : mc::sandwich(inst, *cands, options, mcOptions);
+    placement = res.placement;
+    value = res.sigmaHat;
+    gainEvals = res.gainEvaluations;
+    fields["worlds"] = res.worlds;
+    fields["uncertain_pairs"] = res.uncertainPairs;
+    if (algo != "greedy") fields["winner"] = res.winner;
+  } else if (objective != "sigma") {
+    throw ProtocolError("unknown objective \"" + objective +
+                        "\" (sigma|mc_reliability)");
+  } else if (algo == "greedy") {
     core::SigmaEvaluator sigma(inst);
     const auto res = core::greedyMaximize(sigma, *cands, options);
     placement = res.placement;
@@ -494,6 +521,7 @@ json::Object Engine::cmdSolve(const Request& request,
   }
 
   fields["algo"] = algo;
+  fields["objective"] = objective;
   fields["k"] = k;
   fields["threads"] = threads;
   fields["placement"] = placementSpec(placement);

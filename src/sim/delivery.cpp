@@ -60,11 +60,15 @@ std::vector<DeliveryEstimate> estimateDelivery(
 
   std::vector<int> fixedOk(routes.size(), 0);
   std::vector<int> opportunisticOk(routes.size(), 0);
-  msc::util::Rng rng(config.seed);
   const double dt = instance.distanceThreshold();
 
+  // One WorldSet of `trials` worlds — the same sampling code path the MC
+  // solver optimizes against, so validation draws from the identical
+  // distribution (and, at equal seed/trials, the identical worlds).
+  const msc::mc::WorldSet worlds(g,
+                                 {.worlds = config.trials, .seed = config.seed});
   for (int trial = 0; trial < config.trials; ++trial) {
-    const LinkRealization real = sampleRealization(g, rng);
+    const LinkRealization real = realizationOf(worlds, trial);
 
     for (std::size_t r = 0; r < routes.size(); ++r) {
       if (routes[r].path.empty()) continue;  // unreachable: never delivers

@@ -1,18 +1,11 @@
 #include "sim/link_state.h"
 
-#include <cmath>
+#include <stdexcept>
 
 namespace msc::sim {
 
-LinkRealization sampleRealization(const msc::graph::Graph& g,
-                                  msc::util::Rng& rng) {
-  LinkRealization real;
-  real.up.reserve(g.edgeCount());
-  for (const msc::graph::Edge& e : g.edges()) {
-    const double pUp = std::exp(-e.length);  // 1 - failure probability
-    real.up.push_back(rng.chance(pUp) ? 1 : 0);
-  }
-  return real;
+LinkRealization realizationOf(const msc::mc::WorldSet& worlds, int world) {
+  return {worlds.upFlags(world)};
 }
 
 msc::graph::Graph survivingGraph(const msc::graph::Graph& g,

@@ -1,18 +1,23 @@
-// Stochastic link-state sampling.
+// Stochastic link-state realizations.
 //
 // The optimizer works with the analytic model of §III (independent link
 // failures, path failure 1 - prod(1 - p)). The simulator closes the loop:
 // it samples concrete link up/down states from those probabilities and
 // measures what actually gets delivered, validating that placements chosen
 // by the optimizer meet their reliability targets in expectation.
+//
+// Sampling itself lives in mc::WorldSet (src/mc/world_sampler.h) — the
+// solver and the validator draw from the same possible-worlds code path,
+// so a placement optimized against sampled worlds is validated against
+// identically-distributed ones. This header adapts a WorldSet world into
+// the per-edge realization view the simulator consumes.
 #pragma once
 
 #include <vector>
 
 #include "core/types.h"
 #include "graph/graph.h"
-#include "util/rng.h"
-#include "wireless/link_model.h"
+#include "mc/world_sampler.h"
 
 namespace msc::sim {
 
@@ -24,10 +29,8 @@ struct LinkRealization {
   std::vector<std::uint8_t> up;
 };
 
-/// Samples each edge independently: edge e (length l) is up with
-/// probability e^-l = 1 - failure(e).
-LinkRealization sampleRealization(const msc::graph::Graph& g,
-                                  msc::util::Rng& rng);
+/// View of world `world` of a sampled WorldSet as a realization.
+LinkRealization realizationOf(const msc::mc::WorldSet& worlds, int world);
 
 /// Builds the surviving subgraph of a realization plus the (always-up)
 /// shortcut edges, with the original edge lengths.

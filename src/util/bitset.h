@@ -16,9 +16,14 @@ namespace msc::util {
 
 /// Fixed-size-at-construction bitset with the operations the coverage
 /// evaluators need: set/test, union-in-place, popcount, and "how many bits
-/// would a union add" without materializing it.
+/// would a union add" without materializing it. The Monte-Carlo world
+/// planes (src/mc) additionally fold over raw words, so word-level access
+/// is part of the interface; unused bits of the last word are always zero
+/// (setWord enforces it), which count()/any() rely on.
 class Bitset {
  public:
+  static constexpr std::size_t kBitsPerWord = 64;
+
   Bitset() = default;
 
   explicit Bitset(std::size_t bits)
@@ -43,6 +48,13 @@ class Bitset {
 
   void clear() noexcept {
     for (auto& w : words_) w = 0;
+  }
+
+  /// Sets every bit (the "all worlds" plane of the MC engine).
+  void setAll() noexcept {
+    if (words_.empty()) return;
+    for (auto& w : words_) w = ~0ULL;
+    words_.back() &= tailMask();
   }
 
   /// Number of set bits.
@@ -84,6 +96,16 @@ class Bitset {
     return c;
   }
 
+  /// True when the intersection is non-empty — an early-exit
+  /// intersectCount(other) != 0 without scanning past the first hit.
+  bool anyCommon(const Bitset& other) const {
+    checkCompatible(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
   /// Popcount of the intersection.
   std::size_t intersectCount(const Bitset& other) const {
     checkCompatible(other);
@@ -102,6 +124,24 @@ class Bitset {
   /// coverage gains).
   const std::vector<std::uint64_t>& words() const noexcept { return words_; }
 
+  /// Number of 64-bit words backing the set: ceil(size() / 64).
+  std::size_t wordCount() const noexcept { return words_.size(); }
+
+  /// Word `w` (bits [64w, 64w + 63]). Bounds-checked like set/test.
+  std::uint64_t word(std::size_t w) const {
+    checkWordIndex(w);
+    return words_[w];
+  }
+
+  /// Replaces word `w` wholesale — the word-parallel write the MC frontier
+  /// propagation is built on (64 worlds per store). Bits beyond size() are
+  /// masked off so the zero-tail invariant behind count()/any() holds.
+  void setWord(std::size_t w, std::uint64_t value) {
+    checkWordIndex(w);
+    if (w + 1 == words_.size()) value &= tailMask();
+    words_[w] = value;
+  }
+
   /// Calls fn(bitIndex) for every bit set in `other` but not in *this.
   template <typename Fn>
   void forEachMissingFrom(const Bitset& other, Fn&& fn) const {
@@ -119,6 +159,17 @@ class Bitset {
  private:
   void checkIndex(std::size_t i) const {
     if (i >= bits_) throw std::out_of_range("Bitset: index out of range");
+  }
+  void checkWordIndex(std::size_t w) const {
+    if (w >= words_.size()) {
+      throw std::out_of_range("Bitset: word index out of range");
+    }
+  }
+  /// Mask of the valid bits in the last word (all-ones when size() is a
+  /// multiple of 64).
+  std::uint64_t tailMask() const noexcept {
+    const std::size_t r = bits_ & 63;
+    return r == 0 ? ~0ULL : ((1ULL << r) - 1);
   }
   void checkCompatible(const Bitset& other) const {
     if (bits_ != other.bits_) {

@@ -258,6 +258,55 @@ DIRECT_PLACEMENT=$("$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" \
   || { echo "FAIL: serve '$SERVE_PLACEMENT' != direct '$DIRECT_PLACEMENT'"; \
        exit 1; }
 
+# Monte-Carlo objective (docs/ALGORITHMS.md §17): solve-mc maximizes the
+# sampled multi-path reliability; the serve `solve` command reaches the
+# same engine via "objective":"mc_reliability" and must return the exact
+# placement the direct CLI does at equal {algo, k, threads, seed, worlds}.
+# A sparse ring-like topology: the dense RG above is already saturated
+# under multi-path reliability (every placement scores full sigma-hat),
+# so shortcuts would carry no gain and greedy would place nothing.
+"$CLI" gen --type ws --nodes 40 --neighbors 1 --prob 0.1 --seed 4 \
+       --out "$WORK/ws.txt"
+"$CLI" pairs --graph "$WORK/ws.txt" --pt 0.14 --m 6 --seed 2 \
+       --out "$WORK/wsp.txt"
+MC_OUT=$("$CLI" solve-mc --graph "$WORK/ws.txt" --pairs "$WORK/wsp.txt" \
+        --pt 0.14 --k 3 --algo greedy --worlds 64 --threads 1 --seed 1)
+echo "$MC_OUT" | grep -q "sigma-hat" || { echo "FAIL: solve-mc"; exit 1; }
+echo "$MC_OUT" | grep -q "uncertain pairs" \
+  || { echo "FAIL: solve-mc uncertainty line"; exit 1; }
+MC_PLACEMENT=$(echo "$MC_OUT" | sed -n 's/^placement: //p')
+[ -n "$MC_PLACEMENT" ] && [ "$MC_PLACEMENT" != "(empty)" ] \
+  || { echo "FAIL: no solve-mc placement"; exit 1; }
+cat > "$WORK/serve_mc.jsonl" <<EOF
+{"id":1,"cmd":"load_graph","path":"$WORK/ws.txt","as":"g"}
+{"id":2,"cmd":"load_pairs","path":"$WORK/wsp.txt","as":"p"}
+{"id":3,"cmd":"solve","graph":"g","pairs":"p","p_t":0.14,"objective":"mc_reliability","algo":"greedy","k":3,"worlds":64,"threads":1,"seed":1}
+{"id":4,"cmd":"shutdown"}
+EOF
+"$CLI" serve < "$WORK/serve_mc.jsonl" > "$WORK/serve_mc_out.jsonl" \
+  || { echo "FAIL: mc serve exited non-zero"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$WORK/serve_mc_out.jsonl" "$MC_PLACEMENT" <<'PYEOF' || { echo "FAIL: mc serve reply invalid"; exit 1; }
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+solve = next(r for r in lines if r["id"] == 3)
+assert solve["status"] == "ok"
+assert solve["objective"] == "mc_reliability"
+assert solve["worlds"] == 64
+assert solve["uncertain_pairs"] >= 0
+assert solve["value"] >= 0
+assert solve["placement"] == sys.argv[2], \
+    f'serve {solve["placement"]!r} != direct {sys.argv[2]!r}'
+PYEOF
+else
+  grep -q '"objective":"mc_reliability"' "$WORK/serve_mc_out.jsonl" \
+    || { echo "FAIL: mc serve reply lacks objective echo"; exit 1; }
+  grep -q "\"placement\":\"$MC_PLACEMENT\"" "$WORK/serve_mc_out.jsonl" \
+    || { echo "FAIL: mc serve placement != direct solve-mc"; exit 1; }
+fi
+echo "$VERSION" | grep -q 'mc_reliability' \
+  || { echo "FAIL: version missing mc_reliability objective"; exit 1; }
+
 # Oracle telemetry (docs/ALGORITHMS.md §16): a pair-centric solve reports
 # its distance-oracle query mix in usage.oracle and exports the matching
 # Prometheus series; re-running under a tiny row budget

@@ -125,6 +125,71 @@ TEST(Bitset, ForEachMissingFrom) {
   EXPECT_EQ(fresh, (std::vector<std::size_t>{64, 149}));
 }
 
+TEST(Bitset, AnyCommon) {
+  Bitset a(130);
+  Bitset b(130);
+  EXPECT_FALSE(a.anyCommon(b));
+  a.set(5);
+  b.set(6);
+  EXPECT_FALSE(a.anyCommon(b));
+  // Overlap past the first word boundary is still found.
+  a.set(129);
+  b.set(129);
+  EXPECT_TRUE(a.anyCommon(b));
+  EXPECT_TRUE(b.anyCommon(a));
+}
+
+TEST(Bitset, AnyCommonSizeMismatchThrows) {
+  Bitset a(64);
+  Bitset b(65);
+  EXPECT_THROW(a.anyCommon(b), std::invalid_argument);
+}
+
+TEST(Bitset, SetAll) {
+  Bitset b(70);  // partial tail word
+  b.setAll();
+  EXPECT_EQ(b.count(), 70u);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_TRUE(b.test(i));
+  // Tail bits beyond size() stay zero so count()/any() remain exact.
+  EXPECT_EQ(b.word(1) >> 6, 0u);
+  b.clear();
+  EXPECT_FALSE(b.any());
+}
+
+TEST(Bitset, SetAllExactWordMultiple) {
+  Bitset b(128);
+  b.setAll();
+  EXPECT_EQ(b.count(), 128u);
+  EXPECT_EQ(b.word(0), ~0ULL);
+  EXPECT_EQ(b.word(1), ~0ULL);
+}
+
+TEST(Bitset, WordAccess) {
+  Bitset b(100);
+  EXPECT_EQ(b.wordCount(), 2u);
+  b.set(0);
+  b.set(65);
+  EXPECT_EQ(b.word(0), 1ULL);
+  EXPECT_EQ(b.word(1), 2ULL);
+  b.setWord(0, 0xffULL);
+  EXPECT_EQ(b.count(), 8u + 1u);
+  EXPECT_TRUE(b.test(7));
+  EXPECT_FALSE(b.test(8));
+}
+
+TEST(Bitset, SetWordMasksTail) {
+  Bitset b(70);  // last word holds 6 valid bits
+  b.setWord(1, ~0ULL);
+  EXPECT_EQ(b.word(1), 0x3fULL);
+  EXPECT_EQ(b.count(), 6u);
+}
+
+TEST(Bitset, WordAccessOutOfRangeThrows) {
+  Bitset b(64);
+  EXPECT_THROW(b.word(1), std::out_of_range);
+  EXPECT_THROW(b.setWord(1, 0), std::out_of_range);
+}
+
 TEST(Bitset, Equality) {
   Bitset a(40);
   Bitset b(40);

@@ -19,11 +19,11 @@ TEST(LinkState, SamplingMatchesEdgeReliability) {
   // One edge with failure probability 0.3: empirical up-rate ~ 0.7.
   msc::graph::Graph g(2);
   g.addEdge(0, 1, msc::wireless::failureToLength(0.3));
-  msc::util::Rng rng(1);
-  int up = 0;
   const int trials = 20000;
+  const msc::mc::WorldSet worlds(g, {.worlds = trials, .seed = 1});
+  int up = 0;
   for (int i = 0; i < trials; ++i) {
-    up += msc::sim::sampleRealization(g, rng).up[0];
+    up += msc::sim::realizationOf(worlds, i).up[0];
   }
   EXPECT_NEAR(static_cast<double>(up) / trials, 0.7, 0.01);
 }
@@ -31,9 +31,9 @@ TEST(LinkState, SamplingMatchesEdgeReliability) {
 TEST(LinkState, ZeroLengthEdgesAlwaysUp) {
   msc::graph::Graph g(2);
   g.addEdge(0, 1, 0.0);
-  msc::util::Rng rng(2);
+  const msc::mc::WorldSet worlds(g, {.worlds = 100, .seed = 2});
   for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(msc::sim::sampleRealization(g, rng).up[0], 1);
+    EXPECT_EQ(msc::sim::realizationOf(worlds, i).up[0], 1);
   }
 }
 
