@@ -6,6 +6,8 @@
 // value proposition, and the per-run counter snapshots in the BENCH json
 // (serve.cache.apsp_hits / apsp_misses) prove which path each case took —
 // tools/bench_diff.py keeps it from regressing.
+#include <cstddef>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -150,6 +152,32 @@ int main() {
   }
   solveResponses.clear();
 
+  // Warm solve with progress streaming enabled (docs/ALGORITHMS.md §18):
+  // every round boundary renders and delivers an event line. The delta
+  // against solve_warm_cache is the whole cost of live introspection, and
+  // bench_diff.py gates it like any other case.
+  const auto progressReq = serve::parseRequest(
+      "{\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+      "\"algo\":\"greedy\",\"k\":4,\"threads\":1,\"seed\":1,"
+      "\"progress\":{\"every_ms\":0}}");
+  std::size_t progressEvents = 0;
+  const std::function<void(const std::string&)> countEvents =
+      [&progressEvents](const std::string&) { ++progressEvents; };
+  const auto& withProgress = h.run("solve_with_progress", [&] {
+    for (int i = 0; i < requestsPerRun; ++i) {
+      solveResponses.push_back(engine.handle(progressReq, 0.0, &countEvents));
+      expectOk(solveResponses.back());
+    }
+  });
+  if (progressEvents == 0) {
+    std::cerr << "progress case emitted no events\n";
+    return 1;
+  }
+  for (const auto& [phase, samples] : collectPhases(solveResponses)) {
+    h.addPhaseSamples(phase, samples);
+  }
+  solveResponses.clear();
+
   // Cold pair-centric case: every solve pays the landmark + pair-node row
   // Dijkstras, so usage.oracle.row_build_seconds is nonzero — this feeds
   // the "oracle_row_build" phase series the regression gate watches.
@@ -179,6 +207,9 @@ int main() {
             << reqPerSec(cold.median) << " req/s)\n"
             << "  warm cache: median " << warm.median << " s  ("
             << reqPerSec(warm.median) << " req/s)\n"
+            << "  warm + progress: median " << withProgress.median << " s  ("
+            << reqPerSec(withProgress.median) << " req/s, "
+            << progressEvents << " events)\n"
             << "  pair-centric cold: median " << pairCentric.median << " s  ("
             << reqPerSec(pairCentric.median) << " req/s)\n";
 

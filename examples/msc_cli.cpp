@@ -21,6 +21,7 @@
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "core/aea.h"
@@ -28,6 +29,7 @@
 #include "obs/context.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/prom_export.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -67,8 +69,10 @@ int usage() {
       "  pairs --graph FILE --pt P --m M [--seed S] [--out FILE]\n"
       "  solve --graph FILE --pairs FILE --pt P --k K\n"
       "        [--algo aa|greedy|ea|aea|random] [--iters R] [--seed S]\n"
+      "        [--progress] (live per-round ticker on stderr: round, value,\n"
+      "        gain evals, rounds/s, ETA; results are unchanged)\n"
       "  solve-mc --graph FILE --pairs FILE --pt P --k K\n"
-      "        [--algo greedy|sandwich] [--worlds W] [--seed S]\n"
+      "        [--algo greedy|sandwich] [--worlds W] [--seed S] [--progress]\n"
       "        maximize the sampled multi-path reliability sigma-hat over W\n"
       "        possible worlds (each link up with prob e^-length) instead of\n"
       "        the paper's shortest-path surrogate; deterministic at fixed\n"
@@ -169,6 +173,44 @@ msc::core::Instance makeInstance(const Args& args) {
       std::move(g), std::move(pairs), pt, threadsArg(args));
 }
 
+// --progress: live stderr ticker fed from solver round boundaries
+// (docs/ALGORITHMS.md §18). One line per committed round — stderr, so
+// stdout output and anything piping it stay byte-identical. Binding a
+// request context around the solve is covered by the PR-6 contract: it
+// cannot change what the solver computes.
+class ProgressTicker {
+ public:
+  explicit ProgressTicker(bool enabled) {
+    if (!enabled) return;
+    reporter_.emplace(
+        [](const msc::obs::ProgressSnapshot& s) {
+          std::ostringstream line;
+          line << "progress " << s.solver;
+          if (*s.stage != '\0') line << '/' << s.stage;
+          line << " round " << s.round;
+          if (s.totalRounds >= 0) line << '/' << s.totalRounds;
+          line << " value " << s.value << " gain_evals " << s.gainEvals;
+          if (s.roundsPerSecond > 0.0) {
+            line << " rounds_per_s "
+                 << msc::util::formatFixed(s.roundsPerSecond, 1);
+          }
+          if (s.etaSeconds >= 0.0) {
+            line << " eta_s " << msc::util::formatFixed(s.etaSeconds, 2);
+          }
+          std::cerr << line.str() << '\n';
+        },
+        /*everyMs=*/0.0);
+    ctx_.emplace("cli");
+    ctx_->setProgress(&*reporter_);
+    bind_.emplace(&*ctx_);
+  }
+
+ private:
+  std::optional<msc::obs::ProgressReporter> reporter_;
+  std::optional<msc::obs::RequestContext> ctx_;
+  std::optional<msc::obs::ScopedRequestBind> bind_;
+};
+
 int cmdGen(const Args& args) {
   checkFlags(args, {"type", "out", "nodes", "seed", "radius", "prob", "attach",
                     "neighbors"});
@@ -246,8 +288,11 @@ int cmdPairs(const Args& args) {
 }
 
 int cmdSolve(const Args& args) {
-  checkFlags(args, {"graph", "pairs", "pt", "k", "algo", "iters", "seed"});
+  checkFlags(args,
+             {"graph", "pairs", "pt", "k", "algo", "iters", "seed",
+              "progress"});
   const auto inst = makeInstance(args);
+  const ProgressTicker ticker(args.getBool("progress", false));
   const int k = static_cast<int>(args.getInt("k", 5));
   const std::string algo = args.getString("algo", "aa");
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
@@ -317,8 +362,11 @@ int cmdSolve(const Args& args) {
 // surrogate. Same candidate universe and output shape as `solve` so the
 // two placements can be diffed directly.
 int cmdSolveMc(const Args& args) {
-  checkFlags(args, {"graph", "pairs", "pt", "k", "algo", "worlds", "seed"});
+  checkFlags(args,
+             {"graph", "pairs", "pt", "k", "algo", "worlds", "seed",
+              "progress"});
   const auto inst = makeInstance(args);
+  const ProgressTicker ticker(args.getBool("progress", false));
   const int k = static_cast<int>(args.getInt("k", 5));
   const std::string algo = args.getString("algo", "greedy");
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
@@ -491,7 +539,31 @@ int cmdVersion() {
             << "    bit-identical results); distance_mode \"auto\" "
                "re-validates the backend from the\n"
             << "    measured query mix and logs serve.oracle_mode_decision "
-               "events\n"
+               "events;\n"
+            << "    live introspection (docs/ALGORITHMS.md sec. 18): any "
+               "request accepts\n"
+            << "    \"deadline_seconds\" (> 0) and \"progress\":{\"every_ms\":"
+               "N}; progress emits\n"
+            << "    {\"event\":\"progress\",\"id\",\"seq\",\"solver\",\"stage\","
+               "\"round\",\"total_rounds\",\n"
+            << "    \"value\",\"gain_evals\",\"eta_seconds\","
+               "\"rounds_per_second\",\"extras\"} lines\n"
+            << "    before the final reply; new cmd \"cancel\" "
+               "{\"target\": ID} stops a queued or\n"
+            << "    executing request at its next round boundary; statuses "
+               "\"cancelled\" and\n"
+            << "    \"deadline_exceeded\" mark anytime results (best-so-far "
+               "placement/value, plus\n"
+            << "    certified_upper_bound/bound_gap for interrupted sandwich "
+               "solves); usage gains\n"
+            << "    deadline_seconds/cancelled/progress{every_ms,snapshots,"
+               "events}; stats gains\n"
+            << "    progress{snapshots,events,last_rounds_per_second} and "
+               "cancellations{client,deadline};\n"
+            << "    metrics/GET /metrics export msc_serve_cancellations_total"
+               "{reason}, msc_serve_requests_inflight{phase},\n"
+            << "    msc_progress_snapshots_total, msc_progress_events_total, "
+               "msc_solver_rounds_per_second\n"
             << "  prometheus-text-0.0.4  metrics exposition (--metrics-prom, "
                "serve `metrics` cmd, GET /metrics)\n";
   return 0;

@@ -7,7 +7,9 @@
 #include "core/gain_scan.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -45,9 +47,10 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
   std::uint64_t greedySwaps = 0;
   std::uint64_t randomSwaps = 0;
   std::uint64_t evaluations = 0;
+  int iterationsRun = config.iterations;
   const auto finishResult = [&](AeaResult& r) {
     r.gainEvaluations = evaluations;
-    r.iterations = config.iterations;
+    r.iterations = iterationsRun;
     r.wallSeconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - startTime)
                         .count();
@@ -88,7 +91,15 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
     return *best;
   };
 
+  util::CancelToken* const cancel = msc::obs::currentCancelToken();
+  msc::obs::ProgressReporter* const progress = msc::obs::currentProgress();
+
   for (int iter = 0; iter < config.iterations; ++iter) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      result.interrupted = cancel->reason();
+      iterationsRun = iter;
+      break;
+    }
     ShortcutList f = population[rng.below(population.size())].placement;
 
     if (rng.uniform() <= 1.0 - config.delta) {
@@ -124,6 +135,14 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
           [&](std::size_t c) { return contains(f, candidates[c]); },
           [](double gain, std::size_t) { return gain; });
       evaluations += add.evaluations;
+      if (add.index < 0) {
+        // Only possible when the cancel token fired mid-scan and chunks
+        // were skipped: discard the half-built swap, keep the population.
+        result.interrupted =
+            cancel != nullptr ? cancel->reason() : util::CancelReason::None;
+        iterationsRun = iter;
+        break;
+      }
       f.push_back(candidates[static_cast<std::size_t>(add.index)]);
     } else {
       ++randomSwaps;
@@ -169,6 +188,23 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
                                 {"evaluations", evaluations}});
       msc::obs::trace::counter("aea.best_sigma", best);
     }
+    if (progress != nullptr) {
+      msc::obs::ProgressSnapshot snap;
+      snap.solver = "aea";
+      snap.round = iter + 1;
+      snap.totalRounds = config.iterations;
+      snap.value = result.bestByIteration.back();
+      snap.gainEvals = evaluations;
+      snap.extra("population_size", static_cast<double>(population.size()));
+      // Best-vs-worst spread inside the population: the diversity left for
+      // the swap operators to exploit.
+      double worstValue = population.front().value;
+      for (const Member& m : population) {
+        worstValue = std::min(worstValue, m.value);
+      }
+      snap.extra("value_spread", result.bestByIteration.back() - worstValue);
+      progress->report(snap);
+    }
   }
 
   const Member& best = bestMember();
@@ -179,7 +215,7 @@ AeaResult adaptiveEvolutionaryAlgorithm(IncrementalEvaluator& eval,
   if (msc::obs::enabled()) {
     msc::obs::counter("aea.runs").add(1);
     msc::obs::counter("aea.generations")
-        .add(static_cast<std::uint64_t>(config.iterations));
+        .add(static_cast<std::uint64_t>(iterationsRun));
     msc::obs::counter("aea.greedy_swaps").add(greedySwaps);
     msc::obs::counter("aea.random_swaps").add(randomSwaps);
     msc::obs::counter("aea.evaluations").add(evaluations);

@@ -20,6 +20,7 @@
 #include "core/candidates.h"
 #include "core/options.h"
 #include "core/set_function.h"
+#include "util/cancel.h"
 
 namespace msc::core {
 
@@ -44,10 +45,15 @@ struct AeaResult {
   // --- observability (always filled, independent of msc::obs state) ---
   /// Whole-set evaluations + greedy-add gainIfAdd calls across the run.
   std::size_t gainEvaluations = 0;
-  /// Swap iterations actually run (== config.iterations).
+  /// Swap iterations actually run (== config.iterations unless the run
+  /// was interrupted).
   int iterations = 0;
   /// Wall-clock duration of the run in seconds.
   double wallSeconds = 0.0;
+  /// Why the run stopped early (None = all iterations ran). Checked at
+  /// generation boundaries; the population always holds feasible size-k
+  /// placements, so the best member is a valid anytime answer.
+  util::CancelReason interrupted = util::CancelReason::None;
 };
 
 /// `eval` provides both whole-set evaluation (population scoring) and

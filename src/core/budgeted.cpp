@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "core/gain_scan.h"
+#include "obs/context.h"
+#include "obs/progress.h"
+#include "util/cancel.h"
 #include "util/parallel.h"
 
 namespace msc::core {
@@ -33,6 +36,7 @@ struct GreedyRun {
   double value = 0.0;
   double cost = 0.0;
   std::size_t gainEvaluations = 0;
+  util::CancelReason interrupted = util::CancelReason::None;
 };
 
 // One greedy pass; when `byDensity` the selection criterion is gain/cost,
@@ -45,7 +49,13 @@ GreedyRun run(IncrementalEvaluator& eval, const CandidateSet& candidates,
   GreedyRun out;
   std::vector<char> chosen(candidates.size(), 0);
   double remaining = budget;
+  util::CancelToken* const cancel = msc::obs::currentCancelToken();
+  msc::obs::ProgressReporter* const progress = msc::obs::currentProgress();
   for (;;) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      out.interrupted = cancel->reason();
+      break;
+    }
     const detail::ScanBest best = detail::gainScan(
         eval, candidates, threads, /*requirePositiveGain=*/true,
         [&](std::size_t c) { return chosen[c] != 0 || costs[c] > remaining; },
@@ -53,6 +63,12 @@ GreedyRun run(IncrementalEvaluator& eval, const CandidateSet& candidates,
           return byDensity ? gain / costs[c] : gain;
         });
     out.gainEvaluations += best.evaluations;
+    if (cancel != nullptr && cancel->cancelled()) {
+      // Mid-scan interruption: the scan may have skipped chunks, so the
+      // pick is untrustworthy — keep the committed prefix.
+      out.interrupted = cancel->reason();
+      break;
+    }
     if (best.index < 0) break;
     const auto idx = static_cast<std::size_t>(best.index);
     chosen[idx] = 1;
@@ -60,6 +76,19 @@ GreedyRun run(IncrementalEvaluator& eval, const CandidateSet& candidates,
     out.cost += costs[idx];
     eval.add(candidates[idx]);
     out.placement.push_back(candidates[idx]);
+    if (progress != nullptr) {
+      msc::obs::ProgressSnapshot snap;
+      snap.solver = "greedy.budgeted";
+      snap.stage = byDensity ? "density" : "uniform";
+      snap.round = static_cast<int>(out.placement.size());
+      // No fixed round count: the rule stops when nothing fits or helps.
+      snap.totalRounds = -1;
+      snap.value = eval.currentValue();
+      snap.gainEvals = out.gainEvaluations;
+      snap.extra("cost", out.cost);
+      snap.extra("budget_remaining", remaining);
+      progress->report(snap);
+    }
   }
   out.value = eval.currentValue();
   return out;
@@ -90,6 +119,9 @@ BudgetedResult budgetedGreedy(IncrementalEvaluator& eval,
       run(eval, candidates, costs, budget, false, threads);
 
   BudgetedResult result;
+  result.interrupted = density.interrupted != util::CancelReason::None
+                           ? density.interrupted
+                           : uniform.interrupted;
   result.gainEvaluations = density.gainEvaluations + uniform.gainEvaluations;
   result.rounds = static_cast<int>(density.placement.size() +
                                    uniform.placement.size());

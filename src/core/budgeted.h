@@ -22,6 +22,7 @@
 #include "core/options.h"
 #include "core/set_function.h"
 #include "gen/point.h"
+#include "util/cancel.h"
 
 namespace msc::core {
 
@@ -54,6 +55,10 @@ struct BudgetedResult {
   int rounds = 0;
   /// Wall-clock duration of the run in seconds.
   double wallSeconds = 0.0;
+  /// Why the run stopped early (None = both rules ran to exhaustion).
+  /// Checked at pick boundaries of each rule; both component placements
+  /// are valid (budget-respecting) prefixes.
+  util::CancelReason interrupted = util::CancelReason::None;
 };
 
 /// Best of density-greedy and uniform-greedy under the knapsack budget.

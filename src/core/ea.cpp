@@ -5,8 +5,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/rng.h"
 
 namespace msc::core {
@@ -78,7 +81,28 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
   EaResult result;
   result.bestByIteration.reserve(static_cast<std::size_t>(config.iterations));
 
+  util::CancelToken* const cancel = msc::obs::currentCancelToken();
+  msc::obs::ProgressReporter* const progress = msc::obs::currentProgress();
+  const auto reportGeneration = [&](int iter) {
+    if (progress == nullptr) return;
+    msc::obs::ProgressSnapshot snap;
+    snap.solver = "ea";
+    snap.round = iter + 1;
+    snap.totalRounds = config.iterations;
+    snap.value = result.bestByIteration.back();
+    snap.gainEvals = offspringEvals + 1;
+    // Archive (Pareto-front) size is the GSEMO diversity signal.
+    snap.extra("archive_size", static_cast<double>(archive.size()));
+    progress->report(snap);
+  };
+
+  int iterationsRun = 0;
   for (int iter = 0; iter < config.iterations; ++iter) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      result.interrupted = cancel->reason();
+      break;
+    }
+    ++iterationsRun;
     const Archived& parent = archive[rng.below(archive.size())];
 
     // Uniform bit-flip mutation over the candidate universe. Geometric
@@ -113,6 +137,7 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
     }
     if (!mutated || child.size() > sizeCap) {
       result.bestByIteration.push_back(bestFeasible().value);
+      reportGeneration(iter);
       continue;
     }
 
@@ -153,6 +178,7 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
                                 {"best_sigma", best}});
       msc::obs::trace::counter("ea.best_sigma", best);
     }
+    reportGeneration(iter);
   }
 
   const Archived& best = bestFeasible();
@@ -160,7 +186,7 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
   result.value = best.value;
   result.archiveSize = archive.size();
   result.gainEvaluations = offspringEvals + 1;  // + the initial archive seed
-  result.iterations = config.iterations;
+  result.iterations = iterationsRun;
   result.wallSeconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - startTime)
                            .count();
@@ -168,7 +194,7 @@ EaResult evolutionaryAlgorithm(const SetFunction& objective,
   if (msc::obs::enabled()) {
     msc::obs::counter("ea.runs").add(1);
     msc::obs::counter("ea.generations")
-        .add(static_cast<std::uint64_t>(config.iterations));
+        .add(static_cast<std::uint64_t>(iterationsRun));
     msc::obs::counter("ea.mutation_flips").add(mutationFlips);
     msc::obs::counter("ea.offspring_evals").add(offspringEvals);
   }

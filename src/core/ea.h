@@ -23,6 +23,7 @@
 #include "core/candidates.h"
 #include "core/options.h"
 #include "core/set_function.h"
+#include "util/cancel.h"
 
 namespace msc::core {
 
@@ -51,10 +52,15 @@ struct EaResult {
   // --- observability (always filled, independent of msc::obs state) ---
   /// Offspring objective evaluations (mutation-free iterations skip one).
   std::size_t gainEvaluations = 0;
-  /// Mutation iterations actually run (== config.iterations).
+  /// Mutation iterations actually run (== config.iterations unless the
+  /// run was interrupted).
   int iterations = 0;
   /// Wall-clock duration of the run in seconds.
   double wallSeconds = 0.0;
+  /// Why the run stopped early (None = all iterations ran). Checked at
+  /// generation boundaries; the archive built so far still yields a valid
+  /// best-feasible placement.
+  util::CancelReason interrupted = util::CancelReason::None;
 };
 
 /// options.k is the size budget and options.seed drives mutation; the EA's

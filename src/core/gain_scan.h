@@ -17,6 +17,8 @@
 
 #include "core/candidates.h"
 #include "core/set_function.h"
+#include "obs/context.h"
+#include "util/cancel.h"
 #include "util/parallel.h"
 
 namespace msc::core::detail {
@@ -77,6 +79,12 @@ ScanBest gainScan(const IncrementalEvaluator& eval,
   const std::size_t grain = std::max<std::size_t>(1, (count + shards - 1) / shards);
   const std::size_t chunkCount = (count + grain - 1) / grain;
   std::vector<ScanBest> perChunk(chunkCount);
+  // A scan's per-chunk results are discarded wholesale by the solver when
+  // its cancel token fired (it re-checks after the scan and drops the
+  // round), so chunk-level skipping is safe here — a skipped chunk just
+  // leaves its ScanBest empty. This is the "between thread-pool chunks"
+  // check of the §18 cancellation contract.
+  const util::ScopedChunkCancel chunkCancel(obs::currentCancelToken());
   util::parallelForThreads(resolved, 0, count, grain,
                            [&](std::size_t chunkBegin, std::size_t chunkEnd) {
                              perChunk[chunkBegin / grain] =

@@ -8,7 +8,9 @@
 #include "core/gain_scan.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/parallel.h"
 
 namespace msc::core {
@@ -50,11 +52,20 @@ GreedyResult greedyMaximize(IncrementalEvaluator& eval,
   eval.reset();
   GreedyResult result;
   std::vector<char> chosen(candidates.size(), 0);
+  // Request-scoped introspection hooks: one thread-local load each at pass
+  // entry, pointer checks per round when unbound (§18 zero-overhead rule).
+  util::CancelToken* const cancel = msc::obs::currentCancelToken();
+  msc::obs::ProgressReporter* const progress = msc::obs::currentProgress();
+  const char* const stage = msc::obs::currentProgressStage();
   // One sample per round (each round is a full candidate scan, so the two
   // extra clock reads are noise); recorded even with metrics disabled so
   // the serve layer's Prometheus export always has gain-scan tail latency.
   static auto& scanHist = msc::obs::histogram("greedy.round_scan_seconds");
   for (int round = 0; round < options.k; ++round) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      result.interrupted = cancel->reason();
+      break;
+    }
     MSC_OBS_SPAN("greedy.iteration");
     const auto scanStart = std::chrono::steady_clock::now();
     const detail::ScanBest best = detail::gainScan(
@@ -67,6 +78,12 @@ GreedyResult greedyMaximize(IncrementalEvaluator& eval,
     // clock reads on the unattributed path.
     msc::obs::notePhaseSeconds(msc::obs::Phase::RoundScan, scanSeconds);
     result.gainEvaluations += best.evaluations;
+    if (cancel != nullptr && cancel->cancelled()) {
+      // The token fired mid-scan, so the scan may have skipped chunks:
+      // discard the (possibly partial) pick and keep the committed prefix.
+      result.interrupted = cancel->reason();
+      break;
+    }
     if (best.index < 0) break;  // nothing improves the objective
     const auto idx = static_cast<std::size_t>(best.index);
     chosen[idx] = 1;
@@ -82,6 +99,19 @@ GreedyResult greedyMaximize(IncrementalEvaluator& eval,
                                 {"gain", best.gain},
                                 {"gain_evals", best.evaluations},
                                 {"value", eval.currentValue()}});
+    }
+    if (progress != nullptr) {
+      msc::obs::ProgressSnapshot snap;
+      snap.solver = "greedy";
+      snap.stage = stage;
+      snap.round = result.rounds;
+      snap.totalRounds = options.k;
+      snap.value = result.trajectory.back();
+      snap.gainEvals = result.gainEvaluations;
+      snap.extra("gain", best.gain);
+      snap.extra("edge_a", static_cast<double>(candidates[idx].a));
+      snap.extra("edge_b", static_cast<double>(candidates[idx].b));
+      progress->report(snap);
     }
   }
   result.value = eval.currentValue();
@@ -111,6 +141,9 @@ GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
     return a.idx > b.idx;
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  util::CancelToken* const cancel = msc::obs::currentCancelToken();
+  msc::obs::ProgressReporter* const progress = msc::obs::currentProgress();
+  const char* const stage = msc::obs::currentProgressStage();
   // The initial fill computes every candidate's gain against the empty
   // placement — read-only on the evaluator, so it shards cleanly. Pushing
   // in index order afterwards keeps the heap identical to a serial fill.
@@ -119,22 +152,39 @@ GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
     // to the same request phase (clock read only under a bound context).
     const msc::obs::ScopedPhaseTimer scanPhase(msc::obs::Phase::RoundScan);
     std::vector<double> initialGain(candidates.size());
-    util::parallelForThreads(
-        threads, 0, candidates.size(),
-        std::max<std::size_t>(1, candidates.size() /
-                                     (static_cast<std::size_t>(threads) * 4)),
-        [&](std::size_t begin, std::size_t end) {
-          for (std::size_t c = begin; c < end; ++c) {
-            initialGain[c] = eval.gainIfAdd(candidates[c]);
-          }
-        });
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      heap.push({initialGain[c], c, 0});
-      ++result.gainEvaluations;
+    {
+      // Fill results are discarded below when the token fired, so the pool
+      // may skip remaining chunks once it does.
+      const util::ScopedChunkCancel chunkCancel(cancel);
+      util::parallelForThreads(
+          threads, 0, candidates.size(),
+          std::max<std::size_t>(1, candidates.size() /
+                                       (static_cast<std::size_t>(threads) * 4)),
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c) {
+              initialGain[c] = eval.gainIfAdd(candidates[c]);
+            }
+          });
+    }
+    if (cancel != nullptr && cancel->cancelled()) {
+      result.interrupted = cancel->reason();
+    } else {
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        heap.push({initialGain[c], c, 0});
+        ++result.gainEvaluations;
+      }
     }
   }
 
-  for (int round = 0; round < options.k && !heap.empty();) {
+  for (int round = 0;
+       result.interrupted == util::CancelReason::None && round < options.k &&
+       !heap.empty();) {
+    // Polled on every heap step — between gain evaluations, so an expired
+    // deadline costs at most one more recompute, never a committed round.
+    if (cancel != nullptr && cancel->cancelled()) {
+      result.interrupted = cancel->reason();
+      break;
+    }
     Entry top = heap.top();
     heap.pop();
     if (top.round != round) {
@@ -160,6 +210,24 @@ GreedyResult lazyGreedyMaximize(IncrementalEvaluator& eval,
                                 {"gain", top.gain},
                                 {"recomputes", result.lazyRecomputes},
                                 {"value", eval.currentValue()}});
+    }
+    if (progress != nullptr) {
+      msc::obs::ProgressSnapshot snap;
+      snap.solver = "greedy.lazy";
+      snap.stage = stage;
+      snap.round = result.rounds;
+      snap.totalRounds = options.k;
+      snap.value = result.trajectory.back();
+      snap.gainEvals = result.gainEvaluations;
+      snap.extra("gain", top.gain);
+      snap.extra("recomputes", static_cast<double>(result.lazyRecomputes));
+      // Fraction of accepted rounds whose heap top was already fresh — the
+      // lazy speedup actually realized so far.
+      snap.extra("heap_reuse",
+                 static_cast<double>(result.rounds) /
+                     static_cast<double>(result.rounds +
+                                         result.lazyRecomputes));
+      progress->report(snap);
     }
   }
   result.value = eval.currentValue();

@@ -20,6 +20,7 @@
 #include "core/candidates.h"
 #include "core/options.h"
 #include "core/set_function.h"
+#include "util/cancel.h"
 
 namespace msc::core {
 
@@ -38,6 +39,11 @@ struct GreedyResult {
   std::size_t lazyRecomputes = 0;
   /// Wall-clock duration of the pass in seconds.
   double wallSeconds = 0.0;
+  /// Why the pass stopped early (None = ran to its natural end). Observed
+  /// from the request's util::CancelToken at round boundaries; when set,
+  /// placement/trajectory hold the completed-round prefix, bit-identical
+  /// to the same prefix of an uninterrupted run (ALGORITHMS.md §18).
+  util::CancelReason interrupted = util::CancelReason::None;
 };
 
 /// Plain greedy: each of (at most) options.k rounds picks the candidate

@@ -1,6 +1,8 @@
 #include "core/sandwich.h"
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <thread>
 
@@ -8,7 +10,9 @@
 #include "core/sigma.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/parallel.h"
 
 namespace msc::core {
@@ -36,18 +40,43 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
 
   GreedyResult mu, sg, nu;
   const int threads = util::resolveThreadCount(options.threads);
+  // Per-bound pass progress: each completed pass is one of three sandwich
+  // "rounds" (forced past the rate limit so the certified interval's
+  // tightening always reaches the sink). Called on whichever thread ran
+  // the pass — the reporter is shared and thread-safe.
+  std::atomic<int> passesDone{0};
+  const auto reportPass = [&passesDone](const char* pass,
+                                        const GreedyResult& r) {
+    msc::obs::ProgressReporter* const progress = msc::obs::currentProgress();
+    if (progress == nullptr) return;
+    msc::obs::ProgressSnapshot snap;
+    snap.solver = "sandwich";
+    snap.stage = pass;
+    snap.round = passesDone.fetch_add(1, std::memory_order_relaxed) + 1;
+    snap.totalRounds = 3;
+    snap.value = r.value;
+    snap.gainEvals = r.gainEvaluations;
+    snap.extra("pass_rounds", static_cast<double>(r.rounds));
+    progress->report(snap, /*force=*/true);
+  };
   if (threads <= 1) {
     {
       MSC_OBS_SPAN("sandwich.pass.mu");
+      const msc::obs::ScopedProgressStage stage("mu");
       mu = lazyGreedyMaximize(muEval, candidates, options);
+      reportPass("mu", mu);
     }
     {
       MSC_OBS_SPAN("sandwich.pass.sigma");
+      const msc::obs::ScopedProgressStage stage("sigma");
       sg = greedyMaximize(sigmaEval, candidates, options);
+      reportPass("sigma", sg);
     }
     {
       MSC_OBS_SPAN("sandwich.pass.nu");
+      const msc::obs::ScopedProgressStage stage("nu");
       nu = lazyGreedyMaximize(nuEval, candidates, options);
+      reportPass("nu", nu);
     }
   } else {
     // The three passes touch disjoint evaluators, so they can overlap;
@@ -65,7 +94,9 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
         const msc::obs::ScopedRequestBind bind(requestCtx);
         const msc::obs::ScopedCpuAttribution cpu;
         MSC_OBS_SPAN("sandwich.pass.mu");
+        const msc::obs::ScopedProgressStage stage("mu");
         mu = lazyGreedyMaximize(muEval, candidates, options);
+        reportPass("mu", mu);
       } catch (...) {
         muError = std::current_exception();
       }
@@ -76,14 +107,18 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
         const msc::obs::ScopedRequestBind bind(requestCtx);
         const msc::obs::ScopedCpuAttribution cpu;
         MSC_OBS_SPAN("sandwich.pass.nu");
+        const msc::obs::ScopedProgressStage stage("nu");
         nu = lazyGreedyMaximize(nuEval, candidates, options);
+        reportPass("nu", nu);
       } catch (...) {
         nuError = std::current_exception();
       }
     });
     try {
       MSC_OBS_SPAN("sandwich.pass.sigma");
+      const msc::obs::ScopedProgressStage stage("sigma");
       sg = greedyMaximize(sigmaEval, candidates, options);
+      reportPass("sigma", sg);
     } catch (...) {
       sigmaError = std::current_exception();
     }
@@ -105,6 +140,20 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
   result.nuOfFnu = nuFn.value(nu.placement);
   result.sigmaOfFnu = result.sigmaOfNu;
 
+  // All passes share the request token, so any interruption reason is the
+  // same token reason; each interrupted pass contributed its committed
+  // prefix and the best-of-three scoring below still holds.
+  result.interrupted = mu.interrupted != util::CancelReason::None
+                           ? mu.interrupted
+                       : sg.interrupted != util::CancelReason::None
+                           ? sg.interrupted
+                           : nu.interrupted;
+  if (nu.interrupted == util::CancelReason::None) {
+    // nu >= sigma pointwise and greedy on the monotone submodular nu is
+    // (1-1/e)-approximate, so sigma(F*) <= nu(F*) <= nu(F_nu)/(1-1/e).
+    result.certifiedUpperBound = result.nuOfFnu / (1.0 - std::exp(-1.0));
+  }
+
   result.placement = mu.placement;
   result.sigma = result.sigmaOfMu;
   result.winner = "mu";
@@ -124,6 +173,27 @@ SandwichResult sandwichApproximation(IncrementalEvaluator& sigmaEval,
   result.wallSeconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - startTime)
                            .count();
+
+  // Terminal snapshot: the certified optimality interval [sigma, upper]
+  // after scoring — this is the bound gap an interrupted reply carries.
+  if (msc::obs::ProgressReporter* const progress =
+          msc::obs::currentProgress()) {
+    msc::obs::ProgressSnapshot snap;
+    snap.solver = "sandwich";
+    snap.stage = "result";
+    snap.round = 3;
+    snap.totalRounds = 3;
+    snap.value = result.sigma;
+    snap.gainEvals = result.gainEvaluations;
+    if (result.certifiedUpperBound) {
+      snap.extra("upper_bound", *result.certifiedUpperBound);
+      snap.extra("bound_gap", *result.certifiedUpperBound - result.sigma);
+    }
+    if (const auto ratio = result.dataDependentRatio()) {
+      snap.extra("data_dependent_ratio", *ratio);
+    }
+    progress->report(snap, /*force=*/true);
+  }
 
   if (msc::obs::trace::enabled()) {
     const char* winner = result.winner == "mu"      ? "mu"

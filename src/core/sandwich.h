@@ -45,6 +45,18 @@ struct SandwichResult {
   std::size_t gainEvaluations = 0;
   /// Wall-clock duration of the whole sandwich run in seconds.
   double wallSeconds = 0.0;
+  /// Why the run stopped early (None = all three passes completed). The
+  /// shared request token interrupts every pass; each returns its
+  /// committed prefix and the best-of-three scoring still applies, so the
+  /// result is a valid anytime placement.
+  util::CancelReason interrupted = util::CancelReason::None;
+  /// Certified upper bound on sigma(F*): nu(F_nu) / (1 - 1/e), valid
+  /// because nu >= sigma pointwise and lazy greedy on the monotone
+  /// submodular nu is (1 - 1/e)-approximate. Only set when the nu pass ran
+  /// to completion (an interrupted nu prefix certifies nothing), so
+  /// `*certifiedUpperBound - sigma` is the optimality gap an interrupted
+  /// run can still promise (docs/ALGORITHMS.md §18).
+  std::optional<double> certifiedUpperBound;
 
   /// sigma(F_nu) / nu(F_nu); nullopt when nu(F_nu) == 0 (no pair-node is
   /// coverable at all — then any placement is optimal anyway).

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "wireless/link_model.h"
 
 namespace msc::mc {
@@ -167,6 +168,45 @@ void ReliabilityEvaluator::add(const core::Shortcut& f) {
   // new endpoints alone reaches the monotone fixpoint.
   rebuildFrom({f.a, f.b});
   refreshCounts();
+  reportProgress();
+}
+
+void ReliabilityEvaluator::reportProgress() const {
+  // Estimator-convergence snapshot per committed shortcut: σ̂, uncertain
+  // pairs, and half-width spread. Computed only when a reporter is bound —
+  // the unbound path pays one thread-local load — and never from
+  // gainIfAdd, which is the parallel-scan hot loop.
+  msc::obs::ProgressReporter* const progress = msc::obs::currentProgress();
+  if (progress == nullptr) return;
+  const double w = static_cast<double>(worlds_->worlds());
+  const double threshold =
+      1.0 - msc::wireless::lengthToFailure(instance_->distanceThreshold());
+  const double z = 1.96;  // matches McOptions' default confidence
+  double sumHw = 0.0;
+  double maxHw = 0.0;
+  int uncertain = 0;
+  for (const std::size_t c : reachCount_) {
+    const double r = static_cast<double>(c) / w;
+    const double hw = z * std::sqrt(r * (1.0 - r) / w);
+    sumHw += hw;
+    maxHw = std::max(maxHw, hw);
+    if (std::abs(r - threshold) <= hw) ++uncertain;
+  }
+  msc::obs::ProgressSnapshot snap;
+  snap.solver = "mc";
+  snap.stage = msc::obs::currentProgressStage();
+  snap.round = static_cast<int>(placement_.size());
+  snap.totalRounds = -1;  // the evaluator doesn't know the caller's budget
+  snap.value = currentValue();
+  snap.extra("worlds", w);
+  snap.extra("sigma_hat", static_cast<double>(maintained_));
+  snap.extra("uncertain_pairs", static_cast<double>(uncertain));
+  if (!reachCount_.empty()) {
+    snap.extra("mean_half_width",
+               sumHw / static_cast<double>(reachCount_.size()));
+    snap.extra("max_half_width", maxHw);
+  }
+  progress->report(snap);
 }
 
 void ReliabilityEvaluator::refreshCounts() {

@@ -112,6 +112,9 @@ class ReliabilityEvaluator final : public core::SetFunction,
                  const std::vector<msc::graph::NodeId>& seeds);
   void rebuildFrom(const std::vector<msc::graph::NodeId>& seeds);
   void refreshCounts();
+  /// Offers an estimator-convergence snapshot (σ̂, uncertain pairs,
+  /// half-width spread) to the bound ProgressReporter, if any.
+  void reportProgress() const;
   static void recordFrontierSeconds(double seconds);
 
   const core::Instance* instance_;

@@ -46,6 +46,7 @@ McSolveResult greedy(const core::Instance& instance,
   result.winner = "mc_greedy";
   result.gainEvaluations = run.gainEvaluations;
   result.rounds = run.rounds;
+  result.interrupted = run.interrupted;
   finishResult(result, eval, mcOptions);
   result.wallSeconds = secondsSince(start);
   return result;
@@ -105,6 +106,11 @@ McSolveResult sandwich(const core::Instance& instance,
       hardRun.gainEvaluations + softRun.gainEvaluations +
       surrogate.gainEvaluations;
   result.rounds = hardRun.rounds;
+  result.interrupted = hardRun.interrupted != util::CancelReason::None
+                           ? hardRun.interrupted
+                       : softRun.interrupted != util::CancelReason::None
+                           ? softRun.interrupted
+                           : surrogate.interrupted;
   finishResult(result, hard, mcOptions);
   result.wallSeconds = secondsSince(start);
   return result;

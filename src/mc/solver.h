@@ -23,6 +23,7 @@
 #include "core/options.h"
 #include "mc/reliability.h"
 #include "mc/world_sampler.h"
+#include "util/cancel.h"
 
 namespace msc::mc {
 
@@ -53,6 +54,10 @@ struct McSolveResult {
   std::size_t gainEvaluations = 0;
   int rounds = 0;
   double wallSeconds = 0.0;
+  /// Why the solve stopped early (None = ran to completion). The placement
+  /// is the interrupted contender's committed prefix (mc::sandwich still
+  /// scores whatever prefixes its contenders produced).
+  util::CancelReason interrupted = util::CancelReason::None;
 };
 
 /// Greedy σ̂ maximization over `candidates` against one shared WorldSet of

@@ -10,6 +10,7 @@
 
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "util/cancel.h"
 #include "util/env.h"
 
 namespace msc::obs {
@@ -170,6 +171,15 @@ void RequestContext::finalize(double execWallSeconds) noexcept {
 }
 
 RequestContext* currentRequest() noexcept { return tlsRequest; }
+
+util::CancelToken* currentCancelToken() noexcept {
+  return tlsRequest != nullptr ? tlsRequest->cancelToken() : nullptr;
+}
+
+bool cancelRequested() noexcept {
+  util::CancelToken* token = currentCancelToken();
+  return token != nullptr && token->cancelled();
+}
 
 ScopedRequestBind::ScopedRequestBind(RequestContext* ctx) noexcept {
   if (ctx == nullptr) return;

@@ -44,7 +44,13 @@
 #include <cstdint>
 #include <string>
 
+namespace msc::util {
+class CancelToken;
+}  // namespace msc::util
+
 namespace msc::obs {
+
+class ProgressReporter;
 
 /// Wall-time phases a request's execution decomposes into. The serve layer
 /// reports one duration per phase in the response `usage` block; they sum
@@ -112,10 +118,27 @@ class RequestContext {
   /// this context is bound (trace.h Event::req).
   std::uint64_t traceId() const noexcept { return traceId_; }
 
-  /// Optional deadline, seconds from request start; 0 = none. Recorded for
-  /// downstream layers to consult — nothing enforces it yet.
+  /// Optional deadline, seconds from request start; 0 = none. The serve
+  /// engine enforces it by arming the request's util::CancelToken with the
+  /// remaining budget (deadline minus queue wait) — solvers observe the
+  /// token at round boundaries and return an anytime result with status
+  /// "deadline_exceeded". Reported back in the `usage` block.
   void setDeadlineSeconds(double seconds) noexcept { deadline_ = seconds; }
   double deadlineSeconds() const noexcept { return deadline_; }
+
+  /// Cooperative-cancellation token for this request (nullptr = not
+  /// cancellable). Set once before the context is bound/shared; solvers
+  /// read it through obs::currentCancelToken() at round boundaries.
+  void setCancelToken(util::CancelToken* token) noexcept { cancel_ = token; }
+  util::CancelToken* cancelToken() const noexcept { return cancel_; }
+
+  /// Progress reporter for this request (nullptr = progress not requested).
+  /// Set once before the context is bound/shared; solvers read it through
+  /// obs::currentProgress() and offer snapshots at round boundaries.
+  void setProgress(ProgressReporter* progress) noexcept {
+    progress_ = progress;
+  }
+  ProgressReporter* progress() const noexcept { return progress_; }
 
   void addPhaseNs(Phase phase, std::int64_t ns) noexcept;
   std::int64_t phaseNs(Phase phase) const noexcept;
@@ -151,6 +174,8 @@ class RequestContext {
   std::string id_;
   bool profile_ = false;
   double deadline_ = 0.0;
+  util::CancelToken* cancel_ = nullptr;
+  ProgressReporter* progress_ = nullptr;
   std::uint64_t traceId_ = 0;
   std::int64_t startTraceNs_ = 0;
   std::atomic<std::int64_t> phaseNs_[kPhaseCount];
@@ -162,6 +187,14 @@ class RequestContext {
 
 /// The context bound to the calling thread, or nullptr.
 RequestContext* currentRequest() noexcept;
+
+/// The cancel token of the bound context, or nullptr when no context is
+/// bound or it carries no token. One thread-local load — cheap enough for
+/// solvers to call once per entry and poll per round.
+util::CancelToken* currentCancelToken() noexcept;
+
+/// True when a token is bound and has fired; the round-boundary poll.
+bool cancelRequested() noexcept;
 
 /// Binds `ctx` to the calling thread for the scope (nullptr = no-op) and
 /// stamps trace events with its trace id; restores the previous binding on

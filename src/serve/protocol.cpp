@@ -17,7 +17,7 @@ constexpr CommandEntry kCommands[] = {
     {"solve", Command::Solve},          {"eval", Command::Eval},
     {"stats", Command::Stats},          {"metrics", Command::Metrics},
     {"health", Command::Health},        {"sleep", Command::Sleep},
-    {"shutdown", Command::Shutdown},
+    {"cancel", Command::Cancel},        {"shutdown", Command::Shutdown},
 };
 
 std::string renderResponse(const json::Value& id, const char* status,
@@ -83,6 +83,13 @@ std::string okResponse(const json::Value& id, Command cmd,
                        std::uint64_t gainEvals) {
   fields["cmd"] = commandName(cmd);
   return renderResponse(id, "ok", std::move(fields), wallSeconds, gainEvals);
+}
+
+std::string statusResponse(const json::Value& id, Command cmd,
+                           json::Object fields, const char* status,
+                           double wallSeconds, std::uint64_t gainEvals) {
+  fields["cmd"] = commandName(cmd);
+  return renderResponse(id, status, std::move(fields), wallSeconds, gainEvals);
 }
 
 std::string errorResponse(const json::Value& id, const std::string& message,

@@ -7,13 +7,16 @@
 //    "p_t": 0.14, "algo": "greedy", "k": 3, "threads": 4, "seed": 1}
 //
 // Commands: load_graph, load_pairs, solve, eval, stats, metrics, health,
-// sleep, shutdown (sleep is a testing aid for exercising queue
+// sleep, cancel, shutdown (sleep is a testing aid for exercising queue
 // backpressure; `metrics` returns the Prometheus text exposition;
-// `health` is a readiness probe answered out-of-band of the admission
-// queue — see docs/ALGORITHMS.md §12/§13 for the full field tables). Every response is one
+// `health` and `cancel` are answered out-of-band of the admission
+// queue — see docs/ALGORITHMS.md §12/§13/§18 for the full field tables). Every response is one
 // JSON object per line that echoes the request "id" verbatim and always
-// carries "schema", "status" ("ok" | "error" | "overloaded"),
-// "wall_seconds" and "gain_evals":
+// carries "schema", "status" ("ok" | "error" | "overloaded" |
+// "cancelled" | "deadline_exceeded"), "wall_seconds" and "gain_evals".
+// A "cancelled"/"deadline_exceeded" reply is an anytime result: it
+// carries the best-so-far fields of the command (placement, value, bound
+// gap) computed from the completed-round prefix:
 //
 //   {"schema": "msc.serve.v1", "id": 7, "status": "ok", "cmd": "solve",
 //    "placement": "3-41,17-88", "value": 6, "apsp_cache": "hit",
@@ -62,6 +65,7 @@ enum class Command {
   Metrics,
   Health,
   Sleep,
+  Cancel,
   Shutdown,
 };
 
@@ -86,6 +90,14 @@ Request parseRequest(const std::string& line);
 std::string okResponse(const json::Value& id, Command cmd,
                        json::Object fields, double wallSeconds,
                        std::uint64_t gainEvals);
+
+/// Like okResponse but with an explicit status string — used for the
+/// anytime "cancelled" / "deadline_exceeded" replies, which carry the same
+/// command-specific fields as an ok reply (best-so-far placement, value,
+/// bound gap) under a different status.
+std::string statusResponse(const json::Value& id, Command cmd,
+                           json::Object fields, const char* status,
+                           double wallSeconds, std::uint64_t gainEvals);
 
 /// status:"error" response with a message.
 std::string errorResponse(const json::Value& id, const std::string& message,

@@ -5,12 +5,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string_view>
@@ -30,8 +32,10 @@
 #include "obs/context.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/prom_export.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/env.h"
 #include "wireless/link_model.h"
 
@@ -53,6 +57,7 @@ const char* commandSpanName(Command cmd) {
     case Command::Metrics: return "serve.cmd.metrics";
     case Command::Health: return "serve.cmd.health";
     case Command::Sleep: return "serve.cmd.sleep";
+    case Command::Cancel: return "serve.cmd.cancel";
     case Command::Shutdown: return "serve.cmd.shutdown";
   }
   return "serve.cmd.unknown";
@@ -136,6 +141,36 @@ double requestThreshold(const Request& req) {
   return msc::wireless::failureThresholdToDistance(pt);
 }
 
+/// One mid-request progress notification line (docs/ALGORITHMS.md §18).
+/// Distinguishable from a response by "event":"progress" and the absence
+/// of "status"; echoes the request id so pipelining clients can route it.
+std::string renderProgressEvent(const json::Value& id,
+                                const obs::ProgressSnapshot& snap) {
+  json::Object o;
+  o["schema"] = kSchemaVersion;
+  o["event"] = "progress";
+  o["id"] = id;
+  o["seq"] = snap.seq;
+  o["solver"] = snap.solver;
+  if (*snap.stage != '\0') o["stage"] = snap.stage;
+  o["round"] = snap.round;
+  if (snap.totalRounds >= 0) o["total_rounds"] = snap.totalRounds;
+  o["value"] = snap.value;
+  o["gain_evals"] = snap.gainEvals;
+  if (snap.etaSeconds >= 0.0) o["eta_seconds"] = snap.etaSeconds;
+  if (snap.roundsPerSecond > 0.0) {
+    o["rounds_per_second"] = snap.roundsPerSecond;
+  }
+  if (snap.extraCount > 0) {
+    json::Object extras;
+    for (int i = 0; i < snap.extraCount; ++i) {
+      extras[snap.extras[i].key] = snap.extras[i].value;
+    }
+    o["extras"] = std::move(extras);
+  }
+  return json::dump(json::Value(std::move(o)));
+}
+
 }  // namespace
 
 std::size_t defaultCacheBytes() {
@@ -159,7 +194,10 @@ std::string Engine::handleLine(const std::string& line) {
   }
 }
 
-std::string Engine::handle(const Request& request, double queueWaitSeconds) {
+std::string Engine::handle(const Request& request, double queueWaitSeconds,
+                           const std::function<void(const std::string&)>*
+                               notify,
+                           util::CancelToken* cancel) {
   MSC_OBS_SPAN("serve.request");
   obs::ScopedSpan cmdSpan(commandSpanName(request.cmd));
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -192,6 +230,26 @@ std::string Engine::handle(const Request& request, double queueWaitSeconds) {
   obs::RequestContext rctx(json::dump(request.id), profile);
   rctx.addPhaseNs(obs::Phase::QueueWait,
                   static_cast<std::int64_t>(queueWaitSeconds * 1e9));
+
+  // Cooperative cancellation (docs/ALGORITHMS.md §18): every request gets a
+  // token — the Server's admission-time token when one was shared, else a
+  // request-local one — registered under the request id so `cancel` can
+  // reach it, and bound through the context so solvers poll it at round
+  // boundaries. A fired token downgrades the reply to an anytime result.
+  util::CancelToken localToken;
+  util::CancelToken& token = cancel != nullptr ? *cancel : localToken;
+  rctx.setCancelToken(&token);
+  std::optional<obs::ProgressReporter> progressReporter;
+
+  executing_.fetch_add(1, std::memory_order_relaxed);
+  std::multimap<std::string, util::CancelToken*>::iterator inflightIt;
+  bool inflightRegistered = false;
+  if (!request.id.isNull()) {
+    const std::lock_guard<std::mutex> lock(inflightMu_);
+    inflightIt = inflightTokens_.emplace(json::dump(request.id), &token);
+    inflightRegistered = true;
+  }
+
   const obs::ScopedRequestBind bindRequest(&rctx);
 
   std::string response;
@@ -202,13 +260,54 @@ std::string Engine::handle(const Request& request, double queueWaitSeconds) {
   double wallExec = 0.0;
   try {
     if (!profileError.empty()) throw ProtocolError(profileError, request.id);
+
+    // Deadline (msc.serve.v1 addition): total budget in seconds from
+    // admission. Queue wait already spent part of it, so the token is
+    // armed with the remainder — a request that waited past its deadline
+    // cancels at its first round boundary and still returns a reply.
+    const double deadlineSeconds =
+        getNumberParam(request, "deadline_seconds", 0.0);
+    if (findParam(request, "deadline_seconds") != nullptr) {
+      if (!(deadlineSeconds > 0.0)) {
+        throw ProtocolError("\"deadline_seconds\" must be > 0");
+      }
+      rctx.setDeadlineSeconds(deadlineSeconds);
+      token.setDeadlineAfterSeconds(deadlineSeconds - queueWaitSeconds);
+    }
+
+    // Progress streaming (msc.serve.v1 addition): {"progress":
+    // {"every_ms": N}} emits rate-limited {"event":"progress"} lines via
+    // `notify` while the solve runs. Without a notify sink (direct
+    // Engine::handle callers) snapshots are still counted for `usage`.
+    if (const json::Value* prog = findParam(request, "progress")) {
+      if (!prog->isObject()) {
+        throw ProtocolError("\"progress\" must be an object");
+      }
+      double everyMs = 100.0;
+      const json::Object& progObj = prog->asObject();
+      if (const auto it = progObj.find("every_ms"); it != progObj.end()) {
+        if (!it->second.isNumber()) {
+          throw ProtocolError("\"progress.every_ms\" must be a number");
+        }
+        everyMs = it->second.asNumber();
+      }
+      progressReporter.emplace(
+          [notify, &request](const obs::ProgressSnapshot& snap) {
+            if (notify != nullptr && *notify) {
+              (*notify)(renderProgressEvent(request.id, snap));
+            }
+          },
+          everyMs);
+      rctx.setProgress(&*progressReporter);
+    }
+
     std::uint64_t gainEvals = 0;
     json::Object fields;
     {
       // The executor thread's own CPU share; workers add theirs in the
       // pool (util/parallel.cpp), pass threads in sandwich.cpp.
       const obs::ScopedCpuAttribution cpu;
-      fields = dispatch(request, gainEvals);
+      fields = dispatch(request, gainEvals, token);
     }
     rctx.addGainEvals(gainEvals);
     if (const auto it = fields.find("apsp_cache");
@@ -266,9 +365,34 @@ std::string Engine::handle(const Request& request, double queueWaitSeconds) {
       usage["oracle"] = std::move(oracleUsage);
     }
     if (!traceFile.empty()) usage["trace_file"] = traceFile;
+    if (rctx.deadlineSeconds() > 0.0) {
+      usage["deadline_seconds"] = rctx.deadlineSeconds();
+    }
+    if (progressReporter.has_value()) {
+      json::Object progUsage;
+      progUsage["every_ms"] = progressReporter->everyMs();
+      progUsage["snapshots"] = progressReporter->offered();
+      progUsage["events"] = progressReporter->emitted();
+      usage["progress"] = std::move(progUsage);
+    }
+    // Anytime-result downgrade: the fields above already hold the
+    // best-so-far state (completed-round prefix); only the status and the
+    // usage annotation differ from a normal reply.
+    if (token.cancelled()) {
+      const util::CancelReason reason = token.reason();
+      status = reason == util::CancelReason::Deadline ? "deadline_exceeded"
+                                                      : "cancelled";
+      (reason == util::CancelReason::Deadline ? cancelledDeadline_
+                                              : cancelledClient_)
+          .fetch_add(1, std::memory_order_relaxed);
+      bumpCounter(reason == util::CancelReason::Deadline
+                      ? "serve.cancelled.deadline"
+                      : "serve.cancelled.client");
+      usage["cancelled"] = util::cancelReasonName(reason);
+    }
     fields["usage"] = std::move(usage);
-    response = okResponse(request.id, request.cmd, std::move(fields),
-                          wallExec, gainEvals);
+    response = statusResponse(request.id, request.cmd, std::move(fields),
+                              status, wallExec, gainEvals);
   } catch (const std::exception& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     bumpCounter("serve.errors");
@@ -316,11 +440,17 @@ std::string Engine::handle(const Request& request, double queueWaitSeconds) {
     if (!traceFile.empty()) logFields.emplace_back("trace_file", traceFile);
     obs::log::write(obs::log::Level::Info, "serve.request", logFields);
   }
+  if (inflightRegistered) {
+    const std::lock_guard<std::mutex> lock(inflightMu_);
+    inflightTokens_.erase(inflightIt);
+  }
+  executing_.fetch_sub(1, std::memory_order_relaxed);
   return response;
 }
 
 json::Object Engine::dispatch(const Request& request,
-                              std::uint64_t& gainEvals) {
+                              std::uint64_t& gainEvals,
+                              util::CancelToken& cancel) {
   switch (request.cmd) {
     case Command::LoadGraph:
       return cmdLoadGraph(request);
@@ -336,9 +466,25 @@ json::Object Engine::dispatch(const Request& request,
       return cmdMetrics(request);
     case Command::Health:
       return cmdHealth(request);
+    case Command::Cancel:
+      return cmdCancel(request);
     case Command::Sleep: {
+      // Cancellation-aware: sleeps in <= 50 ms slices so a `cancel` or an
+      // armed deadline interrupts the wait promptly (the queue-backpressure
+      // tests use sleep as a stand-in for a long solve). The reply reports
+      // the REQUESTED duration so uncancelled replies stay byte-identical.
       const long long ms = getIntParam(request, "ms", 0, 0, 60000);
-      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(ms);
+      while (!cancel.cancelled()) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= until) break;
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(until - now);
+        std::this_thread::sleep_for(
+            std::min<std::chrono::milliseconds>(remaining,
+                                                std::chrono::milliseconds(50)));
+      }
       json::Object fields;
       fields["slept_ms"] = ms;
       return fields;
@@ -486,6 +632,15 @@ json::Object Engine::cmdSolve(const Request& request,
     if (const auto ratio = res.dataDependentRatio()) {
       fields["data_dependent_ratio"] = *ratio;
     }
+    // Certified optimality interval on interrupted (anytime) replies only:
+    // σ(F*) <= nu(F_nu)/(1 - 1/e) whenever the ν pass ran to completion,
+    // so the client knows how much a cancelled solve left on the table.
+    // Completed replies stay byte-identical to the pre-§18 schema.
+    if (res.interrupted != util::CancelReason::None &&
+        res.certifiedUpperBound.has_value()) {
+      fields["certified_upper_bound"] = *res.certifiedUpperBound;
+      fields["bound_gap"] = *res.certifiedUpperBound - res.sigma;
+    }
   } else if (algo == "ea") {
     core::SigmaEvaluator sigma(inst);
     core::EaConfig cfg;
@@ -627,6 +782,19 @@ json::Object Engine::cmdStats(const Request&) {
   }
   fields["request_seconds"] = std::move(latObj);
 
+  // Live-introspection snapshot (docs/ALGORITHMS.md §18): progress-stream
+  // volume and anytime-result counts, always on.
+  const obs::ProgressCounters pc = obs::progressCounters();
+  json::Object progressObj;
+  progressObj["snapshots"] = pc.snapshots;
+  progressObj["events"] = pc.events;
+  progressObj["last_rounds_per_second"] = pc.lastRoundsPerSecond;
+  fields["progress"] = std::move(progressObj);
+  json::Object cancelObj;
+  cancelObj["client"] = cancelledClient_.load(std::memory_order_relaxed);
+  cancelObj["deadline"] = cancelledDeadline_.load(std::memory_order_relaxed);
+  fields["cancellations"] = std::move(cancelObj);
+
   if (statsHook_) statsHook_(fields);
   return fields;
 }
@@ -704,6 +872,46 @@ std::string Engine::metricsText() const {
       "# TYPE msc_serve_oracle_mode_switches_total counter\n"
       "msc_serve_oracle_mode_switches_total " +
       std::to_string(cs.oracleModeSwitches) + "\n";
+  // Live-introspection series (docs/ALGORITHMS.md §18). Every label value
+  // is emitted from the first scrape, zeros included — the registration
+  // contract shared by all msc_serve_* labeled series.
+  text +=
+      "# HELP msc_serve_cancellations_total requests stopped early and "
+      "answered with an anytime result, by reason\n"
+      "# TYPE msc_serve_cancellations_total counter\n";
+  text += "msc_serve_cancellations_total{reason=\"client\"} " +
+          std::to_string(cancelledClient_.load(std::memory_order_relaxed)) +
+          "\n";
+  text += "msc_serve_cancellations_total{reason=\"deadline\"} " +
+          std::to_string(cancelledDeadline_.load(std::memory_order_relaxed)) +
+          "\n";
+  text +=
+      "# HELP msc_serve_requests_inflight requests admitted but not yet "
+      "answered, by phase\n"
+      "# TYPE msc_serve_requests_inflight gauge\n";
+  text += "msc_serve_requests_inflight{phase=\"executing\"} " +
+          std::to_string(executing_.load(std::memory_order_relaxed)) + "\n";
+  text += "msc_serve_requests_inflight{phase=\"queued\"} " +
+          std::to_string(queueDepthHook_ ? queueDepthHook_() : 0) + "\n";
+  const obs::ProgressCounters pc = obs::progressCounters();
+  text +=
+      "# HELP msc_progress_snapshots_total solver round-boundary snapshots "
+      "offered to progress reporters\n"
+      "# TYPE msc_progress_snapshots_total counter\n"
+      "msc_progress_snapshots_total " +
+      std::to_string(pc.snapshots) + "\n";
+  text +=
+      "# HELP msc_progress_events_total progress events delivered to "
+      "clients\n"
+      "# TYPE msc_progress_events_total counter\n"
+      "msc_progress_events_total " +
+      std::to_string(pc.events) + "\n";
+  text +=
+      "# HELP msc_solver_rounds_per_second most recent per-round rate "
+      "observed by any progress reporter\n"
+      "# TYPE msc_solver_rounds_per_second gauge\n"
+      "msc_solver_rounds_per_second " +
+      std::to_string(pc.lastRoundsPerSecond) + "\n";
   return text;
 }
 
@@ -721,6 +929,36 @@ json::Object Engine::cmdHealth(const Request&) {
   fields["uptime_seconds"] =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
+  return fields;
+}
+
+json::Object Engine::cmdCancel(const Request& request) {
+  const json::Value* target = findParam(request, "target");
+  if (target == nullptr) {
+    throw ProtocolError("cancel needs a \"target\" request id");
+  }
+  if (!target->isString() && !target->isNumber()) {
+    throw ProtocolError("\"target\" must be a string or number");
+  }
+  // Ids are matched by their JSON rendering, the same key the inflight
+  // registry uses — so 7 matches 7 and "7" matches "7", never across.
+  const std::string key = json::dump(*target);
+  bool delivered = false;
+  {
+    const std::lock_guard<std::mutex> lock(inflightMu_);
+    const auto [lo, hi] = inflightTokens_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      it->second->requestCancel(util::CancelReason::Client);
+      delivered = true;
+    }
+  }
+  // Admission-queue tokens (requests admitted but not yet executing): the
+  // Server's hook fires them so a queued request cancels at its very first
+  // round boundary once the executor reaches it.
+  if (cancelHook_ && cancelHook_(key)) delivered = true;
+  json::Object fields;
+  fields["target"] = *target;
+  fields["result"] = delivered ? "delivered" : "not_found";
   return fields;
 }
 
@@ -862,6 +1100,12 @@ struct ServerRun {
     Request request;
     std::shared_ptr<ReplySink> sink;
     std::chrono::steady_clock::time_point admitted;
+    /// Created at ADMISSION (not execution) and registered in `tokens`
+    /// under idKey, so a `cancel` answered on the reader thread reaches
+    /// requests still sitting in the queue: they execute later but stop at
+    /// their first round boundary. Null for requests without an id.
+    std::shared_ptr<util::CancelToken> token;
+    std::string idKey;
   };
 
   Server& server;
@@ -871,12 +1115,25 @@ struct ServerRun {
   std::mutex mu;
   std::condition_variable cv;
   std::deque<Job> queue;
+  /// Admission-time cancel registry: every queued or executing job with an
+  /// id, keyed by the id's JSON rendering. Guarded by `mu`.
+  std::multimap<std::string, std::shared_ptr<util::CancelToken>> tokens;
   bool readersDone = false;   // no further admissions will arrive
   bool stopping = false;      // shutdown executed; error-out new arrivals
   std::thread executor;
 
   explicit ServerRun(Server& s)
       : server(s), engine(s.engine_), queueLimit(s.config_.queueLimit) {
+    engine.setCancelHook([this](const std::string& key) {
+      const std::lock_guard<std::mutex> lock(mu);
+      bool any = false;
+      const auto [lo, hi] = tokens.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        it->second->requestCancel(util::CancelReason::Client);
+        any = true;
+      }
+      return any;
+    });
     executor = std::thread([this] { runExecutor(); });
   }
 
@@ -902,11 +1159,11 @@ struct ServerRun {
       sink->write(errorResponse(e.id, e.what()));
       return;
     }
-    // Readiness probes bypass the admission queue entirely: answered on
-    // the reader thread (cheap, never queued behind a long solve) and
-    // still answered — with ready:false — while draining, so a load
-    // balancer sees "not ready" instead of a hard error.
-    if (request.cmd == Command::Health) {
+    // Readiness probes and cancels bypass the admission queue entirely:
+    // answered on the reader thread (cheap, never queued behind a long
+    // solve — a cancel stuck behind the very request it targets would be
+    // useless). The engine's cancel hook reaches back into `tokens` here.
+    if (request.cmd == Command::Health || request.cmd == Command::Cancel) {
       sink->write(engine.handle(request));
       return;
     }
@@ -923,8 +1180,14 @@ struct ServerRun {
         sink->write(overloadedResponse(request.id, queue.size(), queueLimit));
         return;
       }
-      queue.push_back(
-          Job{std::move(request), sink, std::chrono::steady_clock::now()});
+      Job job{std::move(request), sink, std::chrono::steady_clock::now(),
+              nullptr, ""};
+      if (!job.request.id.isNull()) {
+        job.idKey = json::dump(job.request.id);
+        job.token = std::make_shared<util::CancelToken>();
+        tokens.emplace(job.idKey, job.token);
+      }
+      queue.push_back(std::move(job));
       depth = queue.size();
     }
     publishDepth(depth);
@@ -947,9 +1210,29 @@ struct ServerRun {
                                    std::chrono::steady_clock::now() -
                                    job.admitted)
                                    .count();
-      job.sink->write(engine.handle(job.request, queueWait));
+      // Progress events go to the job's own sink (thread-safe; interleaves
+      // with replies for other requests on the same connection but never
+      // splits a line).
+      const std::function<void(const std::string&)> notify =
+          [&job](const std::string& line) { job.sink->write(line); };
+      job.sink->write(
+          engine.handle(job.request, queueWait, &notify, job.token.get()));
+      if (job.token != nullptr) releaseToken(job);
       if (engine.shutdownRequested()) {
         drainWithShutdownError();
+        return;
+      }
+    }
+  }
+
+  /// Drops the answered job's token from the cancel registry (matched by
+  /// identity — duplicate client ids each registered their own token).
+  void releaseToken(const Job& job) {
+    const std::lock_guard<std::mutex> lock(mu);
+    const auto [lo, hi] = tokens.equal_range(job.idKey);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == job.token) {
+        tokens.erase(it);
         return;
       }
     }
@@ -963,6 +1246,7 @@ struct ServerRun {
       const std::lock_guard<std::mutex> lock(mu);
       stopping = true;
       rest.swap(queue);
+      tokens.clear();
     }
     publishDepth(0);
     for (const Job& job : rest) {
@@ -983,6 +1267,8 @@ struct ServerRun {
     }
     cv.notify_all();
     if (executor.joinable()) executor.join();
+    // The engine outlives this run; a stale hook would dangle.
+    engine.setCancelHook(nullptr);
   }
 };
 
@@ -996,6 +1282,8 @@ Server::Server(ServerConfig config)
   // A server also drains on the process-wide (signal-driven) stop flag, so
   // health must report not-ready as soon as it is raised.
   engine_.setReadyHook([] { return !Server::shutdownRequested(); });
+  engine_.setQueueDepthHook(
+      [this] { return queueDepth_.load(std::memory_order_relaxed); });
 }
 
 Server::~Server() { stopMetricsHttp(); }

@@ -58,6 +58,7 @@
 
 #include "serve/instance_cache.h"
 #include "serve/protocol.h"
+#include "util/cancel.h"
 
 namespace msc::serve {
 
@@ -88,7 +89,21 @@ class Engine {
   /// is how long the request sat in the admission queue (0 when executed
   /// directly); it feeds the serve.queue_wait_seconds histogram and the
   /// per-request log line.
-  std::string handle(const Request& request, double queueWaitSeconds = 0.0);
+  ///
+  /// Live introspection (docs/ALGORITHMS.md §18): when the request carries
+  /// a `"progress"` object, `notify` (if non-null) receives one rendered
+  /// `{"event":"progress",...}` line per emitted snapshot, from the solver
+  /// thread, before the final response line is returned. `cancel` lets the
+  /// caller share a pre-registered token (the Server registers one per
+  /// admitted job so `cancel` reaches requests still in the queue); when
+  /// null the engine uses a request-local token. A `"deadline_seconds"`
+  /// parameter arms the token with the remaining budget (deadline minus
+  /// queue wait); a fired token turns the reply into an anytime result
+  /// with status "cancelled" / "deadline_exceeded".
+  std::string handle(const Request& request, double queueWaitSeconds = 0.0,
+                     const std::function<void(const std::string&)>* notify =
+                         nullptr,
+                     util::CancelToken* cancel = nullptr);
 
   /// True once a shutdown request has been executed.
   bool shutdownRequested() const noexcept {
@@ -110,6 +125,21 @@ class Engine {
     readyHook_ = std::move(hook);
   }
 
+  /// Extra cancellation targets consulted by the `cancel` command after the
+  /// engine's own executing-request registry: the Server wires the
+  /// admission queue's per-job tokens in, so a cancel reaches requests that
+  /// are admitted but not yet executing. Returns true when a matching
+  /// request was found and its token fired.
+  void setCancelHook(std::function<bool(const std::string&)> hook) {
+    cancelHook_ = std::move(hook);
+  }
+
+  /// Current admission-queue depth for the msc_serve_requests_inflight
+  /// {phase="queued"} gauge (the Server wires its queue in; 0 when unset).
+  void setQueueDepthHook(std::function<std::size_t()> hook) {
+    queueDepthHook_ = std::move(hook);
+  }
+
   /// Readiness as `health` reports it: false once shutdown was requested
   /// (draining) or the ready hook vetoes.
   bool ready() const;
@@ -120,7 +150,8 @@ class Engine {
   std::string metricsText() const;
 
  private:
-  json::Object dispatch(const Request& request, std::uint64_t& gainEvals);
+  json::Object dispatch(const Request& request, std::uint64_t& gainEvals,
+                        util::CancelToken& cancel);
   json::Object cmdLoadGraph(const Request& request);
   json::Object cmdLoadPairs(const Request& request);
   json::Object cmdSolve(const Request& request, std::uint64_t& gainEvals);
@@ -128,6 +159,7 @@ class Engine {
   json::Object cmdStats(const Request& request);
   json::Object cmdMetrics(const Request& request);
   json::Object cmdHealth(const Request& request);
+  json::Object cmdCancel(const Request& request);
   /// Resolves a client-supplied graph/pairs reference: an alias registered
   /// via load_*'s "as" field, or a raw content key.
   std::string resolveKey(const std::string& ref);
@@ -138,11 +170,21 @@ class Engine {
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> cancelledClient_{0};
+  std::atomic<std::uint64_t> cancelledDeadline_{0};
+  std::atomic<std::int64_t> executing_{0};
   std::function<void(json::Object&)> statsHook_;
   std::function<bool()> readyHook_;
+  std::function<bool(const std::string&)> cancelHook_;
+  std::function<std::size_t()> queueDepthHook_;
   std::chrono::steady_clock::time_point start_;
   mutable std::mutex aliasMu_;
   std::map<std::string, std::string> aliases_;
+  /// Tokens of currently-executing requests keyed by the JSON-rendered
+  /// request id; `cancel` fires every match (duplicate client ids are the
+  /// client's problem — all of them stop).
+  mutable std::mutex inflightMu_;
+  std::multimap<std::string, util::CancelToken*> inflightTokens_;
 };
 
 struct ServerConfig {

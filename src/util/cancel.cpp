@@ -1,0 +1,74 @@
+#include "util/cancel.h"
+
+namespace msc::util {
+
+namespace {
+
+thread_local const CancelToken* tlsChunkCancel = nullptr;
+
+std::int64_t steadyNowNs() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* cancelReasonName(CancelReason reason) noexcept {
+  switch (reason) {
+    case CancelReason::Client:
+      return "client";
+    case CancelReason::Deadline:
+      return "deadline";
+    case CancelReason::None:
+      break;
+  }
+  return "";
+}
+
+void CancelToken::requestCancel(CancelReason reason) noexcept {
+  if (reason == CancelReason::None) return;
+  int expected = 0;
+  reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+}
+
+void CancelToken::setDeadlineAfterSeconds(double seconds) noexcept {
+  deadlineSeconds_ = seconds;
+  if (seconds <= 0.0) {
+    requestCancel(CancelReason::Deadline);
+    return;
+  }
+  const double ns = seconds * 1e9;
+  deadlineNs_.store(steadyNowNs() + static_cast<std::int64_t>(ns),
+                    std::memory_order_release);
+}
+
+bool CancelToken::cancelled() const noexcept {
+  if (reason_.load(std::memory_order_acquire) != 0) return true;
+  const std::int64_t deadline = deadlineNs_.load(std::memory_order_acquire);
+  if (deadline != 0 && steadyNowNs() >= deadline) {
+    // Latch the expiry so reason() stays consistent from here on.
+    int expected = 0;
+    reason_.compare_exchange_strong(expected,
+                                    static_cast<int>(CancelReason::Deadline),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+    return true;
+  }
+  return false;
+}
+
+ScopedChunkCancel::ScopedChunkCancel(const CancelToken* token) noexcept
+    : prev_(tlsChunkCancel) {
+  tlsChunkCancel = token;
+}
+
+ScopedChunkCancel::~ScopedChunkCancel() { tlsChunkCancel = prev_; }
+
+const CancelToken* ScopedChunkCancel::current() noexcept {
+  return tlsChunkCancel;
+}
+
+}  // namespace msc::util

@@ -1,0 +1,95 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancelToken is a tiny shared flag a solver polls at its round
+// boundaries (docs/ALGORITHMS.md §18). It never interrupts work by force:
+// the owner requests cancellation (or arms a deadline) and the solver
+// notices at its next check, finishes nothing half-way, and returns the
+// best-so-far prefix it had already committed. Because checks happen only
+// BETWEEN rounds and between thread-pool chunks — never inside a gain
+// evaluation — a cancelled run's completed rounds are bit-identical to the
+// same prefix of an uncancelled run (the determinism contract of
+// ALGORITHMS.md §10 extends to interruption).
+//
+// Thread model: requestCancel / cancelled / reason are safe from any
+// thread (relaxed-ish atomics; the first reason to land wins and is never
+// overwritten). setDeadline* must happen-before the token is shared, i.e.
+// configure the token, then hand it to the solve.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <atomic>
+
+namespace msc::util {
+
+/// Why a solve stopped early. None = it was never interrupted.
+enum class CancelReason : int {
+  None = 0,
+  Client = 1,    // explicit cancel request (serve `cancel` command, Ctrl-C)
+  Deadline = 2,  // the token's deadline passed
+};
+
+/// Wire name of a reason: "" / "client" / "deadline".
+const char* cancelReasonName(CancelReason reason) noexcept;
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. The first reason to land sticks; later calls
+  /// (including a later deadline expiry) are no-ops.
+  void requestCancel(CancelReason reason = CancelReason::Client) noexcept;
+
+  /// Arms a deadline `seconds` from now (steady clock). Values <= 0 cancel
+  /// immediately with CancelReason::Deadline. Call before sharing the
+  /// token; the deadline is latched into a cancellation lazily by
+  /// cancelled() once it has passed.
+  void setDeadlineAfterSeconds(double seconds) noexcept;
+
+  /// True once cancellation was requested or the armed deadline passed.
+  /// Safe (and cheap: one relaxed load on the not-cancelled fast path plus
+  /// one more when a deadline is armed) to call from any thread.
+  bool cancelled() const noexcept;
+
+  /// The latched reason; None while cancelled() is false. Does not itself
+  /// check the deadline — call cancelled() first when that matters.
+  CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  /// Seconds the deadline was armed with (0 = none); for reporting.
+  double deadlineSeconds() const noexcept { return deadlineSeconds_; }
+
+ private:
+  mutable std::atomic<int> reason_{0};
+  std::atomic<std::int64_t> deadlineNs_{0};  // steady-clock ns; 0 = unarmed
+  double deadlineSeconds_ = 0.0;
+};
+
+/// Marks parallelFor submissions from the current thread as
+/// chunk-cancellable for the scope: the pool captures `token` with the job
+/// and, once it fires, skips the remaining chunks' callbacks (they still
+/// count as done, so the job drains normally).
+///
+/// Only safe around callbacks whose results the caller DISCARDS when it
+/// sees the token cancelled afterwards — the solver gain scans do exactly
+/// that. Work whose output outlives the request (the instance cache's APSP
+/// build) must never run under this scope: a partially-skipped build would
+/// be cached as if complete.
+class ScopedChunkCancel {
+ public:
+  explicit ScopedChunkCancel(const CancelToken* token) noexcept;
+  ~ScopedChunkCancel();
+  ScopedChunkCancel(const ScopedChunkCancel&) = delete;
+  ScopedChunkCancel& operator=(const ScopedChunkCancel&) = delete;
+
+  /// The token marked for the calling thread, or nullptr.
+  static const CancelToken* current() noexcept;
+
+ private:
+  const CancelToken* prev_ = nullptr;
+};
+
+}  // namespace msc::util

@@ -7,6 +7,7 @@
 #include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 
 namespace msc::util {
 
@@ -100,9 +101,16 @@ void ThreadPool::runChunks(Job& job) noexcept {
                                             {"begin", chunkBegin},
                                             {"end", chunkEnd}});
     }
+    // Cooperative cancellation between chunks: a fired token skips the
+    // callback but still drains the chunk, so the job completes normally
+    // and the submitter (which opted in via ScopedChunkCancel) discards
+    // the partial result.
+    const bool skip = job.cancel != nullptr && job.cancel->cancelled();
     try {
-      const ChunkGuard guard;
-      (*job.fn)(chunkBegin, chunkEnd);
+      if (!skip) {
+        const ChunkGuard guard;
+        (*job.fn)(chunkBegin, chunkEnd);
+      }
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mu_);
       if (!job.error) job.error = std::current_exception();
@@ -169,13 +177,14 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
   if (chunkCount == 1 || limit == 1) {
     // Inline execution, same chunk layout; exceptions propagate directly.
     const bool traced = msc::obs::trace::enabled();
+    const CancelToken* const cancel = ScopedChunkCancel::current();
     const std::uint64_t jobId =
         traced ? gJobTraceId.fetch_add(1, std::memory_order_relaxed) : 0;
     for (std::size_t c = 0; c < chunkCount; ++c) {
       const std::size_t chunkBegin = begin + c * grain;
       const std::size_t chunkEnd = std::min(end, chunkBegin + grain);
       if (traced) traceInlineChunk(jobId, c, chunkBegin, chunkEnd);
-      {
+      if (cancel == nullptr || !cancel->cancelled()) {
         const ChunkGuard guard;
         fn(chunkBegin, chunkEnd);
       }
@@ -193,6 +202,7 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
   job.chunkCount = chunkCount;
   job.traceId = gJobTraceId.fetch_add(1, std::memory_order_relaxed);
   job.ctx = msc::obs::currentRequest();
+  job.cancel = ScopedChunkCancel::current();
   job.fn = &fn;
   job.maxParticipants = limit;
   job.minWorkerChunks = std::numeric_limits<std::size_t>::max();
@@ -242,13 +252,14 @@ void parallelForThreads(int threads, std::size_t begin, std::size_t end,
     if (grain == 0) grain = 1;
     const std::size_t chunkCount = (end - begin + grain - 1) / grain;
     const bool traced = msc::obs::trace::enabled();
+    const CancelToken* const cancel = ScopedChunkCancel::current();
     const std::uint64_t jobId =
         traced ? gJobTraceId.fetch_add(1, std::memory_order_relaxed) : 0;
     for (std::size_t c = 0; c < chunkCount; ++c) {
       const std::size_t chunkBegin = begin + c * grain;
       const std::size_t chunkEnd = std::min(end, chunkBegin + grain);
       if (traced) traceInlineChunk(jobId, c, chunkBegin, chunkEnd);
-      {
+      if (cancel == nullptr || !cancel->cancelled()) {
         const ChunkGuard guard;
         fn(chunkBegin, chunkEnd);
       }

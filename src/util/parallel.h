@@ -33,6 +33,8 @@ class RequestContext;
 
 namespace msc::util {
 
+class CancelToken;
+
 /// Maps a SolveOptions-style thread request to an actual count:
 /// 0 -> std::thread::hardware_concurrency() (at least 1), n > 0 -> n.
 /// Throws std::invalid_argument on negative requests.
@@ -76,6 +78,12 @@ class ThreadPool {
     // and bound around each worker's chunk run so pooled work is
     // attributed to the request that caused it; null outside serve.
     msc::obs::RequestContext* ctx = nullptr;
+    // Cancel token captured from the submitter's ScopedChunkCancel scope
+    // (util/cancel.h); when it fires, remaining chunk callbacks are
+    // skipped (chunks still count as done so the job drains). Null unless
+    // the submitter opted in — only safe for discard-on-cancel callbacks
+    // like the solver gain scans, never for cache builds.
+    const CancelToken* cancel = nullptr;
     const ChunkFn* fn = nullptr;
     std::atomic<std::size_t> nextChunk{0};
     // Everything below is guarded by the pool mutex.

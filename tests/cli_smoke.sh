@@ -375,6 +375,67 @@ grep -q '"status":"overloaded"' "$WORK/burst_out.jsonl" \
 BURST=$(wc -l < "$WORK/burst_out.jsonl")
 [ "$BURST" -eq 6 ] || { echo "FAIL: burst replied $BURST/6"; exit 1; }
 
+# Live solve introspection (docs/ALGORITHMS.md §18): --progress prints a
+# stderr ticker without touching stdout (results must be byte-identical).
+"$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" --pt 0.14 \
+       --k 3 --algo greedy --progress > "$WORK/prog_out.txt" \
+       2> "$WORK/prog_err.txt" \
+  || { echo "FAIL: solve --progress exited non-zero"; exit 1; }
+grep -q '^progress greedy round [1-9]' "$WORK/prog_err.txt" \
+  || { echo "FAIL: --progress printed no ticker lines"; exit 1; }
+"$CLI" solve --graph "$WORK/g.txt" --pairs "$WORK/p.txt" --pt 0.14 \
+       --k 3 --algo greedy > "$WORK/noprog_out.txt" 2>/dev/null
+cmp -s "$WORK/prog_out.txt" "$WORK/noprog_out.txt" \
+  || { echo "FAIL: --progress changed solve stdout"; exit 1; }
+
+# Serve progress streaming: a solve with a "progress" param emits
+# {"event":"progress",...} notification lines before its final reply, and
+# deadline/cancel requests come back as structured anytime statuses.
+cat > "$WORK/serve_prog.jsonl" <<EOF
+{"id":1,"cmd":"load_graph","path":"$WORK/g.txt","as":"g"}
+{"id":2,"cmd":"load_pairs","path":"$WORK/p.txt","as":"p"}
+{"id":3,"cmd":"solve","graph":"g","pairs":"p","p_t":0.14,"algo":"greedy","k":3,"threads":1,"seed":1,"progress":{"every_ms":0}}
+{"id":4,"cmd":"sleep","ms":5000,"deadline_seconds":0.05}
+{"id":5,"cmd":"shutdown"}
+EOF
+"$CLI" serve < "$WORK/serve_prog.jsonl" > "$WORK/prog_serve.jsonl" \
+  || { echo "FAIL: progress serve exited non-zero"; exit 1; }
+EVENTS=$(grep -c '"event":"progress"' "$WORK/prog_serve.jsonl")
+[ "$EVENTS" -ge 2 ] \
+  || { echo "FAIL: progress solve emitted $EVENTS events (< 2)"; exit 1; }
+grep -q '"status":"deadline_exceeded"' "$WORK/prog_serve.jsonl" \
+  || { echo "FAIL: deadline_seconds did not fire"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$WORK/prog_serve.jsonl" <<'PYEOF' || { echo "FAIL: progress events invalid"; exit 1; }
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+events = [l for l in lines if l.get("event") == "progress"]
+replies = [l for l in lines if "status" in l]
+assert len(events) >= 2
+for i, ev in enumerate(events):
+    assert ev["schema"] == "msc.serve.v1"
+    assert ev["id"] == 3
+    assert ev["solver"] == "greedy"
+    assert ev["seq"] == i + 1 and ev["round"] == i + 1
+    assert ev["gain_evals"] > 0 and ev["value"] >= 0
+# All events precede the solve's final reply on the stream.
+solve_at = next(i for i, l in enumerate(lines)
+                if l.get("id") == 3 and "status" in l)
+assert all(lines.index(ev) < solve_at for ev in events)
+solve = lines[solve_at]
+assert solve["status"] == "ok"
+assert solve["usage"]["progress"]["events"] == len(events)
+dl = next(r for r in replies if r["id"] == 4)
+assert dl["status"] == "deadline_exceeded"
+assert dl["usage"]["cancelled"] == "deadline"
+assert dl["usage"]["deadline_seconds"] == 0.05
+PYEOF
+fi
+echo "$VERSION" | grep -q 'deadline_seconds' \
+  || { echo "FAIL: version missing deadline_seconds addition"; exit 1; }
+echo "$VERSION" | grep -q 'cancel' \
+  || { echo "FAIL: version missing cancel command"; exit 1; }
+
 # Malformed serve input gets a structured error, not a crash.
 printf '%s\n' '{broken' '{"id":9,"cmd":"shutdown"}' \
   | "$CLI" serve > "$WORK/serve_err.jsonl" \

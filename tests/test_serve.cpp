@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +34,7 @@
 #include "serve/json.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "util/cancel.h"
 #include "wireless/link_model.h"
 
 namespace {
@@ -876,6 +878,241 @@ TEST(ServeTelemetry, MetricsHttpListenerServesScrapesAndHealth) {
 
   server.stopMetricsHttp();
   Server::clearShutdownFlag();
+}
+
+// ------------- live introspection: progress/cancel/deadlines (§18) --------
+
+TEST(ServeCancel, CancelCommandStopsSleepingRequest) {
+  Server server;
+  // The cancel is answered on the reader thread (never queued), so it
+  // reaches the sleep while the executor is still inside it.
+  const auto responses = runScript(
+      server, {"{\"id\":1,\"cmd\":\"sleep\",\"ms\":10000}",
+               "{\"id\":2,\"cmd\":\"cancel\",\"target\":1}"});
+  ASSERT_EQ(responses.size(), 2u);
+  const auto* slept = responseForId(responses, 1);
+  ASSERT_NE(slept, nullptr);
+  EXPECT_EQ(slept->find("status")->asString(), "cancelled");
+  EXPECT_EQ(slept->find("usage")->find("cancelled")->asString(), "client");
+  EXPECT_LT(slept->find("wall_seconds")->asNumber(), 5.0);
+  const auto* cancel = responseForId(responses, 2);
+  ASSERT_NE(cancel, nullptr);
+  EXPECT_EQ(cancel->find("status")->asString(), "ok");
+  EXPECT_EQ(cancel->find("result")->asString(), "delivered");
+}
+
+TEST(ServeCancel, DeadlineExceededSleepReturnsEarlyWithAttribution) {
+  Engine engine;
+  const auto resp = json::parse(engine.handleLine(
+      "{\"id\":1,\"cmd\":\"sleep\",\"ms\":10000,\"deadline_seconds\":0.05}"));
+  EXPECT_EQ(resp.find("status")->asString(), "deadline_exceeded");
+  EXPECT_EQ(resp.find("usage")->find("cancelled")->asString(), "deadline");
+  EXPECT_DOUBLE_EQ(resp.find("usage")->find("deadline_seconds")->asNumber(),
+                   0.05);
+  EXPECT_LT(resp.find("wall_seconds")->asNumber(), 5.0);
+}
+
+TEST(ServeCancel, CancelUnknownTargetReportsNotFound) {
+  Engine engine;
+  const auto resp = json::parse(
+      engine.handleLine("{\"id\":2,\"cmd\":\"cancel\",\"target\":\"nope\"}"));
+  EXPECT_EQ(resp.find("status")->asString(), "ok");
+  EXPECT_EQ(resp.find("result")->asString(), "not_found");
+}
+
+TEST(ServeCancel, InvalidDeadlineAndProgressParamsAreStructuredErrors) {
+  Engine engine;
+  const auto bad1 = json::parse(engine.handleLine(
+      "{\"id\":1,\"cmd\":\"stats\",\"deadline_seconds\":0}"));
+  EXPECT_EQ(bad1.find("status")->asString(), "error");
+  const auto bad2 = json::parse(engine.handleLine(
+      "{\"id\":2,\"cmd\":\"stats\",\"deadline_seconds\":-1}"));
+  EXPECT_EQ(bad2.find("status")->asString(), "error");
+  const auto bad3 = json::parse(
+      engine.handleLine("{\"id\":3,\"cmd\":\"stats\",\"progress\":5}"));
+  EXPECT_EQ(bad3.find("status")->asString(), "error");
+  const auto bad4 = json::parse(
+      engine.handleLine("{\"id\":4,\"cmd\":\"cancel\"}"));
+  EXPECT_EQ(bad4.find("status")->asString(), "error");
+}
+
+TEST(ServeProgress, SolveStreamsOrderedWellFormedEventsBeforeReply) {
+  auto g = msc::test::randomGraph(40, 0.1, 7);
+  Engine engine;
+  loadFixture(engine, g, "0 39\n3 31\n5 22\n8 17\n1 30\n2 28\n");
+
+  const auto req = msc::serve::parseRequest(
+      "{\"id\":5,\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\","
+      "\"p_t\":0.14,\"algo\":\"greedy\",\"k\":3,\"threads\":1,\"seed\":1,"
+      "\"progress\":{\"every_ms\":0}}");
+  std::vector<json::Value> events;
+  const std::function<void(const std::string&)> notify =
+      [&](const std::string& line) { events.push_back(json::parse(line)); };
+  const auto resp = json::parse(engine.handle(req, 0.0, &notify));
+
+  ASSERT_EQ(resp.find("status")->asString(), "ok");
+  ASSERT_GE(events.size(), 2u);  // at least two events before the reply
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    EXPECT_EQ(ev.find("schema")->asString(), msc::serve::kSchemaVersion);
+    EXPECT_EQ(ev.find("event")->asString(), "progress");
+    EXPECT_DOUBLE_EQ(ev.find("id")->asNumber(), 5.0);
+    EXPECT_EQ(ev.find("solver")->asString(), "greedy");
+    EXPECT_DOUBLE_EQ(ev.find("seq")->asNumber(), static_cast<double>(i + 1));
+    EXPECT_DOUBLE_EQ(ev.find("round")->asNumber(), static_cast<double>(i + 1));
+    EXPECT_NE(ev.find("value"), nullptr);
+    EXPECT_NE(ev.find("gain_evals"), nullptr);
+  }
+  const auto* usageProgress = resp.find("usage")->find("progress");
+  ASSERT_NE(usageProgress, nullptr);
+  EXPECT_DOUBLE_EQ(usageProgress->find("every_ms")->asNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(usageProgress->find("events")->asNumber(),
+                   static_cast<double>(events.size()));
+  EXPECT_GE(usageProgress->find("snapshots")->asNumber(),
+            static_cast<double>(events.size()));
+}
+
+TEST(ServeProgress, ProgressRequestDoesNotPerturbTheReply) {
+  auto g = msc::test::randomGraph(40, 0.1, 7);
+  const std::string solveTail =
+      "\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\",\"p_t\":0.14,"
+      "\"algo\":\"greedy\",\"k\":3,\"threads\":1,\"seed\":1";
+
+  Engine plainEngine;
+  loadFixture(plainEngine, g, "0 39\n3 31\n5 22\n");
+  const auto plain =
+      json::parse(plainEngine.handleLine("{\"id\":1," + solveTail + "}"));
+
+  Engine progressEngine;
+  loadFixture(progressEngine, g, "0 39\n3 31\n5 22\n");
+  const auto req = msc::serve::parseRequest(
+      "{\"id\":1," + solveTail + ",\"progress\":{\"every_ms\":0}}");
+  int events = 0;
+  const std::function<void(const std::string&)> notify =
+      [&](const std::string&) { ++events; };
+  const auto withProgress =
+      json::parse(progressEngine.handle(req, 0.0, &notify));
+
+  EXPECT_GT(events, 0);
+  auto a = plain.asObject();
+  auto b = withProgress.asObject();
+  for (auto* o : {&a, &b}) {
+    o->erase("wall_seconds");
+    o->erase("usage");
+  }
+  EXPECT_EQ(json::dump(json::Value(a)), json::dump(json::Value(b)));
+}
+
+TEST(ServeCancel, MidSolveCancelReturnsBitIdenticalAnytimePrefix) {
+  const double pt = 0.14;
+  auto g = msc::test::randomGraph(40, 0.1, 7);
+  Engine engine;
+  loadFixture(engine, g, "0 39\n3 31\n5 22\n8 17\n1 30\n2 28\n");
+
+  // Direct reference run: the uncancelled trajectory.
+  const std::vector<msc::core::SocialPair> pairs = {{0, 39}, {3, 31}, {5, 22},
+                                                    {8, 17}, {1, 30}, {2, 28}};
+  const auto inst =
+      msc::core::Instance::fromFailureThreshold(std::move(g), pairs, pt, 1);
+  const auto cands =
+      msc::core::CandidateSet::allPairs(inst.graph().nodeCount());
+  msc::core::SigmaEvaluator sigma(inst);
+  const auto reference = msc::core::greedyMaximize(
+      sigma, cands, {.k = 4, .threads = 1, .seed = 1});
+  constexpr int kCancelAfterRound = 2;
+  ASSERT_GT(reference.rounds, kCancelAfterRound);
+
+  // Serve run: cancel from the progress stream at the round-2 boundary.
+  const auto req = msc::serve::parseRequest(
+      "{\"id\":9,\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\","
+      "\"p_t\":0.14,\"algo\":\"greedy\",\"k\":4,\"threads\":1,\"seed\":1,"
+      "\"progress\":{\"every_ms\":0}}");
+  msc::util::CancelToken token;
+  const std::function<void(const std::string&)> notify =
+      [&](const std::string& line) {
+        const auto ev = json::parse(line);
+        if (ev.find("round")->asNumber() == kCancelAfterRound) {
+          token.requestCancel();
+        }
+      };
+  const auto resp = json::parse(engine.handle(req, 0.0, &notify, &token));
+
+  EXPECT_EQ(resp.find("status")->asString(), "cancelled");
+  EXPECT_EQ(resp.find("usage")->find("cancelled")->asString(), "client");
+  // The anytime placement is exactly the completed-round prefix of the
+  // uncancelled run, and the reported value is that prefix's value.
+  msc::core::ShortcutList prefix(
+      reference.placement.begin(),
+      reference.placement.begin() + kCancelAfterRound);
+  EXPECT_EQ(resp.find("placement")->asString(),
+            msc::serve::placementSpec(prefix));
+  EXPECT_DOUBLE_EQ(resp.find("value")->asNumber(),
+                   reference.trajectory[kCancelAfterRound - 1]);
+}
+
+TEST(ServeCancel, CancelledSandwichBoundGapIsWellFormedWhenCertified) {
+  auto g = msc::test::randomGraph(40, 0.1, 7);
+  Engine engine;
+  loadFixture(engine, g, "0 39\n3 31\n5 22\n8 17\n1 30\n2 28\n");
+
+  // Cancel once the nu pass commits its last round: the bound is then
+  // certified even though the run as a whole is interrupted. Thread count
+  // 4 runs the passes concurrently, so whether mu/sigma finished first is
+  // timing-dependent — the assertions below hold either way.
+  const auto req = msc::serve::parseRequest(
+      "{\"id\":3,\"cmd\":\"solve\",\"graph\":\"g\",\"pairs\":\"p\","
+      "\"p_t\":0.14,\"algo\":\"sandwich\",\"k\":3,\"threads\":4,\"seed\":1,"
+      "\"progress\":{\"every_ms\":0}}");
+  msc::util::CancelToken token;
+  const std::function<void(const std::string&)> notify =
+      [&](const std::string& line) {
+        const auto ev = json::parse(line);
+        const auto* stage = ev.find("stage");
+        const auto* total = ev.find("total_rounds");
+        if (stage && stage->asString() == "nu" && total &&
+            ev.find("round")->asNumber() == total->asNumber()) {
+          token.requestCancel();
+        }
+      };
+  const auto resp = json::parse(engine.handle(req, 0.0, &notify, &token));
+
+  const std::string status = resp.find("status")->asString();
+  EXPECT_EQ(status, "cancelled");
+  const auto* upper = resp.find("certified_upper_bound");
+  const auto* gap = resp.find("bound_gap");
+  EXPECT_EQ(upper != nullptr, gap != nullptr);
+  if (upper != nullptr) {
+    const double value = resp.find("value")->asNumber();
+    EXPECT_GE(gap->asNumber(), -1e-9);
+    EXPECT_NEAR(gap->asNumber(), upper->asNumber() - value, 1e-9);
+  }
+}
+
+TEST(ServeTelemetry, StatsAndMetricsExposeProgressAndCancellationSeries) {
+  Engine engine;
+  // One deadline-cancelled request so the deadline counter is non-zero.
+  (void)engine.handleLine(
+      "{\"id\":1,\"cmd\":\"sleep\",\"ms\":5000,\"deadline_seconds\":0.01}");
+
+  const auto stats = json::parse(engine.handleLine("{\"cmd\":\"stats\"}"));
+  const auto* cancellations = stats.find("cancellations");
+  ASSERT_NE(cancellations, nullptr);
+  EXPECT_GE(cancellations->find("deadline")->asNumber(), 1.0);
+  EXPECT_GE(cancellations->find("client")->asNumber(), 0.0);
+  const auto* progress = stats.find("progress");
+  ASSERT_NE(progress, nullptr);
+  EXPECT_NE(progress->find("snapshots"), nullptr);
+  EXPECT_NE(progress->find("events"), nullptr);
+
+  const std::string metrics = engine.metricsText();
+  for (const char* series :
+       {"msc_serve_cancellations_total{reason=\"client\"}",
+        "msc_serve_cancellations_total{reason=\"deadline\"}",
+        "msc_serve_requests_inflight{phase=\"executing\"}",
+        "msc_serve_requests_inflight{phase=\"queued\"}",
+        "msc_progress_snapshots_total", "msc_progress_events_total"}) {
+    EXPECT_NE(metrics.find(series), std::string::npos) << series;
+  }
 }
 
 TEST(ServeServer, GlobalShutdownFlagStopsStreamLoop) {
